@@ -1,0 +1,92 @@
+"""E12 — Time-series extension: summary-skipping range aggregates.
+
+The tutorial's Part II conclusion names time series as a data model the
+log-only framework should extend to. Claim under test: a range aggregate
+reads the summary log plus at most two boundary data pages — IO nearly
+independent of the range width — while a raw scan reads every data page in
+the range; downsampling shrinks aged history by the bucket factor using
+sequential writes only.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Experiment, render_table, run_and_print
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.timeseries.downsample import downsample
+from repro.timeseries.series import TimeSeriesStore
+
+
+def make_allocator(blocks=8192) -> BlockAllocator:
+    flash = NandFlash(
+        FlashGeometry(page_size=256, pages_per_block=16, num_blocks=blocks)
+    )
+    return BlockAllocator(flash)
+
+
+def load(num_points: int) -> TimeSeriesStore:
+    store = TimeSeriesStore(make_allocator())
+    for ts in range(num_points):
+        store.append(ts, float((ts * 31) % 211))
+    store.flush()
+    return store
+
+
+def build_experiment() -> Experiment:
+    experiment = Experiment(
+        experiment_id="E12",
+        title="Range SUM: summary skipping vs raw scan",
+        claim="aggregate IO = summary pages + <=2 boundary pages, flat in "
+        "range width; raw scan IO grows with the range",
+        columns=[
+            "points", "range_width", "agg_data_pages", "agg_total_ios",
+            "scan_data_pages",
+        ],
+    )
+    store = load(40_000)
+    for width in (1_000, 10_000, 39_000):
+        t0 = 500
+        t1 = t0 + width - 1
+        expected = sum(float((ts * 31) % 211) for ts in range(t0, t1 + 1))
+        assert store.range_aggregate(t0, t1, "SUM") == expected
+        agg_stats = store.last_range
+        list(store.scan_range(t0, t1))
+        scan_stats = store.last_range
+        experiment.add_row(
+            40_000, width, agg_stats.data_pages, agg_stats.total_pages,
+            scan_stats.data_pages,
+        )
+    return experiment
+
+
+def test_e12_range_aggregates(benchmark):
+    experiment = run_and_print(build_experiment)
+    agg_pages = experiment.column("agg_data_pages")
+    scan_pages = experiment.column("scan_data_pages")
+    assert all(pages <= 2 for pages in agg_pages)  # boundary pages only
+    assert scan_pages[-1] > scan_pages[0] * 10  # raw scan grows
+    totals = experiment.column("agg_total_ios")
+    assert totals[-1] <= totals[0] + 2  # flat in range width
+
+    store = load(10_000)
+    benchmark(store.range_aggregate, 100, 9_000, "SUM")
+
+
+def test_e12_downsampling(benchmark):
+    """Aged history shrinks by the bucket factor, sequential writes only."""
+    experiment = Experiment(
+        experiment_id="E12-downsample",
+        title="Downsampling old history",
+        claim="points and pages shrink ~linearly with bucket width; no "
+        "random writes (flash model would raise)",
+        columns=["bucket_width", "points_out", "pages_out"],
+    )
+    store = load(20_000)
+    for width in (10, 100, 1000):
+        coarse = downsample(store, make_allocator(), width, aggregate="AVG")
+        experiment.add_row(width, coarse.count, coarse.data_pages)
+    print()
+    print(render_table(experiment))
+    points = experiment.column("points_out")
+    assert points == [2000, 200, 20]
+
+    benchmark(lambda: None)

@@ -1,0 +1,166 @@
+"""E14 — HW/SW co-design: calibrating RAM to the data treatments.
+
+Part II's conclusion poses the open problem — *"how to calibrate the HW
+(RAM) to data-oriented treatments? how to adapt to dynamic variations?"* —
+and this bench answers it operationally: the analytic RAM models predict
+the simulator's measured high-water marks exactly, the advisor ranks the
+device profiles for a workload, and shrinking RAM degrades plans
+(multi-pass reorganization, capped query width) instead of failing.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Experiment, render_table, run_and_print
+from repro.codesign.advisor import evaluate_profile, recommend
+from repro.codesign.models import (
+    WorkloadSpec,
+    reorg_min_single_pass_buffer,
+    reorg_passes,
+    search_ram,
+    spj_ram,
+)
+from repro.hardware.flash import FlashGeometry
+from repro.hardware.profiles import HardwareProfile, smart_usb_token
+from repro.hardware.token import SecurePortableToken
+from repro.search.engine import EmbeddedSearchEngine
+from repro.workloads import tpcd
+
+
+def make_token(page_size: int) -> SecurePortableToken:
+    base = smart_usb_token()
+    return SecurePortableToken(
+        profile=HardwareProfile(
+            name="calib",
+            ram_bytes=64 * 1024,
+            cpu_mhz=base.cpu_mhz,
+            flash_geometry=FlashGeometry(page_size, 32, 2048),
+            flash_cost=base.flash_cost,
+            tamper_resistant=True,
+        )
+    )
+
+
+def build_prediction_experiment() -> Experiment:
+    experiment = Experiment(
+        experiment_id="E14",
+        title="Predicted vs measured operation RAM",
+        claim="the closed-form models equal the simulator's high-water "
+        "marks, byte for byte",
+        columns=["operation", "parameters", "predicted_B", "measured_B", "exact"],
+    )
+    # Search at several query widths.
+    token = make_token(2048)
+    engine = EmbeddedSearchEngine(token, num_buckets=64)
+    for text in ("doctor invoice meeting", "doctor energy", "invoice meeting"):
+        engine.add_document(text)
+    engine.flush()
+    resident = token.mcu.ram.in_use
+    queries = {1: "doctor", 2: "doctor invoice", 3: "doctor invoice meeting"}
+    for keywords, query in queries.items():
+        token.mcu.ram.reset_high_water()
+        engine.search(query, n=10)
+        measured = token.mcu.ram.high_water - resident
+        predicted = search_ram(
+            WorkloadSpec(page_size=2048, max_query_keywords=keywords, top_n=10)
+        )
+        experiment.add_row(
+            "search", f"{keywords} keywords", predicted, measured,
+            predicted == measured,
+        )
+    # SPJ with two Tselect streams.
+    from repro.relational.query import EmbeddedDatabase
+
+    db = EmbeddedDatabase(make_token(1024), tpcd.tpcd_schema(), tpcd.ROOT_TABLE)
+    tpcd.load(db, tpcd.generate(200, seed=3))
+    db.create_tselect("CUSTOMER", "Mktsegment")
+    db.create_tselect("SUPPLIER", "Name")
+    _, stats = db.query(tpcd.household_supplier_query())
+    predicted = spj_ram(WorkloadSpec(page_size=1024, max_tselect_streams=2))
+    experiment.add_row(
+        "spj", "2 Tselect streams", predicted, stats.ram_high_water,
+        predicted == stats.ram_high_water,
+    )
+    return experiment
+
+
+def build_advisor_experiment() -> Experiment:
+    experiment = Experiment(
+        experiment_id="E14-advisor",
+        title="Profile ranking for a heavy personal workload",
+        claim="bigger devices fit clean; the 16 KB sensor degrades "
+        "(multi-pass reorg, capped keywords) but stays functional",
+        columns=[
+            "profile", "ram_kB", "fits", "reorg_extra_passes",
+            "keywords_supported",
+        ],
+    )
+    spec = WorkloadSpec(
+        page_size=2048,
+        max_query_keywords=6,
+        index_entries=300_000,
+        index_entry_bytes=18,
+    )
+    for recommendation in recommend(spec):
+        experiment.add_row(
+            recommendation.profile_name,
+            recommendation.ram_bytes // 1024,
+            recommendation.fits,
+            recommendation.reorg_passes,
+            recommendation.max_keywords_supported,
+        )
+    return experiment
+
+
+def test_e14_model_accuracy(benchmark):
+    experiment = run_and_print(build_prediction_experiment)
+    assert all(experiment.column("exact"))
+
+    spec = WorkloadSpec()
+    benchmark(reorg_min_single_pass_buffer, spec)
+
+
+def test_e14_advisor(benchmark):
+    experiment = run_and_print(build_advisor_experiment)
+    rows = {row[0]: row for row in experiment.rows}
+    assert rows["plug-server"][2]  # plenty of RAM fits
+    sensor = rows["flash-sensor"]
+    assert not sensor[2]
+    assert sensor[3] >= 1  # degraded reorg (multi-pass merges)
+    # 6 keyword buffers of 2 KB still fit in 16 KB, so no query cap here;
+    # with 4 KB pages the sensor must cap query width.
+    wide = WorkloadSpec(page_size=4096, max_query_keywords=6)
+    from repro.hardware.profiles import flash_sensor
+
+    capped = evaluate_profile(wide, flash_sensor())
+    assert 0 < capped.max_keywords_supported < 6
+    assert capped.notes
+    # RAM ordering monotone in capability: more RAM never fewer keywords.
+    ordered = sorted(experiment.rows, key=lambda row: row[1])
+    keywords = [row[4] for row in ordered]
+    assert keywords == sorted(keywords)
+
+    benchmark(lambda: None)
+
+
+def test_e14_dynamic_adaptation(benchmark):
+    """Shrinking RAM turns into extra merge passes, not failure."""
+    experiment = Experiment(
+        experiment_id="E14-dynamic",
+        title="Reorg passes as RAM shrinks (500k-entry index)",
+        claim="passes grow stepwise as the sort buffer falls below the "
+        "square-root law threshold",
+        columns=["ram_kB", "extra_passes"],
+    )
+    spec = WorkloadSpec(page_size=2048, index_entries=500_000)
+    threshold = reorg_min_single_pass_buffer(spec)
+    for ram_kb in (256, 64, 16, 8):
+        buffer = min(ram_kb * 1024, threshold * 4)
+        buffer = min(buffer, ram_kb * 1024)
+        experiment.add_row(ram_kb, reorg_passes(spec, buffer))
+    print()
+    print(render_table(experiment))
+    passes = experiment.column("extra_passes")
+    assert passes == sorted(passes)  # monotone as RAM shrinks
+    assert passes[0] == 0 and passes[-1] >= 1
+
+    benchmark(lambda: None)

@@ -1,0 +1,126 @@
+"""E16 — Hierarchical (XML-like) documents on the log framework.
+
+Part II's extension list starts with XML. Claims under test: tree documents
+flatten into path postings whose chains answer exact and ``//``-pattern
+queries correctly (cross-checked against naive evaluation); probe IO is the
+queried path's chain, not the store; the path dictionary stays schema-sized
+however much data arrives (the RAM-budget argument for this design).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.harness import Experiment, render_table, run_and_print
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.hierarchical.store import HierarchicalStore
+
+CITIES = ["lyon", "paris", "nice", "lille"]
+DIAGNOSES = ["flu", "healthy", "asthma"]
+
+
+def make_store(num_buckets=64) -> HierarchicalStore:
+    flash = NandFlash(
+        FlashGeometry(page_size=512, pages_per_block=16, num_blocks=8192)
+    )
+    return HierarchicalStore(BlockAllocator(flash), num_buckets=num_buckets)
+
+
+def generate_form(rng: random.Random) -> dict:
+    return {
+        "patient": {
+            "address": {"city": rng.choice(CITIES), "zip": rng.randrange(10)},
+            "age": rng.randrange(18, 90),
+            "visits": [
+                {"diagnosis": rng.choice(DIAGNOSES), "cost": rng.randrange(20, 80)}
+                for _ in range(rng.randrange(1, 4))
+            ],
+        }
+    }
+
+
+def build_experiment() -> Experiment:
+    experiment = Experiment(
+        experiment_id="E16",
+        title="Path queries over flattened tree documents",
+        claim="exact and //-pattern answers equal naive evaluation; the "
+        "path dictionary stays schema-sized as documents grow",
+        columns=[
+            "docs", "distinct_paths", "probe_reads", "store_pages", "correct",
+        ],
+    )
+    for num_docs in (200, 1000, 4000):
+        rng = random.Random(17)
+        store = make_store()
+        documents = [generate_form(rng) for _ in range(num_docs)]
+        for document in documents:
+            store.add_document(document)
+        store.flush()
+
+        expected = sorted(
+            i for i, doc in enumerate(documents)
+            if doc["patient"]["address"]["city"] == "lyon"
+            and any(
+                v["diagnosis"] == "flu" for v in doc["patient"]["visits"]
+            )
+        )
+        flash = store.buckets.log.flash
+        reads_before = flash.stats.page_reads
+        answer = store.find_all([("//city", "lyon"), ("//diagnosis", "flu")])
+        probe_reads = flash.stats.page_reads - reads_before
+        experiment.add_row(
+            num_docs,
+            len(store.paths),
+            probe_reads,
+            store.buckets.flushed_pages,
+            answer == expected,
+        )
+    return experiment
+
+
+def test_e16_path_queries(benchmark):
+    experiment = run_and_print(build_experiment)
+    assert all(experiment.column("correct"))
+    # The path vocabulary is fixed by the document shape, not the volume.
+    paths = experiment.column("distinct_paths")
+    assert paths[0] == paths[-1] == 5
+    # Probing two paths reads their chains, far below the store size.
+    reads = experiment.column("probe_reads")
+    pages = experiment.column("store_pages")
+    assert all(r < p for r, p in zip(reads, pages))
+
+    store = make_store()
+    rng = random.Random(3)
+    for _ in range(500):
+        store.add_document(generate_form(rng))
+    store.flush()
+    benchmark(store.find, "//city", "lyon")
+
+
+def test_e16_bucket_ablation(benchmark):
+    """More buckets -> shorter chains -> cheaper probes (same answers)."""
+    experiment = Experiment(
+        experiment_id="E16-buckets",
+        title="Bucket count vs probe cost",
+        claim="probe IO shrinks as the path hash space widens",
+        columns=["buckets", "probe_reads"],
+    )
+    rng = random.Random(9)
+    documents = [generate_form(rng) for _ in range(1500)]
+    answers = {}
+    for buckets in (1, 8, 64):
+        store = make_store(num_buckets=buckets)
+        for document in documents:
+            store.add_document(document)
+        store.flush()
+        flash = store.buckets.log.flash
+        before = flash.stats.page_reads
+        answers[buckets] = store.find("//diagnosis", "flu")
+        experiment.add_row(buckets, flash.stats.page_reads - before)
+    print()
+    print(render_table(experiment))
+    assert answers[1] == answers[8] == answers[64]
+    reads = experiment.column("probe_reads")
+    assert reads[0] > reads[-1]
+
+    benchmark(lambda: None)

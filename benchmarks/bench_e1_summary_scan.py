@@ -1,0 +1,142 @@
+"""E1 — Summary scan vs. full table scan (the "17 IOs vs 640 IOs" slide).
+
+Claim under test: a selection through the Keys+Bloom index costs the small
+Bloom-summary log plus one page per (almost always true) positive, an order
+of magnitude below scanning the table's data pages; and the gap holds as the
+table grows and selectivity varies.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Experiment, run_and_print
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.relational.keyindex import KeyIndex
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import TableStorage
+
+PAGE_SIZE = 512
+
+
+def build_table(num_rows: int, distinct_cities: int):
+    flash = NandFlash(
+        FlashGeometry(page_size=PAGE_SIZE, pages_per_block=16, num_blocks=8192)
+    )
+    allocator = BlockAllocator(flash)
+    schema = TableSchema(
+        "CUSTOMER",
+        [
+            Column("CUSkey", "int"),
+            Column("Name", "str"),
+            Column("Address", "str"),
+            Column("Comment", "str"),
+            Column("City", "str"),
+        ],
+        primary_key="CUSkey",
+    )
+    table = TableStorage(schema, allocator)
+    index = KeyIndex("CUSTOMER.City", allocator, bits_per_key=16.0)
+    for row in range(num_rows):
+        city = f"city-{row % distinct_cities:03d}"
+        rowid = table.insert(
+            (
+                row,
+                f"Customer#{row:06d}",
+                f"{row % 997} rue de la Paix, BP {row % 89:05d}",
+                "standard account, postal contact preferred",
+                city,
+            )
+        )
+        index.insert(city, rowid)
+    table.flush()
+    index.flush()
+    return flash, table, index
+
+
+def full_scan_ios(table: TableStorage, city: str) -> tuple[int, int]:
+    """(pages read, matches) for a predicate evaluated by scanning."""
+    matches = sum(1 for _, row in table.scan() if row[4] == city)
+    return table.data_pages, matches
+
+
+def build_experiment() -> Experiment:
+    experiment = Experiment(
+        experiment_id="E1",
+        title="Bloom summary scan vs full table scan",
+        claim=(
+            "index lookup IOs ~= |summary log| + matching pages, an order "
+            "of magnitude below the table's page count (slide: 17 vs 640)"
+        ),
+        columns=[
+            "rows", "distinct", "table_pages", "summary_pages",
+            "lookup_ios", "scan_ios", "speedup", "false_pos_pages",
+        ],
+    )
+    for num_rows, distinct in [(2000, 100), (6000, 200), (12000, 200)]:
+        _, table, index = build_table(num_rows, distinct)
+        city = "city-007"
+        expected = [r for r in range(num_rows) if r % distinct == 7]
+        assert index.lookup(city) == expected
+        stats = index.last_lookup
+        scan_ios, matches = full_scan_ios(table, city)
+        assert matches == len(expected)
+        experiment.add_row(
+            num_rows,
+            distinct,
+            table.data_pages,
+            stats.summary_pages,
+            stats.total_pages,
+            scan_ios,
+            round(scan_ios / max(1, stats.total_pages), 1),
+            stats.false_positive_pages,
+        )
+    return experiment
+
+
+def test_e1_summary_scan(benchmark):
+    experiment = run_and_print(build_experiment)
+    # Shape assertions: the index always wins by a wide margin.
+    speedups = experiment.column("speedup")
+    assert all(speedup > 8 for speedup in speedups)
+    lookup = experiment.column("lookup_ios")
+    scan = experiment.column("scan_ios")
+    assert all(l < s for l, s in zip(lookup, scan))
+
+    _, _, index = build_table(4000, 100)
+    benchmark(index.lookup, "city-007")
+
+
+def test_e1_ablation_bits_per_key(benchmark):
+    """Ablation: fewer Bloom bits/key -> smaller summaries, more false reads."""
+    experiment = Experiment(
+        experiment_id="E1-ablation",
+        title="Bloom bits/key trade-off",
+        claim="summary size shrinks and false-positive page reads grow "
+        "as bits/key decreases",
+        columns=["bits_per_key", "summary_pages", "false_pos_pages", "lookup_ios"],
+    )
+    flash = NandFlash(
+        FlashGeometry(page_size=PAGE_SIZE, pages_per_block=16, num_blocks=8192)
+    )
+    allocator = BlockAllocator(flash)
+    rows = 9000
+    for bits in (2.0, 4.0, 8.0, 16.0):
+        index = KeyIndex(f"city@{bits}", allocator, bits_per_key=bits)
+        for row in range(rows):
+            index.insert(f"city-{row % 50:03d}", row)
+        index.flush()
+        index.lookup("city-007")
+        stats = index.last_lookup
+        experiment.add_row(
+            bits, stats.summary_pages, stats.false_positive_pages,
+            stats.total_pages,
+        )
+    print()
+    from repro.bench.harness import render_table
+
+    print(render_table(experiment))
+    summaries = experiment.column("summary_pages")
+    assert summaries == sorted(summaries)  # more bits, more summary pages
+    false_pos = experiment.column("false_pos_pages")
+    assert false_pos[0] >= false_pos[-1]  # fewer bits, never fewer misreads
+
+    benchmark(lambda: None)

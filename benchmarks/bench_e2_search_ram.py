@@ -1,0 +1,112 @@
+"""E2 — Pipelined embedded search vs the RAM-hungry container baseline.
+
+Claim under test: the pipelined merge evaluates top-N TF-IDF in RAM
+proportional to (#query keywords x page size) + N, *independent of corpus
+size*, while the conventional container-per-docid evaluation grows linearly
+with the number of matching documents — and both return identical results.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Experiment, render_table, run_and_print
+from repro.hardware.flash import FlashGeometry
+from repro.hardware.profiles import HardwareProfile, smart_usb_token
+from repro.hardware.ram import RamArena
+from repro.hardware.token import SecurePortableToken
+from repro.search.baseline import RamHungrySearch
+from repro.search.engine import EmbeddedSearchEngine
+from repro.workloads.documents import DocumentCorpus
+
+QUERY = "doctor invoice meeting"
+
+
+def make_engine(num_docs: int) -> EmbeddedSearchEngine:
+    base = smart_usb_token()
+    profile = HardwareProfile(
+        name="bench-token",
+        ram_bytes=64 * 1024,
+        cpu_mhz=base.cpu_mhz,
+        flash_geometry=FlashGeometry(
+            page_size=2048, pages_per_block=32, num_blocks=2048
+        ),
+        flash_cost=base.flash_cost,
+        tamper_resistant=True,
+    )
+    engine = EmbeddedSearchEngine(SecurePortableToken(profile=profile), 64)
+    for document in DocumentCorpus(seed=13).generate(num_docs, words_per_doc=25):
+        engine.add_document(document.text)
+    engine.flush()
+    return engine
+
+
+def build_experiment() -> Experiment:
+    experiment = Experiment(
+        experiment_id="E2",
+        title="Search RAM: pipelined merge vs container-per-docid",
+        claim="pipelined RAM flat in corpus size; baseline RAM grows "
+        "linearly with matching docs; identical top-10",
+        columns=[
+            "docs", "engine_ram_B", "baseline_ram_B",
+            "flash_reads", "results_equal",
+        ],
+    )
+    for num_docs in (500, 2000, 6000):
+        engine = make_engine(num_docs)
+        ram = engine.token.mcu.ram
+        reads_before = engine.token.flash.stats.page_reads
+        ram.reset_high_water()
+        fast = engine.search(QUERY, n=10)
+        flash_reads = engine.token.flash.stats.page_reads - reads_before
+        engine_ram = ram.high_water
+
+        baseline_ram = RamArena(10**9)
+        slow = RamHungrySearch(engine.index, baseline_ram).search(QUERY, n=10)
+        equal = [h.docid for h in fast] == [h.docid for h in slow]
+        experiment.add_row(
+            num_docs, engine_ram, baseline_ram.high_water, flash_reads, equal
+        )
+    return experiment
+
+
+def test_e2_search_ram(benchmark):
+    experiment = run_and_print(build_experiment)
+    assert all(experiment.column("results_equal"))
+    engine_ram = experiment.column("engine_ram_B")
+    baseline_ram = experiment.column("baseline_ram_B")
+    assert engine_ram[0] == engine_ram[-1]  # flat
+    assert baseline_ram[-1] > baseline_ram[0] * 5  # grows with corpus
+    # Pipelined RAM fits comfortably in the 64 KB token budget.
+    assert all(ram <= 64 * 1024 for ram in engine_ram)
+
+    engine = make_engine(2000)
+    benchmark(engine.search, QUERY, 10)
+
+
+def test_e2_ablation_keywords(benchmark):
+    """Ablation: engine RAM grows with query width, not data."""
+    experiment = Experiment(
+        experiment_id="E2-ablation",
+        title="RAM vs number of query keywords",
+        claim="pipelined RAM ~= keywords x page size (+ top-N heap)",
+        columns=["keywords", "engine_ram_B"],
+    )
+    engine = make_engine(1500)
+    queries = {
+        1: "doctor",
+        2: "doctor invoice",
+        3: "doctor invoice meeting",
+        4: "doctor invoice meeting energy",
+    }
+    for count, query in queries.items():
+        engine.token.mcu.ram.reset_high_water()
+        engine.search(query, n=10)
+        experiment.add_row(count, engine.token.mcu.ram.high_water)
+    print()
+    print(render_table(experiment))
+    ram = experiment.column("engine_ram_B")
+    assert ram == sorted(ram)
+    page = engine.token.flash.geometry.page_size
+    deltas = [b - a for a, b in zip(ram, ram[1:])]
+    assert all(delta == page for delta in deltas)
+
+    benchmark(lambda: None)

@@ -1,0 +1,111 @@
+"""E4 — Pipelined SPJ via Tselect/Tjoin vs the RAM hash-join baseline.
+
+Claim under test (the execution-plan slide): the tutorial's five-table
+TPCD-like query runs as merge-intersection of sorted Tselect streams
+expanded through Tjoin — in RAM independent of database size — while a
+conventional hash join's RAM grows linearly; both produce identical rows.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Experiment, render_table, run_and_print
+from repro.hardware.flash import FlashGeometry
+from repro.hardware.profiles import HardwareProfile, smart_usb_token
+from repro.hardware.ram import RamArena
+from repro.hardware.token import SecurePortableToken
+from repro.relational.baseline import HashJoinExecutor
+from repro.relational.query import EmbeddedDatabase
+from repro.workloads import tpcd
+
+
+def make_db(num_lineitems: int) -> EmbeddedDatabase:
+    base = smart_usb_token()
+    profile = HardwareProfile(
+        name="bench-token",
+        ram_bytes=64 * 1024,
+        cpu_mhz=base.cpu_mhz,
+        flash_geometry=FlashGeometry(
+            page_size=1024, pages_per_block=32, num_blocks=4096
+        ),
+        flash_cost=base.flash_cost,
+        tamper_resistant=True,
+    )
+    db = EmbeddedDatabase(
+        SecurePortableToken(profile=profile), tpcd.tpcd_schema(), tpcd.ROOT_TABLE
+    )
+    tpcd.load(db, tpcd.generate(num_lineitems, seed=31))
+    db.create_tselect("CUSTOMER", "Mktsegment")
+    db.create_tselect("SUPPLIER", "Name")
+    return db
+
+
+def build_experiment() -> Experiment:
+    experiment = Experiment(
+        experiment_id="E4",
+        title="5-table SPJ: Tselect/Tjoin pipeline vs RAM hash join",
+        claim="pipelined plan: flat RAM, IO ~ result size; hash join: RAM "
+        "grows with database; identical answers",
+        columns=[
+            "lineitems", "rows_out", "plan_ios", "plan_ram_B",
+            "hashjoin_ram_B", "equal",
+        ],
+    )
+    query = tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1")
+    for num_lineitems in (400, 1500, 4000):
+        db = make_db(num_lineitems)
+        rows, stats = db.query(query)
+        baseline_ram = RamArena(10**9)
+        baseline_rows = HashJoinExecutor(
+            db.schema, db.storages, tpcd.ROOT_TABLE, baseline_ram
+        ).execute(query)
+        experiment.add_row(
+            num_lineitems,
+            stats.rows_out,
+            stats.flash_page_reads,
+            stats.ram_high_water,
+            baseline_ram.high_water,
+            sorted(rows) == sorted(baseline_rows),
+        )
+    return experiment
+
+
+def test_e4_spj(benchmark):
+    experiment = run_and_print(build_experiment)
+    assert all(experiment.column("equal"))
+    plan_ram = experiment.column("plan_ram_B")
+    baseline_ram = experiment.column("hashjoin_ram_B")
+    assert plan_ram[0] == plan_ram[-1]  # flat pipeline RAM
+    assert baseline_ram[-1] > baseline_ram[0] * 5  # baseline grows
+    assert all(ram <= 64 * 1024 for ram in plan_ram)
+
+    db = make_db(1000)
+    query = tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1")
+    benchmark(db.query, query)
+
+
+def test_e4_selectivity_sweep(benchmark):
+    """IO of the pipelined plan tracks result size, not table size."""
+    experiment = Experiment(
+        experiment_id="E4-selectivity",
+        title="Plan IO vs predicate selectivity",
+        claim="with both Tselects, plan IO scales with matching lineitems",
+        columns=["segment", "supplier", "rows_out", "plan_ios"],
+    )
+    db = make_db(2500)
+    for segment in ("HOUSEHOLD", "MACHINERY"):
+        for supplier in ("SUPPLIER-0", "SUPPLIER-1"):
+            rows, stats = db.query(
+                tpcd.household_supplier_query(segment, supplier)
+            )
+            experiment.add_row(
+                segment, supplier, stats.rows_out, stats.flash_page_reads
+            )
+    print()
+    print(render_table(experiment))
+    ios = experiment.column("plan_ios")
+    out = experiment.column("rows_out")
+    # More output never costs fewer IOs (monotone in result size).
+    pairs = sorted(zip(out, ios))
+    assert all(a[1] <= b[1] * 1.5 + 20 for a, b in zip(pairs, pairs[1:]))
+
+    benchmark(lambda: None)

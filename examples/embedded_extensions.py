@@ -1,0 +1,90 @@
+"""The extension tour: time series, key-value and XML-like data on a token.
+
+Part II's conclusion asks for the log-only framework to be extended to
+"other data models: XML, time series, ... key-value stores". This example
+runs all three extensions side by side on simulated token flash, with the
+IO accounting that justifies each design.
+
+Run with:  python examples/embedded_extensions.py
+"""
+
+import random
+
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.hardware.ram import RamArena
+from repro.hierarchical.store import HierarchicalStore
+from repro.keyvalue.kv import LogKeyValueStore
+from repro.timeseries.downsample import downsample
+from repro.timeseries.series import TimeSeriesStore
+
+
+def make_allocator() -> BlockAllocator:
+    flash = NandFlash(
+        FlashGeometry(page_size=512, pages_per_block=16, num_blocks=8192)
+    )
+    return BlockAllocator(flash)
+
+
+def main() -> None:
+    rng = random.Random(2014)
+
+    print("== 1. Time series: a year of smart-meter readings ==")
+    series = TimeSeriesStore(make_allocator())
+    for hour in range(24 * 365):
+        series.append(hour, 0.2 + (hour % 24) * 0.05 + rng.random() * 0.1)
+    series.flush()
+    total = series.range_aggregate(0, 24 * 365, "SUM")
+    print(f"points: {series.count}; annual kWh: {total:.0f}")
+    march = series.range_aggregate(24 * 59, 24 * 90 - 1, "AVG")
+    stats = series.last_range
+    print(f"March hourly average: {march:.2f} kWh "
+          f"({stats.summary_pages} summary + {stats.data_pages} data pages)")
+    monthly = downsample(series, make_allocator(), 24 * 30, aggregate="SUM")
+    print(f"downsampled to {monthly.count} monthly totals "
+          f"({monthly.data_pages} pages vs {series.data_pages})")
+
+    print("\n== 2. Key-value: settings & counters with update churn ==")
+    kv = LogKeyValueStore(make_allocator(), bits_per_key=16.0)
+    for day in range(365):
+        kv.put(b"config:language", b"fr")
+        kv.put(b"counter:logins", str(day * 3).encode())
+        kv.put(f"note:{day % 40}".encode(), f"updated day {day}".encode())
+    kv.flush()
+    print(f"writes: {kv.record_count}; data pages: {kv.data_pages}")
+    print(f"counter:logins = {kv.get(b'counter:logins').decode()}")
+    compacted = kv.compact(RamArena(64 * 1024), sort_buffer_bytes=4096)
+    kv.drop()
+    print(f"after compaction: {compacted.data_pages} pages "
+          f"({len(compacted.items())} live keys)")
+
+    print("\n== 3. Hierarchical: administrative forms with path queries ==")
+    store = HierarchicalStore(make_allocator(), num_buckets=32)
+    cities = ["lyon", "paris", "nice"]
+    for i in range(500):
+        store.add_document(
+            {
+                "declaration": {
+                    "year": 2013 + i % 2,
+                    "household": {
+                        "city": cities[i % 3],
+                        "members": [
+                            {"age": 30 + i % 40},
+                            {"age": 28 + i % 35},
+                        ],
+                    },
+                    "income": 20_000 + (i * 137) % 30_000,
+                }
+            }
+        )
+    store.flush()
+    print(f"documents: {store.doc_count}; distinct paths: {store.paths}")
+    lyon_2014 = store.find_all(
+        [("//city", "lyon"), ("declaration/year", 2014)]
+    )
+    print(f"2014 declarations from lyon: {len(lyon_2014)}")
+    incomes = store.values_at("declaration/income")
+    print(f"mean declared income: {sum(incomes) / len(incomes):.0f} EUR")
+
+
+if __name__ == "__main__":
+    main()

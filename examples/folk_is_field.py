@@ -1,0 +1,63 @@
+"""Folk-IS: personal-data services with zero infrastructure.
+
+A village of 60 participants, each carrying a few-dollar secure token.
+Health reports travel to the district registrar only through physical
+encounters (delay-tolerant epidemic routing); couriers carry ciphertext
+they cannot read. The example measures delivery latency and shows that an
+embedded search engine still works at the destination.
+
+Run with:  python examples/folk_is_field.py
+"""
+
+import statistics
+
+from repro.apps.folkis import FolkNetwork
+from repro.hardware.token import SecurePortableToken
+from repro.search.engine import EmbeddedSearchEngine
+
+
+def main() -> None:
+    print("== 1. A 60-person village, no network, one registrar (node 0) ==")
+    network = FolkNetwork(num_nodes=60, seed=14, encounters_per_step=10)
+
+    reports = [
+        (5, b"vaccination record measles child-3"),
+        (17, b"harvest yield maize 1200kg"),
+        (33, b"water point contamination suspected east well"),
+        (41, b"birth declaration girl 2014-03-02"),
+        (58, b"vaccination record polio child-1"),
+    ]
+    bundles = [network.send(origin, 0, payload) for origin, payload in reports]
+    print(f"queued {len(bundles)} reports for the registrar")
+
+    print("\n== 2. Encounters until every report arrives ==")
+    steps = network.run_until_delivered()
+    latencies = network.delivery_latencies()
+    print(f"steps simulated: {steps}")
+    print(f"latency (encounter rounds): median={statistics.median(latencies)}, "
+          f"max={max(latencies)}")
+    sample = bundles[0]
+    print(f"in transit, bundle {sample.bundle_id} was ciphertext: "
+          f"{sample.blob[:16].hex()}...")
+
+    print("\n== 3. The registrar's token indexes what arrived ==")
+    registrar = EmbeddedSearchEngine(SecurePortableToken(owner="registrar"))
+    for bundle in bundles:
+        registrar.add_document(network.read_payload(bundle).decode())
+    registrar.flush()
+    for hit in registrar.search("vaccination record", n=3):
+        print(f"  doc {hit.docid} score={hit.score:.2f}")
+
+    print("\n== 4. Denser mixing delivers faster ==")
+    for density in (5, 20):
+        probe = FolkNetwork(num_nodes=60, seed=14, encounters_per_step=density)
+        for origin, payload in reports:
+            probe.send(origin, 0, payload)
+        probe.run_until_delivered()
+        lat = probe.delivery_latencies()
+        print(f"  encounters/step={density:<3} median latency="
+              f"{statistics.median(lat)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro: a Personal Data Server ecosystem with strong privacy guarantees.
+
+Reproduction of the EDBT 2014 tutorial *Managing Personal Data with Strong
+Privacy Guarantees* (Anciaux, Nguyen, Sandu Popa): secure-token hardware
+simulation, resource-constrained embedded data management (search + SQL),
+secure global computation over an untrusted infrastructure, and the
+perspective applications (medical folders, Folk-IS, Trusted Cells).
+
+Quick tour::
+
+    from repro.pds import PersonalDataServer          # Part I
+    from repro.relational import EmbeddedDatabase     # Part II (SQL)
+    from repro.search import EmbeddedSearchEngine     # Part II (IR)
+    from repro.globalq import SecureAggregationProtocol  # Part III
+    from repro.apps import MedicalDeployment          # Perspectives
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "bench",
+    "codesign",
+    "crypto",
+    "errors",
+    "globalq",
+    "hardware",
+    "hierarchical",
+    "keyvalue",
+    "outsourced",
+    "pds",
+    "ppdp",
+    "relational",
+    "search",
+    "smc",
+    "storage",
+    "timeseries",
+    "workloads",
+]

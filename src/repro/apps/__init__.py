@@ -1,0 +1,36 @@
+"""Perspective applications: the tutorial's three envisioned deployments.
+
+Personal social-medical folders with badge-carried synchronization,
+Folk-IS delay-tolerant networks for infrastructure-free regions, and
+Trusted Cells home gateways backed by an untrusted encrypted cloud.
+"""
+
+from repro.apps.dsn import (
+    DecentralizedSocialNetwork,
+    DsnUser,
+    Post,
+    RelayObservation,
+)
+from repro.apps.folkis import Bundle, FolkNetwork, FolkNode
+from repro.apps.medical import MedicalDeployment, Practitioner, VisitStats
+from repro.apps.trustedcells import (
+    EncryptedCloudStore,
+    SensorEvent,
+    TrustedCell,
+)
+
+__all__ = [
+    "Bundle",
+    "DecentralizedSocialNetwork",
+    "DsnUser",
+    "Post",
+    "RelayObservation",
+    "EncryptedCloudStore",
+    "FolkNetwork",
+    "FolkNode",
+    "MedicalDeployment",
+    "Practitioner",
+    "SensorEvent",
+    "TrustedCell",
+    "VisitStats",
+]

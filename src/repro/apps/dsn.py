@@ -1,0 +1,213 @@
+"""Decentralized social network: Part I's review, made runnable.
+
+The tutorial surveys privacy-preserving DSNs (Safebook, PeerSoN, Diaspora*)
+and identifies their two core problems:
+
+* **secure message hosting** — posts are encrypted under a per-user content
+  key shared only with friends, and replicated on *mirror* friends
+  (Safebook's inner shell) so the profile stays available while the owner
+  is offline. Mirrors store ciphertext: a curious host learns nothing.
+* **secure and anonymous message transfer** — messages travel hop-by-hop
+  along trusted (friendship) edges, onion-wrapped per hop, so each relay
+  learns only its predecessor and successor, never source, destination or
+  payload.
+
+The simulator measures what the DSN literature measures: availability vs
+replication factor and churn, routing path lengths, and what each relay
+actually observed (for the anonymity checks in the tests and bench E14).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.crypto.symmetric import NondeterministicCipher
+from repro.errors import AccessDenied, ProtocolError
+
+
+@dataclass
+class Post:
+    """One published item, as stored on mirrors (ciphertext only)."""
+
+    author: int
+    post_id: int
+    blob: bytes
+
+
+@dataclass
+class RelayObservation:
+    """What one relay learned while forwarding a message."""
+
+    relay: int
+    previous_hop: int
+    next_hop: int
+    payload_visible: bool
+
+
+class DsnUser:
+    """One participant: keys, friends, hosted mirrors, inbox."""
+
+    def __init__(self, user_id: int, rng: random.Random) -> None:
+        self.user_id = user_id
+        seed = rng.getrandbits(64)
+        self._content_key = seed.to_bytes(8, "little") * 4
+        self.content_cipher = NondeterministicCipher(
+            self._content_key, rng=random.Random(seed)
+        )
+        hop_seed = rng.getrandbits(64)
+        self._hop_key = hop_seed.to_bytes(8, "little") * 4
+        self.hop_cipher = NondeterministicCipher(
+            self._hop_key, rng=random.Random(hop_seed)
+        )
+        self.mirrored: dict[tuple[int, int], Post] = {}
+        self.own_posts: dict[int, Post] = {}
+        self.inbox: list[bytes] = []
+        self.online = True
+
+    def share_content_key_with(self, friend: "DsnUser") -> bytes:
+        """Friends receive the content key (trusted-contact model)."""
+        return self._content_key
+
+
+class DecentralizedSocialNetwork:
+    """A friendship graph of token-carrying users."""
+
+    def __init__(
+        self,
+        num_users: int,
+        avg_friends: int = 6,
+        seed: int = 0,
+    ) -> None:
+        if num_users < 3:
+            raise ProtocolError("a DSN needs at least three users")
+        self.rng = random.Random(seed)
+        self.graph = nx.connected_watts_strogatz_graph(
+            num_users, max(2, avg_friends), 0.3, seed=seed
+        )
+        self.users = [DsnUser(uid, self.rng) for uid in range(num_users)]
+        self._next_post_id = 0
+        self.relay_log: list[RelayObservation] = []
+
+    # ------------------------------------------------------------------
+    def friends_of(self, user_id: int) -> list[int]:
+        return sorted(self.graph.neighbors(user_id))
+
+    # ------------------------------------------------------------------
+    # Secure message hosting
+    # ------------------------------------------------------------------
+    def publish(self, author_id: int, text: str, mirrors: int = 3) -> Post:
+        """Encrypt a post and replicate it on ``mirrors`` friends."""
+        author = self.users[author_id]
+        friends = self.friends_of(author_id)
+        if not friends:
+            raise ProtocolError(f"user {author_id} has no friends to mirror on")
+        post = Post(
+            author=author_id,
+            post_id=self._next_post_id,
+            blob=author.content_cipher.encrypt(text.encode("utf-8")),
+        )
+        self._next_post_id += 1
+        author.own_posts[post.post_id] = post
+        chosen = self.rng.sample(friends, min(mirrors, len(friends)))
+        for friend_id in chosen:
+            self.users[friend_id].mirrored[(author_id, post.post_id)] = post
+        return post
+
+    def fetch(self, reader_id: int, author_id: int, post_id: int) -> str:
+        """A friend fetches a post from the author or any online mirror."""
+        if reader_id != author_id and reader_id not in self.friends_of(author_id):
+            raise AccessDenied(
+                f"user {reader_id} is not a friend of {author_id}"
+            )
+        author = self.users[author_id]
+        blob: bytes | None = None
+        if author.online and post_id in author.own_posts:
+            blob = author.own_posts[post_id].blob
+        else:
+            for friend_id in self.friends_of(author_id):
+                user = self.users[friend_id]
+                if user.online and (author_id, post_id) in user.mirrored:
+                    blob = user.mirrored[(author_id, post_id)].blob
+                    break
+        if blob is None:
+            raise ProtocolError("post unavailable: owner and mirrors offline")
+        key = author.share_content_key_with(self.users[reader_id])
+        reader_cipher = NondeterministicCipher(key)
+        return reader_cipher.decrypt(blob).decode("utf-8")
+
+    def availability(
+        self, author_id: int, post_id: int, online_probability: float,
+        trials: int = 200,
+    ) -> float:
+        """Fraction of churn trials in which the post stays fetchable."""
+        holders = [
+            friend_id
+            for friend_id in self.friends_of(author_id)
+            if (author_id, post_id) in self.users[friend_id].mirrored
+        ]
+        hits = 0
+        for _ in range(trials):
+            author_online = self.rng.random() < online_probability
+            mirror_online = any(
+                self.rng.random() < online_probability for _ in holders
+            )
+            if author_online or mirror_online:
+                hits += 1
+        return hits / trials
+
+    # ------------------------------------------------------------------
+    # Anonymous hop-by-hop transfer
+    # ------------------------------------------------------------------
+    def send_message(self, source_id: int, target_id: int, text: str) -> list[int]:
+        """Onion-route a message along friendship edges; returns the path.
+
+        Each relay peels one layer with its hop key, learning only the next
+        hop; the payload (and the source) sit in the innermost layer, which
+        only the target can open. Every relay's observation is logged for
+        the anonymity analysis.
+        """
+        if source_id == target_id:
+            raise ProtocolError("source and target must differ")
+        try:
+            path = nx.shortest_path(self.graph, source_id, target_id)
+        except nx.NetworkXNoPath:  # pragma: no cover - graph is connected
+            raise ProtocolError("no trusted path between users") from None
+
+        # Innermost layer: payload + source, under the target's hop key.
+        inner = json.dumps({"from": source_id, "text": text}).encode()
+        onion = self.users[target_id].hop_cipher.encrypt(inner)
+        # Wrap outward: each relay's layer names its successor.
+        for relay_id in reversed(path[1:-1]):
+            wrapped = json.dumps(
+                {"next": path[path.index(relay_id) + 1], "body": onion.hex()}
+            ).encode()
+            onion = self.users[relay_id].hop_cipher.encrypt(wrapped)
+
+        # Transfer: peel hop by hop.
+        current = onion
+        for position in range(1, len(path) - 1):
+            relay = self.users[path[position]]
+            peeled = json.loads(relay.hop_cipher.decrypt(current))
+            self.relay_log.append(
+                RelayObservation(
+                    relay=relay.user_id,
+                    previous_hop=path[position - 1],
+                    next_hop=peeled["next"],
+                    payload_visible=False,
+                )
+            )
+            current = bytes.fromhex(peeled["body"])
+        final = json.loads(self.users[target_id].hop_cipher.decrypt(current))
+        self.users[target_id].inbox.append(
+            json.dumps(final).encode("utf-8")
+        )
+        return path
+
+    def last_message_of(self, user_id: int) -> dict:
+        if not self.users[user_id].inbox:
+            raise ProtocolError(f"user {user_id} has an empty inbox")
+        return json.loads(self.users[user_id].inbox[-1])

@@ -1,0 +1,5 @@
+"""Shared benchmark harness (see ``benchmarks/`` for the experiments)."""
+
+from repro.bench.harness import Experiment, render_table, run_and_print
+
+__all__ = ["Experiment", "render_table", "run_and_print"]

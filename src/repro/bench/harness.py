@@ -1,0 +1,76 @@
+"""Experiment harness: runs parameter sweeps and prints paper-style tables.
+
+Every bench in ``benchmarks/`` builds an :class:`Experiment` (a named sweep
+producing rows of measurements) and prints it through :func:`render_table`,
+so EXPERIMENTS.md can quote the output verbatim. Keeping the formatting here
+means all eleven experiments report the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Experiment:
+    """One experiment: an id, a claim under test, and measured rows."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(experiment: Experiment) -> str:
+    """Monospace table with the experiment header, ready to print."""
+    cells = [[_format_cell(value) for value in row] for row in experiment.rows]
+    widths = [
+        max(len(column), *(len(row[i]) for row in cells)) if cells else len(column)
+        for i, column in enumerate(experiment.columns)
+    ]
+    lines = [
+        f"== {experiment.experiment_id}: {experiment.title} ==",
+        f"claim: {experiment.claim}",
+        "  ".join(
+            column.ljust(width)
+            for column, width in zip(experiment.columns, widths)
+        ),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def run_and_print(build: Callable[[], Experiment]) -> Experiment:
+    """Build an experiment and print its table (bench entry point)."""
+    experiment = build()
+    print()
+    print(render_table(experiment))
+    return experiment

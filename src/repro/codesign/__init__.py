@@ -1,0 +1,41 @@
+"""HW/SW co-design calibration (Part II's stated open problem).
+
+Closed-form RAM models per engine operation, validated against the
+simulator, plus an advisor that picks the cheapest viable hardware profile
+and degrades gracefully (multi-pass reorg, capped query width) when RAM
+shrinks.
+"""
+
+from repro.codesign.advisor import (
+    Recommendation,
+    evaluate_profile,
+    recommend,
+    smallest_fitting_profile,
+)
+from repro.codesign.models import (
+    WorkloadSpec,
+    reorg_min_single_pass_buffer,
+    reorg_passes,
+    reorg_ram,
+    reorg_runs,
+    required_ram,
+    resident_overhead,
+    search_ram,
+    spj_ram,
+)
+
+__all__ = [
+    "Recommendation",
+    "WorkloadSpec",
+    "evaluate_profile",
+    "recommend",
+    "reorg_min_single_pass_buffer",
+    "reorg_passes",
+    "reorg_ram",
+    "reorg_runs",
+    "required_ram",
+    "resident_overhead",
+    "search_ram",
+    "smallest_fitting_profile",
+    "spj_ram",
+]

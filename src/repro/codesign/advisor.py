@@ -1,0 +1,89 @@
+"""Hardware advisor: pick (or validate) a token profile for a workload.
+
+The second half of the co-design question — *"how to adapt to dynamic
+variations of the HW parameters?"* — is answered operationally: given less
+RAM, the advisor re-plans (larger reorganizations switch to multi-pass,
+query width gets capped) instead of failing, and reports the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codesign import models
+from repro.codesign.models import WorkloadSpec
+from repro.hardware.profiles import ALL_PROFILES, HardwareProfile
+
+
+@dataclass
+class Recommendation:
+    """Advisor output for one (workload, profile) pairing."""
+
+    profile_name: str
+    ram_bytes: int
+    required_ram: int
+    fits: bool
+    reorg_passes: int
+    max_keywords_supported: int
+    notes: list[str]
+
+
+def evaluate_profile(spec: WorkloadSpec, profile: HardwareProfile) -> Recommendation:
+    """How well ``profile`` serves ``spec`` — with degradations, not failure."""
+    notes: list[str] = []
+    resident = models.resident_overhead(spec)
+    available = profile.ram_bytes - resident
+
+    required = models.required_ram(spec)
+    fits = required <= profile.ram_bytes
+
+    # Dynamic adaptation 1: reorganization falls back to multi-pass merges
+    # when the single-pass sort buffer does not fit.
+    single_pass = models.reorg_min_single_pass_buffer(spec)
+    if single_pass <= available:
+        passes = 0
+    else:
+        buffer = max(2 * spec.page_size, available)
+        passes = models.reorg_passes(spec, buffer)
+        notes.append(
+            f"reorg degrades to {passes} extra merge pass(es) "
+            f"(single-pass needs {single_pass} B)"
+        )
+
+    # Dynamic adaptation 2: cap query width to what the RAM affords.
+    searchable = (available - spec.top_n * models.HEAP_ENTRY_BYTES) // max(
+        1, spec.page_size
+    )
+    max_keywords = max(0, min(spec.max_query_keywords, searchable))
+    if max_keywords < spec.max_query_keywords:
+        notes.append(
+            f"query width capped at {max_keywords} keywords "
+            f"(wanted {spec.max_query_keywords})"
+        )
+
+    return Recommendation(
+        profile_name=profile.name,
+        ram_bytes=profile.ram_bytes,
+        required_ram=required,
+        fits=fits,
+        reorg_passes=passes,
+        max_keywords_supported=max_keywords,
+        notes=notes,
+    )
+
+
+def recommend(spec: WorkloadSpec) -> list[Recommendation]:
+    """Evaluate every known profile, cheapest-RAM first."""
+    profiles = sorted(
+        (factory() for factory in ALL_PROFILES.values()),
+        key=lambda profile: profile.ram_bytes,
+    )
+    return [evaluate_profile(spec, profile) for profile in profiles]
+
+
+def smallest_fitting_profile(spec: WorkloadSpec) -> Recommendation | None:
+    """The cheapest profile that runs the workload without degradation."""
+    for recommendation in recommend(spec):
+        if recommendation.fits and not recommendation.notes:
+            return recommendation
+    return None

@@ -1,0 +1,109 @@
+"""Analytic RAM models for the token's data-oriented treatments.
+
+Part II closes on an open problem: *"a general co-design approach is still
+missing — how to calibrate the HW (RAM) to data-oriented treatments?"*.
+This package is a concrete take on it: closed-form RAM requirements for
+each engine operation, validated against the simulator's measured
+high-water marks (the tests fail if the models drift from the code).
+
+All models return **bytes of working RAM** beyond the structures' resident
+state (bucket directories, write buffers), which callers account separately
+via :func:`resident_overhead`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Bytes charged per entry of the search top-N heap (matches engine.py).
+HEAP_ENTRY_BYTES = 16
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The knobs of a token workload that drive RAM sizing."""
+
+    page_size: int = 2048
+    max_query_keywords: int = 4
+    top_n: int = 10
+    max_tselect_streams: int = 2
+    index_entries: int = 50_000
+    index_entry_bytes: int = 18
+    search_buckets: int = 64
+    reorg_single_pass: bool = True
+
+
+def search_ram(spec: WorkloadSpec) -> int:
+    """Pipelined search: one page per keyword + the bounded result heap."""
+    return (
+        spec.max_query_keywords * spec.page_size
+        + spec.top_n * HEAP_ENTRY_BYTES
+    )
+
+
+def spj_ram(spec: WorkloadSpec) -> int:
+    """Pipelined SPJ: one page per Tselect stream + one joined-row buffer."""
+    return (spec.max_tselect_streams + 1) * spec.page_size
+
+
+def reorg_runs(spec: WorkloadSpec, sort_buffer: int) -> int:
+    """Number of sorted runs a given sort buffer produces."""
+    total = spec.index_entries * spec.index_entry_bytes
+    return max(1, math.ceil(total / sort_buffer))
+
+
+def reorg_passes(spec: WorkloadSpec, sort_buffer: int) -> int:
+    """Merge passes (beyond the final one) for a given sort buffer.
+
+    Fan-in is one page of RAM per run: ``sort_buffer // page_size``
+    (minimum 2, as in :class:`ReorganizationTask`).
+    """
+    fan_in = max(2, sort_buffer // spec.page_size)
+    runs = reorg_runs(spec, sort_buffer)
+    passes = 0
+    while runs > fan_in:
+        runs = math.ceil(runs / fan_in)
+        passes += 1
+    return passes
+
+
+def reorg_min_single_pass_buffer(spec: WorkloadSpec) -> int:
+    """Smallest sort buffer that merges all runs in the final pass alone.
+
+    Needs ``runs(b) <= fan_in(b)``; with ``b = k * page``, runs ≈ total/b
+    and fan_in = k, so ``k >= sqrt(total / page)`` — the classic external-
+    sort square-root law, rounded up to whole pages.
+    """
+    total = spec.index_entries * spec.index_entry_bytes
+    pages = math.ceil(math.sqrt(total / spec.page_size))
+    while True:
+        buffer = pages * spec.page_size
+        if reorg_passes(spec, buffer) == 0:
+            return buffer
+        pages += 1
+
+
+def reorg_ram(spec: WorkloadSpec, sort_buffer: int | None = None) -> int:
+    """Reorganization working RAM: the sort buffer (merge reuses it)."""
+    if sort_buffer is not None:
+        return sort_buffer
+    if spec.reorg_single_pass:
+        return reorg_min_single_pass_buffer(spec)
+    return 2 * spec.page_size  # minimum viable buffer (multi-pass)
+
+
+def resident_overhead(spec: WorkloadSpec) -> int:
+    """RAM held permanently by engine-resident structures.
+
+    The search engine's bucket directory + staging page (see
+    ChainedBucketLog) is the dominant resident cost on a data-heavy token.
+    """
+    return 4 * spec.search_buckets + spec.page_size
+
+
+def required_ram(spec: WorkloadSpec) -> int:
+    """Peak RAM the workload needs: resident + the largest single operation."""
+    return resident_overhead(spec) + max(
+        search_ram(spec), spj_ram(spec), reorg_ram(spec)
+    )

@@ -1,0 +1,55 @@
+"""Cryptographic substrate for Part III's protocols.
+
+Everything here is **simulation-grade**, pure-Python crypto whose *semantic
+properties* (additive/multiplicative homomorphism, deterministic vs
+non-deterministic symmetric encryption, information-theoretic sharing) match
+what the tutorial's protocols require. Key sizes are scaled for laptop-speed
+experiments; none of this is audited for production use.
+"""
+
+from repro.crypto.elgamal import ElGamalPrivateKey, ElGamalPublicKey
+from repro.crypto.elgamal import generate_keypair as generate_elgamal_keypair
+from repro.crypto.paillier import (
+    PaillierPrivateKey,
+    PaillierPublicKey,
+)
+from repro.crypto.paillier import generate_keypair as generate_paillier_keypair
+from repro.crypto.primes import (
+    generate_prime,
+    generate_safe_prime,
+    is_prime,
+    lcm,
+    modinv,
+)
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.crypto.rsa import generate_keypair as generate_rsa_keypair
+from repro.crypto.sharing import (
+    DEFAULT_MODULUS,
+    reconstruct,
+    reconstruct_signed,
+    split,
+)
+from repro.crypto.symmetric import DeterministicCipher, NondeterministicCipher
+
+__all__ = [
+    "DEFAULT_MODULUS",
+    "DeterministicCipher",
+    "ElGamalPrivateKey",
+    "ElGamalPublicKey",
+    "generate_elgamal_keypair",
+    "NondeterministicCipher",
+    "PaillierPrivateKey",
+    "PaillierPublicKey",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "generate_paillier_keypair",
+    "generate_prime",
+    "generate_rsa_keypair",
+    "generate_safe_prime",
+    "is_prime",
+    "lcm",
+    "modinv",
+    "reconstruct",
+    "reconstruct_signed",
+    "split",
+]

@@ -1,0 +1,80 @@
+"""ElGamal: the third homomorphic cryptosystem the tutorial names.
+
+The "Homomorphic Encryption Example" slide lists *"RSA, Paillier, ElGamal"*.
+ElGamal over a prime-order subgroup is multiplicatively homomorphic —
+``E(a) ⊗ E(b) = E(a·b)`` by componentwise multiplication — and unlike raw
+RSA it is *probabilistic*: two encryptions of the same plaintext are
+unlinkable, which matters whenever ciphertexts transit an honest-but-
+curious party. Textbook/simulation grade, like the rest of
+:mod:`repro.crypto`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.primes import generate_safe_prime
+
+
+@dataclass(frozen=True)
+class ElGamalPublicKey:
+    """Group parameters + the public point ``h = g^x``."""
+
+    p: int  # safe prime: p = 2q + 1
+    g: int  # generator of the order-q subgroup
+    h: int
+
+    @property
+    def q(self) -> int:
+        return (self.p - 1) // 2
+
+    def encrypt(self, message: int, rng: random.Random) -> tuple[int, int]:
+        """Encrypt a subgroup element (use :meth:`encode` for small ints)."""
+        r = rng.randrange(1, self.q)
+        return (pow(self.g, r, self.p), (message * pow(self.h, r, self.p)) % self.p)
+
+    def multiply(
+        self, a: tuple[int, int], b: tuple[int, int]
+    ) -> tuple[int, int]:
+        """Homomorphic multiplication: ``E(m1) ⊗ E(m2) = E(m1·m2)``."""
+        return ((a[0] * b[0]) % self.p, (a[1] * b[1]) % self.p)
+
+    def encode(self, value: int) -> int:
+        """Map a small positive integer into the order-q subgroup.
+
+        Squaring maps any unit into the quadratic-residue subgroup, and is
+        injective on ``1..q`` — decode with a (small-domain) inverse table.
+        """
+        if not 1 <= value <= self.q:
+            raise ValueError(f"value must lie in 1..{self.q}")
+        return pow(value, 2, self.p)
+
+
+@dataclass(frozen=True)
+class ElGamalPrivateKey:
+    public: ElGamalPublicKey
+    x: int
+
+    def decrypt(self, ciphertext: tuple[int, int]) -> int:
+        c1, c2 = ciphertext
+        shared = pow(c1, self.x, self.public.p)
+        return (c2 * pow(shared, -1, self.public.p)) % self.public.p
+
+
+def generate_keypair(
+    bits: int = 128, rng: random.Random | None = None
+) -> tuple[ElGamalPublicKey, ElGamalPrivateKey]:
+    """Key pair over the quadratic-residue subgroup of a safe prime."""
+    rng = rng or random.Random()
+    p = generate_safe_prime(bits, rng)
+    q = (p - 1) // 2
+    # Any square generates the order-q subgroup (q prime).
+    while True:
+        candidate = rng.randrange(2, p - 1)
+        g = pow(candidate, 2, p)
+        if g != 1:
+            break
+    x = rng.randrange(1, q)
+    public = ElGamalPublicKey(p=p, g=g, h=pow(g, x, p))
+    return public, ElGamalPrivateKey(public=public, x=x)

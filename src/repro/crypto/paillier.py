@@ -1,0 +1,96 @@
+"""Paillier cryptosystem: the additive homomorphism of Part III.
+
+The tutorial's secure-aggregation discussion leans on additively homomorphic
+encryption: ``E(a) * E(b) = E(a + b)`` lets an *untrusted* SSI combine
+encrypted partial aggregates without learning anything. This is the textbook
+scheme (Paillier 1999) with ``g = n + 1``:
+
+* ``Enc(m, r) = (1 + n)^m * r^n  mod n²`` — non-deterministic by the random
+  ``r``, which is exactly the property the secure-aggregation protocol
+  family requires of its ciphertexts;
+* ``Dec(c) = L(c^λ mod n²) * μ mod n`` with ``L(x) = (x - 1) / n``.
+
+Simulation-grade: keys default to 512 bits and randomness may be seeded for
+reproducible experiments. Do not use for real data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.primes import generate_prime, lcm, modinv
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public parameters ``(n, n²)``; ``g`` is fixed to ``n + 1``."""
+
+    n: int
+    n_squared: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    def encrypt(self, message: int, rng: random.Random) -> int:
+        """Encrypt ``message`` (mod n) with a fresh random blinding."""
+        m = message % self.n
+        while True:
+            r = rng.randrange(1, self.n)
+            if r % self.n != 0:
+                break
+        # (1 + n)^m = 1 + m*n (mod n^2): the standard shortcut.
+        g_m = (1 + m * self.n) % self.n_squared
+        return (g_m * pow(r, self.n, self.n_squared)) % self.n_squared
+
+    def add(self, ciphertext_a: int, ciphertext_b: int) -> int:
+        """Homomorphic addition: ``E(a) ⊕ E(b) = E(a + b)``."""
+        return (ciphertext_a * ciphertext_b) % self.n_squared
+
+    def add_plain(self, ciphertext: int, plaintext: int, rng: random.Random) -> int:
+        """``E(a) ⊕ b = E(a + b)`` without knowing ``a``."""
+        return self.add(ciphertext, self.encrypt(plaintext, rng))
+
+    def multiply_plain(self, ciphertext: int, scalar: int) -> int:
+        """``E(a)^k = E(k * a)`` — scaling by a public constant."""
+        return pow(ciphertext, scalar % self.n, self.n_squared)
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Decryption key ``(λ, μ)`` bound to its public key."""
+
+    public: PaillierPublicKey
+    lam: int
+    mu: int
+
+    def decrypt(self, ciphertext: int) -> int:
+        n, n_squared = self.public.n, self.public.n_squared
+        x = pow(ciphertext, self.lam, n_squared)
+        l_of_x = (x - 1) // n
+        return (l_of_x * self.mu) % n
+
+    def decrypt_signed(self, ciphertext: int) -> int:
+        """Decrypt, mapping the upper half of Z_n to negative values."""
+        value = self.decrypt(ciphertext)
+        return value - self.public.n if value > self.public.n // 2 else value
+
+
+def generate_keypair(
+    bits: int = 512, rng: random.Random | None = None
+) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
+    """Generate a key pair with an ``n`` of roughly ``bits`` bits."""
+    rng = rng or random.Random()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p != q:
+            break
+    n = p * q
+    public = PaillierPublicKey(n=n, n_squared=n * n)
+    lam = lcm(p - 1, q - 1)
+    # mu = (L(g^lambda mod n^2))^-1 mod n; with g = n+1, L(...) = lambda mod n.
+    mu = modinv(lam % n, n)
+    return public, PaillierPrivateKey(public=public, lam=lam, mu=mu)

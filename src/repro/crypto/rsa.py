@@ -1,0 +1,60 @@
+"""Textbook RSA: the tutorial's *multiplicative* homomorphism example.
+
+The "Homomorphic Encryption Example" slide uses raw RSA to show
+``E(p₁) × E(p₂) = E(p₁ × p₂)``. We implement exactly that (no padding —
+which is what makes the homomorphism hold, and what makes this strictly a
+teaching/simulation artefact). Also used by the Yao'82 millionaire protocol,
+which predates padded RSA anyway.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.primes import generate_prime, modinv
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int
+
+    def encrypt(self, message: int) -> int:
+        """``m^e mod n`` — deterministic, multiplicatively homomorphic."""
+        if not 0 <= message < self.n:
+            raise ValueError("message out of range [0, n)")
+        return pow(message, self.e, self.n)
+
+    def multiply(self, ciphertext_a: int, ciphertext_b: int) -> int:
+        """``E(a) × E(b) = E(a × b)``."""
+        return (ciphertext_a * ciphertext_b) % self.n
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    public: RsaPublicKey
+    d: int
+
+    def decrypt(self, ciphertext: int) -> int:
+        return pow(ciphertext, self.d, self.public.n)
+
+
+def generate_keypair(
+    bits: int = 512, rng: random.Random | None = None, e: int = 65537
+) -> tuple[RsaPublicKey, RsaPrivateKey]:
+    rng = rng or random.Random()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        if phi % e:  # gcd(e, phi) == 1 for prime e iff e does not divide phi
+            try:
+                d = modinv(e, phi)
+            except ValueError:
+                continue
+            public = RsaPublicKey(n=p * q, e=e)
+            return public, RsaPrivateKey(public=public, d=d)

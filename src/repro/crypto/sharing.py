@@ -1,0 +1,43 @@
+"""Additive secret sharing over Z_m: the cheap alternative to HE.
+
+Splitting a value into ``n`` uniformly random shares that sum to it (mod m)
+is the workhorse of the Clifton toolkit's secure sum and of masking inside
+the token protocols: shares are information-theoretically hiding and cost no
+modular exponentiation — the E7 bench contrasts this with Paillier.
+"""
+
+from __future__ import annotations
+
+import random
+
+DEFAULT_MODULUS = 1 << 64
+
+
+def split(
+    value: int,
+    num_shares: int,
+    rng: random.Random,
+    modulus: int = DEFAULT_MODULUS,
+) -> list[int]:
+    """Split ``value`` into ``num_shares`` additive shares mod ``modulus``."""
+    if num_shares < 1:
+        raise ValueError("need at least one share")
+    if modulus < 2:
+        raise ValueError("modulus must be >= 2")
+    shares = [rng.randrange(modulus) for _ in range(num_shares - 1)]
+    last = (value - sum(shares)) % modulus
+    shares.append(last)
+    return shares
+
+
+def reconstruct(shares: list[int], modulus: int = DEFAULT_MODULUS) -> int:
+    """Sum the shares back into the secret (mod ``modulus``)."""
+    if not shares:
+        raise ValueError("no shares to reconstruct from")
+    return sum(shares) % modulus
+
+
+def reconstruct_signed(shares: list[int], modulus: int = DEFAULT_MODULUS) -> int:
+    """Reconstruct, mapping the upper half of Z_m to negative values."""
+    value = reconstruct(shares, modulus)
+    return value - modulus if value > modulus // 2 else value

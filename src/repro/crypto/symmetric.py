@@ -1,0 +1,114 @@
+"""Symmetric encryption: deterministic vs non-deterministic, as in [TNP14].
+
+Part III's protocol families are distinguished by which symmetric scheme the
+tokens use to push tuples to the SSI:
+
+* **Non-deterministic** (:class:`NondeterministicCipher`): fresh nonce per
+  encryption, so equal plaintexts yield unlinkable ciphertexts. Used by the
+  secure-aggregation family — the SSI learns nothing, not even equality.
+* **Deterministic** (:class:`DeterministicCipher`): SIV-style, equal
+  plaintexts yield equal ciphertexts. Enables the SSI to group/partition by
+  ciphertext (noise- and histogram-based families) at the price of leaking
+  frequencies — the leak experiment E8 quantifies.
+
+Both are HMAC-SHA256-CTR constructions: a keystream PRF every secure MCU's
+hardware crypto block can supply. Simulation substrate, not audited crypto.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import random
+
+from repro.errors import IntegrityError
+
+_NONCE_BYTES = 16
+_TAG_BYTES = 16
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """HMAC-SHA256 in counter mode."""
+    blocks = []
+    for counter in range((length + 31) // 32):
+        blocks.append(
+            hmac.new(
+                key, nonce + counter.to_bytes(4, "little"), hashlib.sha256
+            ).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, pad: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, pad))
+
+
+class DeterministicCipher:
+    """SIV-style deterministic authenticated encryption.
+
+    ``E(m) = siv || (m XOR PRF(k_enc, siv))`` with
+    ``siv = HMAC(k_mac, m)[:16]`` — deterministic, self-authenticating.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) < 16:
+            raise ValueError("key must be at least 16 bytes")
+        self._mac_key = hmac.new(key, b"det-mac", hashlib.sha256).digest()
+        self._enc_key = hmac.new(key, b"det-enc", hashlib.sha256).digest()
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        siv = hmac.new(self._mac_key, plaintext, hashlib.sha256).digest()[
+            :_NONCE_BYTES
+        ]
+        body = _xor(plaintext, _keystream(self._enc_key, siv, len(plaintext)))
+        return siv + body
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < _NONCE_BYTES:
+            raise IntegrityError("ciphertext too short")
+        siv, body = ciphertext[:_NONCE_BYTES], ciphertext[_NONCE_BYTES:]
+        plaintext = _xor(body, _keystream(self._enc_key, siv, len(body)))
+        expected = hmac.new(self._mac_key, plaintext, hashlib.sha256).digest()[
+            :_NONCE_BYTES
+        ]
+        if not hmac.compare_digest(siv, expected):
+            raise IntegrityError("deterministic ciphertext failed authentication")
+        return plaintext
+
+
+class NondeterministicCipher:
+    """Nonce-based authenticated encryption (encrypt-then-MAC).
+
+    ``E(m) = nonce || c || HMAC(k_mac, nonce || c)`` with a fresh random
+    nonce, so two encryptions of the same plaintext are unlinkable.
+    """
+
+    def __init__(self, key: bytes, rng: random.Random | None = None) -> None:
+        if len(key) < 16:
+            raise ValueError("key must be at least 16 bytes")
+        self._mac_key = hmac.new(key, b"nd-mac", hashlib.sha256).digest()
+        self._enc_key = hmac.new(key, b"nd-enc", hashlib.sha256).digest()
+        self._rng = rng or random.Random()
+
+    def encrypt(self, plaintext: bytes) -> bytes:
+        nonce = self._rng.getrandbits(8 * _NONCE_BYTES).to_bytes(
+            _NONCE_BYTES, "little"
+        )
+        body = _xor(plaintext, _keystream(self._enc_key, nonce, len(plaintext)))
+        tag = hmac.new(self._mac_key, nonce + body, hashlib.sha256).digest()[
+            :_TAG_BYTES
+        ]
+        return nonce + body + tag
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        if len(ciphertext) < _NONCE_BYTES + _TAG_BYTES:
+            raise IntegrityError("ciphertext too short")
+        nonce = ciphertext[:_NONCE_BYTES]
+        body = ciphertext[_NONCE_BYTES:-_TAG_BYTES]
+        tag = ciphertext[-_TAG_BYTES:]
+        expected = hmac.new(
+            self._mac_key, nonce + body, hashlib.sha256
+        ).digest()[:_TAG_BYTES]
+        if not hmac.compare_digest(tag, expected):
+            raise IntegrityError("ciphertext failed authentication")
+        return _xor(body, _keystream(self._enc_key, nonce, len(body)))

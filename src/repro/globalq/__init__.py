@@ -1,0 +1,100 @@
+"""Secure global computation over the asymmetric PDS architecture (Part III).
+
+The [TNP14] protocol stack: citizens' tokens answer global SQL aggregates
+through an untrusted Supporting Server Infrastructure. Three protocol
+families trade leak against cost (secure-aggregation, noise-based,
+histogram-based), an honest-but-curious SSI mounts frequency analysis, and a
+weakly malicious one is caught by authentication, replay detection and
+participation audits.
+"""
+
+from repro.globalq.attacks import AttackResult, frequency_analysis, histogram_flatness
+from repro.globalq.graphq import (
+    DistributedGraph,
+    GraphQueryReport,
+    centralized_reachability,
+    private_reachability,
+)
+from repro.globalq.histogram import EquiDepthBucketizer, HistogramProtocol
+from repro.globalq.messages import (
+    EncryptedContribution,
+    Payload,
+    pack_payload,
+    unpack_payload,
+)
+from repro.globalq.noise import (
+    COMPLEMENTARY_NOISE,
+    NO_NOISE,
+    WHITE_NOISE,
+    NoisePlan,
+    NoiseProtocol,
+    plan_fakes,
+)
+from repro.globalq.protocol import (
+    AggregationOutcome,
+    PdsNode,
+    ProtocolReport,
+    TokenFleet,
+    TrustedAggregator,
+)
+from repro.globalq.queries import (
+    GLOBAL_GROUP,
+    Accumulator,
+    AggregateQuery,
+    local_contributions,
+    plaintext_answer,
+    record_matches,
+)
+from repro.globalq.secureagg import SecureAggregationProtocol
+from repro.globalq.ssi import (
+    HONEST,
+    SsiBehavior,
+    SupportingServerInfrastructure,
+)
+from repro.globalq.verification import (
+    AuditResult,
+    detection_probability,
+    participating_pds_ids,
+    participation_audit,
+)
+
+__all__ = [
+    "COMPLEMENTARY_NOISE",
+    "GLOBAL_GROUP",
+    "HONEST",
+    "NO_NOISE",
+    "WHITE_NOISE",
+    "Accumulator",
+    "AggregateQuery",
+    "AggregationOutcome",
+    "AttackResult",
+    "AuditResult",
+    "DistributedGraph",
+    "EncryptedContribution",
+    "GraphQueryReport",
+    "EquiDepthBucketizer",
+    "HistogramProtocol",
+    "NoisePlan",
+    "NoiseProtocol",
+    "Payload",
+    "PdsNode",
+    "ProtocolReport",
+    "SecureAggregationProtocol",
+    "SsiBehavior",
+    "SupportingServerInfrastructure",
+    "TokenFleet",
+    "TrustedAggregator",
+    "centralized_reachability",
+    "detection_probability",
+    "frequency_analysis",
+    "histogram_flatness",
+    "local_contributions",
+    "pack_payload",
+    "participating_pds_ids",
+    "participation_audit",
+    "plaintext_answer",
+    "plan_fakes",
+    "private_reachability",
+    "record_matches",
+    "unpack_payload",
+]

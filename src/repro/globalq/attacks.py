@@ -1,0 +1,78 @@
+"""What the honest-but-curious SSI can infer from what it sees.
+
+The deterministic-tag family hands the SSI a ciphertext frequency histogram.
+With a public prior over the group domain (census data, for instance), the
+classic **frequency-analysis attack** matches observed tags to domain values
+by frequency rank. This module implements that attacker and scores it, so
+E8 can plot attacker accuracy against the fake-tuple ratio and against the
+histogram family's bucket coarsening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one frequency-analysis attempt."""
+
+    guessed_mapping: dict[bytes, str]
+    tuple_accuracy: float
+    value_accuracy: float
+
+
+def frequency_analysis(
+    tag_histogram: dict[bytes, int],
+    prior: dict[str, float],
+    true_mapping: dict[bytes, str],
+    true_tuple_counts: dict[bytes, int] | None = None,
+) -> AttackResult:
+    """Rank-match observed tags against the prior; score the guesses.
+
+    ``true_mapping`` (tag -> group) is ground truth used only for scoring —
+    the attacker sees just the histogram and the prior.
+    ``true_tuple_counts`` weights tuple accuracy by *real* tuples per tag
+    (fakes inflate observed counts but should not reward the attacker).
+    """
+    tags_by_frequency = sorted(
+        tag_histogram, key=lambda tag: (-tag_histogram[tag], tag)
+    )
+    values_by_prior = sorted(prior, key=lambda value: (-prior[value], value))
+    guessed = {
+        tag: values_by_prior[rank]
+        for rank, tag in enumerate(tags_by_frequency)
+        if rank < len(values_by_prior)
+    }
+
+    if not true_mapping:
+        return AttackResult(guessed, 0.0, 0.0)
+    correct_values = sum(
+        1
+        for tag, guess in guessed.items()
+        if true_mapping.get(tag) == guess
+    )
+    value_accuracy = correct_values / len(true_mapping)
+
+    counts = true_tuple_counts or tag_histogram
+    total_tuples = sum(counts.get(tag, 0) for tag in true_mapping)
+    correct_tuples = sum(
+        counts.get(tag, 0)
+        for tag, guess in guessed.items()
+        if true_mapping.get(tag) == guess
+    )
+    tuple_accuracy = correct_tuples / total_tuples if total_tuples else 0.0
+    return AttackResult(guessed, tuple_accuracy, value_accuracy)
+
+
+def histogram_flatness(histogram: dict) -> float:
+    """Normalized flatness in [0, 1]: 1 = perfectly uniform counts.
+
+    Measured as the ratio of the minimum to the maximum bucket/tag count;
+    flatter observed histograms give frequency analysis less to grip.
+    """
+    if not histogram:
+        return 1.0
+    counts = list(histogram.values())
+    high = max(counts)
+    return (min(counts) / high) if high else 1.0

@@ -1,0 +1,77 @@
+"""Wire formats of the [TNP14]-style global protocols.
+
+A PDS contribution travels as an :class:`EncryptedContribution`:
+
+* ``blob`` — the authenticated ciphertext of the tuple payload (always
+  non-deterministic, so the payload itself never leaks);
+* ``group_tag`` — optional *deterministic* encryption of the group value
+  (noise-based family: lets the SSI partition by group, leaks frequencies);
+* ``bucket_id`` — optional cleartext histogram bucket (histogram family:
+  leaks only the coarse bucket).
+
+The payload inside ``blob`` is ``pds_id | sequence | flags | group | value``,
+packed by :func:`pack_payload`; the ``FAKE`` flag marks noise tuples that
+trusted aggregators silently drop after decryption.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+_HEADER = struct.Struct("<IIBd")  # pds_id, sequence, flags, value
+
+FLAG_FAKE = 0x01
+
+
+@dataclass(frozen=True)
+class EncryptedContribution:
+    """One contribution as the SSI sees it."""
+
+    blob: bytes
+    group_tag: bytes | None = None
+    bucket_id: int | None = None
+
+    def wire_size(self) -> int:
+        size = len(self.blob)
+        if self.group_tag is not None:
+            size += len(self.group_tag)
+        if self.bucket_id is not None:
+            size += 4
+        return size
+
+
+@dataclass(frozen=True)
+class Payload:
+    """Decrypted content of a contribution (inside a token only)."""
+
+    pds_id: int
+    sequence: int
+    group: str
+    value: float
+    fake: bool = False
+
+
+def pack_payload(payload: Payload) -> bytes:
+    group_bytes = payload.group.encode("utf-8")
+    flags = FLAG_FAKE if payload.fake else 0
+    return (
+        _HEADER.pack(payload.pds_id, payload.sequence, flags, payload.value)
+        + group_bytes
+    )
+
+
+def unpack_payload(data: bytes) -> Payload:
+    if len(data) < _HEADER.size:
+        raise ProtocolError("contribution payload too short")
+    pds_id, sequence, flags, value = _HEADER.unpack_from(data, 0)
+    group = data[_HEADER.size :].decode("utf-8")
+    return Payload(
+        pds_id=pds_id,
+        sequence=sequence,
+        group=group,
+        value=value,
+        fake=bool(flags & FLAG_FAKE),
+    )

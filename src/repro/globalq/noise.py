@@ -1,0 +1,142 @@
+"""Noise-based protocols: deterministic tags + fake tuples.
+
+Second [TNP14] family: each contribution carries a *deterministic*
+encryption of its group value, so the SSI can partition by group — one
+partition per group, minimal token work, tiny partials. The leak is the
+group-frequency histogram, which :mod:`repro.globalq.attacks` exploits; the
+countermeasure is **fake tuples** (flagged inside the authenticated blob, so
+aggregating tokens drop them after decryption):
+
+* :data:`WHITE_NOISE` — each PDS adds ``ratio`` fakes per real tuple with
+  groups drawn uniformly from the public domain;
+* :data:`COMPLEMENTARY_NOISE` — fakes are drawn from the *complement* of the
+  PDS's own groups, pushing every tag's frequency toward uniform faster for
+  the same bandwidth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.globalq.protocol import (
+    PdsNode,
+    ProtocolReport,
+    TokenFleet,
+    TrustedAggregator,
+    finalize_partials,
+)
+from repro.globalq.queries import AggregateQuery, local_contributions
+from repro.globalq.ssi import SsiBehavior, SupportingServerInfrastructure, HONEST
+from repro.smc.parties import Channel
+
+WHITE_NOISE = "white"
+COMPLEMENTARY_NOISE = "complementary"
+NO_NOISE = "none"
+
+
+@dataclass(frozen=True)
+class NoisePlan:
+    """How much fake traffic each PDS adds, and how it picks fake groups."""
+
+    mode: str = NO_NOISE
+    ratio: float = 0.0  # fake tuples per real tuple
+    domain: tuple[str, ...] = ()  # public group domain fakes draw from
+
+    def __post_init__(self) -> None:
+        if self.mode not in (NO_NOISE, WHITE_NOISE, COMPLEMENTARY_NOISE):
+            raise ProtocolError(f"unknown noise mode {self.mode!r}")
+        if self.mode != NO_NOISE and self.ratio > 0 and not self.domain:
+            raise ProtocolError("noise needs a public group domain")
+
+
+def plan_fakes(
+    real: list[tuple[str, float]],
+    plan: NoisePlan,
+    rng: random.Random,
+) -> list[tuple[str, float]]:
+    """The fake ``(group, value)`` tuples one PDS will inject."""
+    if plan.mode == NO_NOISE or plan.ratio <= 0 or not real:
+        return []
+    count = int(len(real) * plan.ratio + rng.random())  # stochastic rounding
+    own_groups = {group for group, _ in real}
+    if plan.mode == COMPLEMENTARY_NOISE:
+        pool = [g for g in plan.domain if g not in own_groups] or list(plan.domain)
+    else:
+        pool = list(plan.domain)
+    return [
+        (pool[rng.randrange(len(pool))], 0.0) for _ in range(count)
+    ]
+
+
+class NoiseProtocol:
+    """The deterministic-encryption + fake-tuples family."""
+
+    name = "noise-based"
+
+    def __init__(
+        self,
+        fleet: TokenFleet,
+        noise: NoisePlan | None = None,
+        ssi_behavior: SsiBehavior = HONEST,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.fleet = fleet
+        self.noise = noise or NoisePlan()
+        self.ssi_behavior = ssi_behavior
+        self.rng = rng or random.Random(0)
+
+    def run(
+        self, nodes: list[PdsNode], query: AggregateQuery
+    ) -> ProtocolReport:
+        channel = Channel()
+        ssi = SupportingServerInfrastructure(self.ssi_behavior, self.rng)
+
+        # Phase 1: collection with deterministic group tags + planned fakes.
+        tuples_sent = fakes_sent = 0
+        for node in nodes:
+            real = local_contributions(node.records, query)
+            fakes = plan_fakes(real, self.noise, self.rng)
+            contributions = node.contributions(
+                query, self.fleet, with_group_tag=True, fakes=fakes
+            )
+            tuples_sent += len(contributions)
+            fakes_sent += len(fakes)
+            for contribution in contributions:
+                channel.send(
+                    f"pds-{node.pds_id}",
+                    "ssi",
+                    contribution.blob + (contribution.group_tag or b""),
+                )
+            ssi.collect(contributions)
+
+        # Phase 2: the SSI groups by tag — one partition per (apparent) group.
+        partitions = ssi.partition_by_group_tag()
+
+        # Phase 3: per-group aggregation by trusted tokens, querier merge.
+        outcomes = []
+        decryptions = 0
+        for index, (_, partition) in enumerate(sorted(partitions.items())):
+            for contribution in partition:
+                channel.send("ssi", f"aggregator-{index}", contribution.blob)
+            outcome = TrustedAggregator(self.fleet).aggregate(partition)
+            decryptions += len(partition)
+            outcomes.append(outcome)
+        result, failures, duplicates = finalize_partials(
+            outcomes, query, channel
+        )
+        return ProtocolReport(
+            result=result,
+            protocol=f"{self.name}:{self.noise.mode}",
+            num_pds=len(nodes),
+            tuples_sent=tuples_sent,
+            fake_tuples_sent=fakes_sent,
+            token_decryptions=decryptions,
+            token_invocations=len(partitions) + 1,
+            comm_bytes=channel.stats.bytes,
+            comm_messages=channel.stats.messages,
+            integrity_failures=failures,
+            duplicates_detected=duplicates,
+            ssi_tag_histogram=dict(ssi.observations.group_tag_counts),
+        )

@@ -1,0 +1,220 @@
+"""Shared machinery of the [TNP14] protocol families.
+
+All three families follow the same three-phase skeleton the tutorial draws:
+
+1. **Collection** — each PDS evaluates the WHERE locally and pushes
+   encrypted contributions to the SSI;
+2. **Partitioning** — the SSI splits the ciphertext bag into partitions
+   (randomly, by deterministic tag, or by histogram bucket — the choice *is*
+   the protocol family);
+3. **Aggregation** — connected tokens (any citizen's token can serve) each
+   decrypt one partition inside their secure perimeter, drop fakes, verify
+   authenticity, partially aggregate, and the querier's token merges the
+   partials into the final answer.
+
+This module provides the fleet key material, the PDS node, the trusted
+aggregator and the report type; the family modules compose them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.symmetric import DeterministicCipher, NondeterministicCipher
+from repro.errors import IntegrityError
+from repro.globalq.messages import (
+    EncryptedContribution,
+    Payload,
+    pack_payload,
+    unpack_payload,
+)
+from repro.globalq.queries import Accumulator, AggregateQuery, local_contributions
+from repro.smc.parties import Channel
+from repro.workloads.people import PersonRecord
+
+
+class TokenFleet:
+    """Key material shared by every genuine token of the population.
+
+    The tutorial's trust model: tokens are mutually trusted, certified
+    hardware, so they can share symmetric keys that the SSI never sees.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        rng = random.Random(seed)
+        master = rng.getrandbits(256).to_bytes(32, "little")
+        self._payload_key = master + b"payload"
+        self._group_key = master + b"group"
+        self.deterministic = DeterministicCipher(self._group_key)
+        self._rng = rng
+
+    def payload_cipher(self) -> NondeterministicCipher:
+        """A non-deterministic cipher bound to the fleet payload key."""
+        seed = self._rng.getrandbits(64)
+        return NondeterministicCipher(
+            self._payload_key, rng=random.Random(seed)
+        )
+
+
+@dataclass
+class PdsNode:
+    """One citizen's PDS as seen by the global layer."""
+
+    pds_id: int
+    records: list[PersonRecord]
+
+    def contributions(
+        self,
+        query: AggregateQuery,
+        fleet: TokenFleet,
+        with_group_tag: bool = False,
+        bucketizer=None,
+        fakes: list[tuple[str, float]] | None = None,
+    ) -> list[EncryptedContribution]:
+        """Encrypt this PDS's (filtered) tuples, plus any planned fakes."""
+        cipher = fleet.payload_cipher()
+        out: list[EncryptedContribution] = []
+        sequence = 0
+        real = local_contributions(self.records, query)
+        for group, value in real:
+            out.append(
+                self._encrypt(
+                    cipher, fleet, group, value, sequence, False,
+                    with_group_tag, bucketizer,
+                )
+            )
+            sequence += 1
+        for group, value in fakes or []:
+            out.append(
+                self._encrypt(
+                    cipher, fleet, group, value, sequence, True,
+                    with_group_tag, bucketizer,
+                )
+            )
+            sequence += 1
+        return out
+
+    def _encrypt(
+        self, cipher, fleet, group, value, sequence, fake,
+        with_group_tag, bucketizer,
+    ) -> EncryptedContribution:
+        payload = Payload(
+            pds_id=self.pds_id,
+            sequence=sequence,
+            group=group,
+            value=value,
+            fake=fake,
+        )
+        return EncryptedContribution(
+            blob=cipher.encrypt(pack_payload(payload)),
+            group_tag=(
+                fleet.deterministic.encrypt(group.encode("utf-8"))
+                if with_group_tag
+                else None
+            ),
+            bucket_id=bucketizer(group) if bucketizer is not None else None,
+        )
+
+
+@dataclass
+class AggregationOutcome:
+    """What one trusted aggregator produced from one partition."""
+
+    accumulator: Accumulator
+    real_tuples: int
+    fake_tuples: int
+    integrity_failures: int
+    seen_pds_sequences: set
+
+
+class TrustedAggregator:
+    """A connected token decrypting and folding one partition."""
+
+    def __init__(self, fleet: TokenFleet) -> None:
+        self.fleet = fleet
+        self._cipher = fleet.payload_cipher()
+
+    def aggregate(
+        self, partition: list[EncryptedContribution]
+    ) -> AggregationOutcome:
+        accumulator = Accumulator()
+        real = fakes = failures = 0
+        seen: set[tuple[int, int]] = set()
+        for contribution in partition:
+            try:
+                payload = unpack_payload(self._cipher.decrypt(contribution.blob))
+            except IntegrityError:
+                failures += 1  # forged or corrupted: detected, discarded
+                continue
+            identity = (payload.pds_id, payload.sequence)
+            if identity in seen:
+                continue  # replay inside this partition: skip silently
+            seen.add(identity)
+            if payload.fake:
+                fakes += 1
+                continue
+            real += 1
+            accumulator.add(payload.group, payload.value)
+        return AggregationOutcome(
+            accumulator=accumulator,
+            real_tuples=real,
+            fake_tuples=fakes,
+            integrity_failures=failures,
+            seen_pds_sequences=seen,
+        )
+
+
+@dataclass
+class ProtocolReport:
+    """Result and full cost/leak profile of one protocol run."""
+
+    result: dict[str, float]
+    protocol: str
+    num_pds: int
+    tuples_sent: int
+    fake_tuples_sent: int
+    token_decryptions: int
+    token_invocations: int
+    comm_bytes: int
+    comm_messages: int
+    integrity_failures: int
+    duplicates_detected: int = 0
+    aggregator_retries: int = 0
+    ssi_tag_histogram: dict = field(default_factory=dict)
+    ssi_bucket_histogram: dict = field(default_factory=dict)
+
+    @property
+    def cheating_detected(self) -> bool:
+        """Whether the covert adversary was caught (forgery or replay)."""
+        return self.integrity_failures > 0 or self.duplicates_detected > 0
+
+
+def finalize_partials(
+    outcomes: list[AggregationOutcome],
+    query: AggregateQuery,
+    channel: Channel,
+) -> tuple[dict[str, float], int, int]:
+    """Querier-token merge of the partial aggregates.
+
+    Cross-partition ``(pds_id, sequence)`` collisions flag a replaying SSI —
+    the covert-adversary countermeasure is *detection*, which is why the
+    report carries ``duplicates_detected`` rather than a corrected result.
+    Returns ``(result, integrity_failures, duplicates_detected)``.
+    """
+    merged = Accumulator()
+    failures = 0
+    seen: set[tuple[int, int]] = set()
+    duplicates = 0
+    for index, outcome in enumerate(outcomes):
+        channel.send(
+            f"aggregator-{index}",
+            "querier",
+            outcome.accumulator.serialized_size(),
+        )
+        failures += outcome.integrity_failures
+        overlap = seen & outcome.seen_pds_sequences
+        duplicates += len(overlap)
+        seen |= outcome.seen_pds_sequences
+        merged.merge(outcome.accumulator)
+    return merged.finalize(query), failures, duplicates

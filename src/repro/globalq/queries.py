@@ -1,0 +1,165 @@
+"""Global aggregate queries over a population of PDSs.
+
+The query class of [TNP14] as presented in the tutorial: SQL aggregates —
+``COUNT``/``SUM``/``AVG``, optional ``GROUP BY``, conjunctive equality
+``WHERE`` — evaluated over the union of every citizen's records. The WHERE
+clause is always applied *locally by each PDS* (only authorized, filtered
+contributions ever leave a token), so what a protocol moves around is a bag
+of ``(group, value)`` contributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.workloads.people import PersonRecord
+
+AGGREGATES = ("COUNT", "SUM", "AVG")
+
+#: Group key used when a query has no GROUP BY.
+GLOBAL_GROUP = "*"
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """One global aggregate query."""
+
+    aggregate: str
+    attribute: str | None = None
+    group_by: str | None = None
+    where: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.aggregate not in AGGREGATES:
+            raise QueryError(
+                f"unsupported aggregate {self.aggregate!r}; "
+                f"expected one of {AGGREGATES}"
+            )
+        if self.aggregate in ("SUM", "AVG") and self.attribute is None:
+            raise QueryError(f"{self.aggregate} needs an attribute")
+
+    @classmethod
+    def count(cls, group_by=None, where=()) -> "AggregateQuery":
+        return cls("COUNT", None, group_by, tuple(where))
+
+    @classmethod
+    def sum(cls, attribute, group_by=None, where=()) -> "AggregateQuery":
+        return cls("SUM", attribute, group_by, tuple(where))
+
+    @classmethod
+    def avg(cls, attribute, group_by=None, where=()) -> "AggregateQuery":
+        return cls("AVG", attribute, group_by, tuple(where))
+
+
+#: Comparison operators usable in 3-element WHERE conditions.
+OPERATORS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _condition_holds(record: PersonRecord, condition: tuple) -> bool:
+    """One WHERE condition: ``(attr, value)`` or ``(attr, op, value)``."""
+    if len(condition) == 2:
+        attribute, value = condition
+        return record.get(attribute) == value
+    if len(condition) == 3:
+        attribute, op, value = condition
+        comparator = OPERATORS.get(op)
+        if comparator is None:
+            raise QueryError(
+                f"unknown operator {op!r}; expected one of {sorted(OPERATORS)}"
+            )
+        actual = record.get(attribute)
+        if actual is None:
+            return False
+        try:
+            return comparator(actual, value)
+        except TypeError:
+            return False  # incomparable types never match
+    raise QueryError(f"malformed WHERE condition {condition!r}")
+
+
+def record_matches(record: PersonRecord, query: AggregateQuery) -> bool:
+    """Local WHERE evaluation (inside the PDS)."""
+    for condition in query.where:
+        if not _condition_holds(record, condition):
+            return False
+    if query.attribute is not None and query.attribute not in record:
+        return False
+    if query.group_by is not None and query.group_by not in record:
+        return False
+    return True
+
+
+def local_contributions(
+    records: list[PersonRecord], query: AggregateQuery
+) -> list[tuple[str, float]]:
+    """The ``(group, value)`` tuples one PDS contributes to the query."""
+    contributions = []
+    for record in records:
+        if not record_matches(record, query):
+            continue
+        group = (
+            str(record[query.group_by]) if query.group_by else GLOBAL_GROUP
+        )
+        if query.aggregate == "COUNT":
+            value = 1.0
+        else:
+            value = float(record[query.attribute])
+        contributions.append((group, value))
+    return contributions
+
+
+class Accumulator:
+    """Composable partial aggregate: (sum, count) per group.
+
+    All three SQL aggregates reduce to sum/count pairs, which merge
+    associatively — the property every partition-then-combine protocol
+    needs.
+    """
+
+    def __init__(self) -> None:
+        self.sums: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def add(self, group: str, value: float) -> None:
+        self.sums[group] = self.sums.get(group, 0.0) + value
+        self.counts[group] = self.counts.get(group, 0) + 1
+
+    def merge(self, other: "Accumulator") -> None:
+        for group, value in other.sums.items():
+            self.sums[group] = self.sums.get(group, 0.0) + value
+        for group, count in other.counts.items():
+            self.counts[group] = self.counts.get(group, 0) + count
+
+    def finalize(self, query: AggregateQuery) -> dict[str, float]:
+        result = {}
+        for group in self.sums:
+            if query.aggregate == "COUNT":
+                result[group] = float(self.counts[group])
+            elif query.aggregate == "SUM":
+                result[group] = self.sums[group]
+            else:  # AVG
+                result[group] = self.sums[group] / self.counts[group]
+        return result
+
+    def serialized_size(self) -> int:
+        """Wire size of this partial (group strings + two 8 B numbers)."""
+        return sum(len(group.encode()) + 16 for group in self.sums)
+
+
+def plaintext_answer(
+    population: list[list[PersonRecord]], query: AggregateQuery
+) -> dict[str, float]:
+    """Reference evaluation with full visibility (ground truth for tests)."""
+    accumulator = Accumulator()
+    for records in population:
+        for group, value in local_contributions(records, query):
+            accumulator.add(group, value)
+    return accumulator.finalize(query)

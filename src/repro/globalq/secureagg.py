@@ -1,0 +1,115 @@
+"""Secure-aggregation protocol: non-deterministic encryption, zero leak.
+
+First of the [TNP14] families: contributions carry *only* a
+non-deterministically encrypted blob, so the SSI learns nothing — not even
+whether two tuples share a group. The price is that the SSI cannot partition
+usefully: it cuts the bag into fixed-size **random** partitions, every
+partition may contain every group, and each aggregator token must decrypt
+its whole partition and ship a per-group partial to the querier.
+
+Leak profile: none (ciphertext count and sizes only).
+Cost profile: every tuple symmetric-decrypted once by some token; partial
+results of size O(#groups) per partition.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.globalq.protocol import (
+    PdsNode,
+    ProtocolReport,
+    TokenFleet,
+    TrustedAggregator,
+    finalize_partials,
+)
+from repro.globalq.queries import AggregateQuery
+from repro.globalq.ssi import SsiBehavior, SupportingServerInfrastructure, HONEST
+from repro.smc.parties import Channel
+
+
+class SecureAggregationProtocol:
+    """The non-deterministic-encryption family."""
+
+    name = "secure-aggregation"
+
+    def __init__(
+        self,
+        fleet: TokenFleet,
+        partition_size: int | None = None,
+        ssi_behavior: SsiBehavior = HONEST,
+        rng: random.Random | None = None,
+        aggregator_failure_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= aggregator_failure_rate < 1.0:
+            raise ValueError("failure rate must be in [0, 1)")
+        self.fleet = fleet
+        self.partition_size = partition_size
+        self.ssi_behavior = ssi_behavior
+        self.rng = rng or random.Random(0)
+        #: Probability that an assigned token disconnects before answering.
+        #: Tokens are "low powered, highly disconnected": the SSI simply
+        #: reassigns the (ciphertext) partition to another connected token.
+        self.aggregator_failure_rate = aggregator_failure_rate
+
+    def run(
+        self, nodes: list[PdsNode], query: AggregateQuery
+    ) -> ProtocolReport:
+        channel = Channel()
+        ssi = SupportingServerInfrastructure(self.ssi_behavior, self.rng)
+
+        # Phase 1: collection (blobs only — no tags, no buckets).
+        tuples_sent = 0
+        for node in nodes:
+            contributions = node.contributions(query, self.fleet)
+            tuples_sent += len(contributions)
+            for contribution in contributions:
+                channel.send(f"pds-{node.pds_id}", "ssi", contribution.blob)
+            ssi.collect(contributions)
+
+        # Phase 2: random partitioning (the best a blind SSI can do).
+        size = self.partition_size or max(
+            1, int(math.sqrt(max(1, len(ssi.stored))))
+        )
+        partitions = ssi.partition_random(size)
+
+        # Phase 3: one trusted token per partition, then the querier merge.
+        # A token may disconnect mid-partition; the SSI reassigns the same
+        # ciphertext partition to another token (pure retry: aggregation is
+        # deterministic and side-effect free until the partial is returned).
+        outcomes = []
+        decryptions = 0
+        retries = 0
+        for index, partition in enumerate(partitions):
+            while True:
+                for contribution in partition:
+                    channel.send("ssi", f"aggregator-{index}", contribution.blob)
+                if self.rng.random() < self.aggregator_failure_rate:
+                    retries += 1
+                    if retries > 100 * max(1, len(partitions)):
+                        raise RuntimeError("no connected tokens available")
+                    continue
+                aggregator = TrustedAggregator(self.fleet)
+                outcome = aggregator.aggregate(partition)
+                decryptions += len(partition)
+                outcomes.append(outcome)
+                break
+        result, failures, duplicates = finalize_partials(
+            outcomes, query, channel
+        )
+        return ProtocolReport(
+            result=result,
+            protocol=self.name,
+            num_pds=len(nodes),
+            tuples_sent=tuples_sent,
+            fake_tuples_sent=0,
+            token_decryptions=decryptions,
+            token_invocations=len(partitions) + 1,
+            comm_bytes=channel.stats.bytes,
+            comm_messages=channel.stats.messages,
+            integrity_failures=failures,
+            duplicates_detected=duplicates,
+            aggregator_retries=retries,
+            ssi_tag_histogram=dict(ssi.observations.group_tag_counts),
+        )

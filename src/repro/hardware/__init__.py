@@ -1,0 +1,51 @@
+"""Secure-hardware simulation substrate (tokens, NAND flash, bounded RAM).
+
+The tutorial's PDS architecture runs on *secure portable tokens*: a
+tamper-resistant microcontroller with very small RAM attached to gigabytes of
+NAND flash. We obviously cannot ship that silicon, so this package simulates
+it faithfully enough that every algorithmic constraint of the paper is
+enforced in software — see DESIGN.md, "Substitutions".
+"""
+
+from repro.hardware.flash import (
+    BlockAllocator,
+    FlashCostModel,
+    FlashGeometry,
+    FlashStats,
+    NandFlash,
+)
+from repro.hardware.mcu import CpuCostModel, CpuStats, Microcontroller
+from repro.hardware.profiles import (
+    ALL_PROFILES,
+    HardwareProfile,
+    by_name,
+    contactless_badge,
+    flash_sensor,
+    plug_server,
+    secure_microsd,
+    smart_usb_token,
+)
+from repro.hardware.ram import RamArena
+from repro.hardware.token import KeyStore, SecurePortableToken
+
+__all__ = [
+    "ALL_PROFILES",
+    "BlockAllocator",
+    "CpuCostModel",
+    "CpuStats",
+    "FlashCostModel",
+    "FlashGeometry",
+    "FlashStats",
+    "HardwareProfile",
+    "KeyStore",
+    "Microcontroller",
+    "NandFlash",
+    "RamArena",
+    "SecurePortableToken",
+    "by_name",
+    "contactless_badge",
+    "flash_sensor",
+    "plug_server",
+    "secure_microsd",
+    "smart_usb_token",
+]

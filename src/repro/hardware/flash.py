@@ -1,0 +1,257 @@
+"""NAND flash simulator: the storage substrate of a secure portable token.
+
+The tutorial's Part II rests on two physical facts about NAND flash that this
+module enforces rather than merely documents:
+
+* **Write-by-page, erase-by-block.** A page can only be *programmed* once
+  after the erase of its enclosing block; rewriting a page in place is a
+  :class:`~repro.errors.FlashViolation`.
+* **Sequential programming inside a block.** Real NAND chips require pages of
+  a block to be programmed in increasing order; honouring it here means any
+  data structure that "randomly writes" simply cannot be built on this model,
+  which is exactly the design pressure that leads to the log-only structures
+  of the paper.
+
+Every operation is metered by a :class:`FlashCostModel` so benchmarks can
+report IO counts and simulated latencies (the "17 IOs vs 640 IOs" style of
+numbers in the slides).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import FlashViolation
+
+_ERASED = None  # sentinel content of a page that has been erased
+
+
+@dataclass(frozen=True)
+class FlashCostModel:
+    """Latency model of one NAND operation, in microseconds.
+
+    Defaults follow typical SLC NAND datasheet figures quoted in the
+    flash-aware indexing literature the tutorial cites (BFTL, PBFilter):
+    reads are cheap, programs ~10x dearer, erases ~60x dearer still.
+    """
+
+    read_us: float = 25.0
+    program_us: float = 200.0
+    erase_us: float = 1500.0
+
+
+@dataclass
+class FlashStats:
+    """Mutable operation counters for one flash chip."""
+
+    page_reads: int = 0
+    page_programs: int = 0
+    block_erases: int = 0
+
+    def time_us(self, cost: FlashCostModel) -> float:
+        """Total simulated time of all operations under ``cost``."""
+        return (
+            self.page_reads * cost.read_us
+            + self.page_programs * cost.program_us
+            + self.block_erases * cost.erase_us
+        )
+
+    def snapshot(self) -> "FlashStats":
+        """Return an independent copy (for before/after deltas in benches)."""
+        return FlashStats(self.page_reads, self.page_programs, self.block_erases)
+
+    def delta(self, before: "FlashStats") -> "FlashStats":
+        """Operations performed since ``before`` was snapshotted."""
+        return FlashStats(
+            self.page_reads - before.page_reads,
+            self.page_programs - before.page_programs,
+            self.block_erases - before.block_erases,
+        )
+
+
+@dataclass(frozen=True)
+class FlashGeometry:
+    """Physical layout of a NAND chip."""
+
+    page_size: int = 2048
+    pages_per_block: int = 64
+    num_blocks: int = 1024
+
+    @property
+    def num_pages(self) -> int:
+        return self.pages_per_block * self.num_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_pages * self.page_size
+
+    def block_of(self, page_no: int) -> int:
+        return page_no // self.pages_per_block
+
+    def page_index_in_block(self, page_no: int) -> int:
+        return page_no % self.pages_per_block
+
+    def first_page_of(self, block_no: int) -> int:
+        return block_no * self.pages_per_block
+
+
+class NandFlash:
+    """A simulated NAND flash chip with strict programming-order rules.
+
+    Pages hold arbitrary ``bytes`` up to ``geometry.page_size``. The chip
+    starts fully erased. All constraint violations raise
+    :class:`FlashViolation` so higher layers cannot accidentally rely on
+    behaviour real hardware forbids.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry | None = None,
+        cost_model: FlashCostModel | None = None,
+    ) -> None:
+        self.geometry = geometry or FlashGeometry()
+        self.cost_model = cost_model or FlashCostModel()
+        self.stats = FlashStats()
+        self._pages: list[bytes | None] = [_ERASED] * self.geometry.num_pages
+        # Next programmable page index inside each block (sequential rule).
+        self._write_cursor: list[int] = [0] * self.geometry.num_blocks
+        self._erase_counts: list[int] = [0] * self.geometry.num_blocks
+
+    # ------------------------------------------------------------------
+    # Raw page/block operations
+    # ------------------------------------------------------------------
+    def read_page(self, page_no: int) -> bytes:
+        """Read one page; erased pages read back as empty bytes."""
+        self._check_page(page_no)
+        self.stats.page_reads += 1
+        content = self._pages[page_no]
+        return b"" if content is _ERASED else content
+
+    def program_page(self, page_no: int, data: bytes) -> None:
+        """Program an erased page, respecting in-block sequential order."""
+        self._check_page(page_no)
+        if len(data) > self.geometry.page_size:
+            raise FlashViolation(
+                f"page data of {len(data)} B exceeds page size "
+                f"{self.geometry.page_size} B"
+            )
+        if self._pages[page_no] is not _ERASED:
+            raise FlashViolation(
+                f"page {page_no} already programmed; erase block "
+                f"{self.geometry.block_of(page_no)} first (no in-place rewrite)"
+            )
+        block = self.geometry.block_of(page_no)
+        expected = self._write_cursor[block]
+        actual = self.geometry.page_index_in_block(page_no)
+        if actual != expected:
+            raise FlashViolation(
+                f"block {block}: pages must be programmed sequentially; "
+                f"expected in-block index {expected}, got {actual}"
+            )
+        self._pages[page_no] = bytes(data)
+        self._write_cursor[block] = actual + 1
+        self.stats.page_programs += 1
+
+    def erase_block(self, block_no: int) -> None:
+        """Erase a whole block, resetting its write cursor."""
+        self._check_block(block_no)
+        start = self.geometry.first_page_of(block_no)
+        for page_no in range(start, start + self.geometry.pages_per_block):
+            self._pages[page_no] = _ERASED
+        self._write_cursor[block_no] = 0
+        self._erase_counts[block_no] += 1
+        self.stats.block_erases += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_erased(self, page_no: int) -> bool:
+        self._check_page(page_no)
+        return self._pages[page_no] is _ERASED
+
+    def next_free_page(self, block_no: int) -> int | None:
+        """In-block index of the next programmable page, or None if full."""
+        self._check_block(block_no)
+        cursor = self._write_cursor[block_no]
+        if cursor >= self.geometry.pages_per_block:
+            return None
+        return cursor
+
+    def erase_count(self, block_no: int) -> int:
+        """Wear counter: how many times ``block_no`` has been erased."""
+        self._check_block(block_no)
+        return self._erase_counts[block_no]
+
+    def total_time_us(self) -> float:
+        return self.stats.time_us(self.cost_model)
+
+    # ------------------------------------------------------------------
+    def _check_page(self, page_no: int) -> None:
+        if not 0 <= page_no < self.geometry.num_pages:
+            raise FlashViolation(
+                f"page {page_no} out of range [0, {self.geometry.num_pages})"
+            )
+
+    def _check_block(self, block_no: int) -> None:
+        if not 0 <= block_no < self.geometry.num_blocks:
+            raise FlashViolation(
+                f"block {block_no} out of range [0, {self.geometry.num_blocks})"
+            )
+
+
+class BlockAllocator:
+    """Wear-aware, block-granularity allocator over a :class:`NandFlash`.
+
+    The tutorial's log framework allocates and reclaims flash space on a
+    *block* basis precisely so partial garbage collection never happens; this
+    allocator is the embodiment of that rule. Freeing a block erases it
+    (paying the erase cost) and returns it to the free pool.
+
+    Allocation is **wear-levelled**: among free blocks, the least-erased one
+    is handed out first, so reorganization churn (allocate/drop cycles)
+    spreads erases across the chip instead of hammering a hot region —
+    NAND blocks endure a finite erase count, and log-structured designs
+    live or die by this.
+    """
+
+    def __init__(self, flash: NandFlash) -> None:
+        self.flash = flash
+        # Heap of (erase_count, block); counts are refreshed lazily on pop.
+        self._free: list[tuple[int, int]] = [
+            (0, block) for block in range(flash.geometry.num_blocks)
+        ]
+        heapq.heapify(self._free)
+        self._allocated: set[int] = set()
+
+    @property
+    def free_blocks(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_blocks(self) -> int:
+        return len(self._allocated)
+
+    def allocate(self) -> int:
+        """Pop the least-worn free (erased) block; raises when full."""
+        if not self._free:
+            raise FlashViolation("flash chip is full: no free blocks")
+        _, block = heapq.heappop(self._free)
+        self._allocated.add(block)
+        return block
+
+    def free(self, block_no: int) -> None:
+        """Erase and recycle a previously allocated block."""
+        if block_no not in self._allocated:
+            raise FlashViolation(f"block {block_no} is not allocated")
+        self._allocated.remove(block_no)
+        self.flash.erase_block(block_no)
+        heapq.heappush(self._free, (self.flash.erase_count(block_no), block_no))
+
+    def wear_spread(self) -> tuple[int, int]:
+        """(min, max) erase counts across the chip — the levelling metric."""
+        counts = [
+            self.flash.erase_count(block)
+            for block in range(self.flash.geometry.num_blocks)
+        ]
+        return min(counts), max(counts)

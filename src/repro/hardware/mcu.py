@@ -1,0 +1,96 @@
+"""Secure microcontroller model: CPU cycle accounting plus a crypto engine.
+
+The MCU is deliberately thin — data-management cost in the tutorial's setting
+is dominated by flash IO and bounded by RAM, so the MCU's job here is to
+(1) own the :class:`~repro.hardware.ram.RamArena`, (2) meter CPU work so
+protocol benchmarks can compare crypto-heavy and crypto-light designs, and
+(3) expose a small crypto-engine cost model (hardware AES/SHA blocks are
+standard on secure MCUs, so symmetric work is cheap relative to modular
+exponentiation, which is the asymmetry E6/E7 exhibit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.profiles import HardwareProfile
+from repro.hardware.ram import RamArena
+
+
+@dataclass(frozen=True)
+class CpuCostModel:
+    """Cycle charges for the operation classes the benchmarks distinguish."""
+
+    cycles_per_byte_copy: float = 1.0
+    cycles_per_compare: float = 4.0
+    cycles_per_hash_byte: float = 12.0        # hardware-assisted SHA-256
+    cycles_per_sym_byte: float = 10.0         # hardware-assisted AES/PRF
+    cycles_per_modexp_bit: float = 40_000.0   # software big-number modexp
+
+
+@dataclass
+class CpuStats:
+    """Cycle counters, split by operation class."""
+
+    copy_cycles: float = 0.0
+    compare_cycles: float = 0.0
+    hash_cycles: float = 0.0
+    symmetric_cycles: float = 0.0
+    modexp_cycles: float = 0.0
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.copy_cycles
+            + self.compare_cycles
+            + self.hash_cycles
+            + self.symmetric_cycles
+            + self.modexp_cycles
+        )
+
+
+class Microcontroller:
+    """A metered secure MCU with a RAM arena and a cycle budget.
+
+    All charges are *advisory accounting*: they never block execution, they
+    only accumulate so that experiments can report simulated time at the
+    profile's clock rate.
+    """
+
+    def __init__(
+        self,
+        profile: HardwareProfile,
+        cost_model: CpuCostModel | None = None,
+    ) -> None:
+        self.profile = profile
+        self.cost_model = cost_model or CpuCostModel()
+        self.ram = RamArena(profile.ram_bytes)
+        self.stats = CpuStats()
+
+    # ------------------------------------------------------------------
+    # Charging interface used by embedded algorithms and protocols
+    # ------------------------------------------------------------------
+    def charge_copy(self, num_bytes: int) -> None:
+        self.stats.copy_cycles += num_bytes * self.cost_model.cycles_per_byte_copy
+
+    def charge_compares(self, count: int) -> None:
+        self.stats.compare_cycles += count * self.cost_model.cycles_per_compare
+
+    def charge_hash(self, num_bytes: int) -> None:
+        self.stats.hash_cycles += num_bytes * self.cost_model.cycles_per_hash_byte
+
+    def charge_symmetric(self, num_bytes: int) -> None:
+        self.stats.symmetric_cycles += (
+            num_bytes * self.cost_model.cycles_per_sym_byte
+        )
+
+    def charge_modexp(self, modulus_bits: int, count: int = 1) -> None:
+        """Charge ``count`` modular exponentiations at ``modulus_bits``."""
+        self.stats.modexp_cycles += (
+            count * modulus_bits * self.cost_model.cycles_per_modexp_bit
+        )
+
+    # ------------------------------------------------------------------
+    def elapsed_us(self) -> float:
+        """Simulated CPU time at the profile's clock frequency."""
+        return self.stats.total_cycles / self.profile.cpu_mhz

@@ -1,0 +1,121 @@
+"""Byte-accounted RAM arena: the scarcest resource of a secure token.
+
+The microcontrollers targeted by the tutorial expose **less than 128 KB** of
+RAM, and every Part II algorithm is shaped by that bound (pipelined
+evaluation, one-page-per-keyword merges, summary scans). The simulator makes
+the bound *operational*: embedded algorithms must reserve their working
+buffers from a :class:`RamArena`, and reserving past the budget raises
+:class:`~repro.errors.RamBudgetExceeded` instead of silently spilling to an
+imaginary heap.
+
+The arena also records a high-water mark, which is the quantity the E2/E4
+benchmarks report ("RAM consumption of the pipelined plan stays flat while
+the baseline grows with the data").
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import RamBudgetExceeded
+
+
+@dataclass
+class _Allocation:
+    size: int
+    tag: str
+
+
+class RamArena:
+    """A bounded allocator that only tracks *sizes*, not actual memory.
+
+    Algorithms call :meth:`allocate` for each working buffer (sort areas,
+    page buffers, per-keyword merge heads, ...) and :meth:`free` when the
+    buffer's lifetime ends, typically via the :meth:`reservation` context
+    manager. Python's own object memory is irrelevant here — the arena models
+    what the *embedded* implementation would need on the MCU.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("RAM budget must be positive")
+        self.budget_bytes = budget_bytes
+        self._in_use = 0
+        self._high_water = 0
+        self._next_handle = 0
+        self._allocations: dict[int, _Allocation] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        """Bytes currently reserved."""
+        return self._in_use
+
+    @property
+    def high_water(self) -> int:
+        """Largest number of bytes ever simultaneously reserved."""
+        return self._high_water
+
+    @property
+    def available(self) -> int:
+        return self.budget_bytes - self._in_use
+
+    def allocate(self, size: int, tag: str = "") -> int:
+        """Reserve ``size`` bytes; returns an opaque handle for :meth:`free`."""
+        if size < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self._in_use + size > self.budget_bytes:
+            raise RamBudgetExceeded(
+                f"allocating {size} B ({tag or 'untagged'}) would use "
+                f"{self._in_use + size} B of a {self.budget_bytes} B budget"
+            )
+        handle = self._next_handle
+        self._next_handle += 1
+        self._allocations[handle] = _Allocation(size, tag)
+        self._in_use += size
+        self._high_water = max(self._high_water, self._in_use)
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release a reservation made by :meth:`allocate`."""
+        allocation = self._allocations.pop(handle, None)
+        if allocation is None:
+            raise KeyError(f"unknown or already-freed RAM handle {handle}")
+        self._in_use -= allocation.size
+
+    def resize(self, handle: int, new_size: int) -> None:
+        """Grow or shrink an existing reservation (e.g. a result buffer)."""
+        allocation = self._allocations.get(handle)
+        if allocation is None:
+            raise KeyError(f"unknown RAM handle {handle}")
+        grow = new_size - allocation.size
+        if grow > 0 and self._in_use + grow > self.budget_bytes:
+            raise RamBudgetExceeded(
+                f"resizing {allocation.tag or 'buffer'} to {new_size} B would "
+                f"use {self._in_use + grow} B of a {self.budget_bytes} B budget"
+            )
+        allocation.size = new_size
+        self._in_use += grow
+        self._high_water = max(self._high_water, self._in_use)
+
+    @contextmanager
+    def reservation(self, size: int, tag: str = "") -> Iterator[int]:
+        """Scope-bound reservation: freed automatically on exit."""
+        handle = self.allocate(size, tag)
+        try:
+            yield handle
+        finally:
+            self.free(handle)
+
+    def reset_high_water(self) -> None:
+        """Restart high-water tracking from the current usage level."""
+        self._high_water = self._in_use
+
+    def usage_by_tag(self) -> dict[str, int]:
+        """Current reserved bytes grouped by allocation tag (for reports)."""
+        by_tag: dict[str, int] = {}
+        for allocation in self._allocations.values():
+            by_tag[allocation.tag] = by_tag.get(allocation.tag, 0) + allocation.size
+        return by_tag

@@ -1,0 +1,88 @@
+"""Hierarchical (XML-like) documents flattened into path postings.
+
+The first item on Part II's extension list is **XML**. Personal data is
+full of tree-shaped records (administrative forms, medical reports,
+exported profiles); the log framework handles them by *flattening*: a
+document becomes a set of ``(path, value)`` pairs, where a path is the
+slash-joined chain of element names from the root, e.g.::
+
+    {"person": {"address": {"city": "lyon"}, "age": 34}}
+      ->  ("person/address/city", "lyon"), ("person/age", 34)
+
+Lists contribute one posting per element (XML's repeated elements). The
+flattening is the bridge between tree documents and the bucket-chained
+posting storage of :mod:`repro.hierarchical.store`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+
+#: Path component separator (element names must not contain it).
+SEP = "/"
+
+
+def flatten(document: dict) -> list[tuple[str, object]]:
+    """All ``(path, leaf value)`` pairs of a nested document, in order."""
+    if not isinstance(document, dict):
+        raise QueryError("a hierarchical document must be a dict at the root")
+    postings: list[tuple[str, object]] = []
+    _flatten_into(document, "", postings)
+    return postings
+
+
+def _flatten_into(node, prefix: str, postings: list) -> None:
+    if isinstance(node, dict):
+        for name in sorted(node):
+            if SEP in name:
+                raise QueryError(
+                    f"element name {name!r} must not contain {SEP!r}"
+                )
+            child_prefix = f"{prefix}{SEP}{name}" if prefix else name
+            _flatten_into(node[name], child_prefix, postings)
+    elif isinstance(node, list):
+        for element in node:
+            _flatten_into(element, prefix, postings)
+    elif isinstance(node, (str, int, float)) and not isinstance(node, bool):
+        postings.append((prefix, node))
+    elif node is None:
+        pass  # empty elements contribute nothing
+    else:
+        raise QueryError(
+            f"unsupported leaf type {type(node).__name__} at {prefix!r}"
+        )
+
+
+def path_matches(pattern: str, path: str) -> bool:
+    """XPath-flavoured matching against a concrete path.
+
+    Supported patterns:
+
+    * ``a/b/c``   — exact path;
+    * ``//c``     — any path *ending* with the suffix ``c`` (descendant
+      axis at the start);
+    * ``a//c``    — prefix ``a``, then anything, then suffix ``c``;
+    * ``*`` as a single component — matches exactly one element name.
+    """
+    if "//" in pattern:
+        head, _, tail = pattern.partition("//")
+        if head and not _components_match(
+            head.split(SEP), path.split(SEP)[: len(head.split(SEP))]
+        ):
+            return False
+        if not tail:
+            return True
+        tail_parts = tail.split(SEP)
+        path_parts = path.split(SEP)
+        if len(path_parts) < len(tail_parts):
+            return False
+        return _components_match(tail_parts, path_parts[-len(tail_parts):])
+    return _components_match(pattern.split(SEP), path.split(SEP))
+
+
+def _components_match(pattern_parts: list[str], path_parts: list[str]) -> bool:
+    if len(pattern_parts) != len(path_parts):
+        return False
+    return all(
+        want in ("*", got) for want, got in zip(pattern_parts, path_parts)
+    )

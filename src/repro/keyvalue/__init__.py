@@ -1,0 +1,9 @@
+"""Embedded key-value store (the tutorial's NoSQL extension).
+
+Put/delete as log appends, Bloom-summarized gets, log-only compaction —
+the framework's answer to SkimpyStash/SILT without their per-key RAM.
+"""
+
+from repro.keyvalue.kv import GetStats, LogKeyValueStore
+
+__all__ = ["GetStats", "LogKeyValueStore"]

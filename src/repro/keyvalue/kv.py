@@ -1,0 +1,270 @@
+"""Embedded key-value store: the NoSQL extension of the log framework.
+
+Part II's conclusion calls for extending the principles to *key-value
+stores*; the flash-aware KV literature it cites (SkimpyStash, SILT) needs
+RAM per key, which a token does not have. This store keeps the framework's
+rules instead:
+
+* **puts and deletes are appends** — a record ``(sequence, key, flags,
+  value)`` goes to the data log; deletes append a tombstone;
+* one **Bloom summary per data page** makes ``get`` a summary scan: probe
+  only candidate pages, keep the *latest* version found (sequence order);
+* **compaction** is the reorganization analogue: an external, log-only sort
+  by ``(key, sequence)`` keeps each key's newest live version, writes a
+  fresh store sequentially and lets the caller reclaim the old logs
+  block-wise.
+
+No per-key RAM anywhere; RAM is bounded by the compaction sort buffer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import struct
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.hardware.flash import BlockAllocator
+from repro.hardware.ram import RamArena
+from repro.storage import pager
+from repro.storage.bloom import BloomFilter
+from repro.storage.log import RecordLog
+
+_HEADER = struct.Struct("<IBH")  # sequence, flags, key length
+_POSITION = struct.Struct("<I")
+
+FLAG_TOMBSTONE = 0x01
+
+
+@dataclass(frozen=True)
+class _Entry:
+    sequence: int
+    key: bytes
+    value: bytes
+    tombstone: bool
+
+
+def _pack(entry: _Entry) -> bytes:
+    flags = FLAG_TOMBSTONE if entry.tombstone else 0
+    return (
+        _HEADER.pack(entry.sequence, flags, len(entry.key))
+        + entry.key
+        + entry.value
+    )
+
+
+def _unpack(record: bytes) -> _Entry:
+    sequence, flags, key_len = _HEADER.unpack_from(record, 0)
+    key = record[_HEADER.size : _HEADER.size + key_len]
+    value = record[_HEADER.size + key_len :]
+    return _Entry(sequence, key, value, bool(flags & FLAG_TOMBSTONE))
+
+
+@dataclass
+class GetStats:
+    """Page-read breakdown of one get (E13)."""
+
+    summary_pages: int = 0
+    data_pages: int = 0
+
+    @property
+    def total_pages(self) -> int:
+        return self.summary_pages + self.data_pages
+
+
+class LogKeyValueStore:
+    """Append-only KV store with Bloom-summarized pages."""
+
+    def __init__(
+        self,
+        allocator: BlockAllocator,
+        name: str = "kv",
+        bits_per_key: float = 12.0,
+        ram: RamArena | None = None,
+    ) -> None:
+        self.allocator = allocator
+        self.name = name
+        self.bits_per_key = bits_per_key
+        self.data = RecordLog(allocator, name=f"{name}:data", ram=ram)
+        self.summaries = RecordLog(allocator, name=f"{name}:bloom", ram=ram)
+        self.data.on_page_flush = self._summarize_page
+        self._sequence = 0
+        self._writes = 0
+        self.last_get = GetStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        """Total records appended (all versions + tombstones)."""
+        return self._writes
+
+    @property
+    def data_pages(self) -> int:
+        return self.data.page_count
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Write (a new version of) ``key``."""
+        self._append(key, value, tombstone=False)
+
+    def delete(self, key: bytes) -> None:
+        """Delete ``key`` (appends a tombstone)."""
+        self._append(key, b"", tombstone=True)
+
+    def _append(self, key: bytes, value: bytes, tombstone: bool) -> None:
+        if not key:
+            raise StorageError("empty keys are not allowed")
+        entry = _Entry(self._sequence, bytes(key), bytes(value), tombstone)
+        self.data.append(_pack(entry))
+        self._sequence += 1
+        self._writes += 1
+
+    def flush(self) -> None:
+        self.data.flush()
+        self.summaries.flush()
+
+    def _summarize_page(self, position: int, records: list[bytes]) -> None:
+        bloom = BloomFilter.from_keys(
+            [_unpack(record).key for record in records],
+            bits_per_key=self.bits_per_key,
+        )
+        self.summaries.append(_POSITION.pack(position) + bloom.serialize())
+
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> bytes | None:
+        """Latest value of ``key`` (None if absent or deleted)."""
+        stats = GetStats()
+        best: _Entry | None = None
+
+        candidates: list[int] = []
+        for page_records in self.summaries.scan_pages():
+            stats.summary_pages += 1
+            for record in page_records:
+                (position,) = _POSITION.unpack_from(record, 0)
+                bloom = BloomFilter.deserialize(record[_POSITION.size :])
+                if key in bloom:
+                    candidates.append(position)
+        for record in self.summaries.buffered_records():
+            (position,) = _POSITION.unpack_from(record, 0)
+            bloom = BloomFilter.deserialize(record[_POSITION.size :])
+            if key in bloom:
+                candidates.append(position)
+
+        for position in candidates:
+            stats.data_pages += 1
+            for record in pager.unpack_records(
+                self.data.pages.read_page(position)
+            ):
+                entry = _unpack(record)
+                if entry.key == key and (
+                    best is None or entry.sequence > best.sequence
+                ):
+                    best = entry
+        for record in self.data.buffered_records():
+            entry = _unpack(record)
+            if entry.key == key and (
+                best is None or entry.sequence > best.sequence
+            ):
+                best = entry
+
+        self.last_get = stats
+        if best is None or best.tombstone:
+            return None
+        return best.value
+
+    def items(self) -> dict[bytes, bytes]:
+        """Materialize the live state (test/debug helper; scans everything)."""
+        latest: dict[bytes, _Entry] = {}
+        for _, record in self.data.scan():
+            entry = _unpack(record)
+            current = latest.get(entry.key)
+            if current is None or entry.sequence > current.sequence:
+                latest[entry.key] = entry
+        return {
+            key: entry.value
+            for key, entry in latest.items()
+            if not entry.tombstone
+        }
+
+    # ------------------------------------------------------------------
+    def compact(
+        self,
+        ram: RamArena,
+        sort_buffer_bytes: int = 8 * 1024,
+        name: str | None = None,
+    ) -> "LogKeyValueStore":
+        """External-sort compaction into a fresh store (log-only).
+
+        Sorts all versions by ``(key, sequence)`` through bounded-RAM runs,
+        then streams the merge keeping only each key's newest non-tombstone
+        version. The caller should :meth:`drop` this store afterwards.
+        """
+        if sort_buffer_bytes <= 0:
+            raise StorageError("sort buffer must be positive")
+        self.flush()
+        runs: list[RecordLog] = []
+        buffer: list[tuple[bytes, int, bytes]] = []
+        used = 0
+        with ram.reservation(sort_buffer_bytes, tag=f"{self.name}:compact"):
+            for _, record in self.data.scan():
+                entry = _unpack(record)
+                size = len(record) + 16
+                if buffer and used + size > sort_buffer_bytes:
+                    runs.append(self._write_run(buffer, len(runs)))
+                    buffer, used = [], 0
+                buffer.append((entry.key, entry.sequence, record))
+                used += size
+            if buffer:
+                runs.append(self._write_run(buffer, len(runs)))
+
+        target = LogKeyValueStore(
+            self.allocator,
+            name=name or f"{self.name}:compacted",
+            bits_per_key=self.bits_per_key,
+        )
+        with ram.reservation(
+            max(1, len(runs)) * self.data.pages.page_size,
+            tag=f"{self.name}:compact-merge",
+        ):
+            pending: _Entry | None = None
+            streams = [
+                (
+                    (key, sequence, record)
+                    for _, raw in run.scan()
+                    for key, sequence, record in [
+                        (
+                            _unpack(raw).key,
+                            _unpack(raw).sequence,
+                            raw,
+                        )
+                    ]
+                )
+                for run in runs
+            ]
+            for key, sequence, record in heapq.merge(*streams):
+                entry = _unpack(record)
+                if pending is not None and pending.key != key:
+                    if not pending.tombstone:
+                        target.put(pending.key, pending.value)
+                    pending = None
+                # Ascending sequence within a key: the last one wins.
+                pending = entry
+            if pending is not None and not pending.tombstone:
+                target.put(pending.key, pending.value)
+        for run in runs:
+            run.drop()
+        target.flush()
+        return target
+
+    def _write_run(
+        self, buffer: list[tuple[bytes, int, bytes]], index: int
+    ) -> RecordLog:
+        run = RecordLog(self.allocator, name=f"{self.name}:run{index}")
+        for _, _, record in sorted(buffer, key=lambda item: (item[0], item[1])):
+            run.append(record)
+        run.flush()
+        return run
+
+    def drop(self) -> None:
+        """Reclaim every block of this store."""
+        self.data.drop()
+        self.summaries.drop()

@@ -1,0 +1,22 @@
+"""Executing SQL over encrypted outsourced data (the [HILM02] foundation).
+
+One owner, one untrusted provider: bucketized indexes over ciphertext rows,
+range queries answered as supersets and post-filtered client-side — the
+mechanism Part III's histogram protocol family generalizes to populations.
+"""
+
+from repro.outsourced.hacigumus import (
+    OutsourcedDatabase,
+    OutsourcedServer,
+    QueryCost,
+    RangeBucketMap,
+    ServerObservations,
+)
+
+__all__ = [
+    "OutsourcedDatabase",
+    "OutsourcedServer",
+    "QueryCost",
+    "RangeBucketMap",
+    "ServerObservations",
+]

@@ -1,0 +1,181 @@
+"""Executing SQL over encrypted outsourced data ([HILM02]/[HIM04]).
+
+Part III credits Hacigümüş et al. for the bucketization idea the
+histogram protocol family builds on. The original setting is simpler than
+the PDS fleet — **one** owner outsources her encrypted database to an
+untrusted service provider — and is worth having in full because its
+trade-off curve (bucket count vs false-positive work vs leak) is the
+mechanism the tutorial imports:
+
+* the client keeps the keys and a **bucket map**: the domain of each
+  indexable attribute is cut into ranges, each with an opaque bucket id;
+* the server stores ``(bucket ids..., ciphertext row)`` and can filter *by
+  bucket only* — it never sees values or true predicates;
+* a client query maps its predicate to bucket ids, the server returns every
+  row in those buckets (supersets!), and the client decrypts and
+  post-filters the false positives.
+
+Fewer buckets = flatter leak but more false-positive transfer and client
+decryption; more buckets = sharper queries but a finer histogram for the
+server to analyse. E18 plots exactly this.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from bisect import bisect_right
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.crypto.symmetric import NondeterministicCipher
+from repro.errors import QueryError
+
+
+class RangeBucketMap:
+    """Client-side secret mapping: attribute value -> opaque bucket id.
+
+    Boundaries cut the numeric domain into ``num_buckets`` ranges; ids are
+    randomly permuted so the server cannot order buckets.
+    """
+
+    def __init__(
+        self,
+        low: int,
+        high: int,
+        num_buckets: int,
+        rng: random.Random,
+    ) -> None:
+        if high <= low:
+            raise QueryError("domain must be a non-empty range")
+        if not 1 <= num_buckets <= high - low:
+            raise QueryError("bucket count must be in [1, domain size]")
+        span = (high - low) / num_buckets
+        self.low = low
+        self.high = high
+        #: Right boundaries of each bucket (last covers up to ``high``).
+        self.boundaries = [
+            low + int(span * (index + 1)) for index in range(num_buckets - 1)
+        ]
+        identities = list(range(num_buckets))
+        rng.shuffle(identities)
+        self._ids = identities  # position -> opaque id
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._ids)
+
+    def bucket_of(self, value: int) -> int:
+        if not self.low <= value <= self.high:
+            raise QueryError(f"value {value} outside domain")
+        return self._ids[bisect_right(self.boundaries, value)]
+
+    def buckets_for_range(self, low: int, high: int) -> list[int]:
+        """Every bucket id overlapping ``[low, high]``."""
+        if low > high:
+            raise QueryError("empty range")
+        low = max(low, self.low)
+        high = min(high, self.high)
+        first = bisect_right(self.boundaries, low)
+        last = bisect_right(self.boundaries, high)
+        return sorted(self._ids[position] for position in range(first, last + 1))
+
+
+@dataclass
+class ServerObservations:
+    """What the untrusted provider can write down."""
+
+    bucket_histogram: Counter = field(default_factory=Counter)
+    queried_buckets: list[tuple[int, ...]] = field(default_factory=list)
+    rows_returned: int = 0
+
+
+class OutsourcedServer:
+    """The provider: stores ciphertext rows under bucket ids."""
+
+    def __init__(self) -> None:
+        self._rows: list[tuple[dict[str, int], bytes]] = []
+        self.observations = ServerObservations()
+
+    def insert(self, bucket_ids: dict[str, int], blob: bytes) -> None:
+        self._rows.append((dict(bucket_ids), blob))
+        for attribute, bucket in bucket_ids.items():
+            self.observations.bucket_histogram[(attribute, bucket)] += 1
+
+    def select(self, attribute: str, buckets: list[int]) -> list[bytes]:
+        """Rows whose ``attribute`` bucket is in ``buckets`` (superset!)."""
+        self.observations.queried_buckets.append(tuple(buckets))
+        wanted = set(buckets)
+        hits = [
+            blob
+            for bucket_ids, blob in self._rows
+            if bucket_ids.get(attribute) in wanted
+        ]
+        self.observations.rows_returned += len(hits)
+        return hits
+
+
+@dataclass
+class QueryCost:
+    """Client-visible cost of one range query."""
+
+    rows_transferred: int
+    rows_matching: int
+
+    @property
+    def false_positive_ratio(self) -> float:
+        if self.rows_transferred == 0:
+            return 0.0
+        return 1.0 - self.rows_matching / self.rows_transferred
+
+
+class OutsourcedDatabase:
+    """The client: keys + bucket maps; the server: everything else."""
+
+    def __init__(
+        self,
+        key: bytes,
+        bucket_maps: dict[str, RangeBucketMap],
+        rng: random.Random | None = None,
+    ) -> None:
+        if not bucket_maps:
+            raise QueryError("need at least one bucketized attribute")
+        self._cipher = NondeterministicCipher(key, rng=rng or random.Random())
+        self.bucket_maps = bucket_maps
+        self.server = OutsourcedServer()
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return self._count
+
+    def insert(self, row: dict) -> None:
+        """Encrypt and ship one row; the server sees bucket ids only."""
+        bucket_ids = {}
+        for attribute, bucket_map in self.bucket_maps.items():
+            if attribute not in row:
+                raise QueryError(f"row lacks bucketized attribute {attribute!r}")
+            bucket_ids[attribute] = bucket_map.bucket_of(row[attribute])
+        blob = self._cipher.encrypt(json.dumps(row).encode("utf-8"))
+        self.server.insert(bucket_ids, blob)
+        self._count += 1
+
+    def range_query(
+        self, attribute: str, low: int, high: int
+    ) -> tuple[list[dict], QueryCost]:
+        """``low <= attribute <= high``: server narrows, client filters."""
+        bucket_map = self.bucket_maps.get(attribute)
+        if bucket_map is None:
+            raise QueryError(f"attribute {attribute!r} is not bucketized")
+        buckets = bucket_map.buckets_for_range(low, high)
+        candidates = self.server.select(attribute, buckets)
+        rows = []
+        for blob in candidates:
+            row = json.loads(self._cipher.decrypt(blob))
+            if low <= row[attribute] <= high:
+                rows.append(row)
+        cost = QueryCost(
+            rows_transferred=len(candidates), rows_matching=len(rows)
+        )
+        return rows, cost

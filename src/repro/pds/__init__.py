@@ -1,0 +1,76 @@
+"""The Personal Data Server core (Part I).
+
+One citizen's trusted data home: heterogeneous document aggregation, simple
+user-defined access rules, a hash-chained audit trail, secure sharing with
+credential proofs and travelling usage policies, and disconnected
+(smart-badge) synchronization with an encrypted central archive.
+"""
+
+from repro.pds.acl import (
+    ACTIONS,
+    ANY,
+    AccessRule,
+    PrivacyPolicy,
+    Subject,
+    default_policy,
+)
+from repro.pds.audit import AuditEntry, AuditLog
+from repro.pds.importers import (
+    ImportReport,
+    federate,
+    import_bank_csv,
+    import_mbox,
+    import_meter_csv,
+)
+from repro.pds.datamodel import (
+    KINDS,
+    PersonalDocument,
+    bill,
+    energy_reading,
+    medical_note,
+)
+from repro.pds.population import PdsPopulation, documents_from_records
+from repro.pds.server import PersonalDataServer
+from repro.pds.sharing import (
+    CertificationAuthority,
+    Credential,
+    ShareReader,
+    SharingEnvelope,
+    UsagePolicy,
+    create_share,
+)
+from repro.pds.sync import ReplicaState, SmartBadge, StampedDocument, badge_sync
+
+__all__ = [
+    "ACTIONS",
+    "ANY",
+    "AccessRule",
+    "AuditEntry",
+    "AuditLog",
+    "CertificationAuthority",
+    "Credential",
+    "KINDS",
+    "PdsPopulation",
+    "PersonalDataServer",
+    "PersonalDocument",
+    "PrivacyPolicy",
+    "ReplicaState",
+    "ShareReader",
+    "SharingEnvelope",
+    "SmartBadge",
+    "StampedDocument",
+    "Subject",
+    "UsagePolicy",
+    "ImportReport",
+    "badge_sync",
+    "bill",
+    "federate",
+    "import_bank_csv",
+    "import_mbox",
+    "import_meter_csv",
+    "create_share",
+    "default_policy",
+    "documents_from_records",
+    "energy_reading",
+    "medical_note",
+]

@@ -1,0 +1,107 @@
+"""Access control: intuitive, user-defined rules over personal documents.
+
+Part I asks for *"intuitive, simple ways for users to define access control
+rules"*. The model here: subjects (people or applications) carry a **role**;
+rules grant or deny an **action** (read / search / aggregate / share) on
+documents selected by **kind**; first matching rule wins, default is deny.
+The owner always has every right on her own PDS — with one deliberate
+exception mirroring the tutorial's observation that *"a user does not have
+all the privileges over the data in her PDS"*: documents whose source set a
+``sealed`` attribute (e.g. a doctor's raw notes) refuse even owner reads
+while still participating in searches and aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AccessDenied
+from repro.pds.datamodel import PersonalDocument
+
+ACTIONS = ("read", "search", "aggregate", "share")
+
+#: Wildcard used in rules to match any kind or any subject.
+ANY = "*"
+
+
+@dataclass(frozen=True)
+class Subject:
+    """Someone (or something) asking the PDS for data."""
+
+    name: str
+    role: str  # e.g. 'owner', 'doctor', 'family', 'app', 'querier'
+
+
+@dataclass(frozen=True)
+class AccessRule:
+    """Grant or deny ``action`` on documents of ``kind`` to ``role``."""
+
+    role: str
+    action: str
+    kind: str = ANY
+    allow: bool = True
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS and self.action != ANY:
+            raise ValueError(
+                f"unknown action {self.action!r}; expected one of {ACTIONS}"
+            )
+
+    def matches(self, subject: Subject, action: str, kind: str) -> bool:
+        return (
+            self.role in (ANY, subject.role)
+            and self.action in (ANY, action)
+            and self.kind in (ANY, kind)
+        )
+
+
+class PrivacyPolicy:
+    """An ordered rule list with deny-by-default semantics."""
+
+    def __init__(self, rules: list[AccessRule] | None = None) -> None:
+        self.rules: list[AccessRule] = list(rules or [])
+
+    def add(self, rule: AccessRule) -> None:
+        self.rules.append(rule)
+
+    def allows(
+        self, subject: Subject, action: str, document: PersonalDocument
+    ) -> bool:
+        """First-match evaluation; owner override; sealed-document override."""
+        if document.attributes.get("sealed") and action == "read":
+            # Not even the owner reads sealed content in the clear.
+            return False
+        if subject.role == "owner":
+            return True
+        for rule in self.rules:
+            if rule.matches(subject, action, document.kind):
+                return rule.allow
+        return False
+
+    def check(
+        self, subject: Subject, action: str, document: PersonalDocument
+    ) -> None:
+        """Raise :class:`AccessDenied` when the policy rejects the access."""
+        if not self.allows(subject, action, document):
+            raise AccessDenied(
+                f"{subject.role} {subject.name!r} may not {action} "
+                f"{document.kind!r} document {document.doc_id}"
+            )
+
+
+def default_policy() -> PrivacyPolicy:
+    """A sensible starter policy the examples build on.
+
+    Doctors read/search medical data; family searches photos and mails;
+    certified global queriers may aggregate (never read) anything; sharing
+    is owner-only (no rule — deny).
+    """
+    return PrivacyPolicy(
+        [
+            AccessRule(role="doctor", action="read", kind="medical"),
+            AccessRule(role="doctor", action="search", kind="medical"),
+            AccessRule(role="family", action="search", kind="photo"),
+            AccessRule(role="family", action="search", kind="email"),
+            AccessRule(role="querier", action="aggregate", kind=ANY),
+        ]
+    )

@@ -1,0 +1,85 @@
+"""Personal data model: the heterogeneous content a PDS aggregates.
+
+Part I's "Secure storage with a Personal Data Server" slide: a PDS gathers
+*everything* about a person — mails, bills, medical records, clickstreams,
+administrative forms — in one place. :class:`PersonalDocument` is the common
+envelope: a kind, structured attributes, free text, provenance. Bridges
+exist to the Part II search engine (text) and to Part III's global queries
+(flat attribute records).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.workloads.people import PersonRecord
+
+#: Well-known document kinds (free-form strings are allowed too).
+KINDS = (
+    "email",
+    "bill",
+    "medical",
+    "photo",
+    "form",
+    "energy",
+    "profile",
+    "social",
+)
+
+_doc_counter = itertools.count(1)
+
+
+@dataclass
+class PersonalDocument:
+    """One item of personal data inside a PDS."""
+
+    kind: str
+    text: str = ""
+    attributes: dict = field(default_factory=dict)
+    source: str = "self"
+    timestamp: int = 0
+    doc_id: int = field(default_factory=lambda: next(_doc_counter))
+
+    def to_record(self) -> PersonRecord:
+        """Flatten for global aggregate queries (kind + attributes)."""
+        flat = dict(self.attributes)
+        flat["kind"] = self.kind
+        return PersonRecord(flat)
+
+    def searchable_text(self) -> str:
+        """Text handed to the embedded search engine."""
+        attribute_text = " ".join(
+            str(value) for value in self.attributes.values()
+        )
+        return f"{self.kind} {self.text} {attribute_text}".strip()
+
+
+def medical_note(text: str, diagnosis: str, timestamp: int = 0) -> PersonalDocument:
+    """Convenience constructor used by examples and tests."""
+    return PersonalDocument(
+        kind="medical",
+        text=text,
+        attributes={"diagnosis": diagnosis},
+        source="doctor",
+        timestamp=timestamp,
+    )
+
+
+def energy_reading(kwh: int, month: int, timestamp: int = 0) -> PersonalDocument:
+    return PersonalDocument(
+        kind="energy",
+        attributes={"kwh": kwh, "month": month},
+        source="smart-meter",
+        timestamp=timestamp,
+    )
+
+
+def bill(text: str, amount: float, vendor: str, timestamp: int = 0) -> PersonalDocument:
+    return PersonalDocument(
+        kind="bill",
+        text=text,
+        attributes={"amount": amount, "vendor": vendor},
+        source=vendor,
+        timestamp=timestamp,
+    )

@@ -1,0 +1,172 @@
+"""Source importers: federating a person's data into the PDS.
+
+Part I's storage requirements include *data integration/aggregation*:
+"aggregate user's data in a single location... personal data is
+heterogeneous" and the reviewed Locker Project "federates data from
+different sources". These importers turn the common export formats a
+citizen can actually obtain — a mail spool, a bank CSV, a smart-meter CSV —
+into :class:`PersonalDocument` batches ready for ingestion.
+
+Parsers are deliberately forgiving (exports in the wild are messy) but
+never silent: unparseable lines are returned so the user sees what was
+skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.pds.datamodel import PersonalDocument
+
+
+class ImportError_(ReproError):
+    """An importer could not make sense of its input at all."""
+
+
+@dataclass
+class ImportReport:
+    """Outcome of one import run."""
+
+    documents: list[PersonalDocument] = field(default_factory=list)
+    skipped_lines: list[str] = field(default_factory=list)
+
+    @property
+    def imported(self) -> int:
+        return len(self.documents)
+
+
+# ----------------------------------------------------------------------
+# Mail spool (mbox-flavoured)
+# ----------------------------------------------------------------------
+def import_mbox(text: str) -> ImportReport:
+    """Parse an mbox-style mail spool into ``email`` documents.
+
+    Messages start at ``From `` separator lines; ``Subject:``/``From:``
+    headers become attributes, everything after the first blank line is the
+    body.
+    """
+    report = ImportReport()
+    messages: list[list[str]] = []
+    current: list[str] | None = None
+    for line in text.splitlines():
+        if line.startswith("From "):
+            current = []
+            messages.append(current)
+        elif current is not None:
+            current.append(line)
+        elif line.strip():
+            report.skipped_lines.append(line)
+    for lines in messages:
+        headers: dict[str, str] = {}
+        body_start = len(lines)
+        for index, line in enumerate(lines):
+            if not line.strip():
+                body_start = index + 1
+                break
+            name, _, value = line.partition(":")
+            if value:
+                headers[name.strip().lower()] = value.strip()
+        body = "\n".join(lines[body_start:]).strip()
+        report.documents.append(
+            PersonalDocument(
+                kind="email",
+                text=f"{headers.get('subject', '')} {body}".strip(),
+                attributes={
+                    "from": headers.get("from", "unknown"),
+                    "subject": headers.get("subject", ""),
+                },
+                source="mailbox",
+            )
+        )
+    if not messages and text.strip():
+        raise ImportError_("input does not look like an mbox spool")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Bank statement CSV: date,label,amount
+# ----------------------------------------------------------------------
+def import_bank_csv(text: str) -> ImportReport:
+    """Parse ``date,label,amount`` lines into ``bill`` documents."""
+    report = ImportReport()
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.lower().startswith("date,"):
+            continue
+        parts = [part.strip() for part in stripped.split(",")]
+        if len(parts) != 3:
+            report.skipped_lines.append(line)
+            continue
+        date, label, amount_text = parts
+        try:
+            amount = float(amount_text)
+        except ValueError:
+            report.skipped_lines.append(line)
+            continue
+        report.documents.append(
+            PersonalDocument(
+                kind="bill",
+                text=label,
+                attributes={"date": date, "amount": amount, "vendor": label},
+                source="bank",
+            )
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Smart-meter CSV: month,kwh
+# ----------------------------------------------------------------------
+def import_meter_csv(text: str) -> ImportReport:
+    """Parse ``month,kwh`` readings into ``energy`` documents."""
+    report = ImportReport()
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.lower().startswith("month,"):
+            continue
+        parts = [part.strip() for part in stripped.split(",")]
+        if len(parts) != 2:
+            report.skipped_lines.append(line)
+            continue
+        try:
+            month = int(parts[0])
+            kwh = int(float(parts[1]))
+        except ValueError:
+            report.skipped_lines.append(line)
+            continue
+        report.documents.append(
+            PersonalDocument(
+                kind="energy",
+                attributes={"month": month, "kwh": kwh},
+                source="smart-meter",
+            )
+        )
+    return report
+
+
+IMPORTERS = {
+    "mbox": import_mbox,
+    "bank-csv": import_bank_csv,
+    "meter-csv": import_meter_csv,
+}
+
+
+def federate(pds, sources: dict[str, str]) -> dict[str, ImportReport]:
+    """Import several ``{format: payload}`` sources into one PDS.
+
+    Returns the per-source reports; all successfully parsed documents are
+    ingested (stored + indexed) in one pass.
+    """
+    reports: dict[str, ImportReport] = {}
+    for source_format, payload in sources.items():
+        importer = IMPORTERS.get(source_format)
+        if importer is None:
+            raise ImportError_(
+                f"unknown source format {source_format!r}; "
+                f"known: {sorted(IMPORTERS)}"
+            )
+        report = importer(payload)
+        pds.ingest_all(report.documents)
+        reports[source_format] = report
+    return reports

@@ -1,0 +1,158 @@
+"""The Personal Data Server: everything of Part I on one secure token.
+
+A :class:`PersonalDataServer` aggregates its owner's heterogeneous documents
+(data integration), stores them in sequential flash logs, indexes them with
+the Part II embedded search engine, guards every access with the owner's
+:class:`~repro.pds.acl.PrivacyPolicy`, and journals every decision in the
+hash-chained :class:`~repro.pds.audit.AuditLog`. For Part III it exposes its
+(policy-filtered) records to global aggregate queries.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import AccessDenied
+from repro.hardware.profiles import HardwareProfile
+from repro.hardware.token import SecurePortableToken
+from repro.pds.acl import PrivacyPolicy, Subject, default_policy
+from repro.pds.audit import AuditLog
+from repro.pds.datamodel import PersonalDocument
+from repro.search.engine import EmbeddedSearchEngine, SearchHit
+from repro.storage.log import RecordLog
+from repro.workloads.people import PersonRecord
+
+
+def _serialize_document(document: PersonalDocument) -> bytes:
+    return json.dumps(
+        [
+            document.doc_id,
+            document.kind,
+            document.text,
+            document.attributes,
+            document.source,
+            document.timestamp,
+        ]
+    ).encode()
+
+
+def _deserialize_document(data: bytes) -> PersonalDocument:
+    doc_id, kind, text, attributes, source, timestamp = json.loads(data)
+    return PersonalDocument(
+        kind=kind,
+        text=text,
+        attributes=attributes,
+        source=source,
+        timestamp=timestamp,
+        doc_id=doc_id,
+    )
+
+
+class PersonalDataServer:
+    """One citizen's trusted data home."""
+
+    def __init__(
+        self,
+        owner: str,
+        profile: HardwareProfile | None = None,
+        policy: PrivacyPolicy | None = None,
+        search_buckets: int = 32,
+    ) -> None:
+        self.token = SecurePortableToken(profile=profile, owner=owner)
+        self.owner = Subject(name=owner, role="owner")
+        self.policy = policy or default_policy()
+        self.audit = AuditLog(self.token.allocator)
+        self._documents = RecordLog(self.token.allocator, name="documents")
+        self._by_id: dict[int, int] = {}  # doc_id -> search docid
+        self._search_to_doc: dict[int, int] = {}  # search docid -> doc_id
+        self._store: dict[int, PersonalDocument] = {}  # RAM cache of the log
+        self.search_engine = EmbeddedSearchEngine(
+            self.token, num_buckets=search_buckets
+        )
+
+    # ------------------------------------------------------------------
+    # Ingestion (data integration / aggregation)
+    # ------------------------------------------------------------------
+    def ingest(self, document: PersonalDocument) -> int:
+        """Store + index one document; returns its doc_id."""
+        self.token.require_trusted()
+        self._documents.append(_serialize_document(document))
+        search_docid = self.search_engine.add_document(
+            document.searchable_text()
+        )
+        self._by_id[document.doc_id] = search_docid
+        self._search_to_doc[search_docid] = document.doc_id
+        self._store[document.doc_id] = document
+        return document.doc_id
+
+    def ingest_all(self, documents: list[PersonalDocument]) -> list[int]:
+        return [self.ingest(document) for document in documents]
+
+    @property
+    def document_count(self) -> int:
+        return len(self._store)
+
+    # ------------------------------------------------------------------
+    # Guarded access
+    # ------------------------------------------------------------------
+    def read(self, subject: Subject, doc_id: int) -> PersonalDocument:
+        """Fetch one document, policy-checked and audited."""
+        document = self._require_document(doc_id)
+        allowed = self.policy.allows(subject, "read", document)
+        self.audit.record(
+            subject.name, subject.role, "read", f"doc:{doc_id}", allowed
+        )
+        if not allowed:
+            raise AccessDenied(
+                f"{subject.role} {subject.name!r} may not read document {doc_id}"
+            )
+        return document
+
+    def search(
+        self, subject: Subject, query: str, n: int = 10
+    ) -> list[tuple[SearchHit, PersonalDocument]]:
+        """Keyword search over the documents the subject may search."""
+        hits = self.search_engine.search(query, n=n * 3)
+        visible = []
+        for hit in hits:
+            document = self._document_for_search_docid(hit.docid)
+            if document is None:
+                continue
+            if self.policy.allows(subject, "search", document):
+                visible.append((hit, document))
+            if len(visible) == n:
+                break
+        self.audit.record(
+            subject.name, subject.role, "search", f"query:{query}", True
+        )
+        return visible
+
+    def records_for_aggregation(self, subject: Subject) -> list[PersonRecord]:
+        """Policy-filtered flat records contributed to a global query."""
+        records = []
+        for document in self._store.values():
+            if self.policy.allows(subject, "aggregate", document):
+                records.append(document.to_record())
+        self.audit.record(
+            subject.name,
+            subject.role,
+            "aggregate",
+            f"records:{len(records)}",
+            True,
+        )
+        return records
+
+    def documents_of_kind(self, kind: str) -> list[PersonalDocument]:
+        """Owner-side enumeration (no policy check: owner context)."""
+        return [doc for doc in self._store.values() if doc.kind == kind]
+
+    # ------------------------------------------------------------------
+    def _require_document(self, doc_id: int) -> PersonalDocument:
+        document = self._store.get(doc_id)
+        if document is None:
+            raise KeyError(f"no document {doc_id} in this PDS")
+        return document
+
+    def _document_for_search_docid(self, search_docid: int):
+        doc_id = self._search_to_doc.get(search_docid)
+        return None if doc_id is None else self._store[doc_id]

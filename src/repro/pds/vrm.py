@@ -1,0 +1,184 @@
+"""Vendor Relationship Management: the customer sets the terms.
+
+Part I reviews VRM (projectvrm.org) and the infomediary movement: tools
+that give the customer *"independence from vendors and a way to engage"*,
+letting her *"specify her own terms of service"* and *"gather, examine and
+control the use of her own data"* — and, per the infomediary pitch, monetize
+it. This module is that engagement loop on top of the PDS:
+
+* the owner writes :class:`Terms` per document kind — allowed purposes,
+  maximum retention, a price, and whether only anonymized/aggregated forms
+  may leave;
+* a vendor submits a :class:`DataRequest`;
+* the :class:`VrmAgent` evaluates the request against the terms (the
+  *user's* terms, not the vendor's click-wrap), audits the decision on the
+  PDS, releases only what was granted, and accounts the owner's revenue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AccessDenied
+from repro.pds.datamodel import PersonalDocument
+from repro.pds.server import PersonalDataServer
+
+
+@dataclass(frozen=True)
+class KindTerms:
+    """The owner's conditions for releasing one kind of data."""
+
+    purposes: frozenset[str]
+    max_retention_days: int
+    price_per_document: float
+    anonymized_only: bool = False
+
+
+class Terms:
+    """The owner's complete terms of service (deny by default)."""
+
+    def __init__(self) -> None:
+        self._by_kind: dict[str, KindTerms] = {}
+
+    def allow(
+        self,
+        kind: str,
+        purposes: list[str],
+        max_retention_days: int,
+        price_per_document: float,
+        anonymized_only: bool = False,
+    ) -> None:
+        if max_retention_days < 0 or price_per_document < 0:
+            raise ValueError("retention and price must be non-negative")
+        self._by_kind[kind] = KindTerms(
+            purposes=frozenset(purposes),
+            max_retention_days=max_retention_days,
+            price_per_document=price_per_document,
+            anonymized_only=anonymized_only,
+        )
+
+    def for_kind(self, kind: str) -> KindTerms | None:
+        return self._by_kind.get(kind)
+
+    def kinds(self) -> list[str]:
+        return sorted(self._by_kind)
+
+
+@dataclass(frozen=True)
+class DataRequest:
+    """What a vendor asks for."""
+
+    vendor: str
+    kinds: tuple[str, ...]
+    purpose: str
+    retention_days: int
+    offered_price_per_document: float
+    accepts_anonymized: bool = False
+
+
+@dataclass
+class Decision:
+    """The agent's verdict on one request."""
+
+    vendor: str
+    granted_kinds: list[str] = field(default_factory=list)
+    refused: dict[str, str] = field(default_factory=dict)  # kind -> reason
+    anonymize_kinds: list[str] = field(default_factory=list)
+    price_per_document: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def any_granted(self) -> bool:
+        return bool(self.granted_kinds)
+
+
+def evaluate(terms: Terms, request: DataRequest) -> Decision:
+    """Match a vendor request against the owner's terms, kind by kind."""
+    decision = Decision(vendor=request.vendor)
+    for kind in request.kinds:
+        kind_terms = terms.for_kind(kind)
+        if kind_terms is None:
+            decision.refused[kind] = "kind not offered under any terms"
+            continue
+        if request.purpose not in kind_terms.purposes:
+            decision.refused[kind] = (
+                f"purpose {request.purpose!r} not in allowed "
+                f"{sorted(kind_terms.purposes)}"
+            )
+            continue
+        if request.retention_days > kind_terms.max_retention_days:
+            decision.refused[kind] = (
+                f"retention {request.retention_days}d exceeds "
+                f"{kind_terms.max_retention_days}d"
+            )
+            continue
+        if request.offered_price_per_document < kind_terms.price_per_document:
+            decision.refused[kind] = (
+                f"offer {request.offered_price_per_document} below asking "
+                f"price {kind_terms.price_per_document}"
+            )
+            continue
+        if kind_terms.anonymized_only and not request.accepts_anonymized:
+            decision.refused[kind] = "only anonymized release is offered"
+            continue
+        decision.granted_kinds.append(kind)
+        decision.price_per_document[kind] = kind_terms.price_per_document
+        if kind_terms.anonymized_only:
+            decision.anonymize_kinds.append(kind)
+    return decision
+
+
+@dataclass
+class Release:
+    """What actually left the PDS for one granted request."""
+
+    vendor: str
+    documents: list[PersonalDocument]
+    anonymized_counts: dict[str, int]
+    revenue: float
+
+
+class VrmAgent:
+    """The fourth party that works for the *user* (the VRM principle)."""
+
+    def __init__(self, pds: PersonalDataServer, terms: Terms) -> None:
+        self.pds = pds
+        self.terms = terms
+        self.total_revenue = 0.0
+        self.releases: list[Release] = []
+
+    def handle(self, request: DataRequest) -> Release:
+        """Evaluate, audit, and serve (only) the granted parts of a request."""
+        decision = evaluate(self.terms, request)
+        self.pds.audit.record(
+            request.vendor,
+            "vendor",
+            "share",
+            f"vrm:{request.purpose}:granted={decision.granted_kinds}"
+            f":refused={sorted(decision.refused)}",
+            decision.any_granted,
+        )
+        if not decision.any_granted:
+            raise AccessDenied(
+                f"request by {request.vendor!r} refused entirely: "
+                f"{decision.refused}"
+            )
+        documents: list[PersonalDocument] = []
+        anonymized_counts: dict[str, int] = {}
+        revenue = 0.0
+        for kind in decision.granted_kinds:
+            matching = self.pds.documents_of_kind(kind)
+            revenue += decision.price_per_document[kind] * len(matching)
+            if kind in decision.anonymize_kinds:
+                # Only the count leaves: the aggregate form of release.
+                anonymized_counts[kind] = len(matching)
+            else:
+                documents.extend(matching)
+        release = Release(
+            vendor=request.vendor,
+            documents=documents,
+            anonymized_counts=anonymized_counts,
+            revenue=revenue,
+        )
+        self.total_revenue += revenue
+        self.releases.append(release)
+        return release

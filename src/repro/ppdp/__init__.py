@@ -1,0 +1,51 @@
+"""Privacy-preserving data publishing through the PDS architecture.
+
+k-anonymity/l-diversity with generalization hierarchies, computed both by a
+trusted curator (baseline) and by the Part III token protocols without any
+curator seeing microdata (MetaP-flavoured) — plus the standard information-
+loss metrics.
+"""
+
+from repro.ppdp.generalize import (
+    Hierarchy,
+    QuasiIdentifier,
+    RangeHierarchy,
+    TreeHierarchy,
+    age_hierarchy,
+    city_hierarchy,
+    generalize_record,
+    lattice_levels,
+)
+from repro.ppdp.kanon import (
+    AnonymizationResult,
+    anonymize_centralized,
+    anonymize_with_tokens,
+    equivalence_classes,
+    is_k_anonymous,
+    l_diversity,
+)
+from repro.ppdp.metrics import (
+    average_class_ratio,
+    discernibility,
+    generalization_height,
+)
+
+__all__ = [
+    "AnonymizationResult",
+    "Hierarchy",
+    "QuasiIdentifier",
+    "RangeHierarchy",
+    "TreeHierarchy",
+    "age_hierarchy",
+    "anonymize_centralized",
+    "anonymize_with_tokens",
+    "average_class_ratio",
+    "city_hierarchy",
+    "discernibility",
+    "equivalence_classes",
+    "generalization_height",
+    "generalize_record",
+    "is_k_anonymous",
+    "l_diversity",
+    "lattice_levels",
+]

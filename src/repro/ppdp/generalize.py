@@ -1,0 +1,126 @@
+"""Generalization hierarchies for anonymous data publishing.
+
+PPDP's basic move: replace quasi-identifier values with coarser ones along a
+per-attribute hierarchy (age 37 → 35-39 → 30-49 → '*'). A *global recoding*
+picks one level per attribute; the anonymization search walks the lattice of
+level vectors from most precise to most general.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+
+class Hierarchy:
+    """One attribute's generalization ladder. Level 0 = exact value."""
+
+    def __init__(self, name: str, num_levels: int) -> None:
+        self.name = name
+        self.num_levels = num_levels
+
+    def generalize(self, value, level: int):
+        raise NotImplementedError
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.num_levels:
+            raise QueryError(
+                f"hierarchy {self.name!r}: level {level} out of range "
+                f"[0, {self.num_levels})"
+            )
+
+
+class RangeHierarchy(Hierarchy):
+    """Numeric banding: widths[level] gives the band at each level.
+
+    ``widths[0]`` must be 1 (exact); the final level is always '*'.
+    """
+
+    def __init__(self, name: str, widths: list[int]) -> None:
+        if not widths or widths[0] != 1:
+            raise QueryError("widths must start with 1 (exact level)")
+        if any(b <= a for a, b in zip(widths, widths[1:])):
+            raise QueryError("widths must strictly increase")
+        super().__init__(name, num_levels=len(widths) + 1)
+        self.widths = widths
+
+    def generalize(self, value, level: int):
+        self._check_level(level)
+        if level == self.num_levels - 1:
+            return "*"
+        width = self.widths[level]
+        if width == 1:
+            return str(value)
+        low = (int(value) // width) * width
+        return f"{low}-{low + width - 1}"
+
+
+class TreeHierarchy(Hierarchy):
+    """Categorical roll-up via explicit parent maps.
+
+    ``levels[i]`` maps a level-``i`` value to its level-``i+1`` ancestor;
+    the final level is always '*'.
+    """
+
+    def __init__(self, name: str, levels: list[dict[str, str]]) -> None:
+        super().__init__(name, num_levels=len(levels) + 2)
+        self.levels = levels
+
+    def generalize(self, value, level: int):
+        self._check_level(level)
+        if level == self.num_levels - 1:
+            return "*"
+        current = str(value)
+        for step in range(level):
+            mapping = self.levels[step]
+            if current not in mapping:
+                raise QueryError(
+                    f"hierarchy {self.name!r}: no level-{step + 1} ancestor "
+                    f"for {current!r}"
+                )
+            current = mapping[current]
+        return current
+
+
+def age_hierarchy() -> RangeHierarchy:
+    """Exact → 5-year → 10-year → 25-year → '*'."""
+    return RangeHierarchy("age", widths=[1, 5, 10, 25])
+
+
+def city_hierarchy() -> TreeHierarchy:
+    """City → region → '*' for the synthetic people workload."""
+    region_of = {
+        "paris": "north", "lille": "north", "rennes": "north",
+        "nantes": "north",
+        "lyon": "south", "marseille": "south", "toulouse": "south",
+        "nice": "south", "bordeaux": "south", "grenoble": "south",
+    }
+    return TreeHierarchy("city", levels=[region_of])
+
+
+@dataclass(frozen=True)
+class QuasiIdentifier:
+    """One QI attribute with its hierarchy."""
+
+    attribute: str
+    hierarchy: Hierarchy
+
+
+def generalize_record(
+    record, quasi_identifiers: list[QuasiIdentifier], levels: tuple[int, ...]
+) -> tuple:
+    """The record's QI signature at the given generalization levels."""
+    return tuple(
+        qi.hierarchy.generalize(record[qi.attribute], level)
+        for qi, level in zip(quasi_identifiers, levels)
+    )
+
+
+def lattice_levels(quasi_identifiers: list[QuasiIdentifier]):
+    """All level vectors ordered by total generalization (precise first)."""
+    import itertools
+
+    axes = [range(qi.hierarchy.num_levels) for qi in quasi_identifiers]
+    vectors = list(itertools.product(*axes))
+    return sorted(vectors, key=lambda vector: (sum(vector), vector))

@@ -1,0 +1,44 @@
+"""Utility metrics for anonymized tables: what did privacy cost?
+
+Standard PPDP quality measures, used by the E11 bench to plot information
+loss against k:
+
+* **generalization height** — normalized mean of the chosen levels (0 =
+  exact data published, 1 = everything suppressed to '*');
+* **discernibility** — sum over records of their equivalence-class size
+  (records in big blurry classes are hard to tell apart: lower is better);
+* **average class size ratio** — C_avg = (N / #classes) / k, the classic
+  normalized average equivalence class size.
+"""
+
+from __future__ import annotations
+
+from repro.ppdp.generalize import QuasiIdentifier
+from repro.ppdp.kanon import AnonymizationResult
+
+
+def generalization_height(
+    result: AnonymizationResult, quasi_identifiers: list[QuasiIdentifier]
+) -> float:
+    """Normalized lattice height of the published recoding, in [0, 1]."""
+    if not quasi_identifiers:
+        return 0.0
+    total = 0.0
+    for level, qi in zip(result.levels, quasi_identifiers):
+        top = qi.hierarchy.num_levels - 1
+        total += (level / top) if top else 0.0
+    return total / len(quasi_identifiers)
+
+
+def discernibility(result: AnonymizationResult) -> int:
+    """Σ |class|² over equivalence classes (suppression would add N·|table|)."""
+    return sum(size * size for size in result.equivalence_classes.values())
+
+
+def average_class_ratio(result: AnonymizationResult, k: int) -> float:
+    """C_avg: average class size normalized by k (1.0 is optimal)."""
+    classes = result.equivalence_classes
+    if not classes or k <= 0:
+        return 0.0
+    total = sum(classes.values())
+    return (total / len(classes)) / k

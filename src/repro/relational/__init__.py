@@ -1,0 +1,40 @@
+"""Embedded relational engine (Part II, second illustration).
+
+SQL-style select-project-join processing inside a secure token: sequential
+Keys+Bloom indexes, log-only reorganization into B-tree-like structures,
+Tselect/Tjoin generalized indexes and a pipelined executor — plus the
+RAM-hungry hash-join baseline the tutorial contrasts them with.
+"""
+
+from repro.relational.baseline import HashJoinExecutor
+from repro.relational.keyindex import KeyIndex, LookupStats
+from repro.relational.planner import PlanExplain, Query
+from repro.relational.query import EmbeddedDatabase, ExecutionStats
+from repro.relational.reorg import ReorganizationTask, reorganize
+from repro.relational.schema import Column, ForeignKey, SchemaGraph, TableSchema
+from repro.relational.sortedindex import SortedIndexBuilder, SortedKeyIndex
+from repro.relational.table import TableStorage
+from repro.relational.tjoin import AncestorLog, TjoinIndex
+from repro.relational.tselect import TselectIndex
+
+__all__ = [
+    "AncestorLog",
+    "Column",
+    "EmbeddedDatabase",
+    "ExecutionStats",
+    "ForeignKey",
+    "HashJoinExecutor",
+    "KeyIndex",
+    "LookupStats",
+    "PlanExplain",
+    "Query",
+    "ReorganizationTask",
+    "SchemaGraph",
+    "SortedIndexBuilder",
+    "SortedKeyIndex",
+    "TableSchema",
+    "TableStorage",
+    "TjoinIndex",
+    "TselectIndex",
+    "reorganize",
+]

@@ -1,0 +1,117 @@
+"""RAM-hungry baseline for SPJ queries: hash joins, no generalized indexes.
+
+The tutorial's point about conventional join processing — *"join algorithms
+consume lots of RAM"* — made measurable: this evaluator builds one RAM hash
+table per non-root table (key -> row), charging every entry to a
+:class:`RamArena`, then scans the root table probing the hashes. Results
+match the pipelined Tselect/Tjoin plan exactly; the RAM high-water grows
+linearly with the database while the pipelined plan's does not (E4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.hardware.ram import RamArena
+from repro.relational.planner import Query
+from repro.relational.schema import SchemaGraph
+from repro.relational.table import TableStorage
+
+#: Charged per hash-table entry: bucket slot + key + row pointer overhead.
+_ENTRY_OVERHEAD = 24
+
+
+def _row_bytes(row: tuple) -> int:
+    total = _ENTRY_OVERHEAD
+    for value in row:
+        total += len(value.encode()) if isinstance(value, str) else 8
+    return total
+
+
+class HashJoinExecutor:
+    """Scan-and-hash SPJ evaluation over plain table storage."""
+
+    def __init__(
+        self,
+        schema: SchemaGraph,
+        storages: dict[str, TableStorage],
+        root_table: str,
+        ram: RamArena,
+    ) -> None:
+        self.schema = schema
+        self.storages = storages
+        self.root_table = root_table
+        self.ram = ram
+
+    def execute(self, query: Query) -> list[tuple]:
+        """Evaluate ``query`` with RAM hash tables; returns projected rows."""
+        paths = self.schema.ancestry_paths(self.root_table)
+        joined_tables = set(paths)
+        for table, column, _ in query.filters:
+            if table not in joined_tables:
+                raise QueryError(f"table {table!r} not reachable from root")
+            self.storages[table].schema.column_index(column)
+        for table, column in query.projection:
+            if table not in joined_tables:
+                raise QueryError(f"table {table!r} not reachable from root")
+            self.storages[table].schema.column_index(column)
+
+        # Phase 1: hash every non-root table on its primary key, in RAM.
+        hashes: dict[str, dict[object, tuple[int, tuple]]] = {}
+        handle = self.ram.allocate(0, tag="hashjoin:tables")
+        charged = 0
+        try:
+            for table_name in joined_tables - {self.root_table}:
+                schema = self.schema.table(table_name)
+                if schema.primary_key is None:
+                    raise QueryError(
+                        f"hash join needs a primary key on {table_name!r}"
+                    )
+                pk_position = schema.column_index(schema.primary_key)
+                table_hash: dict[object, tuple[int, tuple]] = {}
+                for rowid, row in self.storages[table_name].scan():
+                    table_hash[row[pk_position]] = (rowid, row)
+                    charged += _row_bytes(row)
+                    self.ram.resize(handle, charged)
+                hashes[table_name] = table_hash
+
+            # Phase 2: scan the root table, probe upward, filter, project.
+            results: list[tuple] = []
+            for _, root_row in self.storages[self.root_table].scan():
+                joined = self._assemble(root_row, hashes)
+                if joined is None:
+                    continue
+                if all(
+                    joined[t][self.schema.table(t).column_index(c)] == v
+                    for t, c, v in query.filters
+                ):
+                    results.append(
+                        tuple(
+                            joined[t][self.schema.table(t).column_index(c)]
+                            for t, c in query.projection
+                        )
+                    )
+            return results
+        finally:
+            self.ram.free(handle)
+
+    def _assemble(
+        self,
+        root_row: tuple,
+        hashes: dict[str, dict[object, tuple[int, tuple]]],
+    ) -> dict[str, tuple] | None:
+        """Follow foreign keys from the root row through the hash tables."""
+        joined: dict[str, tuple] = {self.root_table: root_row}
+        frontier = [self.root_table]
+        while frontier:
+            table_name = frontier.pop()
+            schema = self.schema.table(table_name)
+            row = joined[table_name]
+            for fk in schema.foreign_keys:
+                key = row[schema.column_index(fk.column)]
+                match = hashes[fk.parent_table].get(key)
+                if match is None:
+                    return None  # dangling FK: inner join drops the row
+                if fk.parent_table not in joined:
+                    joined[fk.parent_table] = match[1]
+                    frontier.append(fk.parent_table)
+        return joined

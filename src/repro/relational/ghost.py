@@ -1,0 +1,185 @@
+"""GhostDB-style split queries: visible data outside, hidden data inside.
+
+Part II cites GhostDB [SIG07] — *"querying visible and hidden data without
+leaks"*: a table is split column-wise between an untrusted **visible** store
+(a regular server; fast, big, curious) and the token's **hidden** store
+(small, trusted). Queries mix predicates over both sides; the execution
+must never hand the server a hidden value or a hidden predicate.
+
+The plan is the classic one:
+
+1. visible predicates run on the server → candidate rowids (the server
+   learns the visible predicates and the candidate set — by design, that is
+   the declared leak);
+2. the token evaluates hidden predicates over the candidates *inside* its
+   perimeter, using its own flash-resident hidden columns;
+3. projection merges visible and hidden columns per surviving rowid.
+
+:class:`LeakLedger` records everything the server observed, so tests can
+assert the non-leak property instead of trusting the comment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.hardware.token import SecurePortableToken
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import TableStorage
+
+
+@dataclass
+class LeakLedger:
+    """Everything the untrusted visible server saw."""
+
+    predicates: list[tuple[str, object]] = field(default_factory=list)
+    candidate_sets: list[int] = field(default_factory=list)  # sizes only
+    values_seen: set = field(default_factory=set)
+
+    def observed_any_of(self, secrets) -> bool:
+        return any(secret in self.values_seen for secret in secrets)
+
+
+class VisibleServer:
+    """The untrusted half: plaintext visible columns, full scan power."""
+
+    def __init__(self, columns: list[str]) -> None:
+        self.columns = columns
+        self.rows: list[tuple] = []
+        self.ledger = LeakLedger()
+
+    def insert(self, values: tuple) -> int:
+        for value in values:
+            self.ledger.values_seen.add(value)
+        self.rows.append(values)
+        return len(self.rows) - 1
+
+    def select(self, predicates: list[tuple[str, object]]) -> list[int]:
+        """Rowids matching conjunctive equality predicates (and log them)."""
+        self.ledger.predicates.extend(predicates)
+        positions = [
+            (self.columns.index(column), value) for column, value in predicates
+        ]
+        matches = [
+            rowid
+            for rowid, row in enumerate(self.rows)
+            if all(row[position] == value for position, value in positions)
+        ]
+        self.ledger.candidate_sets.append(len(matches))
+        return matches
+
+    def fetch(self, rowid: int, column: str):
+        return self.rows[rowid][self.columns.index(column)]
+
+
+class GhostDatabase:
+    """One logical table split between a visible server and a token."""
+
+    def __init__(
+        self,
+        token: SecurePortableToken,
+        visible_columns: list[Column],
+        hidden_columns: list[Column],
+        name: str = "GHOST",
+    ) -> None:
+        if not visible_columns or not hidden_columns:
+            raise QueryError("need at least one visible and one hidden column")
+        overlap = {c.name for c in visible_columns} & {
+            c.name for c in hidden_columns
+        }
+        if overlap:
+            raise QueryError(f"columns on both sides: {sorted(overlap)}")
+        self.token = token
+        self.visible_names = [column.name for column in visible_columns]
+        self.hidden_names = [column.name for column in hidden_columns]
+        self.server = VisibleServer(self.visible_names)
+        self._hidden = TableStorage(
+            TableSchema(f"{name}:hidden", list(hidden_columns)),
+            token.allocator,
+        )
+        self._row_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    def insert(self, values: dict) -> int:
+        """Insert one logical row; columns route to their side."""
+        self.token.require_trusted()
+        missing = (set(self.visible_names) | set(self.hidden_names)) - set(
+            values
+        )
+        if missing:
+            raise QueryError(f"missing columns: {sorted(missing)}")
+        visible_row = tuple(values[name] for name in self.visible_names)
+        hidden_row = tuple(values[name] for name in self.hidden_names)
+        server_rowid = self.server.insert(visible_row)
+        token_rowid = self._hidden.insert(hidden_row)
+        assert server_rowid == token_rowid  # same logical rowid space
+        self._row_count += 1
+        return server_rowid
+
+    def flush(self) -> None:
+        self._hidden.flush()
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        visible_where: list[tuple[str, object]],
+        hidden_where: list[tuple[str, object]],
+        project: list[str],
+    ) -> list[tuple]:
+        """Split execution: server narrows, token decides, rows merge."""
+        self.token.require_trusted()
+        self.flush()
+        for column, _ in visible_where:
+            if column not in self.visible_names:
+                raise QueryError(f"{column!r} is not a visible column")
+        for column, _ in hidden_where:
+            if column not in self.hidden_names:
+                raise QueryError(f"{column!r} is not a hidden column")
+        for column in project:
+            if (
+                column not in self.visible_names
+                and column not in self.hidden_names
+            ):
+                raise QueryError(f"unknown column {column!r}")
+
+        # Phase 1: the server sees only visible predicates.
+        if visible_where:
+            candidates = self.server.select(visible_where)
+        else:
+            candidates = list(range(self._row_count))
+
+        # Phase 2: hidden predicates evaluated inside the token.
+        survivors = []
+        hidden_positions = [
+            (self._hidden.schema.column_index(column), value)
+            for column, value in hidden_where
+        ]
+        for rowid in candidates:
+            hidden_row = self._hidden.read(rowid)
+            if all(
+                hidden_row[position] == value
+                for position, value in hidden_positions
+            ):
+                survivors.append(rowid)
+
+        # Phase 3: merge projection per surviving rowid.
+        results = []
+        for rowid in survivors:
+            row = []
+            hidden_row = None
+            for column in project:
+                if column in self.visible_names:
+                    row.append(self.server.fetch(rowid, column))
+                else:
+                    if hidden_row is None:
+                        hidden_row = self._hidden.read(rowid)
+                    row.append(
+                        hidden_row[self._hidden.schema.column_index(column)]
+                    )
+            results.append(tuple(row))
+        return results

@@ -1,0 +1,97 @@
+"""Pipelined physical operators for select-project-join plans.
+
+Everything here is a generator over **sorted root rowids** or joined rows:
+no operator materializes more than its per-stream page buffers, which is how
+the tutorial's execution plan runs a five-table join in a token's RAM.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.relational.table import TableStorage
+from repro.relational.tjoin import TjoinIndex
+
+
+def merge_intersect(streams: list[Iterable[int]]) -> Iterator[int]:
+    """Intersection of ascending rowid streams, fully pipelined.
+
+    Advances the lagging stream until all heads agree — the classic sorted
+    merge; RAM is one head per stream.
+    """
+    if not streams:
+        return
+    iterators = [iter(stream) for stream in streams]
+    heads: list[int | None] = [next(it, None) for it in iterators]
+    while all(head is not None for head in heads):
+        low, high = min(heads), max(heads)
+        if low == high:
+            yield low
+            heads = [next(it, None) for it in iterators]
+        else:
+            for i, head in enumerate(heads):
+                if head < high:
+                    heads[i] = next(iterators[i], None)
+
+
+def merge_union(streams: list[Iterable[int]]) -> Iterator[int]:
+    """Deduplicated union of ascending rowid streams (for OR predicates)."""
+    previous: int | None = None
+    for rowid in heapq.merge(*streams):
+        if rowid != previous:
+            yield rowid
+            previous = rowid
+
+
+class JoinedRow:
+    """One fully joined tuple, lazily readable per table."""
+
+    __slots__ = ("_storages", "rowids", "_cache")
+
+    def __init__(self, storages: dict[str, TableStorage], rowids: dict[str, int]):
+        self._storages = storages
+        self.rowids = rowids
+        self._cache: dict[str, tuple] = {}
+
+    def row(self, table: str) -> tuple:
+        if table not in self._cache:
+            if table not in self.rowids:
+                raise QueryError(f"table {table!r} is not part of this join")
+            self._cache[table] = self._storages[table].read(self.rowids[table])
+        return self._cache[table]
+
+    def value(self, table: str, column: str):
+        storage = self._storages[table]
+        return self.row(table)[storage.schema.column_index(column)]
+
+
+def tjoin_materialize(
+    root_rowids: Iterable[int],
+    tjoin: TjoinIndex,
+    storages: dict[str, TableStorage],
+) -> Iterator[JoinedRow]:
+    """Expand each root rowid into its joined row via the Tjoin index."""
+    for root_rowid in root_rowids:
+        yield JoinedRow(storages, tjoin.joined_rowids(root_rowid))
+
+
+def filter_rows(
+    rows: Iterable[JoinedRow], predicates: list[tuple[str, str, object]]
+) -> Iterator[JoinedRow]:
+    """Apply residual conjunctive equality predicates in pipeline."""
+    for row in rows:
+        if all(
+            row.value(table, column) == value
+            for table, column, value in predicates
+        ):
+            yield row
+
+
+def project(
+    rows: Iterable[JoinedRow], columns: list[tuple[str, str]]
+) -> Iterator[tuple]:
+    """Emit the requested ``(table, column)`` values per joined row."""
+    for row in rows:
+        yield tuple(row.value(table, column) for table, column in columns)

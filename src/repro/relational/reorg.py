@@ -1,0 +1,214 @@
+"""Log-only, interruptible index reorganization (Part II, "Scalability").
+
+Transforms a sequential :class:`~repro.relational.keyindex.KeyIndex` into an
+efficient :class:`~repro.relational.sortedindex.SortedKeyIndex`, under the
+framework's rules:
+
+1. **Sort** the ``(key, rowid)`` pairs into runs bounded by the RAM sort
+   buffer; each run is written sequentially to a temporary log.
+2. **Merge** the runs (multi-pass if the fan-in exceeds what one page of RAM
+   per run allows), feeding the final pass straight into the
+   :class:`SortedIndexBuilder`, which writes the ``Sorted Keys`` and ``Tree``
+   logs sequentially.
+3. Temporary logs are reclaimed on whole-block granularity.
+
+The task is a **background, interruptible** process: :meth:`step` advances
+one bounded unit of work, and until :meth:`steps`/:meth:`run` complete, the
+source index remains fully queryable. Every write issued anywhere in the
+process is a sequential log append — the flash simulator would raise
+otherwise, which is what the E3 test relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.hardware.flash import BlockAllocator
+from repro.hardware.ram import RamArena
+from repro.relational.keyindex import KeyIndex, pack_entry, unpack_entry
+from repro.relational.sortedindex import SortedIndexBuilder, SortedKeyIndex
+from repro.storage.log import RecordLog
+
+
+class ReorganizationTask:
+    """One reorganization of one key index, advanced step by step."""
+
+    def __init__(
+        self,
+        source: KeyIndex,
+        allocator: BlockAllocator,
+        ram: RamArena,
+        sort_buffer_bytes: int = 8 * 1024,
+        name: str = "reorg",
+    ) -> None:
+        self.source = source
+        self.allocator = allocator
+        self.ram = ram
+        self.sort_buffer_bytes = sort_buffer_bytes
+        self.name = name
+        self.result: SortedKeyIndex | None = None
+        self.completed_steps = 0
+        self._page_size = allocator.flash.geometry.page_size
+        # One page of RAM per merged run: the fan-in the budget affords.
+        self.fan_in = max(2, sort_buffer_bytes // self._page_size)
+        self._live_temps: list[RecordLog] = []
+        self._builder: SortedIndexBuilder | None = None
+        self._aborted = False
+        self._generator = self._work()
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+    def step(self) -> bool:
+        """Advance one unit of work; returns True while more remains."""
+        if self.done or self._aborted:
+            return False
+        try:
+            next(self._generator)
+            self.completed_steps += 1
+            return True
+        except StopIteration:
+            return False
+        except Exception:
+            # A failing step (e.g. flash exhaustion) must not strand
+            # temporary logs: reclaim and re-raise for the caller.
+            self.abort()
+            raise
+
+    def abort(self) -> None:
+        """Cancel the reorganization, reclaiming every temporary block.
+
+        The source index is untouched and stays fully queryable — aborting
+        a background reorganization is always safe, which is what makes the
+        "background / interruptible" promise of the slide honest.
+        """
+        if self._aborted or self.done:
+            return
+        self._aborted = True
+        for run in self._live_temps:
+            try:
+                run.drop()
+            except StorageError:
+                pass  # already dropped
+        self._live_temps.clear()
+        if self._builder is not None:
+            self._builder.sorted_log.drop()
+            self._builder.tree_log.drop()
+            self._builder = None
+
+    def run(self) -> SortedKeyIndex:
+        """Run to completion and return the new index."""
+        while self.step():
+            pass
+        assert self.result is not None
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _work(self) -> Iterator[None]:
+        runs = yield from self._sort_phase()
+        while len(runs) > self.fan_in:
+            runs = yield from self._merge_pass(runs)
+        yield from self._final_merge(runs)
+
+    def _sort_phase(self) -> Iterator[None]:
+        """Cut the Keys log into sorted runs no larger than the sort buffer."""
+        runs: list[RecordLog] = []
+        buffer: list[tuple[bytes, int]] = []
+        buffer_bytes = 0
+        with self.ram.reservation(self.sort_buffer_bytes, tag=f"{self.name}:sort"):
+            for key_bytes, rowid in self.source.scan_entries():
+                entry_bytes = len(key_bytes) + 6
+                if buffer and buffer_bytes + entry_bytes > self.sort_buffer_bytes:
+                    runs.append(self._write_run(buffer, len(runs)))
+                    buffer, buffer_bytes = [], 0
+                    yield  # one interruptible unit: a run was produced
+                buffer.append((key_bytes, rowid))
+                buffer_bytes += entry_bytes
+            if buffer:
+                runs.append(self._write_run(buffer, len(runs)))
+                yield
+        return runs
+
+    def _write_run(
+        self, buffer: list[tuple[bytes, int]], index: int
+    ) -> RecordLog:
+        run = RecordLog(self.allocator, name=f"{self.name}:run{index}")
+        self._live_temps.append(run)
+        for key_bytes, rowid in sorted(buffer):
+            run.append(pack_entry(key_bytes, rowid))
+        run.flush()
+        return run
+
+    def _merge_pass(self, runs: list[RecordLog]) -> Iterator[None]:
+        """Reduce the number of runs by merging groups of ``fan_in``."""
+        merged: list[RecordLog] = []
+        for start in range(0, len(runs), self.fan_in):
+            group = runs[start : start + self.fan_in]
+            target = RecordLog(
+                self.allocator, name=f"{self.name}:pass{len(merged)}"
+            )
+            self._live_temps.append(target)
+            with self.ram.reservation(
+                len(group) * self._page_size, tag=f"{self.name}:merge"
+            ):
+                for key_bytes, rowid in self._merge_streams(group):
+                    target.append(pack_entry(key_bytes, rowid))
+            target.flush()
+            for run in group:
+                run.drop()
+                self._live_temps.remove(run)
+            merged.append(target)
+            yield  # one interruptible unit: one group merged
+        return merged
+
+    def _final_merge(self, runs: list[RecordLog]) -> Iterator[None]:
+        """Merge the last runs directly into the sorted index builder."""
+        builder = SortedIndexBuilder(self.allocator, name=self.name)
+        self._builder = builder
+        with self.ram.reservation(
+            max(1, len(runs)) * self._page_size, tag=f"{self.name}:finalmerge"
+        ):
+            emitted = 0
+            for key_bytes, rowid in self._merge_streams(runs):
+                builder.add(key_bytes, rowid)
+                emitted += 1
+                if emitted % 1024 == 0:
+                    yield  # keep the final pass interruptible too
+        for run in runs:
+            run.drop()
+            self._live_temps.remove(run)
+        self.result = builder.finish()
+        self._builder = None
+        yield
+
+    @staticmethod
+    def _merge_streams(runs: list[RecordLog]):
+        """K-way merge of sorted run logs by ``(key, rowid)``."""
+        streams = [
+            ((unpack_entry(record)) for _, record in run.scan()) for run in runs
+        ]
+        return heapq.merge(*streams)
+
+
+def reorganize(
+    source: KeyIndex,
+    allocator: BlockAllocator,
+    ram: RamArena,
+    sort_buffer_bytes: int = 8 * 1024,
+    name: str = "reorg",
+) -> SortedKeyIndex:
+    """Convenience wrapper: run a full reorganization in one call.
+
+    The caller owns the swap: after this returns, queries should be routed
+    to the new index and ``source.drop()`` reclaims the old logs.
+    """
+    if sort_buffer_bytes <= 0:
+        raise StorageError("sort buffer must be positive")
+    task = ReorganizationTask(
+        source, allocator, ram, sort_buffer_bytes=sort_buffer_bytes, name=name
+    )
+    return task.run()

@@ -1,0 +1,88 @@
+"""Table storage: tuples in a sequential data log with rowid addressing.
+
+Tuples are appended to a :class:`~repro.storage.log.RecordLog` (the data is
+itself a log — "Log1" of the tutorial's vertical-partition picture). Rows are
+variable length, so a parallel *address log* with fixed 8-byte entries maps
+``rowid -> (page position, slot)``; fetching a row by rowid costs at most two
+page reads (address page + data page), with no per-row RAM.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.hardware.flash import BlockAllocator
+from repro.hardware.ram import RamArena
+from repro.relational.schema import TableSchema
+from repro.relational.tuples import deserialize_row, serialize_row
+from repro.storage.log import RecordAddress, RecordLog
+
+_ADDRESS = struct.Struct("<IH")  # page position, slot
+_ADDRESS_SIZE = _ADDRESS.size
+
+
+class TableStorage:
+    """One table's data log + rowid address log on a token's flash."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        allocator: BlockAllocator,
+        ram: RamArena | None = None,
+    ) -> None:
+        self.schema = schema
+        self.data = RecordLog(allocator, name=f"{schema.name}:data", ram=ram)
+        self.addresses = RecordLog(allocator, name=f"{schema.name}:addr", ram=ram)
+        self._row_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    @property
+    def data_pages(self) -> int:
+        """Flushed data pages (the page count a full scan reads)."""
+        return self.data.page_count
+
+    def insert(self, values: tuple) -> int:
+        """Append one row; returns its rowid (dense, append-ordered)."""
+        address = self.data.append(serialize_row(self.schema, values))
+        self.addresses.append(_ADDRESS.pack(address.position, address.slot))
+        rowid = self._row_count
+        self._row_count += 1
+        return rowid
+
+    def flush(self) -> None:
+        self.data.flush()
+        self.addresses.flush()
+
+    # ------------------------------------------------------------------
+    def read(self, rowid: int) -> tuple:
+        """Fetch one row by rowid."""
+        if not 0 <= rowid < self._row_count:
+            raise StorageError(
+                f"table {self.schema.name!r}: rowid {rowid} out of range "
+                f"[0, {self._row_count})"
+            )
+        # Address entries are fixed-size, so the address log packs the same
+        # number per page and the target page/slot is computable directly.
+        per_page = (self.data.pages.page_size - 2) // (2 + _ADDRESS_SIZE)
+        raw = self.addresses.read(
+            RecordAddress(position=rowid // per_page, slot=rowid % per_page)
+        )
+        position, slot = _ADDRESS.unpack(raw)
+        return deserialize_row(
+            self.schema, self.data.read(RecordAddress(position, slot))
+        )
+
+    def value(self, rowid: int, column: str) -> object:
+        """Fetch one column of one row."""
+        return self.read(rowid)[self.schema.column_index(column)]
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(rowid, row)`` in rowid order (a full sequential scan)."""
+        for rowid, (_, record) in enumerate(self.data.scan()):
+            yield rowid, deserialize_row(self.schema, record)

@@ -1,0 +1,105 @@
+"""Tjoin: the generalized join index of Part II's SQL illustration.
+
+    *"each rowid of the root table contains the rowids of the tuples it
+    refers to in the subtree"*
+
+For every table with foreign keys we keep an **ancestor log**: a sequential
+log with one fixed-size record per rowid, holding the rowids of the unique
+tuple this row (transitively) references in each ancestor table. The log is
+filled *incrementally at insertion time* — resolving each direct foreign key
+through the parent's primary-key index and inheriting the parent's own
+ancestor record — so maintaining it costs one key lookup per foreign key per
+insert and never requires a RAM-resident join.
+
+The Tjoin index of the query root table is exactly its ancestor log: given a
+root rowid, one page read returns the rowids of every joined tuple, which is
+what lets select-project-join plans run in pipeline over sorted root rowids.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import StorageError
+from repro.hardware.flash import BlockAllocator
+from repro.hardware.ram import RamArena
+from repro.storage.log import RecordAddress, RecordLog
+
+_ROWID = struct.Struct("<I")
+
+
+class AncestorLog:
+    """rowid -> {ancestor table: ancestor rowid}, as fixed-size records."""
+
+    def __init__(
+        self,
+        table: str,
+        ancestor_tables: list[str],
+        allocator: BlockAllocator,
+        ram: RamArena | None = None,
+    ) -> None:
+        self.table = table
+        #: Ancestor tables in a fixed, sorted order defining record layout.
+        self.ancestor_tables = sorted(ancestor_tables)
+        self.log = RecordLog(allocator, name=f"{table}:ancestors", ram=ram)
+        self._record_size = _ROWID.size * len(self.ancestor_tables)
+        self._row_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return self._row_count
+
+    def append(self, ancestors: dict[str, int]) -> None:
+        """Record the ancestors of the next rowid (in insertion order)."""
+        if set(ancestors) != set(self.ancestor_tables):
+            raise StorageError(
+                f"table {self.table!r}: ancestor record must cover exactly "
+                f"{self.ancestor_tables}, got {sorted(ancestors)}"
+            )
+        record = b"".join(
+            _ROWID.pack(ancestors[name]) for name in self.ancestor_tables
+        )
+        self.log.append(record)
+        self._row_count += 1
+
+    def get(self, rowid: int) -> dict[str, int]:
+        """Ancestor rowids of ``rowid`` (one address computation, one read)."""
+        if not 0 <= rowid < self._row_count:
+            raise StorageError(
+                f"table {self.table!r}: no ancestor record for rowid {rowid}"
+            )
+        per_page = (self.log.pages.page_size - 2) // (2 + self._record_size)
+        record = self.log.read(
+            RecordAddress(position=rowid // per_page, slot=rowid % per_page)
+        )
+        return {
+            name: _ROWID.unpack_from(record, i * _ROWID.size)[0]
+            for i, name in enumerate(self.ancestor_tables)
+        }
+
+    def flush(self) -> None:
+        self.log.flush()
+
+
+class TjoinIndex:
+    """Root-table view of the ancestor log — the paper's Tjoin.
+
+    Thin façade so plans read ``tjoin.joined_rowids(root_rowid)`` and get
+    every table of the subtree, root included.
+    """
+
+    def __init__(self, root_table: str, ancestors: AncestorLog) -> None:
+        self.root_table = root_table
+        self.ancestors = ancestors
+
+    @property
+    def tables(self) -> list[str]:
+        """All tables a joined row covers (root first, then ancestors)."""
+        return [self.root_table] + self.ancestors.ancestor_tables
+
+    def joined_rowids(self, root_rowid: int) -> dict[str, int]:
+        """rowids of the full joined tuple anchored at ``root_rowid``."""
+        joined = {self.root_table: root_rowid}
+        joined.update(self.ancestors.get(root_rowid))
+        return joined

@@ -1,0 +1,108 @@
+"""Row (de)serialization: fixed binary encodings per column kind.
+
+Rows are stored in flash pages, so every value gets a compact little-endian
+encoding: ints are 8-byte signed, floats 8-byte IEEE doubles, strings
+length-prefixed UTF-8. Keys used by indexes additionally need an
+*order-preserving* byte encoding (:func:`encode_key`) so sorted-key logs can
+compare serialized keys directly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import StorageError
+from repro.relational.schema import TableSchema
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U16 = struct.Struct("<H")
+
+
+def serialize_row(schema: TableSchema, values: tuple) -> bytes:
+    """Encode one row according to ``schema`` column order."""
+    if len(values) != len(schema.columns):
+        raise StorageError(
+            f"table {schema.name!r}: expected {len(schema.columns)} values, "
+            f"got {len(values)}"
+        )
+    parts: list[bytes] = []
+    for column, value in zip(schema.columns, values):
+        value = column.check_value(value)
+        if column.kind == "int":
+            parts.append(_I64.pack(value))
+        elif column.kind == "float":
+            parts.append(_F64.pack(value))
+        else:
+            encoded = value.encode("utf-8")
+            if len(encoded) > 0xFFFF:
+                raise StorageError(
+                    f"string too long for column {column.name!r}"
+                )
+            parts.append(_U16.pack(len(encoded)) + encoded)
+    return b"".join(parts)
+
+
+def deserialize_row(schema: TableSchema, data: bytes) -> tuple:
+    """Inverse of :func:`serialize_row`."""
+    values = []
+    offset = 0
+    for column in schema.columns:
+        if column.kind == "int":
+            values.append(_I64.unpack_from(data, offset)[0])
+            offset += 8
+        elif column.kind == "float":
+            values.append(_F64.unpack_from(data, offset)[0])
+            offset += 8
+        else:
+            length = _U16.unpack_from(data, offset)[0]
+            offset += 2
+            values.append(data[offset : offset + length].decode("utf-8"))
+            offset += length
+    if offset != len(data):
+        raise StorageError(
+            f"table {schema.name!r}: row has {len(data) - offset} trailing bytes"
+        )
+    return tuple(values)
+
+
+def encode_key(value) -> bytes:
+    """Order-preserving byte encoding of an index key value.
+
+    * ints map to offset-binary (sign bit flipped) big-endian, so unsigned
+      byte order equals numeric order;
+    * floats use the standard IEEE trick (flip sign bit for positives, all
+      bits for negatives);
+    * strings are UTF-8 (bytewise order = code-point order).
+    """
+    if isinstance(value, bool):
+        raise StorageError("bool is not a supported key type")
+    if isinstance(value, int):
+        return b"\x01" + struct.pack(">Q", value + (1 << 63))
+    if isinstance(value, float):
+        bits = struct.unpack(">Q", struct.pack(">d", value))[0]
+        if bits & (1 << 63):
+            bits ^= 0xFFFFFFFFFFFFFFFF
+        else:
+            bits ^= 1 << 63
+        return b"\x02" + struct.pack(">Q", bits)
+    if isinstance(value, str):
+        return b"\x03" + value.encode("utf-8")
+    raise StorageError(f"unsupported key type {type(value).__name__}")
+
+
+def decode_key(data: bytes):
+    """Inverse of :func:`encode_key`."""
+    tag, payload = data[0], data[1:]
+    if tag == 1:
+        return struct.unpack(">Q", payload)[0] - (1 << 63)
+    if tag == 2:
+        bits = struct.unpack(">Q", payload)[0]
+        if bits & (1 << 63):
+            bits ^= 1 << 63
+        else:
+            bits ^= 0xFFFFFFFFFFFFFFFF
+        return struct.unpack(">d", struct.pack(">Q", bits))[0]
+    if tag == 3:
+        return payload.decode("utf-8")
+    raise StorageError(f"unknown key tag {tag}")

@@ -1,0 +1,24 @@
+"""Embedded search engine (Part II, first illustration).
+
+A TF-IDF keyword search engine that runs inside a secure token: sequential
+inverted index in flash (:class:`SequentialInvertedIndex`), pipelined top-N
+merge (:class:`EmbeddedSearchEngine`) and the RAM-hungry conventional
+baseline it is compared against (:class:`RamHungrySearch`).
+"""
+
+from repro.search.analyzer import STOPWORDS, query_terms, term_frequencies, tokenize
+from repro.search.baseline import RamHungrySearch
+from repro.search.engine import EmbeddedSearchEngine, SearchHit
+from repro.search.inverted import Posting, SequentialInvertedIndex
+
+__all__ = [
+    "STOPWORDS",
+    "EmbeddedSearchEngine",
+    "Posting",
+    "RamHungrySearch",
+    "SearchHit",
+    "SequentialInvertedIndex",
+    "query_terms",
+    "term_frequencies",
+    "tokenize",
+]

@@ -1,0 +1,48 @@
+"""Text analysis for the embedded search engine.
+
+Keeps to what a token can afford: lowercasing, alphanumeric tokenization, a
+small stopword list and raw term frequencies. The *weight* stored in the
+inverted index for ``(term, doc)`` is the term frequency; the IDF part of
+TF-IDF is applied at query time (see :mod:`repro.search.engine`), matching
+the tutorial's formula::
+
+    TF-IDF(doc) = sum over query keywords t of
+                  weight_{t,doc} * log(|docs| / |docs containing t|)
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+_TOKEN = re.compile(r"[a-z0-9]+")
+
+#: Minimal English stopword list — enough to keep index chains honest without
+#: pretending to be a linguistics package.
+STOPWORDS = frozenset(
+    """a an and are as at be by for from has have in is it its of on or that
+    the to was were will with this these those not no but they them he she
+    his her you your we our i me my""".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased alphanumeric tokens, stopwords removed, order preserved."""
+    return [
+        token
+        for token in _TOKEN.findall(text.lower())
+        if token not in STOPWORDS
+    ]
+
+
+def term_frequencies(text: str) -> dict[str, int]:
+    """Term -> occurrence count for one document."""
+    return dict(Counter(tokenize(text)))
+
+
+def query_terms(query: str) -> list[str]:
+    """Distinct query keywords in first-occurrence order."""
+    seen: dict[str, None] = {}
+    for token in tokenize(query):
+        seen.setdefault(token)
+    return list(seen)

@@ -1,0 +1,76 @@
+"""RAM-hungry baseline search: the design the tutorial rules out.
+
+The "Search algorithm" slide describes the conventional evaluation — *one
+container allocated per retrieved docid* used to aggregate its triples and
+compute its TF-IDF — and stamps it "too much!" for a token. This module
+implements exactly that, charging one container per candidate document to a
+:class:`~repro.hardware.ram.RamArena`, so tests can show it (a) returns the
+same top-N as the pipelined engine, and (b) blows the RAM budget as the
+corpus grows while the pipelined engine stays flat (experiment E2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hardware.ram import RamArena
+from repro.search.analyzer import query_terms
+from repro.search.engine import SearchHit
+from repro.search.inverted import SequentialInvertedIndex
+
+#: RAM charged per candidate-document container (docid + accumulator slots).
+CONTAINER_BYTES = 32
+
+
+class RamHungrySearch:
+    """Container-per-docid evaluation over the same inverted index."""
+
+    def __init__(self, index: SequentialInvertedIndex, ram: RamArena) -> None:
+        self.index = index
+        self.ram = ram
+
+    def search(
+        self, query: str, n: int = 10, require_all: bool = False
+    ) -> list[SearchHit]:
+        """Top-``n`` by TF-IDF, aggregating every candidate in RAM."""
+        keywords = query_terms(query)
+        total_docs = self.index.doc_count
+        if not keywords or total_docs == 0:
+            return []
+
+        idf: dict[str, float] = {}
+        for term in keywords:
+            df = self.index.document_frequency(term)
+            if df == 0:
+                continue
+            idf[term] = (
+                1.0 / total_docs if df == total_docs else math.log(total_docs / df)
+            )
+
+        if require_all and len(idf) < len(keywords):
+            return []  # a keyword is absent: no document can hold them all
+        scores: dict[int, float] = {}
+        term_hits: dict[int, int] = {}
+        handle = self.ram.allocate(0, tag="baseline:containers")
+        try:
+            for term, term_idf in idf.items():
+                seen_for_term: set[int] = set()
+                for posting in self.index.iter_term(term):
+                    if posting.docid not in scores:
+                        scores[posting.docid] = 0.0
+                        term_hits[posting.docid] = 0
+                        self.ram.resize(handle, len(scores) * CONTAINER_BYTES)
+                    scores[posting.docid] += posting.weight * term_idf
+                    if posting.docid not in seen_for_term:
+                        seen_for_term.add(posting.docid)
+                        term_hits[posting.docid] += 1
+            if require_all:
+                scores = {
+                    docid: score
+                    for docid, score in scores.items()
+                    if term_hits[docid] == len(keywords)
+                }
+            ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+            return [SearchHit(docid=docid, score=score) for docid, score in ranked]
+        finally:
+            self.ram.free(handle)

@@ -1,0 +1,121 @@
+"""Sequential inverted index over chained hash buckets.
+
+This is the flash layout of the tutorial's embedded search engine: triples
+``(term, docid, weight)`` are appended, in increasing docid order, to the
+hash bucket of their term. Bucket chains therefore replay triples in
+*descending* docid order, which is what the pipelined merge consumes.
+
+The only RAM the index itself needs is the bucket directory plus staging
+(owned by :class:`~repro.storage.hashbucket.ChainedBucketLog`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.hardware.flash import BlockAllocator
+from repro.hardware.ram import RamArena
+from repro.storage.hashbucket import ChainedBucketLog, bucket_of
+
+_POSTING_TAIL = struct.Struct("<If")  # docid, weight
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One inverted-index triple."""
+
+    term: str
+    docid: int
+    weight: float
+
+
+def pack_posting(posting: Posting) -> bytes:
+    term_bytes = posting.term.encode("utf-8")
+    if len(term_bytes) > 0xFF:
+        raise StorageError(f"term too long: {posting.term[:32]!r}...")
+    return (
+        bytes([len(term_bytes)])
+        + term_bytes
+        + _POSTING_TAIL.pack(posting.docid, posting.weight)
+    )
+
+
+def unpack_posting(data: bytes) -> Posting:
+    term_len = data[0]
+    term = data[1 : 1 + term_len].decode("utf-8")
+    docid, weight = _POSTING_TAIL.unpack_from(data, 1 + term_len)
+    return Posting(term, docid, weight)
+
+
+class SequentialInvertedIndex:
+    """Append-only inverted index; docids must arrive in increasing order."""
+
+    def __init__(
+        self,
+        allocator: BlockAllocator,
+        num_buckets: int = 64,
+        ram: RamArena | None = None,
+    ) -> None:
+        self.buckets = ChainedBucketLog(
+            allocator, num_buckets, name="inverted", ram=ram
+        )
+        self.num_buckets = num_buckets
+        self._last_docid = -1
+        self._doc_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def doc_count(self) -> int:
+        """Number of indexed documents (the N of the IDF formula)."""
+        return self._doc_count
+
+    @property
+    def posting_count(self) -> int:
+        return self.buckets.entry_count
+
+    def add_document(self, docid: int, term_weights: dict[str, float]) -> None:
+        """Index one document's ``term -> weight`` map.
+
+        Docids are generated in increasing order in the tutorial's design
+        (documents are timestamped on arrival); violating that would break
+        the descending-scan merge, so it is rejected here.
+        """
+        if docid <= self._last_docid:
+            raise StorageError(
+                f"docid {docid} not increasing (last was {self._last_docid})"
+            )
+        for term in sorted(term_weights):
+            posting = Posting(term, docid, float(term_weights[term]))
+            self.buckets.append(
+                bucket_of(term, self.num_buckets), pack_posting(posting)
+            )
+        self._last_docid = docid
+        self._doc_count += 1
+
+    def flush(self) -> None:
+        """Flush staged postings to flash."""
+        self.buckets.flush_all()
+
+    # ------------------------------------------------------------------
+    def iter_term(self, term: str) -> Iterator[Posting]:
+        """Postings of ``term`` in descending docid order.
+
+        Scans the term's bucket chain and filters out hash-collision
+        postings of other terms (they share the chain by construction).
+        """
+        bucket = bucket_of(term, self.num_buckets)
+        for entry in self.buckets.iter_bucket(bucket):
+            posting = unpack_posting(entry)
+            if posting.term == term:
+                yield posting
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term`` (one chain scan)."""
+        return sum(1 for _ in self.iter_term(term))
+
+    def chain_pages(self, term: str) -> int:
+        """Flash pages a probe of ``term`` must read (IO cost)."""
+        return self.buckets.chain_length(bucket_of(term, self.num_buckets))

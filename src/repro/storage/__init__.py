@@ -1,0 +1,22 @@
+"""Log-structured storage primitives for NAND flash.
+
+Implements the tutorial's general framework: every structure is a
+sequentially-written log (:class:`PageLog`/:class:`RecordLog`), probabilistic
+page summaries are Bloom filters (:class:`BloomFilter`), and the inverted
+index of the embedded search engine is a backward-chained bucket log
+(:class:`ChainedBucketLog`).
+"""
+
+from repro.storage.bloom import BloomFilter, optimal_hash_count
+from repro.storage.hashbucket import ChainedBucketLog, bucket_of
+from repro.storage.log import PageLog, RecordAddress, RecordLog
+
+__all__ = [
+    "BloomFilter",
+    "ChainedBucketLog",
+    "PageLog",
+    "RecordAddress",
+    "RecordLog",
+    "bucket_of",
+    "optimal_hash_count",
+]

@@ -1,0 +1,158 @@
+"""Backward-chained hash buckets in flash: the inverted-index layout.
+
+Part II's embedded search engine stores its inverted index as *chained hash
+buckets*: each keyword hashes to a bucket; a bucket is a linked list of flash
+pages, each page holding entries appended in docid order and a pointer to the
+*previous* page of the same bucket. Because pages chain backward and docids
+only grow, walking a chain from its head yields entries in **descending
+docid order** — the property the pipelined TF-IDF merge exploits.
+
+Only the tiny bucket directory (head page per bucket) and one staging buffer
+per bucket live in RAM.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.hardware.flash import BlockAllocator
+from repro.hardware.ram import RamArena
+from repro.storage import pager
+from repro.storage.log import PageLog
+
+
+def bucket_of(keyword: str, num_buckets: int) -> int:
+    """Deterministic bucket assignment of a keyword."""
+    digest = hashlib.sha256(keyword.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % num_buckets
+
+
+class ChainedBucketLog:
+    """A set of backward-chained bucket page lists sharing one page log.
+
+    Entries are opaque ``bytes`` (the search engine packs ``(term, docid,
+    weight)`` triples); callers must append them in non-decreasing docid
+    order per bucket for the descending-scan property to hold — the class
+    does not inspect entry contents.
+
+    Page layout: ``prev_position:u32 | count:u16 | (len:u16 | entry)*`` where
+    ``prev_position`` is the log position of the previous page of the same
+    bucket, or :data:`pager.NO_PAGE` at chain end.
+    """
+
+    _HEADER = 4  # u32 prev pointer, before the packed records
+
+    def __init__(
+        self,
+        allocator: BlockAllocator,
+        num_buckets: int,
+        name: str = "buckets",
+        ram: RamArena | None = None,
+    ) -> None:
+        if num_buckets <= 0:
+            raise StorageError("need at least one bucket")
+        self.log = PageLog(allocator, name)
+        self.num_buckets = num_buckets
+        self._heads: list[int] = [pager.NO_PAGE] * num_buckets
+        self._staging: list[list[bytes]] = [[] for _ in range(num_buckets)]
+        self._staging_sizes: list[int] = [2] * num_buckets
+        self._entry_count = 0
+        self._ram = ram
+        self._ram_handle = None
+        if ram is not None:
+            # Directory (4 B/bucket) + one page of staging shared across
+            # buckets (entries are flushed bucket-by-bucket as pages fill).
+            budget = 4 * num_buckets + self.page_size
+            self._ram_handle = ram.allocate(budget, tag=f"buckets:{name}")
+
+    # ------------------------------------------------------------------
+    @property
+    def page_size(self) -> int:
+        return self.log.page_size
+
+    @property
+    def entry_count(self) -> int:
+        return self._entry_count
+
+    @property
+    def flushed_pages(self) -> int:
+        return len(self.log)
+
+    def _capacity(self) -> int:
+        return self.page_size - self._HEADER
+
+    def append(self, keyword_bucket: int, entry: bytes) -> None:
+        """Stage one entry for a bucket, flushing its page when full."""
+        if not 0 <= keyword_bucket < self.num_buckets:
+            raise StorageError(
+                f"bucket {keyword_bucket} out of range [0, {self.num_buckets})"
+            )
+        if pager.records_size([entry]) > self._capacity():
+            raise StorageError(
+                f"entry of {len(entry)} B cannot fit in a bucket page"
+            )
+        if not pager.record_fits(
+            self._staging_sizes[keyword_bucket], entry, self._capacity()
+        ):
+            self._flush_bucket(keyword_bucket)
+        self._staging[keyword_bucket].append(entry)
+        self._staging_sizes[keyword_bucket] += 2 + len(entry)
+        self._entry_count += 1
+
+    def flush_all(self) -> None:
+        """Flush every non-empty staging buffer to flash."""
+        for bucket in range(self.num_buckets):
+            if self._staging[bucket]:
+                self._flush_bucket(bucket)
+
+    def _flush_bucket(self, bucket: int) -> None:
+        entries = self._staging[bucket]
+        if not entries:
+            return
+        page = pager.pack_u32(self._heads[bucket]) + pager.pack_records(entries)
+        position = self.log.append_page(page)
+        self._heads[bucket] = position
+        self._staging[bucket] = []
+        self._staging_sizes[bucket] = 2
+
+    # ------------------------------------------------------------------
+    def iter_bucket(self, bucket: int) -> Iterator[bytes]:
+        """Yield a bucket's entries newest-first (descending docid order).
+
+        Staged (not yet flushed) entries come first, reversed; then each
+        chained page from head to tail, entries reversed within the page.
+        """
+        if not 0 <= bucket < self.num_buckets:
+            raise StorageError(
+                f"bucket {bucket} out of range [0, {self.num_buckets})"
+            )
+        yield from reversed(self._staging[bucket])
+        position = self._heads[bucket]
+        while position != pager.NO_PAGE:
+            page = self.log.read_page(position)
+            prev = pager.unpack_u32(page, 0)
+            yield from reversed(pager.unpack_records(page[self._HEADER :]))
+            position = prev
+
+    def chain_length(self, bucket: int) -> int:
+        """Number of flash pages in a bucket's chain (IO cost of a probe)."""
+        length = 0
+        position = self._heads[bucket]
+        while position != pager.NO_PAGE:
+            page = self.log.read_page(position)
+            position = pager.unpack_u32(page, 0)
+            length += 1
+        return length
+
+    def drop(self) -> None:
+        """Discard all chains and reclaim flash blocks."""
+        self.log.drop()
+        self._heads = [pager.NO_PAGE] * self.num_buckets
+        self._staging = [[] for _ in range(self.num_buckets)]
+        self._staging_sizes = [2] * self.num_buckets
+        self._entry_count = 0
+        if self._ram is not None and self._ram_handle is not None:
+            self._ram.free(self._ram_handle)
+            self._ram_handle = None

@@ -1,0 +1,241 @@
+"""Sequentially Written Logs (SWL): the only write pattern the token uses.
+
+The tutorial's "general (implicit) framework" states the rule every Part II
+structure obeys:
+
+    *Organize all index structures into sequential logs. Pages are written
+    sequentially (and never updated nor moved); allocation and de-allocation
+    are made on a Flash-block basis.*
+
+:class:`PageLog` is that primitive — an append-only sequence of flash pages
+spanning dynamically allocated blocks. :class:`RecordLog` layers a
+record-per-append interface on top with a single-page RAM write buffer,
+which is the entire RAM cost of maintaining a log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LogSealedError, StorageError
+from repro.hardware.flash import BlockAllocator
+from repro.hardware.ram import RamArena
+from repro.storage import pager
+
+
+@dataclass(frozen=True, order=True)
+class RecordAddress:
+    """Stable address of a record inside a :class:`RecordLog`.
+
+    ``position`` is the log-order index of the page (not the physical page
+    number, which depends on block allocation) and ``slot`` the record's
+    index within that page. Addresses order exactly like append order.
+    """
+
+    position: int
+    slot: int
+
+
+class PageLog:
+    """Append-only sequence of pages over block-granular flash allocation."""
+
+    def __init__(self, allocator: BlockAllocator, name: str = "log") -> None:
+        self.allocator = allocator
+        self.flash = allocator.flash
+        self.name = name
+        self._blocks: list[int] = []
+        self._page_numbers: list[int] = []  # physical page of each log position
+        self._sealed = False
+        self._dropped = False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of pages appended so far."""
+        return len(self._page_numbers)
+
+    @property
+    def page_size(self) -> int:
+        return self.flash.geometry.page_size
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def append_page(self, data: bytes) -> int:
+        """Program ``data`` as the next page; returns its log position."""
+        self._check_writable()
+        pages_per_block = self.flash.geometry.pages_per_block
+        if not self._blocks or len(self._page_numbers) % pages_per_block == 0:
+            self._blocks.append(self.allocator.allocate())
+        block = self._blocks[-1]
+        in_block = len(self._page_numbers) % pages_per_block
+        page_no = self.flash.geometry.first_page_of(block) + in_block
+        self.flash.program_page(page_no, data)
+        self._page_numbers.append(page_no)
+        return len(self._page_numbers) - 1
+
+    def read_page(self, position: int) -> bytes:
+        """Read the page at log ``position`` (0-based append order)."""
+        self._check_alive()
+        if not 0 <= position < len(self._page_numbers):
+            raise StorageError(
+                f"log {self.name!r}: position {position} out of range "
+                f"[0, {len(self._page_numbers)})"
+            )
+        return self.flash.read_page(self._page_numbers[position])
+
+    def iter_pages(self) -> Iterator[bytes]:
+        """Yield pages in append order."""
+        for position in range(len(self._page_numbers)):
+            yield self.read_page(position)
+
+    def seal(self) -> None:
+        """Make the log immutable (reorganized structures are sealed)."""
+        self._sealed = True
+
+    def drop(self) -> None:
+        """Erase and free every block of the log (whole-log reclamation).
+
+        This is the framework's answer to garbage collection: logs are
+        reclaimed in bulk after a reorganization swap, never page by page.
+        """
+        self._check_alive()
+        for block in self._blocks:
+            self.allocator.free(block)
+        self._blocks.clear()
+        self._page_numbers.clear()
+        self._dropped = True
+
+    # ------------------------------------------------------------------
+    def _check_alive(self) -> None:
+        if self._dropped:
+            raise StorageError(f"log {self.name!r} has been dropped")
+
+    def _check_writable(self) -> None:
+        self._check_alive()
+        if self._sealed:
+            raise LogSealedError(f"log {self.name!r} is sealed")
+
+
+class RecordLog:
+    """Record-oriented append-only log with a one-page RAM write buffer.
+
+    Records are packed into pages with :mod:`repro.storage.pager`; a record
+    must fit in one page. While the log is open for writing it holds exactly
+    one page buffer in the (optional) :class:`RamArena` — the "pipeline
+    friendly" RAM footprint the tutorial's framework promises.
+    """
+
+    def __init__(
+        self,
+        allocator: BlockAllocator,
+        name: str = "records",
+        ram: RamArena | None = None,
+    ) -> None:
+        self.pages = PageLog(allocator, name)
+        self.name = name
+        #: Optional hook called as ``on_page_flush(position, records)`` right
+        #: after a page hits flash — used by indexes that summarize pages
+        #: (e.g. one Bloom filter per Keys page).
+        self.on_page_flush = None
+        self._ram = ram
+        self._buffer: list[bytes] = []
+        self._buffer_size = 2  # packed size of an empty page (count field)
+        self._record_count = 0
+        self._records_per_page: list[int] = []
+        self._ram_handle = (
+            ram.allocate(self.pages.page_size, tag=f"log:{name}:writebuf")
+            if ram is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Total records appended (buffered ones included)."""
+        return self._record_count
+
+    @property
+    def page_count(self) -> int:
+        """Pages already on flash (the write buffer is not counted)."""
+        return len(self.pages)
+
+    def append(self, record: bytes) -> RecordAddress:
+        """Append one record, flushing the page buffer when it fills up."""
+        max_payload = self.pages.page_size
+        if pager.records_size([record]) > max_payload:
+            raise StorageError(
+                f"record of {len(record)} B cannot fit in a "
+                f"{self.pages.page_size} B page"
+            )
+        if not pager.record_fits(self._buffer_size, record, max_payload):
+            self.flush()
+        slot = len(self._buffer)
+        self._buffer.append(record)
+        self._buffer_size += 2 + len(record)
+        self._record_count += 1
+        return RecordAddress(position=len(self.pages), slot=slot)
+
+    def flush(self) -> None:
+        """Write the buffered records to flash as one page."""
+        if not self._buffer:
+            return
+        position = self.pages.append_page(pager.pack_records(self._buffer))
+        self._records_per_page.append(len(self._buffer))
+        flushed, self._buffer = self._buffer, []
+        self._buffer_size = 2
+        if self.on_page_flush is not None:
+            self.on_page_flush(position, flushed)
+
+    def read(self, address: RecordAddress) -> bytes:
+        """Fetch one record by address (reads its page, or the RAM buffer)."""
+        if address.position == len(self.pages):
+            if address.slot >= len(self._buffer):
+                raise StorageError(f"no record at {address}")
+            return self._buffer[address.slot]
+        records = pager.unpack_records(self.pages.read_page(address.position))
+        if address.slot >= len(records):
+            raise StorageError(f"no record at {address}")
+        return records[address.slot]
+
+    def scan(self) -> Iterator[tuple[RecordAddress, bytes]]:
+        """Yield ``(address, record)`` in append order, buffer included."""
+        for position in range(len(self.pages)):
+            records = pager.unpack_records(self.pages.read_page(position))
+            for slot, record in enumerate(records):
+                yield RecordAddress(position, slot), record
+        for slot, record in enumerate(self._buffer):
+            yield RecordAddress(len(self.pages), slot), record
+
+    def buffered_records(self) -> list[bytes]:
+        """Records staged in the RAM write buffer (not yet on flash)."""
+        return list(self._buffer)
+
+    def scan_pages(self) -> Iterator[list[bytes]]:
+        """Yield flushed pages as record lists (no buffer), in append order."""
+        for page in self.pages.iter_pages():
+            yield pager.unpack_records(page)
+
+    def seal(self) -> None:
+        """Flush, release the write buffer's RAM and make the log immutable."""
+        self.flush()
+        self.pages.seal()
+        self._release_ram()
+
+    def drop(self) -> None:
+        """Discard the log and reclaim its flash blocks."""
+        self._buffer = []
+        self._buffer_size = 2
+        self._record_count = 0
+        self.pages.drop()
+        self._release_ram()
+
+    # ------------------------------------------------------------------
+    def _release_ram(self) -> None:
+        if self._ram is not None and self._ram_handle is not None:
+            self._ram.free(self._ram_handle)
+            self._ram_handle = None

@@ -1,0 +1,72 @@
+"""Binary page-layout helpers shared by all log-structured storage.
+
+Everything a token writes to flash goes through these fixed little-endian
+encodings, so page formats stay consistent across the record logs, bucket
+chains, Bloom summaries and tree nodes, and so tests can byte-compare pages.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import StorageError
+
+U16 = struct.Struct("<H")
+U32 = struct.Struct("<I")
+
+#: Sentinel "no page" pointer stored in chained page headers.
+NO_PAGE = 0xFFFFFFFF
+
+
+def pack_u16(value: int) -> bytes:
+    if not 0 <= value <= 0xFFFF:
+        raise StorageError(f"value {value} does not fit in u16")
+    return U16.pack(value)
+
+
+def pack_u32(value: int) -> bytes:
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise StorageError(f"value {value} does not fit in u32")
+    return U32.pack(value)
+
+
+def unpack_u16(buffer: bytes, offset: int) -> int:
+    return U16.unpack_from(buffer, offset)[0]
+
+
+def unpack_u32(buffer: bytes, offset: int) -> int:
+    return U32.unpack_from(buffer, offset)[0]
+
+
+def pack_records(records: list[bytes]) -> bytes:
+    """Serialize records as ``count | (len | bytes)*``."""
+    parts = [pack_u16(len(records))]
+    for record in records:
+        parts.append(pack_u16(len(record)))
+        parts.append(record)
+    return b"".join(parts)
+
+
+def unpack_records(page: bytes) -> list[bytes]:
+    """Inverse of :func:`pack_records`; tolerates trailing padding."""
+    if not page:
+        return []
+    count = unpack_u16(page, 0)
+    records: list[bytes] = []
+    offset = 2
+    for _ in range(count):
+        length = unpack_u16(page, offset)
+        offset += 2
+        records.append(page[offset : offset + length])
+        offset += length
+    return records
+
+
+def records_size(records: list[bytes]) -> int:
+    """Bytes :func:`pack_records` would produce for ``records``."""
+    return 2 + sum(2 + len(record) for record in records)
+
+
+def record_fits(current_size: int, record: bytes, page_size: int) -> bool:
+    """Whether appending ``record`` keeps the packed page within ``page_size``."""
+    return current_size + 2 + len(record) <= page_size

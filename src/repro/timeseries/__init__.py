@@ -1,0 +1,11 @@
+"""Embedded time-series storage (the tutorial's named extension).
+
+The log-only framework applied to temporal data: an append-only point log
+with per-page temporal summaries, summary-skipping range aggregates and
+tumbling windows, plus sequential downsampling for ageing history.
+"""
+
+from repro.timeseries.downsample import downsample
+from repro.timeseries.series import AGGREGATES, RangeStats, TimeSeriesStore
+
+__all__ = ["AGGREGATES", "RangeStats", "TimeSeriesStore", "downsample"]

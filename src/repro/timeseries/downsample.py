@@ -1,0 +1,71 @@
+"""Log-only downsampling: the time-series analogue of reorganization.
+
+Old high-resolution history rarely needs point precision; the framework's
+answer is the same as for indexes — *rewrite sequentially into a better
+structure and reclaim the old log in blocks*. :func:`downsample` folds a
+series into fixed-width buckets written to a fresh
+:class:`~repro.timeseries.series.TimeSeriesStore` holding one point per
+bucket (the bucket aggregate), then the caller drops the source.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.hardware.flash import BlockAllocator
+from repro.timeseries.series import AGGREGATES, TimeSeriesStore
+
+
+def downsample(
+    source: TimeSeriesStore,
+    allocator: BlockAllocator,
+    bucket_width: int,
+    aggregate: str = "AVG",
+    name: str = "downsampled",
+) -> TimeSeriesStore:
+    """Fold ``source`` into one point per ``bucket_width`` of time.
+
+    The output point's timestamp is the bucket start; its value is the
+    bucket's aggregate. Purely sequential: one pass over the source (via
+    its summary/data logs), appends to the target.
+    """
+    if bucket_width <= 0:
+        raise QueryError("bucket width must be positive")
+    if aggregate not in AGGREGATES:
+        raise QueryError(f"unsupported aggregate {aggregate!r}")
+    target = TimeSeriesStore(allocator, name=name)
+
+    bucket_start: int | None = None
+    count = 0
+    total = 0.0
+    minimum = maximum = 0.0
+
+    def emit() -> None:
+        nonlocal count
+        if count == 0:
+            return
+        if aggregate == "COUNT":
+            value = float(count)
+        elif aggregate == "SUM":
+            value = total
+        elif aggregate == "AVG":
+            value = total / count
+        elif aggregate == "MIN":
+            value = minimum
+        else:
+            value = maximum
+        target.append(bucket_start, value)
+        count = 0
+
+    for timestamp, value in source.scan_range(-(2**62), 2**62):
+        start = (timestamp // bucket_width) * bucket_width
+        if bucket_start is None or start != bucket_start:
+            emit()
+            bucket_start = start
+            total, minimum, maximum = 0.0, value, value
+        count += 1
+        total += value
+        minimum = min(minimum, value)
+        maximum = max(maximum, value)
+    emit()
+    target.flush()
+    return target

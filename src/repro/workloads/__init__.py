@@ -1,0 +1,48 @@
+"""Deterministic synthetic workloads for every experiment.
+
+Document corpora (embedded search), the TPCD-like five-table schema
+(embedded SQL), personal-record populations (global protocols) and the
+standard query mixes. All generators take seeds so experiments reproduce
+bit-for-bit.
+"""
+
+from repro.workloads.documents import Document, DocumentCorpus, standard_queries
+from repro.workloads.people import (
+    CITIES,
+    DIAGNOSES,
+    OCCUPATIONS,
+    PersonRecord,
+    generate_population,
+    zipf_choice,
+)
+from repro.workloads.queries import census_queries, epidemiology_query
+from repro.workloads.tpcd import (
+    MKT_SEGMENTS,
+    ROOT_TABLE,
+    TpcdData,
+    generate,
+    household_supplier_query,
+    load,
+    tpcd_schema,
+)
+
+__all__ = [
+    "CITIES",
+    "DIAGNOSES",
+    "Document",
+    "DocumentCorpus",
+    "MKT_SEGMENTS",
+    "OCCUPATIONS",
+    "PersonRecord",
+    "ROOT_TABLE",
+    "TpcdData",
+    "census_queries",
+    "epidemiology_query",
+    "generate",
+    "generate_population",
+    "household_supplier_query",
+    "load",
+    "standard_queries",
+    "tpcd_schema",
+    "zipf_choice",
+]

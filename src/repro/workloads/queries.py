@@ -1,0 +1,31 @@
+"""Query mixes shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+
+def census_queries() -> list:
+    """The smart-city / public-statistics mix for Part III experiments."""
+    # Imported lazily: repro.globalq.queries itself uses the people
+    # workload, and a module-level import here would close that cycle.
+    from repro.globalq.queries import AggregateQuery
+
+    return [
+        AggregateQuery.count(group_by="city", where=(("kind", "profile"),)),
+        AggregateQuery.avg("age", group_by="city", where=(("kind", "profile"),)),
+        AggregateQuery.sum("kwh", group_by="city", where=(("kind", "energy"),)),
+        AggregateQuery.count(
+            group_by="diagnosis", where=(("kind", "health"),)
+        ),
+        AggregateQuery.avg(
+            "consultations", where=(("kind", "health"), ("diagnosis", "flu"))
+        ),
+    ]
+
+
+def epidemiology_query():
+    """Flu prevalence by city: the motivating healthcare example."""
+    from repro.globalq.queries import AggregateQuery
+
+    return AggregateQuery.count(
+        group_by="city", where=(("kind", "health"), ("diagnosis", "flu"))
+    )

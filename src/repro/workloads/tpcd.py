@@ -1,0 +1,168 @@
+"""TPCD-like workload: the five-table schema of the tutorial's SQL slide.
+
+The execution-plan slide joins CUSTOMER ⋈ ORDER ⋈ LINEITEM ⋈ PARTSUPP ⋈
+SUPPLIER with selections on ``CUS.Mktsegment`` and ``SUP.Name`` — a shrunken
+TPC-D. This module provides that schema (LINEITEM as query root), a
+deterministic generator scaled by ``num_lineitems``, and the slide's query.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.relational.planner import Query
+from repro.relational.schema import Column, ForeignKey, SchemaGraph, TableSchema
+
+MKT_SEGMENTS = ["HOUSEHOLD", "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY"]
+NATIONS = ["FRANCE", "GERMANY", "SPAIN", "ITALY", "JAPAN", "BRAZIL"]
+
+
+def tpcd_schema() -> SchemaGraph:
+    """The five-table schema tree rooted (for queries) at LINEITEM."""
+    supplier = TableSchema(
+        "SUPPLIER",
+        [Column("SUPkey", "int"), Column("Name", "str"), Column("Nation", "str")],
+        primary_key="SUPkey",
+    )
+    customer = TableSchema(
+        "CUSTOMER",
+        [
+            Column("CUSkey", "int"),
+            Column("Name", "str"),
+            Column("Mktsegment", "str"),
+        ],
+        primary_key="CUSkey",
+    )
+    order = TableSchema(
+        "ORDER",
+        [Column("ORDkey", "int"), Column("CUSkey", "int"), Column("Odate", "int")],
+        primary_key="ORDkey",
+        foreign_keys=[ForeignKey("CUSkey", "CUSTOMER", "CUSkey")],
+    )
+    partsupp = TableSchema(
+        "PARTSUPP",
+        [
+            Column("PSkey", "int"),
+            Column("SUPkey", "int"),
+            Column("Availqty", "int"),
+        ],
+        primary_key="PSkey",
+        foreign_keys=[ForeignKey("SUPkey", "SUPPLIER", "SUPkey")],
+    )
+    lineitem = TableSchema(
+        "LINEITEM",
+        [
+            Column("LINkey", "int"),
+            Column("ORDkey", "int"),
+            Column("PSkey", "int"),
+            Column("Quantity", "int"),
+            Column("Price", "float"),
+        ],
+        primary_key="LINkey",
+        foreign_keys=[
+            ForeignKey("ORDkey", "ORDER", "ORDkey"),
+            ForeignKey("PSkey", "PARTSUPP", "PSkey"),
+        ],
+    )
+    return SchemaGraph([supplier, customer, order, partsupp, lineitem])
+
+
+ROOT_TABLE = "LINEITEM"
+
+
+@dataclass(frozen=True)
+class TpcdData:
+    """Generated rows per table, in referential-integrity insertion order."""
+
+    suppliers: list[tuple]
+    customers: list[tuple]
+    orders: list[tuple]
+    partsupps: list[tuple]
+    lineitems: list[tuple]
+
+    def insertion_plan(self) -> list[tuple[str, list[tuple]]]:
+        """Tables in an order that satisfies foreign keys."""
+        return [
+            ("SUPPLIER", self.suppliers),
+            ("CUSTOMER", self.customers),
+            ("ORDER", self.orders),
+            ("PARTSUPP", self.partsupps),
+            ("LINEITEM", self.lineitems),
+        ]
+
+    @property
+    def total_rows(self) -> int:
+        return (
+            len(self.suppliers)
+            + len(self.customers)
+            + len(self.orders)
+            + len(self.partsupps)
+            + len(self.lineitems)
+        )
+
+
+def generate(num_lineitems: int, seed: int = 42) -> TpcdData:
+    """Deterministic micro TPC-D: table cardinalities keep TPC-ish ratios."""
+    rng = random.Random(seed)
+    num_orders = max(2, num_lineitems // 4)
+    num_customers = max(2, num_orders // 5)
+    num_partsupps = max(2, num_lineitems // 5)
+    num_suppliers = max(2, num_partsupps // 8)
+
+    suppliers = [
+        (i, f"SUPPLIER-{i}", NATIONS[rng.randrange(len(NATIONS))])
+        for i in range(num_suppliers)
+    ]
+    customers = [
+        (
+            i,
+            f"Customer#{i:06d}",
+            MKT_SEGMENTS[rng.randrange(len(MKT_SEGMENTS))],
+        )
+        for i in range(num_customers)
+    ]
+    orders = [
+        (i, rng.randrange(num_customers), 19940101 + rng.randrange(365))
+        for i in range(num_orders)
+    ]
+    partsupps = [
+        (i, rng.randrange(num_suppliers), rng.randrange(1, 1000))
+        for i in range(num_partsupps)
+    ]
+    lineitems = [
+        (
+            i,
+            rng.randrange(num_orders),
+            rng.randrange(num_partsupps),
+            rng.randrange(1, 50),
+            round(rng.uniform(1.0, 1000.0), 2),
+        )
+        for i in range(num_lineitems)
+    ]
+    return TpcdData(suppliers, customers, orders, partsupps, lineitems)
+
+
+def load(db, data: TpcdData) -> None:
+    """Insert a generated dataset into an EmbeddedDatabase-compatible API."""
+    for table, rows in data.insertion_plan():
+        for row in rows:
+            db.insert(table, row)
+    db.flush()
+
+
+def household_supplier_query(segment: str = "HOUSEHOLD", supplier: str = "SUPPLIER-1") -> Query:
+    """The tutorial's query: segment + supplier selections, wide projection."""
+    return Query.build(
+        filters=[
+            ("CUSTOMER", "Mktsegment", segment),
+            ("SUPPLIER", "Name", supplier),
+        ],
+        projection=[
+            ("CUSTOMER", "Name"),
+            ("ORDER", "ORDkey"),
+            ("LINEITEM", "LINkey"),
+            ("LINEITEM", "Price"),
+            ("SUPPLIER", "Name"),
+        ],
+    )

@@ -1,0 +1,138 @@
+"""Tests for Paillier (additive HE) and RSA (multiplicative HE)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import generate_keypair as paillier_keypair
+from repro.crypto.rsa import generate_keypair as rsa_keypair
+
+# Module-scope keys: keygen is the slow part, properties are per-message.
+PUB, PRIV = paillier_keypair(bits=256, rng=random.Random(2024))
+RSA_PUB, RSA_PRIV = rsa_keypair(bits=256, rng=random.Random(2024))
+
+
+class TestPaillier:
+    def test_encrypt_decrypt_roundtrip(self):
+        rng = random.Random(1)
+        for message in (0, 1, 12345, PUB.n - 1):
+            assert PRIV.decrypt(PUB.encrypt(message, rng)) == message
+
+    def test_nondeterministic(self):
+        rng = random.Random(2)
+        assert PUB.encrypt(42, rng) != PUB.encrypt(42, rng)
+
+    def test_additive_homomorphism(self):
+        rng = random.Random(3)
+        c = PUB.add(PUB.encrypt(100, rng), PUB.encrypt(23, rng))
+        assert PRIV.decrypt(c) == 123
+
+    def test_add_plain(self):
+        rng = random.Random(4)
+        c = PUB.add_plain(PUB.encrypt(10, rng), 32, rng)
+        assert PRIV.decrypt(c) == 42
+
+    def test_multiply_plain(self):
+        rng = random.Random(5)
+        c = PUB.multiply_plain(PUB.encrypt(7, rng), 6)
+        assert PRIV.decrypt(c) == 42
+
+    def test_addition_wraps_mod_n(self):
+        rng = random.Random(6)
+        c = PUB.add(PUB.encrypt(PUB.n - 1, rng), PUB.encrypt(2, rng))
+        assert PRIV.decrypt(c) == 1
+
+    def test_decrypt_signed(self):
+        rng = random.Random(7)
+        c = PUB.add(PUB.encrypt(5, rng), PUB.encrypt(-8 % PUB.n, rng))
+        assert PRIV.decrypt_signed(c) == -3
+
+    @given(
+        st.integers(min_value=0, max_value=2**48),
+        st.integers(min_value=0, max_value=2**48),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_sum_of_any_pair(self, a, b):
+        rng = random.Random(a ^ b)
+        c = PUB.add(PUB.encrypt(a, rng), PUB.encrypt(b, rng))
+        assert PRIV.decrypt(c) == a + b
+
+    def test_keypair_distinct_primes(self):
+        # n must not be a perfect square (p != q).
+        root = int(PUB.n**0.5)
+        assert root * root != PUB.n
+
+
+class TestRsa:
+    def test_roundtrip(self):
+        for message in (0, 1, 123456789):
+            assert RSA_PRIV.decrypt(RSA_PUB.encrypt(message)) == message
+
+    def test_deterministic(self):
+        assert RSA_PUB.encrypt(42) == RSA_PUB.encrypt(42)
+
+    def test_multiplicative_homomorphism(self):
+        """The slide's identity: E(p1) x E(p2) = E(p1 x p2)."""
+        c = RSA_PUB.multiply(RSA_PUB.encrypt(6), RSA_PUB.encrypt(7))
+        assert RSA_PRIV.decrypt(c) == 42
+
+    def test_message_range_checked(self):
+        with pytest.raises(ValueError):
+            RSA_PUB.encrypt(RSA_PUB.n)
+        with pytest.raises(ValueError):
+            RSA_PUB.encrypt(-1)
+
+    @given(
+        st.integers(min_value=1, max_value=2**32),
+        st.integers(min_value=1, max_value=2**32),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_product_of_any_pair(self, a, b):
+        c = RSA_PUB.multiply(RSA_PUB.encrypt(a), RSA_PUB.encrypt(b))
+        assert RSA_PRIV.decrypt(c) == a * b
+
+
+class TestElGamal:
+    from repro.crypto.elgamal import generate_keypair as _gen
+
+    EG_PUB, EG_PRIV = _gen(bits=96, rng=random.Random(7))
+
+    def test_roundtrip_on_subgroup_elements(self):
+        rng = random.Random(1)
+        for value in (2, 77, 12345):
+            element = self.EG_PUB.encode(value)
+            assert self.EG_PRIV.decrypt(self.EG_PUB.encrypt(element, rng)) == element
+
+    def test_probabilistic(self):
+        rng = random.Random(2)
+        element = self.EG_PUB.encode(42)
+        assert self.EG_PUB.encrypt(element, rng) != self.EG_PUB.encrypt(element, rng)
+
+    def test_multiplicative_homomorphism(self):
+        rng = random.Random(3)
+        a, b = self.EG_PUB.encode(6), self.EG_PUB.encode(7)
+        product = self.EG_PUB.multiply(
+            self.EG_PUB.encrypt(a, rng), self.EG_PUB.encrypt(b, rng)
+        )
+        assert self.EG_PRIV.decrypt(product) == (a * b) % self.EG_PUB.p
+
+    def test_encode_range_checked(self):
+        with pytest.raises(ValueError):
+            self.EG_PUB.encode(0)
+        with pytest.raises(ValueError):
+            self.EG_PUB.encode(self.EG_PUB.q + 1)
+
+    @given(
+        st.integers(min_value=2, max_value=10_000),
+        st.integers(min_value=2, max_value=10_000),
+        st.integers(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_products(self, a, b, seed):
+        rng = random.Random(seed)
+        ea = self.EG_PUB.encrypt(self.EG_PUB.encode(a), rng)
+        eb = self.EG_PUB.encrypt(self.EG_PUB.encode(b), rng)
+        expected = (self.EG_PUB.encode(a) * self.EG_PUB.encode(b)) % self.EG_PUB.p
+        assert self.EG_PRIV.decrypt(self.EG_PUB.multiply(ea, eb)) == expected

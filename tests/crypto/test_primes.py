@@ -1,0 +1,78 @@
+"""Tests for primality testing and prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primes import (
+    generate_prime,
+    generate_safe_prime,
+    is_prime,
+    lcm,
+    modinv,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 65537, 2**127 - 1, 2**521 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 91, 561, 65536, 2**128 - 1, 3**100]
+CARMICHAELS = [561, 1105, 1729, 2465, 2821, 6601, 8911]
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("n", KNOWN_PRIMES)
+    def test_known_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites(self, n):
+        assert not is_prime(n)
+
+    @pytest.mark.parametrize("n", CARMICHAELS)
+    def test_carmichael_numbers_rejected(self, n):
+        assert not is_prime(n)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_trial_division(self, n):
+        trial = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_prime(n) == trial
+
+
+class TestGenerate:
+    def test_requested_bit_length(self):
+        rng = random.Random(1)
+        for bits in (16, 64, 128):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_prime(p)
+
+    def test_deterministic_given_seed(self):
+        assert generate_prime(64, random.Random(5)) == generate_prime(
+            64, random.Random(5)
+        )
+
+    def test_too_few_bits(self):
+        with pytest.raises(ValueError):
+            generate_prime(1, random.Random(0))
+
+    def test_safe_prime(self):
+        p = generate_safe_prime(32, random.Random(3))
+        assert is_prime(p)
+        assert is_prime((p - 1) // 2)
+
+
+class TestArithmetic:
+    def test_lcm(self):
+        assert lcm(4, 6) == 12
+        assert lcm(7, 13) == 91
+
+    def test_modinv(self):
+        assert (3 * modinv(3, 11)) % 11 == 1
+
+    def test_modinv_nonexistent(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)

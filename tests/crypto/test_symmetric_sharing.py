@@ -1,0 +1,119 @@
+"""Tests for symmetric ciphers and additive secret sharing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sharing import reconstruct, reconstruct_signed, split
+from repro.crypto.symmetric import DeterministicCipher, NondeterministicCipher
+from repro.errors import IntegrityError
+
+KEY = b"0123456789abcdef"
+
+
+class TestDeterministicCipher:
+    def test_roundtrip(self):
+        cipher = DeterministicCipher(KEY)
+        for plaintext in (b"", b"x", b"tuple|HOUSEHOLD|42", b"\x00" * 100):
+            assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_equal_plaintexts_equal_ciphertexts(self):
+        cipher = DeterministicCipher(KEY)
+        assert cipher.encrypt(b"HOUSEHOLD") == cipher.encrypt(b"HOUSEHOLD")
+
+    def test_different_plaintexts_differ(self):
+        cipher = DeterministicCipher(KEY)
+        assert cipher.encrypt(b"A") != cipher.encrypt(b"B")
+
+    def test_tampering_detected(self):
+        cipher = DeterministicCipher(KEY)
+        ciphertext = bytearray(cipher.encrypt(b"secret"))
+        ciphertext[-1] ^= 1
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bytes(ciphertext))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(IntegrityError):
+            DeterministicCipher(KEY).decrypt(b"short")
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicCipher(b"tiny")
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, plaintext):
+        cipher = DeterministicCipher(KEY)
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+
+class TestNondeterministicCipher:
+    def test_roundtrip(self):
+        cipher = NondeterministicCipher(KEY, rng=random.Random(1))
+        for plaintext in (b"", b"x", b"tuple|HOUSEHOLD|42"):
+            assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+    def test_equal_plaintexts_unlinkable(self):
+        cipher = NondeterministicCipher(KEY, rng=random.Random(2))
+        assert cipher.encrypt(b"HOUSEHOLD") != cipher.encrypt(b"HOUSEHOLD")
+
+    def test_tampering_detected(self):
+        cipher = NondeterministicCipher(KEY, rng=random.Random(3))
+        ciphertext = bytearray(cipher.encrypt(b"secret"))
+        ciphertext[20] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            cipher.decrypt(bytes(ciphertext))
+
+    def test_cross_key_decryption_fails(self):
+        a = NondeterministicCipher(KEY, rng=random.Random(4))
+        b = NondeterministicCipher(b"another-16-byte-key!", rng=random.Random(4))
+        with pytest.raises(IntegrityError):
+            b.decrypt(a.encrypt(b"msg"))
+
+    @given(st.binary(max_size=200), st.integers())
+    @settings(max_examples=50, deadline=None)
+    def test_property_roundtrip(self, plaintext, seed):
+        cipher = NondeterministicCipher(KEY, rng=random.Random(seed))
+        assert cipher.decrypt(cipher.encrypt(plaintext)) == plaintext
+
+
+class TestSecretSharing:
+    def test_split_reconstruct(self):
+        rng = random.Random(1)
+        shares = split(123456, 5, rng)
+        assert len(shares) == 5
+        assert reconstruct(shares) == 123456
+
+    def test_single_share(self):
+        assert reconstruct(split(42, 1, random.Random(0))) == 42
+
+    def test_partial_shares_reveal_nothing_structural(self):
+        """Any n-1 shares are uniform: reconstructing them misses the secret."""
+        rng = random.Random(2)
+        shares = split(999, 4, rng)
+        assert reconstruct(shares[:-1]) != 999 or shares[-1] == 0
+
+    def test_signed_reconstruction(self):
+        rng = random.Random(3)
+        shares = split(-77, 3, rng)
+        assert reconstruct_signed(shares) == -77
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            split(1, 0, random.Random(0))
+        with pytest.raises(ValueError):
+            split(1, 2, random.Random(0), modulus=1)
+        with pytest.raises(ValueError):
+            reconstruct([])
+
+    @given(
+        st.integers(min_value=0, max_value=2**63),
+        st.integers(min_value=1, max_value=20),
+        st.integers(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_roundtrip(self, value, num_shares, seed):
+        shares = split(value, num_shares, random.Random(seed))
+        assert reconstruct(shares) == value

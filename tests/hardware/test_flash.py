@@ -1,0 +1,171 @@
+"""Unit tests for the NAND flash model: the constraints Part II builds on."""
+
+import pytest
+
+from repro.errors import FlashViolation
+from repro.hardware.flash import (
+    BlockAllocator,
+    FlashCostModel,
+    FlashGeometry,
+    NandFlash,
+)
+
+
+@pytest.fixture
+def flash() -> NandFlash:
+    return NandFlash(FlashGeometry(page_size=64, pages_per_block=4, num_blocks=8))
+
+
+class TestGeometry:
+    def test_derived_sizes(self):
+        geometry = FlashGeometry(page_size=2048, pages_per_block=64, num_blocks=1024)
+        assert geometry.num_pages == 65536
+        assert geometry.capacity_bytes == 128 * 1024 * 1024
+
+    def test_block_of_and_index(self):
+        geometry = FlashGeometry(page_size=64, pages_per_block=4, num_blocks=8)
+        assert geometry.block_of(0) == 0
+        assert geometry.block_of(5) == 1
+        assert geometry.page_index_in_block(5) == 1
+        assert geometry.first_page_of(2) == 8
+
+
+class TestProgramRead:
+    def test_roundtrip(self, flash):
+        flash.program_page(0, b"hello")
+        assert flash.read_page(0) == b"hello"
+
+    def test_erased_page_reads_empty(self, flash):
+        assert flash.read_page(3) == b""
+
+    def test_program_counts_stats(self, flash):
+        flash.program_page(0, b"x")
+        flash.read_page(0)
+        assert flash.stats.page_programs == 1
+        assert flash.stats.page_reads == 1
+
+    def test_oversized_page_rejected(self, flash):
+        with pytest.raises(FlashViolation, match="exceeds page size"):
+            flash.program_page(0, b"z" * 65)
+
+    def test_page_out_of_range(self, flash):
+        with pytest.raises(FlashViolation, match="out of range"):
+            flash.read_page(999)
+
+
+class TestWriteDiscipline:
+    def test_no_in_place_rewrite(self, flash):
+        flash.program_page(0, b"v1")
+        with pytest.raises(FlashViolation, match="already programmed"):
+            flash.program_page(0, b"v2")
+
+    def test_sequential_order_within_block(self, flash):
+        flash.program_page(0, b"a")
+        with pytest.raises(FlashViolation, match="sequentially"):
+            flash.program_page(2, b"c")  # skips page 1
+
+    def test_blocks_are_independent(self, flash):
+        flash.program_page(0, b"a")  # block 0, index 0
+        flash.program_page(4, b"b")  # block 1, index 0: fine
+        assert flash.read_page(4) == b"b"
+
+    def test_erase_resets_cursor_and_content(self, flash):
+        for page in range(4):
+            flash.program_page(page, bytes([page]))
+        flash.erase_block(0)
+        assert flash.read_page(0) == b""
+        flash.program_page(0, b"again")  # cursor restarted
+        assert flash.read_page(0) == b"again"
+
+    def test_erase_counts_wear(self, flash):
+        flash.erase_block(3)
+        flash.erase_block(3)
+        assert flash.erase_count(3) == 2
+        assert flash.stats.block_erases == 2
+
+    def test_next_free_page(self, flash):
+        assert flash.next_free_page(0) == 0
+        flash.program_page(0, b"a")
+        assert flash.next_free_page(0) == 1
+        for page in range(1, 4):
+            flash.program_page(page, b"x")
+        assert flash.next_free_page(0) is None
+
+
+class TestCostModel:
+    def test_time_accumulates_per_operation(self):
+        cost = FlashCostModel(read_us=1.0, program_us=10.0, erase_us=100.0)
+        flash = NandFlash(
+            FlashGeometry(page_size=16, pages_per_block=2, num_blocks=2), cost
+        )
+        flash.program_page(0, b"a")
+        flash.read_page(0)
+        flash.erase_block(0)
+        assert flash.total_time_us() == pytest.approx(111.0)
+
+    def test_stats_snapshot_delta(self, flash):
+        flash.program_page(0, b"a")
+        before = flash.stats.snapshot()
+        flash.read_page(0)
+        flash.read_page(0)
+        delta = flash.stats.delta(before)
+        assert delta.page_reads == 2
+        assert delta.page_programs == 0
+
+
+class TestBlockAllocator:
+    def test_allocate_unique_blocks(self, flash):
+        allocator = BlockAllocator(flash)
+        blocks = {allocator.allocate() for _ in range(8)}
+        assert len(blocks) == 8
+        assert allocator.free_blocks == 0
+
+    def test_exhaustion_raises(self, flash):
+        allocator = BlockAllocator(flash)
+        for _ in range(8):
+            allocator.allocate()
+        with pytest.raises(FlashViolation, match="full"):
+            allocator.allocate()
+
+    def test_free_erases_and_recycles(self, flash):
+        allocator = BlockAllocator(flash)
+        block = allocator.allocate()
+        first_page = flash.geometry.first_page_of(block)
+        flash.program_page(first_page, b"data")
+        allocator.free(block)
+        assert flash.read_page(first_page) == b""
+        assert flash.stats.block_erases == 1
+        assert allocator.free_blocks == 8
+
+    def test_double_free_rejected(self, flash):
+        allocator = BlockAllocator(flash)
+        block = allocator.allocate()
+        allocator.free(block)
+        with pytest.raises(FlashViolation, match="not allocated"):
+            allocator.free(block)
+
+
+class TestWearLeveling:
+    def test_least_worn_block_allocated_first(self, flash):
+        allocator = BlockAllocator(flash)
+        first = allocator.allocate()
+        allocator.free(first)  # erase count 1: now the most-worn block
+        # The next allocations must prefer never-erased blocks.
+        for _ in range(7):
+            assert allocator.allocate() != first
+        assert allocator.allocate() == first  # only then reuse it
+
+    def test_churn_spreads_wear(self, flash):
+        """Repeated allocate/free cycles must not hammer one block."""
+        allocator = BlockAllocator(flash)
+        for _ in range(40):
+            block = allocator.allocate()
+            allocator.free(block)
+        low, high = allocator.wear_spread()
+        assert high - low <= 1  # perfectly even distribution
+
+    def test_wear_spread_reports_extremes(self, flash):
+        allocator = BlockAllocator(flash)
+        block = allocator.allocate()
+        allocator.free(block)
+        assert allocator.wear_spread() == (0, 1)

@@ -1,0 +1,112 @@
+"""Unit tests for the bounded RAM arena."""
+
+import pytest
+
+from repro.errors import RamBudgetExceeded
+from repro.hardware.ram import RamArena
+
+
+class TestAllocate:
+    def test_basic_accounting(self):
+        ram = RamArena(1000)
+        handle = ram.allocate(400, tag="buf")
+        assert ram.in_use == 400
+        assert ram.available == 600
+        ram.free(handle)
+        assert ram.in_use == 0
+
+    def test_budget_enforced(self):
+        ram = RamArena(100)
+        ram.allocate(60)
+        with pytest.raises(RamBudgetExceeded):
+            ram.allocate(50)
+
+    def test_exact_fit_allowed(self):
+        ram = RamArena(100)
+        ram.allocate(100)
+        assert ram.available == 0
+
+    def test_zero_size_allowed(self):
+        ram = RamArena(10)
+        handle = ram.allocate(0)
+        ram.free(handle)
+
+    def test_negative_size_rejected(self):
+        ram = RamArena(10)
+        with pytest.raises(ValueError):
+            ram.allocate(-1)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RamArena(0)
+
+    def test_double_free_rejected(self):
+        ram = RamArena(10)
+        handle = ram.allocate(5)
+        ram.free(handle)
+        with pytest.raises(KeyError):
+            ram.free(handle)
+
+
+class TestHighWater:
+    def test_tracks_peak_not_current(self):
+        ram = RamArena(1000)
+        a = ram.allocate(700)
+        ram.free(a)
+        ram.allocate(100)
+        assert ram.in_use == 100
+        assert ram.high_water == 700
+
+    def test_reset_high_water(self):
+        ram = RamArena(1000)
+        a = ram.allocate(700)
+        ram.free(a)
+        ram.reset_high_water()
+        ram.allocate(50)
+        assert ram.high_water == 50
+
+
+class TestResize:
+    def test_grow_and_shrink(self):
+        ram = RamArena(100)
+        handle = ram.allocate(10, tag="result")
+        ram.resize(handle, 60)
+        assert ram.in_use == 60
+        ram.resize(handle, 20)
+        assert ram.in_use == 20
+
+    def test_grow_past_budget_raises(self):
+        ram = RamArena(100)
+        handle = ram.allocate(10)
+        ram.allocate(80)
+        with pytest.raises(RamBudgetExceeded):
+            ram.resize(handle, 30)
+
+    def test_unknown_handle(self):
+        ram = RamArena(100)
+        with pytest.raises(KeyError):
+            ram.resize(12345, 10)
+
+
+class TestReservation:
+    def test_context_manager_frees(self):
+        ram = RamArena(100)
+        with ram.reservation(40, tag="scan"):
+            assert ram.in_use == 40
+        assert ram.in_use == 0
+
+    def test_frees_on_exception(self):
+        ram = RamArena(100)
+        with pytest.raises(RuntimeError):
+            with ram.reservation(40):
+                raise RuntimeError("boom")
+        assert ram.in_use == 0
+
+
+class TestUsageByTag:
+    def test_groups_by_tag(self):
+        ram = RamArena(1000)
+        ram.allocate(10, tag="index")
+        ram.allocate(20, tag="index")
+        ram.allocate(5, tag="sort")
+        assert ram.usage_by_tag() == {"index": 30, "sort": 5}

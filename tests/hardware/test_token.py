@@ -1,0 +1,115 @@
+"""Unit tests for MCU metering, hardware profiles and the secure token."""
+
+import pytest
+
+from repro.errors import TamperedTokenError
+from repro.hardware.mcu import CpuCostModel, Microcontroller
+from repro.hardware.profiles import (
+    ALL_PROFILES,
+    by_name,
+    plug_server,
+    smart_usb_token,
+)
+from repro.hardware.token import SecurePortableToken
+
+
+class TestProfiles:
+    def test_all_profiles_lookup(self):
+        for name in ALL_PROFILES:
+            assert by_name(name).name == name
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="unknown hardware profile"):
+            by_name("quantum-token")
+
+    def test_token_profiles_are_tamper_resistant(self):
+        assert smart_usb_token().tamper_resistant
+        assert not plug_server().tamper_resistant
+
+    def test_small_ram_constraint_of_tokens(self):
+        # The tutorial's defining constraint: token RAM < 128 KB.
+        assert smart_usb_token().ram_bytes <= 128 * 1024
+
+
+class TestMicrocontroller:
+    def test_charges_accumulate_by_class(self):
+        mcu = Microcontroller(smart_usb_token(), CpuCostModel())
+        mcu.charge_copy(100)
+        mcu.charge_compares(10)
+        mcu.charge_hash(64)
+        mcu.charge_symmetric(32)
+        mcu.charge_modexp(1024, count=2)
+        stats = mcu.stats
+        assert stats.copy_cycles == 100
+        assert stats.compare_cycles == 40
+        assert stats.hash_cycles == 64 * 12
+        assert stats.symmetric_cycles == 320
+        assert stats.modexp_cycles == 2 * 1024 * 40_000
+        assert stats.total_cycles == pytest.approx(
+            100 + 40 + 768 + 320 + 81_920_000
+        )
+
+    def test_elapsed_time_uses_clock(self):
+        mcu = Microcontroller(smart_usb_token())
+        mcu.charge_copy(50_000)  # 50k cycles at 50 MHz -> 1000 us
+        assert mcu.elapsed_us() == pytest.approx(1000.0)
+
+    def test_modexp_dominates_symmetric(self):
+        """The cost asymmetry that drives protocol design in Part III."""
+        mcu = Microcontroller(smart_usb_token())
+        mcu.charge_symmetric(1024)
+        symmetric = mcu.stats.symmetric_cycles
+        mcu.charge_modexp(1024)
+        assert mcu.stats.modexp_cycles > 1000 * symmetric
+
+
+class TestToken:
+    def test_serial_numbers_unique(self):
+        first, second = SecurePortableToken(), SecurePortableToken()
+        assert first.serial != second.serial
+
+    def test_keystore_roundtrip(self):
+        token = SecurePortableToken()
+        token.keystore.install("data-key", b"k" * 16)
+        assert "data-key" in token.keystore
+        assert token.keystore.get("data-key") == b"k" * 16
+        assert token.keystore.names() == ["data-key"]
+
+    def test_empty_key_rejected(self):
+        token = SecurePortableToken()
+        with pytest.raises(ValueError):
+            token.keystore.install("bad", b"")
+
+    def test_missing_key(self):
+        token = SecurePortableToken()
+        with pytest.raises(KeyError):
+            token.keystore.get("nope")
+
+    def test_prf_deterministic_and_key_dependent(self):
+        token = SecurePortableToken()
+        token.keystore.install("k1", b"a" * 16)
+        token.keystore.install("k2", b"b" * 16)
+        assert token.prf("k1", b"msg") == token.prf("k1", b"msg")
+        assert token.prf("k1", b"msg") != token.prf("k2", b"msg")
+
+    def test_mac_verify(self):
+        token = SecurePortableToken()
+        token.keystore.install("mac-key", b"m" * 16)
+        tag = token.mac("mac-key", b"payload")
+        assert token.verify_mac("mac-key", b"payload", tag)
+        assert not token.verify_mac("mac-key", b"tampered", tag)
+
+    def test_tamper_destroys_keys_and_bricks(self):
+        token = SecurePortableToken()
+        token.keystore.install("secret", b"s" * 16)
+        token.tamper()
+        assert len(token.keystore) == 0
+        with pytest.raises(TamperedTokenError):
+            token.prf("secret", b"msg")
+
+    def test_plug_server_tampering_leaks_keys(self):
+        """Non-tamper-resistant hardware cannot defend its keys."""
+        server = SecurePortableToken(profile=plug_server())
+        server.keystore.install("secret", b"s" * 16)
+        server.tamper()
+        assert server.keystore.get("secret") == b"s" * 16  # attacker wins

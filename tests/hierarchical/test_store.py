@@ -1,0 +1,210 @@
+"""Tests for the hierarchical (XML-like) document store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.hierarchical.paths import flatten, path_matches
+from repro.hierarchical.store import HierarchicalStore
+
+
+def make_store(page_size=256) -> HierarchicalStore:
+    flash = NandFlash(
+        FlashGeometry(page_size=page_size, pages_per_block=8, num_blocks=1024)
+    )
+    return HierarchicalStore(BlockAllocator(flash), num_buckets=16)
+
+
+MEDICAL_FORM = {
+    "patient": {
+        "name": "ana",
+        "address": {"city": "lyon", "zip": 69001},
+        "visits": [
+            {"date": 20140310, "diagnosis": "flu"},
+            {"date": 20140402, "diagnosis": "healthy"},
+        ],
+    }
+}
+
+
+class TestFlatten:
+    def test_nested_paths(self):
+        postings = flatten({"a": {"b": {"c": 1}}, "d": "x"})
+        assert postings == [("a/b/c", 1), ("d", "x")]
+
+    def test_lists_repeat_paths(self):
+        postings = flatten({"a": [{"b": 1}, {"b": 2}]})
+        assert postings == [("a/b", 1), ("a/b", 2)]
+
+    def test_none_is_skipped(self):
+        assert flatten({"a": None, "b": 2}) == [("b", 2)]
+
+    def test_invalid_root(self):
+        with pytest.raises(QueryError):
+            flatten([1, 2])
+
+    def test_separator_in_name_rejected(self):
+        with pytest.raises(QueryError):
+            flatten({"a/b": 1})
+
+    def test_bool_leaf_rejected(self):
+        with pytest.raises(QueryError, match="unsupported leaf"):
+            flatten({"flag": True})
+
+
+class TestPathMatches:
+    def test_exact(self):
+        assert path_matches("a/b/c", "a/b/c")
+        assert not path_matches("a/b", "a/b/c")
+
+    def test_star_single_component(self):
+        assert path_matches("a/*/c", "a/b/c")
+        assert not path_matches("a/*/c", "a/b/b/c")
+
+    def test_descendant_suffix(self):
+        assert path_matches("//city", "patient/address/city")
+        assert path_matches("//address/city", "patient/address/city")
+        assert not path_matches("//zip", "patient/address/city")
+
+    def test_prefix_then_descendant(self):
+        assert path_matches("patient//diagnosis", "patient/visits/diagnosis")
+        assert not path_matches("doctor//diagnosis", "patient/visits/diagnosis")
+
+    def test_bare_double_slash(self):
+        assert path_matches("//", "anything/at/all")
+
+
+class TestStore:
+    def test_exact_path_value_query(self):
+        store = make_store()
+        store.add_document(MEDICAL_FORM)
+        store.add_document({"patient": {"address": {"city": "paris"}}})
+        store.flush()
+        assert store.find("patient/address/city", "lyon") == [0]
+        assert store.find("patient/address/city", "paris") == [1]
+        assert store.find("patient/address/city") == [0, 1]
+
+    def test_descendant_pattern(self):
+        store = make_store()
+        store.add_document(MEDICAL_FORM)
+        store.add_document({"hospital": {"city": "lyon"}})
+        store.flush()
+        assert store.find("//city", "lyon") == [0, 1]
+
+    def test_repeated_elements_match_any(self):
+        store = make_store()
+        store.add_document(MEDICAL_FORM)
+        assert store.find("patient/visits/diagnosis", "flu") == [0]
+        assert store.find("patient/visits/diagnosis", "healthy") == [0]
+
+    def test_values_at(self):
+        store = make_store()
+        store.add_document(MEDICAL_FORM)
+        dates = store.values_at("patient/visits/date")
+        assert sorted(dates) == [20140310, 20140402]
+
+    def test_conjunction(self):
+        store = make_store()
+        store.add_document(MEDICAL_FORM)  # lyon + flu
+        store.add_document(
+            {"patient": {"address": {"city": "lyon"},
+                         "visits": [{"diagnosis": "healthy"}]}}
+        )
+        store.add_document(
+            {"patient": {"address": {"city": "paris"},
+                         "visits": [{"diagnosis": "flu"}]}}
+        )
+        store.flush()
+        hits = store.find_all(
+            [("//city", "lyon"), ("//diagnosis", "flu")]
+        )
+        assert hits == [0]
+
+    def test_existence_condition(self):
+        store = make_store()
+        store.add_document({"a": {"b": 1}})
+        store.add_document({"a": {"c": 2}})
+        assert store.find_all([("a/b", None)]) == [0]
+
+    def test_empty_conditions_rejected(self):
+        with pytest.raises(QueryError):
+            make_store().find_all([])
+
+    def test_path_dictionary_is_schema_sized(self):
+        store = make_store()
+        for i in range(50):  # many documents, same shape
+            store.add_document({"person": {"age": i, "city": f"c{i % 3}"}})
+        assert store.doc_count == 50
+        assert store.paths == ["person/age", "person/city"]
+
+    def test_numeric_and_string_values_distinct(self):
+        store = make_store()
+        store.add_document({"x": {"v": 1}})
+        store.add_document({"x": {"v": "1"}})
+        assert store.find("x/v", 1) == [0]
+        assert store.find("x/v", "1") == [1]
+
+    def test_hash_collisions_filtered_by_path(self):
+        """With one bucket every path collides; answers must stay exact."""
+        flash = NandFlash(FlashGeometry(256, 8, 512))
+        store = HierarchicalStore(BlockAllocator(flash), num_buckets=1)
+        store.add_document({"a": {"v": 1}})
+        store.add_document({"b": {"v": 1}})
+        assert store.find("a/v", 1) == [0]
+        assert store.find("b/v", 1) == [1]
+
+
+class TestProperties:
+    documents = st.lists(
+        st.fixed_dictionaries(
+            {
+                "kind": st.sampled_from(["mail", "bill", "form"]),
+                "meta": st.fixed_dictionaries(
+                    {"year": st.integers(2000, 2014)}
+                ),
+            }
+        ),
+        min_size=1,
+        max_size=25,
+    )
+
+    @given(documents)
+    @settings(max_examples=25, deadline=None)
+    def test_property_find_matches_naive(self, documents):
+        store = make_store()
+        for document in documents:
+            store.add_document(document)
+        store.flush()
+        for kind in ("mail", "bill", "form"):
+            expected = [
+                i for i, doc in enumerate(documents) if doc["kind"] == kind
+            ]
+            assert store.find("kind", kind) == expected
+        for year in {doc["meta"]["year"] for doc in documents}:
+            expected = [
+                i for i, doc in enumerate(documents)
+                if doc["meta"]["year"] == year
+            ]
+            assert store.find("//year", year) == expected
+
+
+class TestValueRanges:
+    def test_find_range_numeric(self):
+        store = make_store()
+        for age in (10, 25, 40, 55, 70):
+            store.add_document({"person": {"age": age}})
+        store.flush()
+        assert store.find_range("person/age", 20, 60) == [1, 2, 3]
+
+    def test_find_range_with_pattern(self):
+        store = make_store()
+        store.add_document({"a": {"cost": 5}})
+        store.add_document({"b": {"cost": 50}})
+        assert store.find_range("//cost", 0, 10) == [0]
+
+    def test_find_range_empty(self):
+        store = make_store()
+        store.add_document({"x": {"v": 5}})
+        assert store.find_range("x/v", 100, 200) == []

@@ -1,0 +1,177 @@
+"""Tests for the log-structured key-value store."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.hardware.ram import RamArena
+from repro.keyvalue.kv import LogKeyValueStore
+
+
+def make_allocator(page_size=128, blocks=4096) -> BlockAllocator:
+    flash = NandFlash(
+        FlashGeometry(page_size=page_size, pages_per_block=8, num_blocks=blocks)
+    )
+    return BlockAllocator(flash)
+
+
+@pytest.fixture
+def store() -> LogKeyValueStore:
+    return LogKeyValueStore(make_allocator())
+
+
+class TestPutGet:
+    def test_roundtrip(self, store):
+        store.put(b"name", b"alice")
+        store.flush()
+        assert store.get(b"name") == b"alice"
+
+    def test_missing_key(self, store):
+        store.put(b"a", b"1")
+        store.flush()
+        assert store.get(b"zzz") is None
+
+    def test_latest_version_wins(self, store):
+        for version in range(20):
+            store.put(b"counter", str(version).encode())
+        store.flush()
+        assert store.get(b"counter") == b"19"
+
+    def test_unflushed_writes_visible(self, store):
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_empty_value_is_not_delete(self, store):
+        store.put(b"k", b"")
+        store.flush()
+        assert store.get(b"k") == b""
+
+    def test_empty_key_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put(b"", b"v")
+
+
+class TestDelete:
+    def test_tombstone_hides_value(self, store):
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        store.flush()
+        assert store.get(b"k") is None
+
+    def test_put_after_delete_revives(self, store):
+        store.put(b"k", b"v1")
+        store.delete(b"k")
+        store.put(b"k", b"v2")
+        store.flush()
+        assert store.get(b"k") == b"v2"
+
+    def test_items_excludes_tombstones(self, store):
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.delete(b"a")
+        assert store.items() == {b"b": b"2"}
+
+
+class TestGetCost:
+    def test_summary_scan_prunes_pages(self):
+        store = LogKeyValueStore(make_allocator(page_size=256))
+        for i in range(3000):
+            store.put(f"user:{i:05d}".encode(), b"x" * 20)
+        store.flush()
+        assert store.get(b"user:01234") == b"x" * 20
+        stats = store.last_get
+        assert stats.data_pages <= 3  # one true page + rare false positives
+        assert stats.summary_pages < store.data_pages / 3
+
+
+class TestCompaction:
+    def test_compaction_preserves_live_state(self):
+        store = LogKeyValueStore(make_allocator())
+        rng = random.Random(5)
+        model: dict[bytes, bytes] = {}
+        for op in range(800):
+            key = f"k{rng.randrange(60)}".encode()
+            if rng.random() < 0.25:
+                store.delete(key)
+                model.pop(key, None)
+            else:
+                value = f"v{op}".encode()
+                store.put(key, value)
+                model[key] = value
+        compacted = store.compact(RamArena(64 * 1024), sort_buffer_bytes=1024)
+        assert compacted.items() == model
+        for key, value in model.items():
+            assert compacted.get(key) == value
+        assert compacted.get(b"k-deleted-nope") is None
+
+    def test_compaction_reclaims_space(self):
+        allocator = make_allocator()
+        store = LogKeyValueStore(allocator)
+        for version in range(2000):
+            store.put(b"hot-key", str(version).encode())
+        store.flush()
+        old_pages = store.data_pages
+        compacted = store.compact(RamArena(64 * 1024), sort_buffer_bytes=2048)
+        store.drop()  # bulk block reclamation of the old generation
+        assert compacted.data_pages < old_pages / 100
+        assert compacted.get(b"hot-key") == b"1999"
+
+    def test_compaction_drops_tombstones(self):
+        store = LogKeyValueStore(make_allocator())
+        for i in range(50):
+            store.put(f"k{i}".encode(), b"v")
+            store.delete(f"k{i}".encode())
+        compacted = store.compact(RamArena(64 * 1024))
+        assert compacted.items() == {}
+        assert compacted.record_count == 0
+
+    def test_compaction_is_sequential_only(self):
+        """The flash model would raise on any random write; also check
+        erases only come from run reclamation."""
+        allocator = make_allocator()
+        store = LogKeyValueStore(allocator)
+        for i in range(1500):
+            store.put(f"k{i % 100}".encode(), str(i).encode())
+        flash = allocator.flash
+        before = flash.stats.snapshot()
+        store.compact(RamArena(64 * 1024), sort_buffer_bytes=1024)
+        delta = flash.stats.delta(before)
+        assert delta.page_programs > 0
+        assert delta.block_erases < delta.page_programs
+
+    def test_invalid_sort_buffer(self, store):
+        store.put(b"k", b"v")
+        with pytest.raises(StorageError):
+            store.compact(RamArena(1024), sort_buffer_bytes=0)
+
+
+class TestPropertyAgainstDict:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([b"a", b"b", b"c", b"d"]),
+                st.one_of(st.none(), st.binary(max_size=8)),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_store_equals_dict(self, operations):
+        store = LogKeyValueStore(make_allocator())
+        model: dict[bytes, bytes] = {}
+        for key, value in operations:
+            if value is None:
+                store.delete(key)
+                model.pop(key, None)
+            else:
+                store.put(key, value)
+                model[key] = value
+        store.flush()
+        for key in (b"a", b"b", b"c", b"d"):
+            assert store.get(key) == model.get(key)
+        compacted = store.compact(RamArena(64 * 1024), sort_buffer_bytes=512)
+        assert compacted.items() == model

@@ -1,0 +1,118 @@
+"""Tests for privacy policies and the tamper-evident audit log."""
+
+import pytest
+
+from repro.errors import AccessDenied
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.pds.acl import (
+    ANY,
+    AccessRule,
+    PrivacyPolicy,
+    Subject,
+    default_policy,
+)
+from repro.pds.audit import AuditLog
+from repro.pds.datamodel import PersonalDocument, medical_note
+
+
+def doc(kind="email", **attrs) -> PersonalDocument:
+    return PersonalDocument(kind=kind, attributes=attrs)
+
+
+OWNER = Subject("alice", "owner")
+DOCTOR = Subject("dr-b", "doctor")
+APP = Subject("fitapp", "app")
+QUERIER = Subject("insee", "querier")
+
+
+class TestAccessRule:
+    def test_matching(self):
+        rule = AccessRule(role="doctor", action="read", kind="medical")
+        assert rule.matches(DOCTOR, "read", "medical")
+        assert not rule.matches(DOCTOR, "read", "email")
+        assert not rule.matches(APP, "read", "medical")
+
+    def test_wildcards(self):
+        rule = AccessRule(role=ANY, action=ANY, kind=ANY)
+        assert rule.matches(APP, "share", "photo")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            AccessRule(role="doctor", action="delete")
+
+
+class TestPrivacyPolicy:
+    def test_default_deny(self):
+        policy = PrivacyPolicy()
+        assert not policy.allows(APP, "read", doc())
+
+    def test_owner_always_allowed(self):
+        policy = PrivacyPolicy()
+        assert policy.allows(OWNER, "read", doc())
+        assert policy.allows(OWNER, "share", doc(kind="medical"))
+
+    def test_first_match_wins(self):
+        policy = PrivacyPolicy(
+            [
+                AccessRule(role="app", action="read", kind="energy", allow=False),
+                AccessRule(role="app", action="read", kind=ANY, allow=True),
+            ]
+        )
+        assert not policy.allows(APP, "read", doc(kind="energy"))
+        assert policy.allows(APP, "read", doc(kind="bill"))
+
+    def test_sealed_documents_resist_even_owner_reads(self):
+        """'A user does not have all the privileges over her PDS data.'"""
+        policy = PrivacyPolicy()
+        sealed = doc(kind="medical", sealed=True)
+        assert not policy.allows(OWNER, "read", sealed)
+        assert policy.allows(OWNER, "search", sealed)
+
+    def test_check_raises(self):
+        with pytest.raises(AccessDenied, match="may not read"):
+            PrivacyPolicy().check(APP, "read", doc())
+
+    def test_default_policy_shape(self):
+        policy = default_policy()
+        assert policy.allows(DOCTOR, "read", medical_note("x", "flu"))
+        assert not policy.allows(DOCTOR, "read", doc(kind="bill"))
+        assert policy.allows(QUERIER, "aggregate", doc(kind="bill"))
+        assert not policy.allows(QUERIER, "read", doc(kind="bill"))
+
+
+class TestAuditLog:
+    def make_log(self) -> AuditLog:
+        flash = NandFlash(FlashGeometry(page_size=512, pages_per_block=8, num_blocks=64))
+        return AuditLog(BlockAllocator(flash))
+
+    def test_records_and_replays(self):
+        log = self.make_log()
+        log.record("dr-b", "doctor", "read", "doc:1", True)
+        log.record("app", "app", "read", "doc:2", False)
+        entries = log.entries()
+        assert len(entries) == 2
+        assert entries[0].subject == "dr-b"
+        assert entries[1].allowed is False
+
+    def test_chain_verifies(self):
+        log = self.make_log()
+        for i in range(20):
+            log.record("s", "role", "read", f"doc:{i}", True)
+        assert log.verify_chain(expected_count=20)
+
+    def test_chain_links_prev_digest(self):
+        log = self.make_log()
+        first = log.record("a", "r", "read", "t", True)
+        second = log.record("b", "r", "read", "t", True)
+        assert second.prev_digest == first.digest()
+
+    def test_length_mismatch_detected(self):
+        log = self.make_log()
+        log.record("a", "r", "read", "t", True)
+        assert not log.verify_chain(expected_count=5)
+
+    def test_head_digest_changes_per_entry(self):
+        log = self.make_log()
+        before = log.head_digest
+        log.record("a", "r", "read", "t", True)
+        assert log.head_digest != before

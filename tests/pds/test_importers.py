@@ -1,0 +1,102 @@
+"""Tests for the data-federation importers."""
+
+import pytest
+
+from repro.pds.importers import (
+    ImportError_,
+    federate,
+    import_bank_csv,
+    import_mbox,
+    import_meter_csv,
+)
+from repro.pds.server import PersonalDataServer
+
+MBOX = """From alice@example.org Mon Mar 10 10:00:00 2014
+From: doctor@clinic.fr
+Subject: appointment confirmation
+
+Your appointment is confirmed for Tuesday.
+
+From billing@edf.fr Tue Mar 11 09:00:00 2014
+From: billing@edf.fr
+Subject: march invoice
+
+Amount due: 84.50 EUR
+"""
+
+BANK_CSV = """date,label,amount
+2014-03-01,EDF ELECTRICITY,84.50
+2014-03-03,SNCF TICKETS,45.00
+garbage line without commas
+2014-03-07,PHARMACY,not-a-number
+2014-03-09,SUPERMARKET,122.30
+"""
+
+METER_CSV = """month,kwh
+1,312
+2,290
+3,335
+bad,row
+"""
+
+
+class TestMbox:
+    def test_messages_parsed(self):
+        report = import_mbox(MBOX)
+        assert report.imported == 2
+        first, second = report.documents
+        assert first.kind == "email"
+        assert first.attributes["subject"] == "appointment confirmation"
+        assert "confirmed for Tuesday" in first.text
+        assert second.attributes["from"] == "billing@edf.fr"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ImportError_):
+            import_mbox("this is not a mail spool")
+
+    def test_empty_input(self):
+        assert import_mbox("").imported == 0
+
+
+class TestBankCsv:
+    def test_rows_parsed_and_bad_rows_reported(self):
+        report = import_bank_csv(BANK_CSV)
+        assert report.imported == 3
+        assert len(report.skipped_lines) == 2
+        amounts = [doc.attributes["amount"] for doc in report.documents]
+        assert amounts == [84.50, 45.00, 122.30]
+        assert all(doc.kind == "bill" for doc in report.documents)
+
+    def test_header_skipped_silently(self):
+        report = import_bank_csv("date,label,amount\n")
+        assert report.imported == 0
+        assert report.skipped_lines == []
+
+
+class TestMeterCsv:
+    def test_readings(self):
+        report = import_meter_csv(METER_CSV)
+        assert report.imported == 3
+        assert report.documents[0].attributes == {"month": 1, "kwh": 312}
+        assert len(report.skipped_lines) == 1
+
+
+class TestFederate:
+    def test_multi_source_ingestion(self):
+        pds = PersonalDataServer(owner="alice")
+        reports = federate(
+            pds,
+            {"mbox": MBOX, "bank-csv": BANK_CSV, "meter-csv": METER_CSV},
+        )
+        assert pds.document_count == 2 + 3 + 3
+        assert reports["bank-csv"].imported == 3
+        # Imported documents are immediately searchable.
+        hits = pds.search(pds.owner, "invoice")
+        assert hits
+        kinds = {doc.kind for _, doc in hits}
+        assert kinds <= {"email", "bill"}
+
+    def test_unknown_format(self):
+        pds = PersonalDataServer(owner="bob")
+        with pytest.raises(ImportError_, match="unknown source format"):
+            federate(pds, {"vcard": "..."})

@@ -1,0 +1,163 @@
+"""Tests for the VRM terms-of-service agent."""
+
+import pytest
+
+from repro.errors import AccessDenied
+from repro.pds.datamodel import bill, energy_reading, medical_note
+from repro.pds.server import PersonalDataServer
+from repro.pds.vrm import DataRequest, Terms, VrmAgent, evaluate
+
+
+def standard_terms() -> Terms:
+    terms = Terms()
+    terms.allow(
+        "energy",
+        purposes=["tariff-optimization", "research"],
+        max_retention_days=90,
+        price_per_document=0.5,
+    )
+    terms.allow(
+        "bill",
+        purposes=["credit-scoring"],
+        max_retention_days=30,
+        price_per_document=2.0,
+        anonymized_only=True,
+    )
+    return terms
+
+
+def loaded_pds() -> PersonalDataServer:
+    pds = PersonalDataServer(owner="alice")
+    pds.ingest_all(
+        [
+            energy_reading(kwh=300, month=1),
+            energy_reading(kwh=280, month=2),
+            bill("electricity", 84.0, "edf"),
+            medical_note("checkup", "healthy"),
+        ]
+    )
+    return pds
+
+
+class TestEvaluate:
+    def test_granted_when_all_conditions_met(self):
+        decision = evaluate(
+            standard_terms(),
+            DataRequest(
+                vendor="grid-co",
+                kinds=("energy",),
+                purpose="tariff-optimization",
+                retention_days=30,
+                offered_price_per_document=1.0,
+            ),
+        )
+        assert decision.granted_kinds == ["energy"]
+        assert decision.refused == {}
+        assert decision.price_per_document["energy"] == 0.5
+
+    def test_unoffered_kind_refused(self):
+        decision = evaluate(
+            standard_terms(),
+            DataRequest("snoop", ("medical",), "research", 1, 100.0),
+        )
+        assert "medical" in decision.refused
+        assert not decision.any_granted
+
+    def test_wrong_purpose_refused(self):
+        decision = evaluate(
+            standard_terms(),
+            DataRequest("adtech", ("energy",), "advertising", 1, 100.0),
+        )
+        assert "purpose" in decision.refused["energy"]
+
+    def test_excessive_retention_refused(self):
+        decision = evaluate(
+            standard_terms(),
+            DataRequest("grid-co", ("energy",), "research", 365, 100.0),
+        )
+        assert "retention" in decision.refused["energy"]
+
+    def test_lowball_offer_refused(self):
+        decision = evaluate(
+            standard_terms(),
+            DataRequest("cheapskate", ("energy",), "research", 30, 0.01),
+        )
+        assert "below asking price" in decision.refused["energy"]
+
+    def test_anonymized_only_needs_vendor_acceptance(self):
+        refused = evaluate(
+            standard_terms(),
+            DataRequest("bank", ("bill",), "credit-scoring", 10, 5.0),
+        )
+        assert "anonymized" in refused.refused["bill"]
+        granted = evaluate(
+            standard_terms(),
+            DataRequest(
+                "bank", ("bill",), "credit-scoring", 10, 5.0,
+                accepts_anonymized=True,
+            ),
+        )
+        assert granted.anonymize_kinds == ["bill"]
+
+    def test_partial_grants(self):
+        decision = evaluate(
+            standard_terms(),
+            DataRequest(
+                "mixed", ("energy", "medical"), "research", 30, 1.0
+            ),
+        )
+        assert decision.granted_kinds == ["energy"]
+        assert "medical" in decision.refused
+
+
+class TestVrmAgent:
+    def test_release_and_revenue(self):
+        pds = loaded_pds()
+        agent = VrmAgent(pds, standard_terms())
+        release = agent.handle(
+            DataRequest("grid-co", ("energy",), "research", 30, 1.0)
+        )
+        assert len(release.documents) == 2
+        assert release.revenue == pytest.approx(2 * 0.5)
+        assert agent.total_revenue == pytest.approx(1.0)
+
+    def test_anonymized_release_exposes_counts_only(self):
+        pds = loaded_pds()
+        agent = VrmAgent(pds, standard_terms())
+        release = agent.handle(
+            DataRequest(
+                "bank", ("bill",), "credit-scoring", 10, 5.0,
+                accepts_anonymized=True,
+            )
+        )
+        assert release.documents == []
+        assert release.anonymized_counts == {"bill": 1}
+        assert release.revenue == pytest.approx(2.0)
+
+    def test_fully_refused_request_raises_and_audits(self):
+        pds = loaded_pds()
+        agent = VrmAgent(pds, standard_terms())
+        before = pds.audit.count
+        with pytest.raises(AccessDenied):
+            agent.handle(
+                DataRequest("adtech", ("medical",), "advertising", 1, 99.0)
+            )
+        assert pds.audit.count == before + 1
+        assert pds.audit.entries()[-1].allowed is False
+        assert agent.total_revenue == 0.0
+
+    def test_grants_are_audited(self):
+        pds = loaded_pds()
+        agent = VrmAgent(pds, standard_terms())
+        agent.handle(DataRequest("grid-co", ("energy",), "research", 30, 1.0))
+        entry = pds.audit.entries()[-1]
+        assert entry.role == "vendor"
+        assert "granted=['energy']" in entry.target
+        assert pds.audit.verify_chain()
+
+    def test_terms_validation(self):
+        terms = Terms()
+        with pytest.raises(ValueError):
+            terms.allow("x", ["p"], max_retention_days=-1, price_per_document=1.0)
+        with pytest.raises(ValueError):
+            terms.allow("x", ["p"], max_retention_days=1, price_per_document=-0.5)

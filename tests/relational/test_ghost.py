@@ -1,0 +1,114 @@
+"""Tests for GhostDB-style split visible/hidden queries."""
+
+import pytest
+
+from repro.errors import QueryError, TamperedTokenError
+from repro.hardware.token import SecurePortableToken
+from repro.relational.ghost import GhostDatabase
+from repro.relational.schema import Column
+
+VISIBLE = [Column("city", "str"), Column("year", "int")]
+HIDDEN = [Column("diagnosis", "str"), Column("salary", "int")]
+
+ROWS = [
+    {"city": "lyon", "year": 2013, "diagnosis": "flu", "salary": 2400},
+    {"city": "lyon", "year": 2014, "diagnosis": "healthy", "salary": 3100},
+    {"city": "paris", "year": 2014, "diagnosis": "flu", "salary": 2800},
+    {"city": "nice", "year": 2013, "diagnosis": "asthma", "salary": 2100},
+]
+
+
+@pytest.fixture
+def ghost() -> GhostDatabase:
+    db = GhostDatabase(SecurePortableToken(), VISIBLE, HIDDEN)
+    for row in ROWS:
+        db.insert(row)
+    return db
+
+
+class TestSplitQueries:
+    def test_mixed_predicates(self, ghost):
+        rows = ghost.query(
+            visible_where=[("city", "lyon")],
+            hidden_where=[("diagnosis", "flu")],
+            project=["city", "year", "salary"],
+        )
+        assert rows == [("lyon", 2013, 2400)]
+
+    def test_hidden_only_predicate(self, ghost):
+        rows = ghost.query(
+            visible_where=[],
+            hidden_where=[("diagnosis", "flu")],
+            project=["city"],
+        )
+        assert sorted(rows) == [("lyon",), ("paris",)]
+
+    def test_visible_only_predicate(self, ghost):
+        rows = ghost.query(
+            visible_where=[("year", 2014)],
+            hidden_where=[],
+            project=["city", "diagnosis"],
+        )
+        assert sorted(rows) == [("lyon", "healthy"), ("paris", "flu")]
+
+    def test_projection_mixes_sides(self, ghost):
+        rows = ghost.query(
+            visible_where=[("city", "nice")],
+            hidden_where=[],
+            project=["salary", "city", "diagnosis"],
+        )
+        assert rows == [(2100, "nice", "asthma")]
+
+    def test_column_side_enforced(self, ghost):
+        with pytest.raises(QueryError, match="not a visible column"):
+            ghost.query([("diagnosis", "flu")], [], ["city"])
+        with pytest.raises(QueryError, match="not a hidden column"):
+            ghost.query([], [("city", "lyon")], ["city"])
+        with pytest.raises(QueryError, match="unknown column"):
+            ghost.query([], [], ["ghost_column"])
+
+
+class TestNoLeak:
+    def test_server_never_sees_hidden_values(self, ghost):
+        ghost.query(
+            [("city", "lyon")], [("diagnosis", "flu")], ["city", "salary"]
+        )
+        secrets = {"flu", "healthy", "asthma", 2400, 3100, 2800, 2100}
+        assert not ghost.server.ledger.observed_any_of(secrets)
+
+    def test_server_never_sees_hidden_predicates(self, ghost):
+        ghost.query([("year", 2014)], [("salary", 2800)], ["city"])
+        observed = {value for _, value in ghost.server.ledger.predicates}
+        assert 2800 not in observed
+        assert observed == {2014}
+
+    def test_declared_leak_is_candidate_sizes(self, ghost):
+        ghost.query([("city", "lyon")], [("diagnosis", "flu")], ["city"])
+        # The server knows how many rows matched the visible predicate —
+        # that (and only that) is GhostDB's declared leak.
+        assert ghost.server.ledger.candidate_sets == [2]
+
+
+class TestConstruction:
+    def test_both_sides_required(self):
+        with pytest.raises(QueryError):
+            GhostDatabase(SecurePortableToken(), VISIBLE, [])
+        with pytest.raises(QueryError):
+            GhostDatabase(SecurePortableToken(), [], HIDDEN)
+
+    def test_overlapping_columns_rejected(self):
+        with pytest.raises(QueryError, match="both sides"):
+            GhostDatabase(
+                SecurePortableToken(),
+                [Column("a", "int")],
+                [Column("a", "int")],
+            )
+
+    def test_missing_columns_on_insert(self, ghost):
+        with pytest.raises(QueryError, match="missing columns"):
+            ghost.insert({"city": "x"})
+
+    def test_tampered_token_refuses_hidden_access(self, ghost):
+        ghost.token.tamper()
+        with pytest.raises(TamperedTokenError):
+            ghost.query([], [("diagnosis", "flu")], ["city"])

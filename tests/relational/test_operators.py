@@ -1,0 +1,51 @@
+"""Unit and property tests for the pipelined operators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.operators import merge_intersect, merge_union
+
+sorted_ids = st.lists(
+    st.integers(min_value=0, max_value=100), max_size=50
+).map(lambda xs: sorted(set(xs)))
+
+
+class TestMergeIntersect:
+    def test_basic(self):
+        assert list(merge_intersect([[1, 3, 5, 7], [3, 4, 5, 9]])) == [3, 5]
+
+    def test_three_streams(self):
+        assert list(
+            merge_intersect([[1, 2, 3, 4], [2, 3, 4], [0, 3, 4, 10]])
+        ) == [3, 4]
+
+    def test_disjoint(self):
+        assert list(merge_intersect([[1, 2], [3, 4]])) == []
+
+    def test_empty_stream_short_circuits(self):
+        assert list(merge_intersect([[1, 2], []])) == []
+
+    def test_no_streams(self):
+        assert list(merge_intersect([])) == []
+
+    def test_single_stream_is_identity(self):
+        assert list(merge_intersect([[2, 4, 6]])) == [2, 4, 6]
+
+    @given(sorted_ids, sorted_ids, sorted_ids)
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_set_intersection(self, a, b, c):
+        result = list(merge_intersect([a, b, c]))
+        assert result == sorted(set(a) & set(b) & set(c))
+
+
+class TestMergeUnion:
+    def test_basic_dedup(self):
+        assert list(merge_union([[1, 3, 5], [3, 4, 5]])) == [1, 3, 4, 5]
+
+    def test_empty(self):
+        assert list(merge_union([[], []])) == []
+
+    @given(sorted_ids, sorted_ids)
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_set_union(self, a, b):
+        assert list(merge_union([a, b])) == sorted(set(a) | set(b))

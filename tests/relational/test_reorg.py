@@ -1,0 +1,254 @@
+"""Tests for the sorted/tree index and the log-only reorganization.
+
+E3's invariants: the reorganized index answers exactly like the sequential
+one, lookups cost O(height + duplicate run), the whole reorganization issues
+only sequential appends (the flash model would raise otherwise), temporary
+logs are reclaimed, and the task is interruptible.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.hardware.ram import RamArena
+from repro.relational.keyindex import KeyIndex
+from repro.relational.reorg import ReorganizationTask, reorganize
+from repro.relational.sortedindex import SortedIndexBuilder
+from repro.relational.tuples import encode_key
+
+
+def make_allocator(page_size=256, blocks=1024) -> BlockAllocator:
+    flash = NandFlash(
+        FlashGeometry(page_size=page_size, pages_per_block=8, num_blocks=blocks)
+    )
+    return BlockAllocator(flash)
+
+
+def build_index(allocator, values) -> KeyIndex:
+    index = KeyIndex("test", allocator)
+    for rowid, value in enumerate(values):
+        index.insert(value, rowid)
+    index.flush()
+    return index
+
+
+class TestSortedIndexBuilder:
+    def test_empty_index(self):
+        builder = SortedIndexBuilder(make_allocator(), "empty")
+        index = builder.finish()
+        assert index.lookup("anything") == []
+        assert index.entry_count == 0
+
+    def test_single_page(self):
+        builder = SortedIndexBuilder(make_allocator(), "one")
+        for rowid, value in enumerate(["a", "b", "b", "c"]):
+            builder.add(encode_key(value), rowid)
+        index = builder.finish()
+        assert index.lookup("b") == [1, 2]
+        assert index.lookup("z") == []
+        assert index.height == 1
+
+    def test_out_of_order_rejected(self):
+        builder = SortedIndexBuilder(make_allocator(), "bad")
+        builder.add(encode_key("b"), 0)
+        with pytest.raises(StorageError, match="out-of-order"):
+            builder.add(encode_key("a"), 1)
+
+    def test_duplicates_spanning_pages(self):
+        builder = SortedIndexBuilder(make_allocator(page_size=64), "dup")
+        # 64 B pages hold ~4 entries: 40 duplicates span many pages.
+        for rowid in range(40):
+            builder.add(encode_key("same"), rowid)
+        builder.add(encode_key("tail"), 40)
+        index = builder.finish()
+        assert index.lookup("same") == list(range(40))
+        assert index.lookup("tail") == [40]
+
+    def test_multi_level_tree(self):
+        builder = SortedIndexBuilder(make_allocator(page_size=64), "tall")
+        for rowid in range(500):
+            builder.add(encode_key(rowid), rowid)
+        index = builder.finish()
+        assert index.height >= 2
+        for probe in (0, 123, 499):
+            assert index.lookup(probe) == [probe]
+
+    def test_range_scan(self):
+        builder = SortedIndexBuilder(make_allocator(), "range")
+        for rowid in range(100):
+            builder.add(encode_key(rowid), rowid)
+        index = builder.finish()
+        rows = [rowid for _, rowid in index.iter_range(10, 19)]
+        assert rows == list(range(10, 20))
+
+    def test_range_low_above_high(self):
+        builder = SortedIndexBuilder(make_allocator(), "range2")
+        builder.add(encode_key(1), 0)
+        index = builder.finish()
+        with pytest.raises(StorageError, match="empty range"):
+            list(index.iter_range(5, 2))
+
+
+class TestReorganize:
+    def test_equivalent_answers(self):
+        allocator = make_allocator()
+        rng = random.Random(11)
+        values = [f"key-{rng.randrange(40)}" for _ in range(1500)]
+        source = build_index(allocator, values)
+        ram = RamArena(64 * 1024)
+        reorganized = reorganize(source, allocator, ram, sort_buffer_bytes=2048)
+        for probe in {f"key-{i}" for i in range(45)}:
+            assert reorganized.lookup(probe) == source.lookup(probe)
+
+    def test_lookup_cost_drops_after_reorg(self):
+        allocator = make_allocator()
+        values = [f"key-{i % 200:04d}" for i in range(4000)]
+        source = build_index(allocator, values)
+        reorganized = reorganize(
+            source, allocator, RamArena(64 * 1024), sort_buffer_bytes=4096
+        )
+        source.lookup("key-0100")
+        reorganized.lookup("key-0100")
+        assert (
+            reorganized.last_lookup.total_pages
+            < source.last_lookup.total_pages / 2
+        )
+
+    def test_reorg_never_erases_mid_flight_blocks(self):
+        """Only sequential programs + whole-block frees; never a random write.
+
+        The flash model raises FlashViolation on any non-sequential program,
+        so simply completing is the proof; we additionally check erases only
+        come from temp-log reclamation (drop), not from page rewrites.
+        """
+        allocator = make_allocator()
+        values = [f"v-{i % 100}" for i in range(3000)]
+        source = build_index(allocator, values)
+        flash = allocator.flash
+        before = flash.stats.snapshot()
+        reorganize(source, allocator, RamArena(64 * 1024), sort_buffer_bytes=2048)
+        delta = flash.stats.delta(before)
+        assert delta.page_programs > 0
+        # erases == blocks freed by dropping temp runs (block granularity)
+        assert delta.block_erases < delta.page_programs
+
+    def test_temporary_runs_reclaimed(self):
+        allocator = make_allocator()
+        source = build_index(allocator, [f"v-{i}" for i in range(3000)])
+        used_before = allocator.allocated_blocks
+        result = reorganize(
+            source, allocator, RamArena(64 * 1024), sort_buffer_bytes=1024
+        )
+        # Extra blocks now held = exactly the new index's two logs.
+        extra = allocator.allocated_blocks - used_before
+        new_index_blocks = (
+            result.sorted_log.num_blocks + result.tree_log.num_blocks
+        )
+        assert extra == new_index_blocks
+
+    def test_swap_and_drop_source(self):
+        allocator = make_allocator()
+        source = build_index(allocator, ["a", "b", "a"])
+        result = reorganize(source, allocator, RamArena(32 * 1024))
+        free_mid = allocator.free_blocks
+        source.drop()
+        assert allocator.free_blocks > free_mid
+        assert result.lookup("a") == [0, 2]
+
+    def test_interruptible_steps(self):
+        allocator = make_allocator()
+        values = [f"k-{i % 50}" for i in range(2000)]
+        source = build_index(allocator, values)
+        task = ReorganizationTask(
+            source, allocator, RamArena(64 * 1024), sort_buffer_bytes=1024
+        )
+        steps = 0
+        while not task.done:
+            assert task.step() or task.done
+            steps += 1
+            # Source stays queryable between steps (background reorg).
+            if steps == 2:
+                assert source.lookup("k-3") == list(range(3, 2000, 50))
+        assert steps > 3  # genuinely incremental
+        assert task.result is not None
+        assert task.result.lookup("k-3") == list(range(3, 2000, 50))
+
+    def test_multi_pass_merge_with_tiny_fan_in(self):
+        allocator = make_allocator()
+        values = [f"value-{i % 97}" for i in range(2500)]
+        source = build_index(allocator, values)
+        # 512 B sort buffer over 256 B pages -> fan-in 2: forces passes.
+        task = ReorganizationTask(
+            source, allocator, RamArena(64 * 1024), sort_buffer_bytes=512
+        )
+        assert task.fan_in == 2
+        result = task.run()
+        assert result.lookup("value-7") == source.lookup("value-7")
+
+    def test_invalid_sort_buffer(self):
+        allocator = make_allocator()
+        source = build_index(allocator, ["x"])
+        with pytest.raises(StorageError):
+            reorganize(source, allocator, RamArena(1024), sort_buffer_bytes=0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300)
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_reorg_preserves_all_postings(self, values):
+        allocator = make_allocator(blocks=2048)
+        source = build_index(allocator, values)
+        result = reorganize(
+            source, allocator, RamArena(64 * 1024), sort_buffer_bytes=512
+        )
+        for probe in set(values):
+            expected = [i for i, v in enumerate(values) if v == probe]
+            assert result.lookup(probe) == expected
+        assert result.entry_count == len(values)
+
+
+class TestAbortAndRecovery:
+    def test_abort_reclaims_all_temporaries(self):
+        allocator = make_allocator()
+        source = build_index(allocator, [f"k-{i % 40}" for i in range(2500)])
+        blocks_before = allocator.allocated_blocks
+        task = ReorganizationTask(
+            source, allocator, RamArena(64 * 1024), sort_buffer_bytes=1024
+        )
+        for _ in range(4):  # get some runs written, then change our mind
+            task.step()
+        assert allocator.allocated_blocks > blocks_before
+        task.abort()
+        assert allocator.allocated_blocks == blocks_before
+        # Source untouched and queryable.
+        assert source.lookup("k-3") == list(range(3, 2500, 40))
+        assert not task.step()  # aborted tasks stay dead
+
+    def test_abort_after_completion_is_noop(self):
+        allocator = make_allocator()
+        source = build_index(allocator, ["a", "b", "a"])
+        task = ReorganizationTask(source, allocator, RamArena(32 * 1024))
+        result = task.run()
+        task.abort()  # must not drop the finished index
+        assert result.lookup("a") == [0, 2]
+
+    def test_flash_exhaustion_mid_reorg_cleans_up(self):
+        """A failing step reclaims temporaries and re-raises."""
+        from repro.errors import FlashViolation
+
+        allocator = make_allocator(blocks=40)  # barely fits the source
+        source = build_index(allocator, [f"key-{i}" for i in range(1800)])
+        blocks_before = allocator.allocated_blocks
+        task = ReorganizationTask(
+            source, allocator, RamArena(64 * 1024), sort_buffer_bytes=512
+        )
+        with pytest.raises(FlashViolation):
+            while task.step():
+                pass
+        # Everything temporary was reclaimed; the source still answers.
+        assert allocator.allocated_blocks == blocks_before
+        assert source.lookup("key-7") == [7]

@@ -1,0 +1,181 @@
+"""Tests for schema declarations and row/key encodings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError, StorageError
+from repro.relational.schema import Column, ForeignKey, SchemaGraph, TableSchema
+from repro.relational.tuples import (
+    decode_key,
+    deserialize_row,
+    encode_key,
+    serialize_row,
+)
+
+
+def customer_schema() -> TableSchema:
+    return TableSchema(
+        "CUSTOMER",
+        [Column("CUSkey", "int"), Column("Name", "str"), Column("Balance", "float")],
+        primary_key="CUSkey",
+    )
+
+
+class TestColumn:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(QueryError, match="unknown kind"):
+            Column("x", "blob")
+
+    def test_check_value_coerces_int_to_float(self):
+        assert Column("x", "float").check_value(3) == 3.0
+
+    def test_check_value_type_mismatch(self):
+        with pytest.raises(QueryError, match="expects int"):
+            Column("x", "int").check_value("nope")
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(QueryError, match="duplicate column"):
+            TableSchema("T", [Column("a", "int"), Column("a", "str")])
+
+    def test_bad_primary_key(self):
+        with pytest.raises(QueryError, match="primary key"):
+            TableSchema("T", [Column("a", "int")], primary_key="b")
+
+    def test_bad_fk_column(self):
+        with pytest.raises(QueryError, match="foreign key column"):
+            TableSchema(
+                "T",
+                [Column("a", "int")],
+                foreign_keys=[ForeignKey("b", "P", "pk")],
+            )
+
+    def test_column_index(self):
+        schema = customer_schema()
+        assert schema.column_index("Name") == 1
+        with pytest.raises(QueryError, match="no column"):
+            schema.column_index("Ghost")
+
+
+class TestSchemaGraph:
+    def _tpcd_like(self) -> SchemaGraph:
+        customer = customer_schema()
+        order = TableSchema(
+            "ORDER",
+            [Column("ORDkey", "int"), Column("CUSkey", "int")],
+            primary_key="ORDkey",
+            foreign_keys=[ForeignKey("CUSkey", "CUSTOMER", "CUSkey")],
+        )
+        lineitem = TableSchema(
+            "LINEITEM",
+            [Column("LINkey", "int"), Column("ORDkey", "int")],
+            primary_key="LINkey",
+            foreign_keys=[ForeignKey("ORDkey", "ORDER", "ORDkey")],
+        )
+        return SchemaGraph([customer, order, lineitem])
+
+    def test_unknown_parent_table(self):
+        orphan = TableSchema(
+            "T",
+            [Column("pid", "int")],
+            foreign_keys=[ForeignKey("pid", "GHOST", "id")],
+        )
+        with pytest.raises(QueryError, match="unknown table"):
+            SchemaGraph([orphan])
+
+    def test_duplicate_table(self):
+        with pytest.raises(QueryError, match="duplicate table"):
+            SchemaGraph([customer_schema(), customer_schema()])
+
+    def test_ancestry_paths(self):
+        graph = self._tpcd_like()
+        paths = graph.ancestry_paths("LINEITEM")
+        assert set(paths) == {"LINEITEM", "ORDER", "CUSTOMER"}
+        assert paths["LINEITEM"] == []
+        assert [fk.parent_table for fk in paths["CUSTOMER"]] == [
+            "ORDER",
+            "CUSTOMER",
+        ]
+
+
+class TestRowSerialization:
+    def test_roundtrip(self):
+        schema = customer_schema()
+        row = (42, "Ana Lopez", 1234.5)
+        assert deserialize_row(schema, serialize_row(schema, row)) == row
+
+    def test_wrong_arity(self):
+        with pytest.raises(StorageError, match="expected 3 values"):
+            serialize_row(customer_schema(), (1, "x"))
+
+    def test_trailing_bytes_detected(self):
+        schema = customer_schema()
+        data = serialize_row(schema, (1, "x", 0.0)) + b"!"
+        with pytest.raises(StorageError, match="trailing"):
+            deserialize_row(schema, data)
+
+    def test_unicode_strings(self):
+        schema = TableSchema("T", [Column("s", "str")])
+        row = ("héllo ✓",)
+        assert deserialize_row(schema, serialize_row(schema, row)) == row
+
+
+class TestKeyEncoding:
+    def test_int_order_preserved(self):
+        values = [-(10**12), -5, -1, 0, 1, 7, 10**12]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_float_order_preserved(self):
+        values = [-1e300, -2.5, -0.0, 0.0, 1e-9, 3.14, 1e300]
+        encoded = [encode_key(v) for v in values]
+        assert sorted(encoded) == encoded
+
+    def test_str_order_preserved(self):
+        values = ["", "a", "ab", "b", "ba"]
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_kinds_do_not_collide(self):
+        assert encode_key(1) != encode_key(1.0)
+        assert encode_key("1") != encode_key(1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(StorageError):
+            encode_key(True)
+
+    def test_unsupported_type(self):
+        with pytest.raises(StorageError, match="unsupported key type"):
+            encode_key([1, 2])
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    @settings(max_examples=100, deadline=None)
+    def test_int_roundtrip(self, value):
+        assert decode_key(encode_key(value)) == value
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_float_roundtrip(self, value):
+        assert decode_key(encode_key(value)) == value
+
+    @given(st.text(max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_str_roundtrip(self, value):
+        assert decode_key(encode_key(value)) == value
+
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**62), max_value=2**62),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_int_encoding_is_monotone(self, values):
+        values.sort()
+        encoded = [encode_key(v) for v in values]
+        assert encoded == sorted(encoded)

@@ -1,0 +1,127 @@
+"""Tests for table storage and the Keys+Bloom sequential key index."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.relational.keyindex import KeyIndex
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import TableStorage
+
+
+def make_allocator(page_size=256, blocks=256) -> BlockAllocator:
+    flash = NandFlash(
+        FlashGeometry(page_size=page_size, pages_per_block=8, num_blocks=blocks)
+    )
+    return BlockAllocator(flash)
+
+
+def people_schema() -> TableSchema:
+    return TableSchema(
+        "PEOPLE",
+        [Column("id", "int"), Column("city", "str"), Column("age", "int")],
+        primary_key="id",
+    )
+
+
+class TestTableStorage:
+    def test_insert_assigns_dense_rowids(self):
+        table = TableStorage(people_schema(), make_allocator())
+        rowids = [table.insert((i, "Lyon", 30 + i)) for i in range(10)]
+        assert rowids == list(range(10))
+        assert table.row_count == 10
+
+    def test_read_by_rowid(self):
+        table = TableStorage(people_schema(), make_allocator())
+        for i in range(50):
+            table.insert((i, f"city-{i % 5}", 20 + i))
+        table.flush()
+        assert table.read(0) == (0, "city-0", 20)
+        assert table.read(37) == (37, "city-2", 57)
+        assert table.value(37, "city") == "city-2"
+
+    def test_read_unflushed_row(self):
+        table = TableStorage(people_schema(), make_allocator())
+        rowid = table.insert((1, "Paris", 44))
+        assert table.read(rowid) == (1, "Paris", 44)
+
+    def test_rowid_out_of_range(self):
+        table = TableStorage(people_schema(), make_allocator())
+        with pytest.raises(StorageError, match="out of range"):
+            table.read(0)
+
+    def test_scan_order(self):
+        table = TableStorage(people_schema(), make_allocator())
+        rows = [(i, "x", i) for i in range(30)]
+        for row in rows:
+            table.insert(row)
+        assert [row for _, row in table.scan()] == rows
+        assert [rowid for rowid, _ in table.scan()] == list(range(30))
+
+
+class TestKeyIndex:
+    def test_lookup_exact_matches(self):
+        index = KeyIndex("city", make_allocator())
+        cities = ["Lyon", "Paris", "Lyon", "Nice", "Lyon", "Paris"]
+        for rowid, city in enumerate(cities):
+            index.insert(city, rowid)
+        index.flush()
+        assert index.lookup("Lyon") == [0, 2, 4]
+        assert index.lookup("Paris") == [1, 5]
+        assert index.lookup("Marseille") == []
+
+    def test_lookup_sees_unflushed_entries(self):
+        index = KeyIndex("city", make_allocator())
+        index.insert("Lyon", 7)
+        assert index.lookup("Lyon") == [7]
+
+    def test_int_and_float_keys(self):
+        index = KeyIndex("age", make_allocator())
+        index.insert(30, 0)
+        index.insert(31, 1)
+        index.insert(30, 2)
+        index.flush()
+        assert index.lookup(30) == [0, 2]
+        assert index.lookup(29) == []
+
+    def test_summary_scan_cheaper_than_keys_scan(self):
+        """E1's core shape: a lookup reads summaries + few key pages."""
+        index = KeyIndex("city", make_allocator(page_size=256), bits_per_key=16.0)
+        for rowid in range(2000):
+            index.insert(f"city-{rowid % 50}", rowid)
+        index.flush()
+        assert index.lookup("city-7") == list(range(7, 2000, 50))
+        stats = index.last_lookup
+        # Summaries are ~2 B/key vs ~12 B/key entries: far fewer pages.
+        assert stats.summary_pages < index.keys_pages / 3
+        # 'city-7' has 40 entries spread over many pages: each truly matching
+        # page is read once; false positives are rare at 16 bits/key.
+        assert stats.false_positive_pages <= 3
+
+    def test_lookup_stats_reset_each_call(self):
+        index = KeyIndex("k", make_allocator())
+        for rowid in range(100):
+            index.insert(rowid % 10, rowid)
+        index.flush()
+        index.lookup(3)
+        first = index.last_lookup.total_pages
+        index.lookup(3)
+        assert index.last_lookup.total_pages == first
+
+    def test_entry_count(self):
+        index = KeyIndex("k", make_allocator())
+        for rowid in range(17):
+            index.insert("v", rowid)
+        assert index.entry_count == 17
+
+    def test_drop_reclaims_blocks(self):
+        allocator = make_allocator()
+        free_before = allocator.free_blocks
+        index = KeyIndex("k", make_allocator())  # unrelated allocator
+        index = KeyIndex("k", allocator)
+        for rowid in range(500):
+            index.insert(f"value-{rowid}", rowid)
+        index.flush()
+        assert allocator.free_blocks < free_before
+        index.drop()
+        assert allocator.free_blocks == free_before

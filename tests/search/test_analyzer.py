@@ -1,0 +1,40 @@
+"""Unit tests for the search analyzer."""
+
+from repro.search.analyzer import query_terms, term_frequencies, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Doctor's Appointment 2014") == [
+            "doctor",
+            "s",
+            "appointment",
+            "2014",
+        ]
+
+    def test_removes_stopwords(self):
+        assert tokenize("the doctor and the nurse") == ["doctor", "nurse"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+        assert tokenize("the and of") == []
+
+    def test_punctuation_is_separator(self):
+        assert tokenize("invoice#42,paid!") == ["invoice", "42", "paid"]
+
+
+class TestTermFrequencies:
+    def test_counts(self):
+        tf = term_frequencies("pay pay invoice")
+        assert tf == {"pay": 2, "invoice": 1}
+
+    def test_stopwords_not_counted(self):
+        assert "the" not in term_frequencies("the pay the")
+
+
+class TestQueryTerms:
+    def test_distinct_in_order(self):
+        assert query_terms("doctor invoice doctor") == ["doctor", "invoice"]
+
+    def test_empty_query(self):
+        assert query_terms("") == []

@@ -1,0 +1,208 @@
+"""Tests for the pipelined embedded search engine and its baseline.
+
+The two load-bearing claims of Part II's first illustration:
+1. the pipelined merge returns the same top-N as conventional evaluation;
+2. its RAM footprint is one page per query keyword (+ the top-N heap),
+   independent of corpus size — while the baseline grows with matches.
+"""
+
+import pytest
+
+from repro.errors import RamBudgetExceeded, StorageError, TamperedTokenError
+from repro.hardware.flash import FlashGeometry
+from repro.hardware.profiles import HardwareProfile, smart_usb_token
+from repro.hardware.ram import RamArena
+from repro.hardware.token import SecurePortableToken
+from repro.search.baseline import RamHungrySearch
+from repro.search.engine import EmbeddedSearchEngine
+from repro.search.inverted import Posting, SequentialInvertedIndex, pack_posting, unpack_posting
+from repro.workloads.documents import DocumentCorpus
+
+
+def make_token(ram_bytes: int = 64 * 1024) -> SecurePortableToken:
+    base = smart_usb_token()
+    profile = HardwareProfile(
+        name="test-token",
+        ram_bytes=ram_bytes,
+        cpu_mhz=base.cpu_mhz,
+        flash_geometry=FlashGeometry(page_size=512, pages_per_block=16, num_blocks=512),
+        flash_cost=base.flash_cost,
+        tamper_resistant=True,
+    )
+    return SecurePortableToken(profile=profile)
+
+
+@pytest.fixture
+def engine() -> EmbeddedSearchEngine:
+    return EmbeddedSearchEngine(make_token(), num_buckets=16)
+
+
+class TestPosting:
+    def test_pack_roundtrip(self):
+        posting = Posting("doctor", 42, 3.0)
+        assert unpack_posting(pack_posting(posting)) == posting
+
+    def test_long_term_rejected(self):
+        with pytest.raises(StorageError, match="too long"):
+            pack_posting(Posting("x" * 300, 1, 1.0))
+
+
+class TestInvertedIndex:
+    def test_docids_must_increase(self, engine):
+        engine.add_document("doctor visit", docid=5)
+        with pytest.raises(StorageError, match="not increasing"):
+            engine.index.add_document(5, {"x": 1.0})
+
+    def test_document_frequency(self, engine):
+        engine.add_document("doctor nurse")
+        engine.add_document("doctor doctor lab")
+        engine.add_document("nurse")
+        assert engine.index.document_frequency("doctor") == 2
+        assert engine.index.document_frequency("nurse") == 2
+        assert engine.index.document_frequency("absent") == 0
+
+    def test_iter_term_descending(self, engine):
+        for _ in range(10):
+            engine.add_document("doctor report")
+        docids = [p.docid for p in engine.index.iter_term("doctor")]
+        assert docids == sorted(docids, reverse=True)
+
+    def test_collisions_filtered(self):
+        """With one bucket every term collides; iter_term must still filter."""
+        token = make_token()
+        index = SequentialInvertedIndex(token.allocator, num_buckets=1)
+        index.add_document(0, {"alpha": 1.0, "beta": 2.0})
+        index.add_document(1, {"beta": 3.0})
+        assert [p.weight for p in index.iter_term("beta")] == [3.0, 2.0]
+        assert [p.docid for p in index.iter_term("alpha")] == [0]
+
+
+class TestSearch:
+    def test_single_keyword_ranking(self, engine):
+        engine.add_document("doctor")  # tf 1
+        engine.add_document("doctor doctor doctor")  # tf 3
+        engine.add_document("nurse")
+        hits = engine.search("doctor", n=2)
+        assert [hit.docid for hit in hits] == [1, 0]
+        assert hits[0].score > hits[1].score
+
+    def test_multi_keyword_prefers_docs_with_both(self, engine):
+        engine.add_document("doctor invoice")
+        engine.add_document("doctor doctor")
+        engine.add_document("invoice")
+        engine.add_document("unrelated words entirely")
+        hits = engine.search("doctor invoice", n=1)
+        assert hits[0].docid == 0
+
+    def test_rare_terms_weighted_higher(self, engine):
+        # 'rare' appears once, 'common' in every doc.
+        engine.add_document("rare common")
+        for _ in range(9):
+            engine.add_document("common filler text")
+        hits = engine.search("rare common", n=10)
+        assert hits[0].docid == 0
+
+    def test_no_results_for_absent_terms(self, engine):
+        engine.add_document("doctor")
+        assert engine.search("zebra") == []
+
+    def test_empty_query_and_empty_index(self, engine):
+        assert engine.search("") == []
+        assert engine.search("doctor") == []  # nothing indexed yet
+
+    def test_n_limits_results(self, engine):
+        for _ in range(20):
+            engine.add_document("doctor")
+        assert len(engine.search("doctor", n=5)) == 5
+
+    def test_tampered_token_refuses(self, engine):
+        engine.add_document("doctor")
+        engine.token.tamper()
+        with pytest.raises(TamperedTokenError):
+            engine.search("doctor")
+
+    def test_ram_budget_enforced_for_wide_queries(self):
+        tiny = EmbeddedSearchEngine(make_token(ram_bytes=2048), num_buckets=4)
+        tiny.add_document("a1 b2 c3 d4 e5 f6 g7 h8")
+        with pytest.raises(RamBudgetExceeded):
+            tiny.search("a1 b2 c3 d4 e5 f6 g7 h8", n=10)
+
+
+class TestAgainstBaseline:
+    def test_same_results_as_ram_hungry_baseline(self):
+        engine = EmbeddedSearchEngine(make_token(), num_buckets=16)
+        for document in DocumentCorpus(seed=3).generate(150, words_per_doc=25):
+            engine.add_document(document.text)
+        engine.flush()
+        baseline = RamHungrySearch(engine.index, RamArena(10**9))
+        for query in ["doctor", "invoice payment", "meeting energy doctor"]:
+            fast = engine.search(query, n=10)
+            slow = baseline.search(query, n=10)
+            assert [h.docid for h in fast] == [h.docid for h in slow]
+            for f, s in zip(fast, slow):
+                assert f.score == pytest.approx(s.score, rel=1e-9)
+
+    def test_pipeline_ram_flat_while_baseline_grows(self):
+        """E2's shape: engine RAM is corpus-size independent."""
+        peaks_engine, peaks_baseline = [], []
+        for num_docs in (50, 300):
+            engine = EmbeddedSearchEngine(make_token(), num_buckets=16)
+            for document in DocumentCorpus(seed=5).generate(num_docs, 20):
+                engine.add_document(document.text)
+            engine.flush()
+            ram = engine.token.mcu.ram
+            ram.reset_high_water()
+            engine.search("doctor invoice meeting", n=10)
+            peaks_engine.append(ram.high_water)
+
+            baseline_ram = RamArena(10**9)
+            RamHungrySearch(engine.index, baseline_ram).search(
+                "doctor invoice meeting", n=10
+            )
+            peaks_baseline.append(baseline_ram.high_water)
+        assert peaks_engine[0] == peaks_engine[1]  # flat
+        assert peaks_baseline[1] > peaks_baseline[0]  # grows with corpus
+
+
+class TestConjunctiveSearch:
+    def build(self) -> EmbeddedSearchEngine:
+        engine = EmbeddedSearchEngine(make_token(), num_buckets=16)
+        engine.add_document("doctor invoice")        # 0: both
+        engine.add_document("doctor doctor")         # 1: doctor only
+        engine.add_document("invoice")               # 2: invoice only
+        engine.add_document("doctor invoice doctor") # 3: both
+        engine.flush()
+        return engine
+
+    def test_only_docs_with_all_keywords(self):
+        engine = self.build()
+        hits = engine.search("doctor invoice", n=10, require_all=True)
+        assert sorted(hit.docid for hit in hits) == [0, 3]
+
+    def test_disjunctive_superset(self):
+        engine = self.build()
+        or_hits = engine.search("doctor invoice", n=10)
+        and_hits = engine.search("doctor invoice", n=10, require_all=True)
+        assert {h.docid for h in and_hits} <= {h.docid for h in or_hits}
+
+    def test_absent_keyword_empties_conjunction(self):
+        engine = self.build()
+        assert engine.search("doctor zebra", n=10, require_all=True) == []
+        assert engine.search("doctor zebra", n=10) != []
+
+    def test_matches_baseline(self):
+        engine = EmbeddedSearchEngine(make_token(), num_buckets=16)
+        for document in DocumentCorpus(seed=8).generate(120, words_per_doc=15):
+            engine.add_document(document.text)
+        engine.flush()
+        baseline = RamHungrySearch(engine.index, RamArena(10**9))
+        for query in ("doctor invoice", "meeting agenda doctor"):
+            fast = engine.search(query, n=10, require_all=True)
+            slow = baseline.search(query, n=10, require_all=True)
+            assert [h.docid for h in fast] == [h.docid for h in slow]
+
+    def test_single_keyword_conjunction_is_plain_search(self):
+        engine = self.build()
+        assert engine.search("doctor", require_all=True) == engine.search(
+            "doctor"
+        )

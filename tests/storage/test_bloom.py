@@ -1,0 +1,108 @@
+"""Unit and property tests for Bloom filters (no false negatives, FPR)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.bloom import BloomFilter, optimal_hash_count
+
+
+class TestBasics:
+    def test_added_keys_always_found(self):
+        bloom = BloomFilter.for_capacity(100)
+        keys = [f"key-{i}".encode() for i in range(100)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_empty_filter_rejects(self):
+        bloom = BloomFilter.for_capacity(10)
+        assert b"anything" not in bloom
+        assert bloom.expected_fpr() == 0.0
+
+    def test_len_counts_adds(self):
+        bloom = BloomFilter.for_capacity(10)
+        bloom.add(b"a")
+        bloom.add(b"a")
+        assert len(bloom) == 2
+
+    def test_invalid_params(self):
+        with pytest.raises(StorageError):
+            BloomFilter(0, 1)
+        with pytest.raises(StorageError):
+            BloomFilter(8, 0)
+
+    def test_optimal_hash_count(self):
+        assert optimal_hash_count(16.0) == 11  # 16 ln2 = 11.09
+        assert optimal_hash_count(0.5) == 1  # floor at one hash
+
+
+class TestFalsePositiveRate:
+    def test_measured_fpr_near_analytic(self):
+        bits_per_key = 10.0
+        bloom = BloomFilter.from_keys(
+            [f"member-{i}".encode() for i in range(2000)], bits_per_key
+        )
+        probes = 20_000
+        false_hits = sum(
+            1 for i in range(probes) if f"absent-{i}".encode() in bloom
+        )
+        measured = false_hits / probes
+        analytic = bloom.expected_fpr()
+        assert measured == pytest.approx(analytic, abs=0.01)
+
+    def test_more_bits_fewer_false_positives(self):
+        keys = [f"k{i}".encode() for i in range(500)]
+        small = BloomFilter.from_keys(keys, bits_per_key=4.0)
+        large = BloomFilter.from_keys(keys, bits_per_key=20.0)
+        probes = [f"p{i}".encode() for i in range(5000)]
+        fp_small = sum(1 for probe in probes if probe in small)
+        fp_large = sum(1 for probe in probes if probe in large)
+        assert fp_large < fp_small
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_membership(self):
+        bloom = BloomFilter.from_keys([b"x", b"y", b"z"], bits_per_key=12.0)
+        clone = BloomFilter.deserialize(bloom.serialize())
+        assert b"x" in clone and b"y" in clone and b"z" in clone
+        assert len(clone) == 3
+        assert clone.serialize() == bloom.serialize()
+
+    def test_truncated_data_rejected(self):
+        with pytest.raises(StorageError, match="truncated"):
+            BloomFilter.deserialize(b"\x01\x02")
+
+    def test_corrupt_bitmap_length_rejected(self):
+        data = BloomFilter.from_keys([b"a"]).serialize()
+        with pytest.raises(StorageError, match="does not match"):
+            BloomFilter.deserialize(data + b"\x00\x00")
+
+    def test_size_tracks_bits_per_key(self):
+        keys = [f"k{i}".encode() for i in range(128)]
+        two_bytes_per_key = BloomFilter.from_keys(keys, bits_per_key=16.0)
+        # The tutorial quotes ~2 B/key summaries: 16 bits/key + header.
+        assert two_bytes_per_key.size_bytes() == pytest.approx(
+            2 * len(keys), abs=16
+        )
+
+
+class TestProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_no_false_negatives(self, keys):
+        bloom = BloomFilter.from_keys(keys, bits_per_key=8.0)
+        assert all(key in bloom for key in keys)
+
+    @given(
+        st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=50),
+        st.floats(min_value=2.0, max_value=24.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_roundtrip(self, keys, bits_per_key):
+        bloom = BloomFilter.from_keys(keys, bits_per_key)
+        clone = BloomFilter.deserialize(bloom.serialize())
+        assert all(key in clone for key in keys)
+        assert clone.num_bits == bloom.num_bits
+        assert clone.num_hashes == bloom.num_hashes

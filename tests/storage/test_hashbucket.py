@@ -1,0 +1,122 @@
+"""Unit and property tests for backward-chained hash bucket logs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.hardware.ram import RamArena
+from repro.storage.hashbucket import ChainedBucketLog, bucket_of
+
+
+def make_allocator(page_size=64, blocks=32) -> BlockAllocator:
+    flash = NandFlash(
+        FlashGeometry(page_size=page_size, pages_per_block=4, num_blocks=blocks)
+    )
+    return BlockAllocator(flash)
+
+
+class TestBucketOf:
+    def test_deterministic(self):
+        assert bucket_of("database", 16) == bucket_of("database", 16)
+
+    def test_in_range(self):
+        for word in ["a", "privacy", "token", "flash"]:
+            assert 0 <= bucket_of(word, 7) < 7
+
+    def test_spreads_keywords(self):
+        buckets = {bucket_of(f"word{i}", 64) for i in range(200)}
+        assert len(buckets) > 40  # decent spread
+
+
+class TestAppendScan:
+    def test_single_bucket_descending_order(self):
+        log = ChainedBucketLog(make_allocator(), num_buckets=4)
+        for docid in range(20):
+            log.append(1, docid.to_bytes(4, "little"))
+        log.flush_all()
+        seen = [int.from_bytes(entry, "little") for entry in log.iter_bucket(1)]
+        assert seen == sorted(seen, reverse=True)
+        assert seen == list(range(19, -1, -1))
+
+    def test_staged_entries_visible_before_flush(self):
+        log = ChainedBucketLog(make_allocator(), num_buckets=4)
+        log.append(0, b"\x01")
+        log.append(0, b"\x02")
+        assert list(log.iter_bucket(0)) == [b"\x02", b"\x01"]
+
+    def test_buckets_are_isolated(self):
+        log = ChainedBucketLog(make_allocator(), num_buckets=3)
+        log.append(0, b"zero")
+        log.append(2, b"two")
+        log.flush_all()
+        assert list(log.iter_bucket(0)) == [b"zero"]
+        assert list(log.iter_bucket(1)) == []
+        assert list(log.iter_bucket(2)) == [b"two"]
+
+    def test_chain_grows_across_pages(self):
+        log = ChainedBucketLog(make_allocator(), num_buckets=2)
+        for docid in range(40):  # far more than fits one 64 B page
+            log.append(0, docid.to_bytes(8, "little"))
+        log.flush_all()
+        assert log.chain_length(0) > 1
+        seen = [int.from_bytes(entry, "little") for entry in log.iter_bucket(0)]
+        assert seen == list(range(39, -1, -1))
+
+    def test_entry_count(self):
+        log = ChainedBucketLog(make_allocator(), num_buckets=2)
+        for i in range(7):
+            log.append(i % 2, bytes([i]))
+        assert log.entry_count == 7
+
+    def test_bad_bucket_rejected(self):
+        log = ChainedBucketLog(make_allocator(), num_buckets=2)
+        with pytest.raises(StorageError, match="out of range"):
+            log.append(5, b"x")
+        with pytest.raises(StorageError, match="out of range"):
+            list(log.iter_bucket(-1))
+
+    def test_oversized_entry_rejected(self):
+        log = ChainedBucketLog(make_allocator(), num_buckets=1)
+        with pytest.raises(StorageError, match="cannot fit"):
+            log.append(0, b"z" * 60)
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(StorageError):
+            ChainedBucketLog(make_allocator(), num_buckets=0)
+
+
+class TestRamAndDrop:
+    def test_ram_directory_accounted(self):
+        ram = RamArena(4096)
+        log = ChainedBucketLog(make_allocator(), num_buckets=8, ram=ram)
+        assert ram.in_use == 4 * 8 + 64
+        log.drop()
+        assert ram.in_use == 0
+
+    def test_drop_resets_state(self):
+        log = ChainedBucketLog(make_allocator(), num_buckets=2)
+        for i in range(20):
+            log.append(0, bytes([i]) * 4)
+        log.drop()
+        assert log.entry_count == 0
+        assert list(log.iter_bucket(0)) == []
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.binary(min_size=1, max_size=8)),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_bucket_replays_its_entries_reversed(self, items):
+        log = ChainedBucketLog(make_allocator(blocks=64), num_buckets=4)
+        per_bucket: dict[int, list[bytes]] = {b: [] for b in range(4)}
+        for bucket, entry in items:
+            log.append(bucket, entry)
+            per_bucket[bucket].append(entry)
+        for bucket in range(4):
+            assert list(log.iter_bucket(bucket)) == per_bucket[bucket][::-1]

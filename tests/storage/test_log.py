@@ -1,0 +1,133 @@
+"""Unit tests for sequential page/record logs."""
+
+import pytest
+
+from repro.errors import LogSealedError, StorageError
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.hardware.ram import RamArena
+from repro.storage.log import PageLog, RecordAddress, RecordLog
+
+
+@pytest.fixture
+def allocator() -> BlockAllocator:
+    flash = NandFlash(FlashGeometry(page_size=64, pages_per_block=4, num_blocks=16))
+    return BlockAllocator(flash)
+
+
+class TestPageLog:
+    def test_append_read_roundtrip(self, allocator):
+        log = PageLog(allocator)
+        positions = [log.append_page(bytes([i]) * 8) for i in range(6)]
+        assert positions == list(range(6))
+        assert log.read_page(3) == bytes([3]) * 8
+
+    def test_grows_by_blocks(self, allocator):
+        log = PageLog(allocator)
+        for i in range(5):  # 4 pages/block -> needs 2 blocks
+            log.append_page(b"p")
+        assert log.num_blocks == 2
+        assert allocator.allocated_blocks == 2
+
+    def test_iter_pages_in_order(self, allocator):
+        log = PageLog(allocator)
+        for i in range(7):
+            log.append_page(bytes([i]))
+        assert [page[0] for page in log.iter_pages()] == list(range(7))
+
+    def test_out_of_range_read(self, allocator):
+        log = PageLog(allocator)
+        with pytest.raises(StorageError, match="out of range"):
+            log.read_page(0)
+
+    def test_seal_blocks_appends(self, allocator):
+        log = PageLog(allocator)
+        log.append_page(b"a")
+        log.seal()
+        with pytest.raises(LogSealedError):
+            log.append_page(b"b")
+
+    def test_drop_reclaims_blocks(self, allocator):
+        log = PageLog(allocator)
+        for _ in range(5):
+            log.append_page(b"x")
+        free_before = allocator.free_blocks
+        log.drop()
+        assert allocator.free_blocks == free_before + 2
+        with pytest.raises(StorageError, match="dropped"):
+            log.read_page(0)
+
+    def test_writes_are_strictly_sequential(self, allocator):
+        """The log never triggers a FlashViolation: it is seq-write by design."""
+        log = PageLog(allocator)
+        for i in range(40):
+            log.append_page(bytes([i]))
+        assert allocator.flash.stats.page_programs == 40
+        assert allocator.flash.stats.block_erases == 0
+
+
+class TestRecordLog:
+    def test_append_and_read(self, allocator):
+        log = RecordLog(allocator)
+        addresses = [log.append(f"r{i}".encode()) for i in range(10)]
+        for i, address in enumerate(addresses):
+            assert log.read(address) == f"r{i}".encode()
+
+    def test_scan_in_append_order(self, allocator):
+        log = RecordLog(allocator)
+        payloads = [f"rec-{i}".encode() for i in range(25)]
+        for payload in payloads:
+            log.append(payload)
+        assert [record for _, record in log.scan()] == payloads
+
+    def test_addresses_order_like_append_order(self, allocator):
+        log = RecordLog(allocator)
+        addresses = [log.append(b"x" * 10) for _ in range(30)]
+        assert addresses == sorted(addresses)
+
+    def test_buffer_flushes_when_page_full(self, allocator):
+        log = RecordLog(allocator)
+        # 64 B pages; each 20 B record costs 22 B packed + 2 B header.
+        log.append(b"a" * 20)
+        log.append(b"b" * 20)
+        assert log.page_count == 0  # both fit buffered
+        log.append(b"c" * 20)  # would overflow -> first page flushed
+        assert log.page_count == 1
+
+    def test_oversized_record_rejected(self, allocator):
+        log = RecordLog(allocator)
+        with pytest.raises(StorageError, match="cannot fit"):
+            log.append(b"z" * 63)
+
+    def test_read_from_buffer_before_flush(self, allocator):
+        log = RecordLog(allocator)
+        address = log.append(b"pending")
+        assert log.read(address) == b"pending"
+
+    def test_missing_record(self, allocator):
+        log = RecordLog(allocator)
+        log.append(b"only")
+        with pytest.raises(StorageError, match="no record"):
+            log.read(RecordAddress(position=0, slot=5))
+
+    def test_ram_buffer_accounted_and_released(self, allocator):
+        ram = RamArena(1024)
+        log = RecordLog(allocator, name="t", ram=ram)
+        assert ram.in_use == 64  # one page buffer
+        log.append(b"x")
+        log.seal()
+        assert ram.in_use == 0
+
+    def test_scan_pages_excludes_buffer(self, allocator):
+        log = RecordLog(allocator)
+        for i in range(6):
+            log.append(b"a" * 20)
+        flushed = sum(len(page) for page in log.scan_pages())
+        assert flushed < 6
+        log.flush()
+        assert sum(len(page) for page in log.scan_pages()) == 6
+
+    def test_len_counts_buffered(self, allocator):
+        log = RecordLog(allocator)
+        for _ in range(3):
+            log.append(b"r")
+        assert len(log) == 3

@@ -1,0 +1,59 @@
+"""Unit tests for the experiment harness (the benches' reporting layer)."""
+
+import pytest
+
+from repro.bench.harness import Experiment, render_table, run_and_print
+
+
+def sample() -> Experiment:
+    experiment = Experiment(
+        experiment_id="EX",
+        title="Sample",
+        claim="numbers line up",
+        columns=["name", "value", "ratio"],
+    )
+    experiment.add_row("alpha", 1234, 0.5)
+    experiment.add_row("b", 2, 12345.678)
+    return experiment
+
+
+class TestExperiment:
+    def test_row_arity_checked(self):
+        experiment = sample()
+        with pytest.raises(ValueError, match="row has 2 values"):
+            experiment.add_row("only", 2)
+
+    def test_column_extraction(self):
+        experiment = sample()
+        assert experiment.column("value") == [1234, 2]
+        with pytest.raises(ValueError):
+            experiment.column("missing")
+
+
+class TestRenderTable:
+    def test_header_and_alignment(self):
+        text = render_table(sample())
+        lines = text.splitlines()
+        assert lines[0] == "== EX: Sample =="
+        assert lines[1].startswith("claim:")
+        header, divider, first, second = lines[2:6]
+        # Every line is padded to the same total width per column.
+        assert len(header) == len(divider) == len(first) == len(second)
+        assert first.startswith("alpha")
+        assert second.startswith("b")
+
+    def test_float_formatting(self):
+        text = render_table(sample())
+        assert "0.50" in text  # mid-range floats: two decimals
+        assert "1.23e+04" in text  # large floats: compact scientific
+
+    def test_empty_experiment_renders(self):
+        experiment = Experiment("E0", "Empty", "nothing", ["a", "b"])
+        text = render_table(experiment)
+        assert "E0" in text and "a" in text
+
+    def test_run_and_print_returns_experiment(self, capsys):
+        experiment = run_and_print(sample)
+        captured = capsys.readouterr()
+        assert "== EX: Sample ==" in captured.out
+        assert experiment.rows
