@@ -4,11 +4,20 @@ Every bench in ``benchmarks/`` builds an :class:`Experiment` (a named sweep
 producing rows of measurements) and prints it through :func:`render_table`,
 so EXPERIMENTS.md can quote the output verbatim. Keeping the formatting here
 means all eleven experiments report the same way.
+
+Passing ``--json`` on the command line (or setting ``BENCH_JSON=1``) makes
+:func:`run_and_print` additionally write each experiment as
+``BENCH_<id>.json`` — machine-readable rows for plotting and regression
+tracking — into ``BENCH_JSON_DIR`` (default: the current directory).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import sys
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 
@@ -68,9 +77,37 @@ def render_table(experiment: Experiment) -> str:
     return "\n".join(lines)
 
 
+def experiment_dict(experiment: Experiment) -> dict:
+    """JSON-ready representation of one experiment."""
+    return {
+        "experiment_id": experiment.experiment_id,
+        "title": experiment.title,
+        "claim": experiment.claim,
+        "columns": list(experiment.columns),
+        "rows": [list(row) for row in experiment.rows],
+    }
+
+
+def json_requested() -> bool:
+    """``--json`` on the command line, or ``BENCH_JSON`` in the env."""
+    return "--json" in sys.argv or bool(os.environ.get("BENCH_JSON"))
+
+
+def write_json(experiment: Experiment, directory: str | None = None) -> Path:
+    """Write ``BENCH_<id>.json`` and return its path."""
+    target = Path(directory or os.environ.get("BENCH_JSON_DIR") or ".")
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{experiment.experiment_id}.json"
+    path.write_text(json.dumps(experiment_dict(experiment), indent=2) + "\n")
+    return path
+
+
 def run_and_print(build: Callable[[], Experiment]) -> Experiment:
     """Build an experiment and print its table (bench entry point)."""
     experiment = build()
     print()
     print(render_table(experiment))
+    if json_requested():
+        path = write_json(experiment)
+        print(f"json: {path}")
     return experiment

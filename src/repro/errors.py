@@ -53,6 +53,18 @@ class ProtocolError(ReproError):
     """A distributed protocol message was malformed or arrived out of order."""
 
 
+class NetError(ReproError):
+    """Base class for simulated-network (``repro.net``) failures."""
+
+
+class NetTimeout(NetError):
+    """A deadline expired while waiting for a frame or delivery slot."""
+
+
+class RetriesExhausted(NetError):
+    """A retried network operation failed on every allowed attempt."""
+
+
 class IntegrityError(ProtocolError):
     """A verification primitive caught the SSI (or a participant) cheating."""
 

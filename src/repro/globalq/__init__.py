@@ -8,6 +8,13 @@ weakly malicious one is caught by authentication, replay detection and
 participation audits.
 """
 
+from repro.globalq.async_protocol import (
+    FAMILIES,
+    HISTOGRAM_BASED,
+    NOISE_BASED,
+    SECURE_AGGREGATION,
+    AsyncGlobalQuery,
+)
 from repro.globalq.attacks import AttackResult, frequency_analysis, histogram_flatness
 from repro.globalq.graphq import (
     DistributedGraph,
@@ -60,11 +67,16 @@ from repro.globalq.verification import (
 
 __all__ = [
     "COMPLEMENTARY_NOISE",
+    "FAMILIES",
     "GLOBAL_GROUP",
+    "HISTOGRAM_BASED",
     "HONEST",
+    "NOISE_BASED",
     "NO_NOISE",
+    "SECURE_AGGREGATION",
     "WHITE_NOISE",
     "Accumulator",
+    "AsyncGlobalQuery",
     "AggregateQuery",
     "AggregationOutcome",
     "AttackResult",

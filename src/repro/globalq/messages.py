@@ -67,7 +67,10 @@ def unpack_payload(data: bytes) -> Payload:
     if len(data) < _HEADER.size:
         raise ProtocolError("contribution payload too short")
     pds_id, sequence, flags, value = _HEADER.unpack_from(data, 0)
-    group = data[_HEADER.size :].decode("utf-8")
+    try:
+        group = data[_HEADER.size :].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("contribution group is not valid UTF-8") from exc
     return Payload(
         pds_id=pds_id,
         sequence=sequence,

@@ -183,6 +183,9 @@ class ProtocolReport:
     aggregator_retries: int = 0
     ssi_tag_histogram: dict = field(default_factory=dict)
     ssi_bucket_histogram: dict = field(default_factory=dict)
+    #: Filled by the asynchronous driver: the run's NetMetrics (message
+    #: counts, drops, in-flight and per-phase latency). None on sync runs.
+    net_metrics: object | None = None
 
     @property
     def cheating_detected(self) -> bool:
@@ -190,31 +193,43 @@ class ProtocolReport:
         return self.integrity_failures > 0 or self.duplicates_detected > 0
 
 
-def finalize_partials(
+def merge_outcomes(
     outcomes: list[AggregationOutcome],
     query: AggregateQuery,
-    channel: Channel,
 ) -> tuple[dict[str, float], int, int]:
-    """Querier-token merge of the partial aggregates.
+    """Merge partial aggregates without any transport accounting.
 
     Cross-partition ``(pds_id, sequence)`` collisions flag a replaying SSI —
     the covert-adversary countermeasure is *detection*, which is why the
     report carries ``duplicates_detected`` rather than a corrected result.
-    Returns ``(result, integrity_failures, duplicates_detected)``.
+    Returns ``(result, integrity_failures, duplicates_detected)``. Shared by
+    the synchronous drivers (via :func:`finalize_partials`, which adds
+    channel accounting) and :mod:`repro.globalq.async_protocol` (whose
+    partials already crossed the simulated network).
     """
     merged = Accumulator()
     failures = 0
     seen: set[tuple[int, int]] = set()
     duplicates = 0
-    for index, outcome in enumerate(outcomes):
-        channel.send(
-            f"aggregator-{index}",
-            "querier",
-            outcome.accumulator.serialized_size(),
-        )
+    for outcome in outcomes:
         failures += outcome.integrity_failures
         overlap = seen & outcome.seen_pds_sequences
         duplicates += len(overlap)
         seen |= outcome.seen_pds_sequences
         merged.merge(outcome.accumulator)
     return merged.finalize(query), failures, duplicates
+
+
+def finalize_partials(
+    outcomes: list[AggregationOutcome],
+    query: AggregateQuery,
+    channel: Channel,
+) -> tuple[dict[str, float], int, int]:
+    """Querier-token merge of the partial aggregates (synchronous path)."""
+    for index, outcome in enumerate(outcomes):
+        channel.send(
+            f"aggregator-{index}",
+            "querier",
+            outcome.accumulator.serialized_size(),
+        )
+    return merge_outcomes(outcomes, query)

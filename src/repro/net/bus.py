@@ -1,0 +1,171 @@
+"""The message bus: per-link latency/jitter/loss models over asyncio.
+
+The bus is the SSI-side network fabric of the asymmetric architecture: every
+frame between PDS tokens, the SSI and the querier crosses it as *bytes*
+(through :mod:`repro.net.codec`), and each directed link applies a
+:class:`LinkProfile` — base latency, jitter, i.i.d. loss, and an optional
+bandwidth that adds serialization delay proportional to frame size.
+
+Two clocks coexist:
+
+* **simulated time** — the latency a frame *would* experience, sampled from
+  the link profile and recorded in :class:`~repro.net.metrics.NetMetrics`
+  (per-phase latency summaries);
+* **real time** — the asyncio delay actually awaited, ``simulated *
+  time_scale``. The default ``time_scale=0`` delivers on the next loop tick,
+  so benches with thousands of nodes finish in seconds while preserving the
+  concurrency structure (interleaving, retries, churn windows).
+
+Endpoints can be flipped offline (:meth:`MessageBus.set_offline`): frames
+to or from an offline endpoint are dropped, which is how
+:class:`~repro.net.runtime.NodeRuntime` models token churn.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.net.codec import Frame, encode_frame
+from repro.net.endpoint import Endpoint
+from repro.net.metrics import NetMetrics
+
+#: Extra scheduling slots beyond the mailbox, so short bursts don't block.
+_INFLIGHT_SLACK = 64
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Fault/latency model of one directed link."""
+
+    latency_ms: float = 5.0
+    jitter_ms: float = 0.0
+    loss: float = 0.0
+    bandwidth_bps: float | None = None  # None = infinite
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError("loss probability must be in [0, 1)")
+        if self.latency_ms < 0 or self.jitter_ms < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def delay_ms(self, nbytes: int, rng: random.Random) -> float:
+        """One simulated one-way delay for a frame of ``nbytes``."""
+        delay = self.latency_ms
+        if self.jitter_ms:
+            delay += rng.random() * self.jitter_ms
+        if self.bandwidth_bps is not None:
+            delay += nbytes * 8 * 1000.0 / self.bandwidth_bps
+        return delay
+
+
+class MessageBus:
+    """Simulated network connecting named endpoints."""
+
+    def __init__(
+        self,
+        rng: random.Random | None = None,
+        default_link: LinkProfile | None = None,
+        time_scale: float = 0.0,
+        metrics: NetMetrics | None = None,
+    ) -> None:
+        self.rng = rng or random.Random(0)
+        self.default_link = default_link or LinkProfile()
+        self.time_scale = time_scale
+        self.metrics = metrics or NetMetrics()
+        self._endpoints: dict[str, Endpoint] = {}
+        self._capacity: dict[str, asyncio.Semaphore] = {}
+        self._links: dict[tuple[str, str], LinkProfile] = {}
+        self._offline: set[str] = set()
+        self._deliveries: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register(self, name: str, queue_size: int = 256) -> Endpoint:
+        if name in self._endpoints:
+            raise ValueError(f"endpoint {name!r} already registered")
+        endpoint = Endpoint(self, name, queue_size)
+        self._endpoints[name] = endpoint
+        self._capacity[name] = asyncio.Semaphore(queue_size + _INFLIGHT_SLACK)
+        return endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        return self._endpoints[name]
+
+    def set_link(self, sender: str, receiver: str, profile: LinkProfile) -> None:
+        """Override the profile of the directed ``sender -> receiver`` link."""
+        self._links[(sender, receiver)] = profile
+
+    def link_for(self, sender: str, receiver: str) -> LinkProfile:
+        return self._links.get((sender, receiver), self.default_link)
+
+    def set_offline(self, name: str, offline: bool) -> None:
+        if offline:
+            self._offline.add(name)
+        else:
+            self._offline.discard(name)
+
+    def is_online(self, name: str) -> bool:
+        return name not in self._offline
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    async def send(self, sender: str, receiver: str, frame: Frame) -> bool:
+        """Encode and transmit one frame; returns whether it was *accepted*.
+
+        ``False`` means the frame was lost at send time (offline party or
+        link loss). ``True`` means a delivery was scheduled — it can still
+        be dropped if the receiver goes offline before it lands. Senders
+        that need reliability layer retries on top (:mod:`repro.net.retry`).
+        """
+        if receiver not in self._endpoints:
+            raise ProtocolError(f"unknown endpoint {receiver!r}")
+        data = encode_frame(frame)
+        size = len(data)
+        metrics = self.metrics
+        metrics.on_send(frame.kind_name, size)
+        if sender in self._offline or receiver in self._offline:
+            metrics.on_drop("offline", size)
+            return False
+        link = self.link_for(sender, receiver)
+        if link.loss and self.rng.random() < link.loss:
+            metrics.on_drop("loss", size)
+            return False
+        latency_ms = link.delay_ms(size, self.rng)
+        # Backpressure: block the sender while the receiver's mailbox and
+        # its in-flight allowance are both full.
+        await self._capacity[receiver].acquire()
+        task = asyncio.ensure_future(
+            self._deliver(sender, receiver, data, size, latency_ms)
+        )
+        self._deliveries.add(task)
+        task.add_done_callback(self._deliveries.discard)
+        return True
+
+    async def _deliver(
+        self, sender: str, receiver: str, data: bytes, size: int,
+        latency_ms: float,
+    ) -> None:
+        try:
+            await asyncio.sleep(latency_ms / 1000.0 * self.time_scale)
+            if receiver in self._offline:
+                self.metrics.on_drop("offline", size)
+                return
+            await self._endpoints[receiver]._put(data)
+            self.metrics.on_deliver(sender, receiver, size, latency_ms)
+        finally:
+            self._capacity[receiver].release()
+
+    async def close(self) -> None:
+        """Cancel in-flight deliveries (end of a run)."""
+        for task in list(self._deliveries):
+            task.cancel()
+        if self._deliveries:
+            await asyncio.gather(*self._deliveries, return_exceptions=True)
+        self._deliveries.clear()

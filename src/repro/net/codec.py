@@ -1,0 +1,283 @@
+"""Byte-level codec of the simulated network (`repro.net`).
+
+Everything that crosses the :class:`~repro.net.bus.MessageBus` is a
+:class:`Frame` — a small header plus an opaque payload — so latency, loss and
+bandwidth models act on real byte counts, not Python objects. The payload
+codecs extend the wire formats of :mod:`repro.globalq.messages`:
+
+* :func:`encode_contribution` / :func:`decode_contribution` — an
+  :class:`~repro.globalq.messages.EncryptedContribution` (blob + optional
+  deterministic group tag + optional cleartext bucket id);
+* :func:`encode_partition` / :func:`decode_partition` — a partition the SSI
+  assigns to a claiming token (partition id + contribution list);
+* :func:`encode_outcome` / :func:`decode_outcome` — a token's partial
+  aggregate (:class:`~repro.globalq.protocol.AggregationOutcome`) on its way
+  to the querier.
+
+Malformed bytes always raise :class:`~repro.errors.ProtocolError`, never a
+bare struct/unicode error — receivers must be able to discard garbage.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ProtocolError
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep repro.net standalone
+    from repro.globalq.messages import EncryptedContribution
+    from repro.globalq.protocol import AggregationOutcome
+
+# ---------------------------------------------------------------------------
+# Frame kinds (the protocol control vocabulary)
+# ---------------------------------------------------------------------------
+
+KIND_CONTRIB = 1  #: PDS -> SSI: one encrypted contribution
+KIND_ACK = 2  #: receiver -> sender: positive acknowledgement (seq echo)
+KIND_CLAIM = 3  #: token -> SSI: "give me a partition to aggregate"
+KIND_ASSIGN = 4  #: SSI -> token: a partition (id + contributions)
+KIND_WAIT = 5  #: SSI -> token: nothing free right now, back off and re-claim
+KIND_FIN = 6  #: SSI -> token: every partition is aggregated, disconnect
+KIND_PARTIAL = 7  #: token -> querier: partial aggregate of one partition
+KIND_PLAN = 8  #: SSI -> querier: how many partials to expect
+KIND_DONE = 9  #: querier -> SSI: partition completed, stop reassigning it
+
+KIND_NAMES = {
+    KIND_CONTRIB: "CONTRIB",
+    KIND_ACK: "ACK",
+    KIND_CLAIM: "CLAIM",
+    KIND_ASSIGN: "ASSIGN",
+    KIND_WAIT: "WAIT",
+    KIND_FIN: "FIN",
+    KIND_PARTIAL: "PARTIAL",
+    KIND_PLAN: "PLAN",
+    KIND_DONE: "DONE",
+}
+
+_MAGIC = 0xA7
+_VERSION = 1
+_FRAME_HEADER = struct.Struct("<BBBBII")  # magic, version, kind, slen, seq, plen
+_U32 = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One message on the wire: kind, sender address, sequence, payload."""
+
+    kind: int
+    sender: str
+    seq: int
+    payload: bytes = b""
+
+    @property
+    def kind_name(self) -> str:
+        return KIND_NAMES.get(self.kind, f"kind-{self.kind}")
+
+
+def encode_frame(frame: Frame) -> bytes:
+    sender = frame.sender.encode("utf-8")
+    if len(sender) > 255:
+        raise ProtocolError("sender address longer than 255 bytes")
+    if frame.kind not in KIND_NAMES:
+        raise ProtocolError(f"unknown frame kind {frame.kind}")
+    return (
+        _FRAME_HEADER.pack(
+            _MAGIC, _VERSION, frame.kind, len(sender),
+            frame.seq & 0xFFFFFFFF, len(frame.payload),
+        )
+        + sender
+        + frame.payload
+    )
+
+
+def decode_frame(data: bytes) -> Frame:
+    if len(data) < _FRAME_HEADER.size:
+        raise ProtocolError("frame shorter than its header")
+    magic, version, kind, slen, seq, plen = _FRAME_HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise ProtocolError(f"bad frame magic 0x{magic:02x}")
+    if version != _VERSION:
+        raise ProtocolError(f"unsupported frame version {version}")
+    if kind not in KIND_NAMES:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if len(data) != _FRAME_HEADER.size + slen + plen:
+        raise ProtocolError("frame length does not match its header")
+    offset = _FRAME_HEADER.size
+    try:
+        sender = data[offset : offset + slen].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("frame sender is not valid UTF-8") from exc
+    return Frame(kind, sender, seq, bytes(data[offset + slen :]))
+
+
+def pack_u32(value: int) -> bytes:
+    return _U32.pack(value)
+
+
+def unpack_u32(data: bytes) -> int:
+    if len(data) < _U32.size:
+        raise ProtocolError("u32 payload too short")
+    return _U32.unpack_from(data, 0)[0]
+
+
+# ---------------------------------------------------------------------------
+# EncryptedContribution
+# ---------------------------------------------------------------------------
+
+_FLAG_TAG = 0x01
+_FLAG_BUCKET = 0x02
+_CONTRIB_HEADER = struct.Struct("<BIHi")  # flags, blob_len, tag_len, bucket
+
+
+def encode_contribution(contribution: "EncryptedContribution") -> bytes:
+    tag = contribution.group_tag or b""
+    flags = 0
+    if contribution.group_tag is not None:
+        flags |= _FLAG_TAG
+    bucket = 0
+    if contribution.bucket_id is not None:
+        flags |= _FLAG_BUCKET
+        bucket = contribution.bucket_id
+    return (
+        _CONTRIB_HEADER.pack(flags, len(contribution.blob), len(tag), bucket)
+        + contribution.blob
+        + tag
+    )
+
+
+def decode_contribution(data: bytes) -> "EncryptedContribution":
+    from repro.globalq.messages import EncryptedContribution
+
+    if len(data) < _CONTRIB_HEADER.size:
+        raise ProtocolError("contribution frame too short")
+    flags, blob_len, tag_len, bucket = _CONTRIB_HEADER.unpack_from(data, 0)
+    offset = _CONTRIB_HEADER.size
+    if len(data) != offset + blob_len + tag_len:
+        raise ProtocolError("contribution length does not match its header")
+    blob = bytes(data[offset : offset + blob_len])
+    tag = bytes(data[offset + blob_len :])
+    return EncryptedContribution(
+        blob=blob,
+        group_tag=tag if flags & _FLAG_TAG else None,
+        bucket_id=bucket if flags & _FLAG_BUCKET else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Partition assignment (SSI -> token)
+# ---------------------------------------------------------------------------
+
+_PARTITION_HEADER = struct.Struct("<IH")  # partition id, contribution count
+
+
+def encode_partition(
+    partition_id: int, contributions: "list[EncryptedContribution]"
+) -> bytes:
+    parts = [_PARTITION_HEADER.pack(partition_id, len(contributions))]
+    for contribution in contributions:
+        encoded = encode_contribution(contribution)
+        parts.append(_U32.pack(len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def decode_partition(
+    data: bytes,
+) -> "tuple[int, list[EncryptedContribution]]":
+    if len(data) < _PARTITION_HEADER.size:
+        raise ProtocolError("partition frame too short")
+    partition_id, count = _PARTITION_HEADER.unpack_from(data, 0)
+    offset = _PARTITION_HEADER.size
+    contributions = []
+    for _ in range(count):
+        if len(data) < offset + _U32.size:
+            raise ProtocolError("partition frame truncated")
+        (length,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        if len(data) < offset + length:
+            raise ProtocolError("partition frame truncated")
+        contributions.append(decode_contribution(data[offset : offset + length]))
+        offset += length
+    if offset != len(data):
+        raise ProtocolError("partition frame has trailing bytes")
+    return partition_id, contributions
+
+
+# ---------------------------------------------------------------------------
+# Partial aggregate (token -> querier)
+# ---------------------------------------------------------------------------
+
+_OUTCOME_HEADER = struct.Struct("<IIIIII")  # pid, real, fake, fail, nseen, ngrp
+_SEEN_PAIR = struct.Struct("<II")
+_GROUP_STATS = struct.Struct("<dI")  # sum, count
+_U16 = struct.Struct("<H")
+
+
+def encode_outcome(partition_id: int, outcome: "AggregationOutcome") -> bytes:
+    accumulator = outcome.accumulator
+    parts = [
+        _OUTCOME_HEADER.pack(
+            partition_id,
+            outcome.real_tuples,
+            outcome.fake_tuples,
+            outcome.integrity_failures,
+            len(outcome.seen_pds_sequences),
+            len(accumulator.sums),
+        )
+    ]
+    for pds_id, sequence in sorted(outcome.seen_pds_sequences):
+        parts.append(_SEEN_PAIR.pack(pds_id, sequence))
+    for group in sorted(accumulator.sums):
+        encoded = group.encode("utf-8")
+        parts.append(_U16.pack(len(encoded)))
+        parts.append(encoded)
+        parts.append(
+            _GROUP_STATS.pack(accumulator.sums[group], accumulator.counts[group])
+        )
+    return b"".join(parts)
+
+
+def decode_outcome(data: bytes) -> "tuple[int, AggregationOutcome]":
+    from repro.globalq.protocol import AggregationOutcome
+    from repro.globalq.queries import Accumulator
+
+    if len(data) < _OUTCOME_HEADER.size:
+        raise ProtocolError("outcome frame too short")
+    pid, real, fake, failures, nseen, ngroups = _OUTCOME_HEADER.unpack_from(
+        data, 0
+    )
+    offset = _OUTCOME_HEADER.size
+    seen: set[tuple[int, int]] = set()
+    for _ in range(nseen):
+        if len(data) < offset + _SEEN_PAIR.size:
+            raise ProtocolError("outcome frame truncated in seen set")
+        seen.add(_SEEN_PAIR.unpack_from(data, offset))
+        offset += _SEEN_PAIR.size
+    accumulator = Accumulator()
+    for _ in range(ngroups):
+        if len(data) < offset + _U16.size:
+            raise ProtocolError("outcome frame truncated in groups")
+        (glen,) = _U16.unpack_from(data, offset)
+        offset += _U16.size
+        if len(data) < offset + glen + _GROUP_STATS.size:
+            raise ProtocolError("outcome frame truncated in groups")
+        try:
+            group = data[offset : offset + glen].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("outcome group is not valid UTF-8") from exc
+        offset += glen
+        total, count = _GROUP_STATS.unpack_from(data, offset)
+        offset += _GROUP_STATS.size
+        accumulator.sums[group] = total
+        accumulator.counts[group] = count
+    if offset != len(data):
+        raise ProtocolError("outcome frame has trailing bytes")
+    return pid, AggregationOutcome(
+        accumulator=accumulator,
+        real_tuples=real,
+        fake_tuples=fake,
+        integrity_failures=failures,
+        seen_pds_sequences=seen,
+    )

@@ -1,0 +1,109 @@
+"""Endpoint mailboxes: bounded queues with receive timeouts.
+
+An :class:`Endpoint` is one party's attachment to the
+:class:`~repro.net.bus.MessageBus` — a PDS token, the SSI, the querier. Its
+mailbox is a *bounded* ``asyncio.Queue``: when a receiver falls behind, the
+bus's per-endpoint capacity semaphore makes senders block in ``send`` —
+backpressure instead of unbounded buffering, which is what a token with a
+few KB of RAM would actually impose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+from repro.errors import NetTimeout
+from repro.net.codec import Frame, decode_frame
+
+
+class Endpoint:
+    """One named party's mailbox on the bus."""
+
+    def __init__(self, bus, name: str, queue_size: int) -> None:
+        self._bus = bus
+        self.name = name
+        self.queue_size = queue_size
+        self._queue: asyncio.Queue[bytes] = asyncio.Queue(maxsize=queue_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Endpoint({self.name!r}, pending={self.pending})"
+
+    @property
+    def pending(self) -> int:
+        """Frames sitting in the mailbox, not yet received."""
+        return self._queue.qsize()
+
+    async def send(self, receiver: str, frame: Frame) -> bool:
+        """Send a frame from this endpoint (see :meth:`MessageBus.send`)."""
+        return await self._bus.send(self.name, receiver, frame)
+
+    async def _put(self, data: bytes) -> None:
+        await self._queue.put(data)
+
+    def try_recv(self) -> Frame | None:
+        """Non-blocking receive: next frame if one is already queued.
+
+        High-fan-in actors (the SSI during collection) drain bursts with
+        this fast path instead of paying a timer per frame.
+        """
+        try:
+            data = self._queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+        return decode_frame(data)
+
+    async def recv(self, timeout: float | None = None) -> Frame:
+        """Next frame, decoded; :class:`NetTimeout` after ``timeout`` s.
+
+        Uses ``asyncio.timeout`` rather than ``wait_for``: the latter can
+        swallow an *external* cancellation that races with the timer, which
+        would make receive loops uncancellable.
+        """
+        if timeout is None:
+            data = await self._queue.get()
+        elif hasattr(asyncio, "timeout"):
+            try:
+                async with asyncio.timeout(timeout):
+                    data = await self._queue.get()
+            except TimeoutError as exc:
+                raise NetTimeout(
+                    f"{self.name}: no frame within {timeout:.3f}s"
+                ) from exc
+        else:  # Python 3.10: emulate with asyncio.wait, which neither
+            # swallows external cancellation nor cancels the getter itself.
+            getter = asyncio.ensure_future(self._queue.get())
+            try:
+                done, _ = await asyncio.wait({getter}, timeout=timeout)
+            except BaseException:
+                getter.cancel()
+                raise
+            if not done:
+                getter.cancel()
+                raise NetTimeout(
+                    f"{self.name}: no frame within {timeout:.3f}s"
+                )
+            data = getter.result()
+        return decode_frame(data)
+
+    async def recv_match(
+        self, predicate: Callable[[Frame], bool], timeout: float
+    ) -> Frame:
+        """Next frame satisfying ``predicate`` within ``timeout`` seconds.
+
+        Non-matching frames are *discarded* — they are stale responses to
+        earlier attempts (e.g. duplicate ACKs from a retransmitted
+        contribution), which is exactly the at-least-once noise a retrying
+        sender has to tolerate.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise NetTimeout(
+                    f"{self.name}: no matching frame within {timeout:.3f}s"
+                )
+            frame = await self.recv(timeout=remaining)
+            if predicate(frame):
+                return frame

@@ -1,0 +1,118 @@
+"""Traffic accounting for the simulated network.
+
+:class:`NetMetrics` subsumes the synchronous protocols' accounting
+(:class:`repro.smc.parties.CommStats`): every *delivered* frame is recorded
+into an embedded ``CommStats`` with the same ``(sender, receiver)`` edge
+keys, so benches that read ``channel.stats`` off a synchronous run can read
+``metrics.comm`` off an asynchronous one and compare like with like. On top
+of that it tracks what only a real network has: frames dropped (and why),
+in-flight message histograms, and per-phase simulated latency.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.smc.parties import CommStats
+
+
+@dataclass
+class LatencyStats:
+    """Streaming summary of simulated one-way latencies (milliseconds)."""
+
+    count: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+
+    def add(self, latency_ms: float) -> None:
+        self.count += 1
+        self.total_ms += latency_ms
+        self.max_ms = max(self.max_ms, latency_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+
+def _inflight_bucket(inflight: int) -> int:
+    """Power-of-two histogram bucket (0, 1, 2, 4, 8, ...)."""
+    bucket = 1
+    while bucket < inflight:
+        bucket *= 2
+    return bucket if inflight else 0
+
+
+@dataclass
+class NetMetrics:
+    """Everything the bus measures about one run."""
+
+    comm: CommStats = field(default_factory=CommStats)
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    bytes_sent: int = 0
+    sent_by_kind: Counter = field(default_factory=Counter)
+    drops: Counter = field(default_factory=Counter)  # reason -> count
+    dropped_bytes: int = 0
+    inflight: int = 0
+    max_inflight: int = 0
+    inflight_histogram: Counter = field(default_factory=Counter)
+    phase: str = "idle"
+    latency_by_phase: dict = field(default_factory=dict)
+
+    def set_phase(self, phase: str) -> None:
+        self.phase = phase
+
+    def on_send(self, kind_name: str, nbytes: int) -> None:
+        self.frames_sent += 1
+        self.bytes_sent += nbytes
+        self.sent_by_kind[kind_name] += 1
+        self.inflight += 1
+        self.max_inflight = max(self.max_inflight, self.inflight)
+        self.inflight_histogram[_inflight_bucket(self.inflight)] += 1
+
+    def on_drop(self, reason: str, nbytes: int) -> None:
+        self.inflight -= 1
+        self.drops[reason] += 1
+        self.dropped_bytes += nbytes
+
+    def on_deliver(
+        self, sender: str, receiver: str, nbytes: int, latency_ms: float
+    ) -> None:
+        self.inflight -= 1
+        self.frames_delivered += 1
+        self.comm.record(sender, receiver, nbytes)
+        self.latency_by_phase.setdefault(self.phase, LatencyStats()).add(
+            latency_ms
+        )
+
+    @property
+    def frames_dropped(self) -> int:
+        return sum(self.drops.values())
+
+    def merge_channel_stats(self, stats: CommStats) -> None:
+        """Fold a synchronous :class:`CommStats` into this run's totals.
+
+        Lets hybrid drivers (e.g. a local SMC step inside an async global
+        query) account in one place.
+        """
+        self.comm.messages += stats.messages
+        self.comm.bytes += stats.bytes
+        for edge, size in stats.by_edge.items():
+            self.comm.by_edge[edge] = self.comm.by_edge.get(edge, 0) + size
+
+    def summary(self) -> dict:
+        """Flat dict for bench tables and logs."""
+        return {
+            "frames_sent": self.frames_sent,
+            "frames_delivered": self.frames_delivered,
+            "frames_dropped": self.frames_dropped,
+            "bytes_sent": self.bytes_sent,
+            "bytes_delivered": self.comm.bytes,
+            "max_inflight": self.max_inflight,
+            "drop_reasons": dict(self.drops),
+            "latency_ms_by_phase": {
+                phase: round(stats.mean_ms, 3)
+                for phase, stats in self.latency_by_phase.items()
+            },
+        }

@@ -1,0 +1,77 @@
+"""Timeout / exponential-backoff retry for unreliable links.
+
+The [TNP14] architecture assumes tokens are "low-powered and highly
+disconnected": every reliable exchange in :mod:`repro.globalq.async_protocol`
+is an *at-least-once* loop — send, await a matching ACK within a timeout,
+back off exponentially (with jitter, to avoid retry synchronization across
+thousands of nodes) and retransmit. Receivers deduplicate, making the
+composition effectively exactly-once.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Iterator
+
+from repro.errors import NetTimeout, RetriesExhausted
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule of one reliable operation (real seconds)."""
+
+    attempts: int = 16
+    timeout: float = 0.1  # per-attempt wait for the response
+    base_delay: float = 0.01  # backoff after the first failure
+    factor: float = 1.6
+    max_delay: float = 0.4
+    jitter: float = 0.5  # fraction of the delay randomized away
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("need at least one attempt")
+        if self.factor < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delays(self, rng: random.Random | None = None) -> Iterator[float]:
+        """The sleep before each retry (``attempts - 1`` values)."""
+        delay = self.base_delay
+        for _ in range(self.attempts - 1):
+            jittered = delay
+            if self.jitter and rng is not None:
+                jittered = delay * (1 - self.jitter * rng.random())
+            yield jittered
+            delay = min(delay * self.factor, self.max_delay)
+
+
+async def with_retries(
+    op: Callable[[int], Awaitable],
+    policy: RetryPolicy | None = None,
+    rng: random.Random | None = None,
+    description: str = "operation",
+):
+    """Run ``op(attempt)`` until it returns, retrying on :class:`NetTimeout`.
+
+    ``op`` performs one full attempt (e.g. transmit + await ACK) and raises
+    :class:`NetTimeout` (or ``asyncio.TimeoutError``) when the response does
+    not arrive in time. After the last attempt fails,
+    :class:`RetriesExhausted` carries the attempt count.
+    """
+    policy = policy or RetryPolicy()
+    delays = policy.delays(rng)
+    for attempt in range(policy.attempts):
+        try:
+            return await op(attempt)
+        except (NetTimeout, asyncio.TimeoutError):
+            backoff = next(delays, None)
+            if backoff is None:
+                raise RetriesExhausted(
+                    f"{description}: no response after "
+                    f"{policy.attempts} attempts"
+                ) from None
+            await asyncio.sleep(backoff)
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,136 @@
+"""Node scheduling: thousands of concurrent PDS tasks under churn.
+
+:class:`NodeRuntime` owns the population side of a simulated run: it
+registers one endpoint per PDS, runs every node's coroutine concurrently,
+and drives a :class:`ChurnModel` that flips nodes offline/online while they
+work — the "intermittently connected token" reality the tutorial insists
+on. Connectivity is enforced by the bus (frames to/from an offline endpoint
+are dropped), so node code never checks its own link: it just retries, the
+way real sync agents do.
+
+Churn is driven by a single event-heap task rather than one sleeper task
+per node, so 5000 nodes cost 5000 protocol tasks plus *one* churn driver.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Awaitable
+
+from repro.net.bus import MessageBus
+from repro.net.endpoint import Endpoint
+
+
+@dataclass(frozen=True)
+class ChurnModel:
+    """Stationary on/off connectivity process for every node.
+
+    ``offline_fraction`` is the long-run probability a node is disconnected
+    at any instant; ``mean_online`` is the mean connected-session length in
+    *real* seconds (sessions are exponential, so flips are memoryless).
+    """
+
+    offline_fraction: float = 0.0
+    mean_online: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.offline_fraction < 1.0:
+            raise ValueError("offline fraction must be in [0, 1)")
+        if self.mean_online <= 0:
+            raise ValueError("mean online session must be positive")
+
+    @property
+    def active(self) -> bool:
+        return self.offline_fraction > 0.0
+
+    @property
+    def mean_offline(self) -> float:
+        fraction = self.offline_fraction
+        return self.mean_online * fraction / (1.0 - fraction)
+
+    def online_duration(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_online)
+
+    def offline_duration(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_offline)
+
+
+class NodeRuntime:
+    """Schedules node coroutines and their connectivity on one bus."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        churn: ChurnModel | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.bus = bus
+        self.churn = churn or ChurnModel()
+        self.rng = rng or random.Random(0)
+        self.node_names: list[str] = []
+        self.flips = 0
+
+    def register_node(self, name: str, queue_size: int = 64) -> Endpoint:
+        """Register one PDS endpoint managed (and churned) by this runtime."""
+        endpoint = self.bus.register(name, queue_size)
+        self.node_names.append(name)
+        return endpoint
+
+    @property
+    def offline_now(self) -> int:
+        return sum(
+            0 if self.bus.is_online(name) else 1 for name in self.node_names
+        )
+
+    async def run(self, coros: dict[str, Awaitable]) -> list:
+        """Run every node coroutine to completion under churn.
+
+        ``coros`` maps endpoint names to the node's work; the churn driver
+        runs only while nodes do, and every node is back online when this
+        returns (a finished node has, by definition, reconnected long
+        enough to deliver its last message).
+        """
+        churn_task = None
+        if self.churn.active and self.node_names:
+            churn_task = asyncio.ensure_future(self._drive_churn())
+        try:
+            return await asyncio.gather(*coros.values())
+        finally:
+            if churn_task is not None:
+                churn_task.cancel()
+                try:
+                    await churn_task
+                except asyncio.CancelledError:
+                    pass
+            for name in self.node_names:
+                self.bus.set_offline(name, False)
+
+    async def _drive_churn(self) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        events: list[tuple[float, int, str]] = []
+        for order, name in enumerate(self.node_names):
+            if self.rng.random() < self.churn.offline_fraction:
+                self.bus.set_offline(name, True)
+                self.flips += 1
+                wake = now + self.churn.offline_duration(self.rng)
+            else:
+                wake = now + self.churn.online_duration(self.rng)
+            heapq.heappush(events, (wake, order, name))
+        while events:
+            wake, order, name = heapq.heappop(events)
+            delay = wake - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            going_offline = self.bus.is_online(name)
+            self.bus.set_offline(name, going_offline)
+            self.flips += 1
+            duration = (
+                self.churn.offline_duration(self.rng)
+                if going_offline
+                else self.churn.online_duration(self.rng)
+            )
+            heapq.heappush(events, (loop.time() + duration, order, name))

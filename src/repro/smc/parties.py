@@ -9,12 +9,21 @@ instrumenting each protocol ad hoc.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 
 def payload_bytes(payload) -> int:
-    """Serialized size estimate of a protocol message payload."""
-    if isinstance(payload, bytes):
+    """Serialized size estimate of a protocol message payload.
+
+    Supports ``None`` (absence of payload: 0 bytes), ``bytes``/``str``,
+    ``bool``/``int``/``float``, containers, and dataclass instances (sized
+    as the sum of their fields — e.g. an ``EncryptedContribution`` with an
+    optional group tag).
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, (bytes, bytearray, memoryview)):
         return len(payload)
     if isinstance(payload, bool):
         return 1
@@ -30,6 +39,11 @@ def payload_bytes(payload) -> int:
         return sum(
             payload_bytes(key) + payload_bytes(value)
             for key, value in payload.items()
+        )
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        return sum(
+            payload_bytes(getattr(payload, f.name))
+            for f in dataclasses.fields(payload)
         )
     raise TypeError(f"cannot size payload of type {type(payload).__name__}")
 

@@ -5,7 +5,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ProtocolError, QueryError
-from repro.globalq.messages import Payload, pack_payload, unpack_payload
+from repro.globalq.messages import (
+    FLAG_FAKE,
+    EncryptedContribution,
+    Payload,
+    pack_payload,
+    unpack_payload,
+)
 from repro.globalq.queries import (
     GLOBAL_GROUP,
     Accumulator,
@@ -128,9 +134,25 @@ class TestPayloadWire:
         payload = Payload(7, 3, "lyon", 12.5, fake=True)
         assert unpack_payload(pack_payload(payload)) == payload
 
+    def test_fake_flag_on_the_wire(self):
+        real = pack_payload(Payload(1, 2, "g", 0.0, fake=False))
+        fake = pack_payload(Payload(1, 2, "g", 0.0, fake=True))
+        # Flags byte sits right after pds_id and sequence (two u32s).
+        assert real[8] == 0
+        assert fake[8] == FLAG_FAKE
+        assert unpack_payload(real).fake is False
+        assert unpack_payload(fake).fake is True
+
     def test_too_short_rejected(self):
-        with pytest.raises(ProtocolError):
+        with pytest.raises(ProtocolError, match="too short"):
             unpack_payload(b"\x01")
+        with pytest.raises(ProtocolError, match="too short"):
+            unpack_payload(b"")
+
+    def test_invalid_utf8_group_rejected(self):
+        blob = pack_payload(Payload(1, 2, "city", 1.0)) + b"\xff\xfe"
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            unpack_payload(blob)
 
     @given(
         st.integers(0, 2**32 - 1),
@@ -143,6 +165,29 @@ class TestPayloadWire:
     def test_property_roundtrip(self, pds_id, sequence, group, value, fake):
         payload = Payload(pds_id, sequence, group, value, fake)
         assert unpack_payload(pack_payload(payload)) == payload
+
+
+class TestWireSize:
+    def test_blob_only(self):
+        assert EncryptedContribution(blob=b"12345").wire_size() == 5
+
+    def test_group_tag_adds_its_length(self):
+        contribution = EncryptedContribution(blob=b"12345", group_tag=b"abc")
+        assert contribution.wire_size() == 5 + 3
+
+    def test_bucket_id_adds_four_bytes(self):
+        contribution = EncryptedContribution(blob=b"12345", bucket_id=2)
+        assert contribution.wire_size() == 5 + 4
+
+    def test_all_fields(self):
+        contribution = EncryptedContribution(
+            blob=b"12345", group_tag=b"abc", bucket_id=0
+        )
+        assert contribution.wire_size() == 5 + 3 + 4
+
+    def test_empty_tag_costs_nothing_but_is_present(self):
+        contribution = EncryptedContribution(blob=b"", group_tag=b"")
+        assert contribution.wire_size() == 0
 
 
 class TestWhereOperators:

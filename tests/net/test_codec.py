@@ -1,0 +1,206 @@
+"""Byte-level codec tests: frames and protocol payloads round-trip,
+malformed bytes always surface as ProtocolError."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.globalq.messages import EncryptedContribution
+from repro.globalq.protocol import AggregationOutcome
+from repro.globalq.queries import Accumulator
+from repro.net.codec import (
+    KIND_ACK,
+    KIND_CONTRIB,
+    KIND_NAMES,
+    Frame,
+    decode_contribution,
+    decode_frame,
+    decode_outcome,
+    decode_partition,
+    encode_contribution,
+    encode_frame,
+    encode_outcome,
+    encode_partition,
+    pack_u32,
+    unpack_u32,
+)
+
+
+class TestFrame:
+    @pytest.mark.parametrize("kind", sorted(KIND_NAMES))
+    def test_roundtrip_every_kind(self, kind):
+        frame = Frame(kind, "pds-42", 7, b"payload")
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_empty_payload(self):
+        frame = Frame(KIND_ACK, "ssi", 0)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_kind_name(self):
+        assert Frame(KIND_CONTRIB, "a", 0).kind_name == "CONTRIB"
+        assert Frame(KIND_CONTRIB, "a", 0).kind_name in KIND_NAMES.values()
+
+    @given(
+        st.sampled_from(sorted(KIND_NAMES)),
+        st.text(min_size=1, max_size=40),
+        st.integers(0, 2**32 - 1),
+        st.binary(max_size=200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_roundtrip(self, kind, sender, seq, payload):
+        frame = Frame(kind, sender, seq, payload)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_unknown_kind_rejected_on_encode(self):
+        with pytest.raises(ProtocolError, match="unknown frame kind"):
+            encode_frame(Frame(99, "a", 0))
+
+    def test_oversized_sender_rejected(self):
+        with pytest.raises(ProtocolError, match="sender"):
+            encode_frame(Frame(KIND_ACK, "x" * 256, 0))
+
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="shorter than its header"):
+            decode_frame(b"\xa7\x01")
+
+    def test_bad_magic(self):
+        data = bytearray(encode_frame(Frame(KIND_ACK, "a", 1)))
+        data[0] = 0x00
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(bytes(data))
+
+    def test_bad_version(self):
+        data = bytearray(encode_frame(Frame(KIND_ACK, "a", 1)))
+        data[1] = 9
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(bytes(data))
+
+    def test_unknown_kind_rejected_on_decode(self):
+        data = bytearray(encode_frame(Frame(KIND_ACK, "a", 1)))
+        data[2] = 77
+        with pytest.raises(ProtocolError, match="unknown frame kind"):
+            decode_frame(bytes(data))
+
+    def test_length_mismatch(self):
+        data = encode_frame(Frame(KIND_ACK, "a", 1, b"xy"))
+        with pytest.raises(ProtocolError, match="length"):
+            decode_frame(data + b"trailing")
+        with pytest.raises(ProtocolError, match="length"):
+            decode_frame(data[:-1])
+
+    def test_invalid_utf8_sender(self):
+        data = bytearray(encode_frame(Frame(KIND_ACK, "ab", 1)))
+        header = struct.Struct("<BBBBII")
+        data[header.size] = 0xFF  # first sender byte -> invalid UTF-8
+        with pytest.raises(ProtocolError, match="UTF-8"):
+            decode_frame(bytes(data))
+
+
+class TestU32:
+    def test_roundtrip(self):
+        assert unpack_u32(pack_u32(0)) == 0
+        assert unpack_u32(pack_u32(2**32 - 1)) == 2**32 - 1
+
+    def test_too_short(self):
+        with pytest.raises(ProtocolError):
+            unpack_u32(b"\x01")
+
+
+CONTRIBUTIONS = [
+    EncryptedContribution(blob=b"ciphertext"),
+    EncryptedContribution(blob=b"c", group_tag=b"tag-bytes"),
+    EncryptedContribution(blob=b"c", bucket_id=3),
+    EncryptedContribution(blob=b"", group_tag=b"", bucket_id=0),
+    EncryptedContribution(blob=b"c", group_tag=b"t", bucket_id=-1),
+]
+
+
+class TestContributionCodec:
+    @pytest.mark.parametrize("contribution", CONTRIBUTIONS)
+    def test_roundtrip(self, contribution):
+        encoded = encode_contribution(contribution)
+        assert decode_contribution(encoded) == contribution
+
+    def test_none_fields_stay_none(self):
+        decoded = decode_contribution(
+            encode_contribution(EncryptedContribution(blob=b"x"))
+        )
+        assert decoded.group_tag is None
+        assert decoded.bucket_id is None
+
+    def test_empty_tag_distinct_from_no_tag(self):
+        with_tag = decode_contribution(
+            encode_contribution(
+                EncryptedContribution(blob=b"x", group_tag=b"")
+            )
+        )
+        assert with_tag.group_tag == b""
+
+    def test_too_short(self):
+        with pytest.raises(ProtocolError, match="too short"):
+            decode_contribution(b"\x00\x00")
+
+    def test_length_mismatch(self):
+        encoded = encode_contribution(EncryptedContribution(blob=b"abcdef"))
+        with pytest.raises(ProtocolError, match="length"):
+            decode_contribution(encoded + b"z")
+
+
+class TestPartitionCodec:
+    def test_roundtrip(self):
+        pid, decoded = decode_partition(encode_partition(17, CONTRIBUTIONS))
+        assert pid == 17
+        assert decoded == CONTRIBUTIONS
+
+    def test_empty_partition(self):
+        assert decode_partition(encode_partition(0, [])) == (0, [])
+
+    def test_truncated(self):
+        encoded = encode_partition(2, CONTRIBUTIONS)
+        with pytest.raises(ProtocolError, match="truncated|too short"):
+            decode_partition(encoded[:-3])
+
+    def test_trailing_bytes(self):
+        encoded = encode_partition(2, [])
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_partition(encoded + b"\x00")
+
+
+def outcome() -> AggregationOutcome:
+    accumulator = Accumulator()
+    accumulator.add("lyon", 2.0)
+    accumulator.add("paris", 1.5)
+    accumulator.add("paris", 0.5)
+    return AggregationOutcome(
+        accumulator=accumulator,
+        real_tuples=3,
+        fake_tuples=2,
+        integrity_failures=1,
+        seen_pds_sequences={(4, 0), (9, 2)},
+    )
+
+
+class TestOutcomeCodec:
+    def test_roundtrip(self):
+        pid, decoded = decode_outcome(encode_outcome(5, outcome()))
+        original = outcome()
+        assert pid == 5
+        assert decoded.real_tuples == original.real_tuples
+        assert decoded.fake_tuples == original.fake_tuples
+        assert decoded.integrity_failures == original.integrity_failures
+        assert decoded.seen_pds_sequences == original.seen_pds_sequences
+        assert decoded.accumulator.sums == original.accumulator.sums
+        assert decoded.accumulator.counts == original.accumulator.counts
+
+    def test_truncated(self):
+        encoded = encode_outcome(5, outcome())
+        for cut in (4, len(encoded) - 3):
+            with pytest.raises(ProtocolError):
+                decode_outcome(encoded[:cut])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_outcome(encode_outcome(5, outcome()) + b"\x00")

@@ -1,0 +1,181 @@
+"""Retry policy and churn-runtime tests."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import NetTimeout, RetriesExhausted
+from repro.net.bus import MessageBus
+from repro.net.retry import RetryPolicy, with_retries
+from repro.net.runtime import ChurnModel, NodeRuntime
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"attempts": 0}, {"factor": 0.5}, {"jitter": 1.5}, {"jitter": -0.1}],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_delays_grow_and_cap(self):
+        policy = RetryPolicy(
+            attempts=10, base_delay=0.01, factor=2.0, max_delay=0.05,
+            jitter=0.0,
+        )
+        delays = list(policy.delays())
+        assert len(delays) == 9
+        assert delays[0] == 0.01
+        assert delays == sorted(delays)
+        assert max(delays) == 0.05
+
+    def test_jitter_shrinks_delays_only(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, factor=1.0, jitter=0.5)
+        rng = random.Random(3)
+        for delay in policy.delays(rng):
+            assert 0.05 <= delay <= 0.1
+
+
+class TestWithRetries:
+    def test_first_attempt_success(self):
+        async def body():
+            calls = []
+
+            async def op(attempt):
+                calls.append(attempt)
+                return "ok"
+
+            result = await with_retries(op, RetryPolicy(attempts=3))
+            assert result == "ok"
+            assert calls == [0]
+
+        run(body())
+
+    def test_retries_then_succeeds(self):
+        async def body():
+            calls = []
+
+            async def op(attempt):
+                calls.append(attempt)
+                if attempt < 2:
+                    raise NetTimeout("not yet")
+                return attempt
+
+            policy = RetryPolicy(attempts=5, base_delay=0.001, jitter=0.0)
+            assert await with_retries(op, policy) == 2
+            assert calls == [0, 1, 2]
+
+        run(body())
+
+    def test_exhaustion_raises(self):
+        async def body():
+            async def op(attempt):
+                raise NetTimeout("never")
+
+            policy = RetryPolicy(attempts=3, base_delay=0.001, jitter=0.0)
+            with pytest.raises(RetriesExhausted, match="3 attempts"):
+                await with_retries(op, policy, description="upload")
+
+        run(body())
+
+    def test_non_timeout_errors_propagate(self):
+        async def body():
+            async def op(attempt):
+                raise ValueError("logic bug")
+
+            with pytest.raises(ValueError):
+                await with_retries(op, RetryPolicy(attempts=3))
+
+        run(body())
+
+
+class TestChurnModel:
+    def test_inactive_by_default(self):
+        assert not ChurnModel().active
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"offline_fraction": 1.0}, {"mean_online": 0.0}]
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            ChurnModel(**kwargs)
+
+    def test_mean_offline_matches_stationary_fraction(self):
+        churn = ChurnModel(offline_fraction=0.25, mean_online=0.3)
+        # offline / (offline + online) must equal the requested fraction.
+        total = churn.mean_offline + churn.mean_online
+        assert churn.mean_offline / total == pytest.approx(0.25)
+
+    def test_durations_positive(self):
+        churn = ChurnModel(offline_fraction=0.5, mean_online=0.01)
+        rng = random.Random(7)
+        for _ in range(20):
+            assert churn.online_duration(rng) > 0
+            assert churn.offline_duration(rng) > 0
+
+
+class TestNodeRuntime:
+    def test_runs_all_coroutines(self):
+        async def body():
+            bus = MessageBus(rng=random.Random(0))
+            runtime = NodeRuntime(bus, rng=random.Random(1))
+            for i in range(5):
+                runtime.register_node(f"n{i}")
+
+            async def work(i):
+                await asyncio.sleep(0)
+                return i * i
+
+            results = await runtime.run(
+                {f"n{i}": work(i) for i in range(5)}
+            )
+            assert sorted(results) == [0, 1, 4, 9, 16]
+            await bus.close()
+
+        run(body())
+
+    def test_churn_flips_and_restores(self):
+        async def body():
+            bus = MessageBus(rng=random.Random(0))
+            churn = ChurnModel(offline_fraction=0.5, mean_online=0.005)
+            runtime = NodeRuntime(bus, churn=churn, rng=random.Random(2))
+            for i in range(40):
+                runtime.register_node(f"n{i}")
+
+            offline_seen = []
+
+            async def work():
+                for _ in range(10):
+                    offline_seen.append(runtime.offline_now)
+                    await asyncio.sleep(0.01)
+
+            await runtime.run({"n0": work()})
+            # Churn took some nodes down mid-run...
+            assert max(offline_seen) > 0
+            assert runtime.flips > 0
+            # ...but everyone is back online at the end.
+            assert runtime.offline_now == 0
+            await bus.close()
+
+        run(body())
+
+    def test_no_churn_no_flips(self):
+        async def body():
+            bus = MessageBus(rng=random.Random(0))
+            runtime = NodeRuntime(bus, rng=random.Random(3))
+            runtime.register_node("n0")
+
+            async def work():
+                await asyncio.sleep(0.01)
+
+            await runtime.run({"n0": work()})
+            assert runtime.flips == 0
+            await bus.close()
+
+        run(body())

@@ -57,3 +57,54 @@ class TestRenderTable:
         captured = capsys.readouterr()
         assert "== EX: Sample ==" in captured.out
         assert experiment.rows
+
+
+class TestJsonMode:
+    def test_not_requested_by_default(self, monkeypatch):
+        import sys
+
+        from repro.bench.harness import json_requested
+
+        monkeypatch.delenv("BENCH_JSON", raising=False)
+        monkeypatch.setattr(sys, "argv", ["bench"])
+        assert not json_requested()
+
+    def test_requested_via_flag_or_env(self, monkeypatch):
+        import sys
+
+        from repro.bench.harness import json_requested
+
+        monkeypatch.setattr(sys, "argv", ["bench", "--json"])
+        assert json_requested()
+        monkeypatch.setattr(sys, "argv", ["bench"])
+        monkeypatch.setenv("BENCH_JSON", "1")
+        assert json_requested()
+
+    def test_write_json_roundtrips(self, tmp_path):
+        import json
+
+        from repro.bench.harness import write_json
+
+        path = write_json(sample(), directory=str(tmp_path))
+        assert path == tmp_path / "BENCH_EX.json"
+        data = json.loads(path.read_text())
+        assert data["experiment_id"] == "EX"
+        assert data["title"] == "Sample"
+        assert data["claim"] == "numbers line up"
+        assert data["columns"] == ["name", "value", "ratio"]
+        assert data["rows"] == [["alpha", 1234, 0.5], ["b", 2, 12345.678]]
+
+    def test_run_and_print_writes_when_requested(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("BENCH_JSON", "1")
+        monkeypatch.setenv("BENCH_JSON_DIR", str(tmp_path))
+        run_and_print(sample)
+        assert (tmp_path / "BENCH_EX.json").exists()
+
+    def test_run_and_print_skips_without_request(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("BENCH_JSON", raising=False)
+        monkeypatch.setenv("BENCH_JSON_DIR", str(tmp_path))
+        import sys
+
+        monkeypatch.setattr(sys, "argv", ["bench"])
+        run_and_print(sample)
+        assert not list(tmp_path.iterdir())
