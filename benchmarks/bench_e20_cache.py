@@ -1,0 +1,245 @@
+"""E20 — RAM-charged page cache: IO-time reduction curve.
+
+Claim under test: an LRU page cache whose capacity is charged against the
+token's :class:`RamArena` cuts simulated flash read time by >= 30% on
+repeated-query workloads at 16 pages, while staying *invisible* to results —
+every workload returns bit-identical answers with the cache enabled, and a
+0-page cache reproduces the uncached token's exact ``FlashStats`` counts.
+
+Three workloads sweep cache size x access pattern:
+
+* ``tselect`` — the same Tselect-indexed SPJ query executed repeatedly;
+* ``search``  — the same top-N TF-IDF query (double-scan: the IDF counting
+  pass warms the bucket chains the merge pass re-reads);
+* ``reorg``   — build/reorganize/drop churn, the adversarial case for
+  invalidation (recycled blocks must never serve stale pages).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import Experiment, run_and_print, scaled
+from repro.hardware.flash import FlashGeometry
+from repro.hardware.profiles import HardwareProfile, smart_usb_token
+from repro.hardware.ram import RamArena
+from repro.hardware.token import SecurePortableToken
+from repro.relational.keyindex import KeyIndex
+from repro.relational.query import EmbeddedDatabase
+from repro.relational.reorg import reorganize
+from repro.search.engine import EmbeddedSearchEngine
+from repro.workloads import tpcd
+from repro.workloads.documents import DocumentCorpus
+
+RAM_BYTES = 128 * 1024  # the tutorial's "tiny RAM" secure-MCU profile
+CACHE_SWEEP = (0, 4, 8, 16)
+QUERY_REPEATS = 5
+SEARCH_QUERY = "doctor invoice meeting"
+
+
+def make_token(cache_pages: int, page_size: int = 1024) -> SecurePortableToken:
+    base = smart_usb_token()
+    profile = HardwareProfile(
+        name="bench-token-128k",
+        ram_bytes=RAM_BYTES,
+        cpu_mhz=base.cpu_mhz,
+        flash_geometry=FlashGeometry(
+            page_size=page_size, pages_per_block=32, num_blocks=4096
+        ),
+        flash_cost=base.flash_cost,
+        tamper_resistant=True,
+    )
+    return SecurePortableToken(profile=profile, cache_pages=cache_pages)
+
+
+def read_time_us(token: SecurePortableToken, reads: int) -> float:
+    return reads * token.flash.cost_model.read_us
+
+
+# ----------------------------------------------------------------------
+# Workload: repeated Tselect-indexed SPJ query
+# ----------------------------------------------------------------------
+def make_db(cache_pages: int) -> EmbeddedDatabase:
+    token = make_token(cache_pages)
+    db = EmbeddedDatabase(token, tpcd.tpcd_schema(), tpcd.ROOT_TABLE)
+    tpcd.load(db, tpcd.generate(scaled(800, 60), seed=31))
+    db.create_tselect("CUSTOMER", "Mktsegment")
+    db.create_tselect("SUPPLIER", "Name")
+    return db
+
+
+def run_tselect(cache_pages: int):
+    db = make_db(cache_pages)
+    query = tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1")
+    reads_before = db.token.flash.stats.page_reads
+    rows = None
+    hits = misses = 0
+    for _ in range(QUERY_REPEATS):
+        rows, stats = db.query(query)
+        if stats.cache is not None:
+            hits += stats.cache.hits
+            misses += stats.cache.misses
+    reads = db.token.flash.stats.page_reads - reads_before
+    return sorted(rows), reads, read_time_us(db.token, reads), hits, misses, db
+
+
+# ----------------------------------------------------------------------
+# Workload: repeated top-N TF-IDF search (double-scan)
+# ----------------------------------------------------------------------
+def make_engine(cache_pages: int) -> EmbeddedSearchEngine:
+    token = make_token(cache_pages, page_size=2048)
+    engine = EmbeddedSearchEngine(token, 128)
+    corpus = DocumentCorpus(seed=13)
+    for document in corpus.generate(scaled(1000, 80), words_per_doc=25):
+        engine.add_document(document.text)
+    engine.flush()
+    return engine
+
+
+def run_search(cache_pages: int):
+    engine = make_engine(cache_pages)
+    reads_before = engine.token.flash.stats.page_reads
+    hits = misses = 0
+    results = None
+    for _ in range(QUERY_REPEATS):
+        results = engine.search(SEARCH_QUERY, n=10)
+        cache_stats = engine.last_search_stats.cache
+        if cache_stats is not None:
+            hits += cache_stats.hits
+            misses += cache_stats.misses
+    reads = engine.token.flash.stats.page_reads - reads_before
+    answer = [(hit.docid, round(hit.score, 9)) for hit in results]
+    return answer, reads, read_time_us(engine.token, reads), hits, misses, engine
+
+
+# ----------------------------------------------------------------------
+# Workload: reorganization churn (build -> reorg -> drop, repeatedly)
+# ----------------------------------------------------------------------
+def run_reorg(cache_pages: int):
+    token = make_token(cache_pages)
+    scratch = RamArena(64 * 1024)
+    reads_before = token.flash.stats.page_reads
+    answer = []
+    rounds = scaled(4, 2)
+    per_round = scaled(500, 60)
+    for round_no in range(rounds):
+        index = KeyIndex(f"T.k{round_no}", token.allocator)
+        for rowid in range(per_round):
+            index.insert((rowid * 7 + round_no) % 29, rowid)
+        index.flush()
+        for key in range(29):  # warm, then reorganize under the cache
+            index.lookup(key)
+        sorted_index = reorganize(
+            index, token.allocator, scratch, name=f"churn{round_no}"
+        )
+        index.drop()
+        answer.append([sorted_index.lookup(key) for key in range(29)])
+        sorted_index.drop()
+    reads = token.flash.stats.page_reads - reads_before
+    cache = token.page_cache
+    hits = cache.stats.hits if cache is not None else 0
+    misses = cache.stats.misses if cache is not None else 0
+    return answer, reads, read_time_us(token, reads), hits, misses, token
+
+
+WORKLOADS = {
+    "tselect": run_tselect,
+    "search": run_search,
+    "reorg": run_reorg,
+}
+
+
+def build_experiment() -> Experiment:
+    experiment = Experiment(
+        experiment_id="e20",
+        title="Page cache: flash read time vs cache size x workload",
+        claim=">=30% read-time reduction at 16 pages on repeated queries; "
+        "bit-identical answers; cache-0 == uncached FlashStats",
+        columns=[
+            "workload", "cache_pages", "flash_reads", "read_time_us",
+            "hits", "misses", "equal", "ram_high_water_B",
+        ],
+    )
+    experiment.meta["ram_budget_bytes"] = RAM_BYTES
+    experiment.meta["query_repeats"] = QUERY_REPEATS
+    reductions: dict[str, float] = {}
+    for name, run in WORKLOADS.items():
+        baseline_answer = None
+        baseline_time = None
+        for cache_pages in CACHE_SWEEP:
+            answer, reads, time_us, hits, misses, owner = run(cache_pages)
+            token = getattr(owner, "token", owner)
+            if cache_pages == 0:
+                baseline_answer, baseline_time = answer, time_us
+                equal = True
+            else:
+                equal = answer == baseline_answer
+            experiment.add_row(
+                name, cache_pages, reads, time_us, hits, misses, equal,
+                token.mcu.ram.high_water,
+            )
+            if cache_pages == CACHE_SWEEP[-1] and baseline_time:
+                reductions[name] = 1.0 - time_us / baseline_time
+            if token.page_cache is not None:
+                experiment.meta[f"{name}_cache_{cache_pages}"] = {
+                    "hits": token.page_cache.stats.hits,
+                    "misses": token.page_cache.stats.misses,
+                    "evictions": token.page_cache.stats.evictions,
+                    "invalidations": token.page_cache.stats.invalidations,
+                    "pinned_high_water": token.page_cache.stats.pinned_high_water,
+                    "cache_ram_bytes": token.page_cache.ram_bytes,
+                }
+    experiment.meta["read_time_reduction_at_16_pages"] = {
+        name: round(value, 4) for name, value in reductions.items()
+    }
+    return experiment
+
+
+def test_e20_cache_sweep(benchmark):
+    experiment = run_and_print(build_experiment)
+    assert all(experiment.column("equal"))
+    assert all(ram <= RAM_BYTES for ram in experiment.column("ram_high_water_B"))
+    reductions = experiment.meta["read_time_reduction_at_16_pages"]
+    # The headline acceptance bar: repeated-query workloads save >= 30% of
+    # simulated flash read time with a 16-page cache vs cache disabled.
+    assert reductions["tselect"] >= 0.30, reductions
+    assert reductions["search"] >= 0.30, reductions
+    # Churn still benefits (warm lookups before each reorg) and, more
+    # importantly, stayed bit-identical through block recycling above.
+    assert reductions["reorg"] > 0.0, reductions
+
+    db = make_db(16)
+    query = tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1")
+    benchmark(db.query, query)
+
+
+def test_e20_cache_zero_reproduces_uncached_flashstats(benchmark):
+    """A 0-page cache is a pure pass-through: exact FlashStats parity."""
+    cached_db = make_db(0)  # token built with cache_pages=0 -> no cache
+    cached_db.token.enable_page_cache(0)  # explicit 0-capacity cache
+    plain_db = make_db(0)
+    query = tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1")
+    for _ in range(3):
+        cached_rows, _ = cached_db.query(query)
+        plain_rows, _ = plain_db.query(query)
+        assert sorted(cached_rows) == sorted(plain_rows)
+    cached_stats = cached_db.token.flash.stats
+    plain_stats = plain_db.token.flash.stats
+    assert cached_stats.page_reads == plain_stats.page_reads
+    assert cached_stats.page_programs == plain_stats.page_programs
+    assert cached_stats.block_erases == plain_stats.block_erases
+    # Every lookup was a miss: the pass-through counted but cached nothing.
+    assert cached_db.token.page_cache.stats.hits == 0
+    assert cached_db.token.page_cache.cached_pages == 0
+
+    benchmark(lambda: None)
+
+
+def test_e20_cache_ram_charged_within_budget(benchmark):
+    """Cache memory comes out of the 128 KB arena, never beyond it."""
+    token = make_token(16)
+    assert token.page_cache is not None
+    assert token.mcu.ram.in_use >= token.page_cache.ram_bytes
+    assert token.mcu.ram.budget_bytes == RAM_BYTES
+    token.disable_page_cache()
+    assert token.mcu.ram.in_use == 0
+
+    benchmark(lambda: None)

@@ -1,5 +1,11 @@
 """Shared benchmark harness (see ``benchmarks/`` for the experiments)."""
 
-from repro.bench.harness import Experiment, render_table, run_and_print
+from repro.bench.harness import (
+    Experiment,
+    render_table,
+    run_and_print,
+    scaled,
+    smoke_mode,
+)
 
-__all__ = ["Experiment", "render_table", "run_and_print"]
+__all__ = ["Experiment", "render_table", "run_and_print", "scaled", "smoke_mode"]

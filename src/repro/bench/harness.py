@@ -23,13 +23,20 @@ from typing import Callable
 
 @dataclass
 class Experiment:
-    """One experiment: an id, a claim under test, and measured rows."""
+    """One experiment: an id, a claim under test, and measured rows.
+
+    ``meta`` carries experiment-level measurements that are not per-row —
+    cache statistics, flash-IO deltas, cost-model constants — and is
+    emitted verbatim in the ``BENCH_<id>.json`` schema for regression
+    tracking.
+    """
 
     experiment_id: str
     title: str
     claim: str
     columns: list[str]
     rows: list[list] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
 
     def add_row(self, *values) -> None:
         if len(values) != len(self.columns):
@@ -85,12 +92,27 @@ def experiment_dict(experiment: Experiment) -> dict:
         "claim": experiment.claim,
         "columns": list(experiment.columns),
         "rows": [list(row) for row in experiment.rows],
+        "meta": dict(experiment.meta),
     }
 
 
 def json_requested() -> bool:
     """``--json`` on the command line, or ``BENCH_JSON`` in the env."""
     return "--json" in sys.argv or bool(os.environ.get("BENCH_JSON"))
+
+
+def smoke_mode() -> bool:
+    """``BENCH_SMOKE`` in the env: run benches at tiny sizes (CI rot check).
+
+    Smoke runs only prove the bench still executes end to end; performance
+    assertions that need realistic sizes should be skipped under it.
+    """
+    return bool(os.environ.get("BENCH_SMOKE"))
+
+
+def scaled(full: int, smoke: int) -> int:
+    """Pick the full-size or smoke-size parameter for the current mode."""
+    return smoke if smoke_mode() else full
 
 
 def write_json(experiment: Experiment, directory: str | None = None) -> Path:

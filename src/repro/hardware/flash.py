@@ -117,6 +117,29 @@ class NandFlash:
         # Next programmable page index inside each block (sequential rule).
         self._write_cursor: list[int] = [0] * self.geometry.num_blocks
         self._erase_counts: list[int] = [0] * self.geometry.num_blocks
+        # Mutation observers (page caches invalidate through these).
+        self._on_program: list = []
+        self._on_erase: list = []
+
+    def subscribe(self, on_program=None, on_erase=None) -> None:
+        """Register callbacks fired after a successful program / erase.
+
+        ``on_program(page_no)`` runs after a page is programmed and
+        ``on_erase(block_no)`` after a block is erased — the two events
+        that can change what a page reads back, hence the complete
+        invalidation feed for any cache sitting above the chip.
+        """
+        if on_program is not None:
+            self._on_program.append(on_program)
+        if on_erase is not None:
+            self._on_erase.append(on_erase)
+
+    def unsubscribe(self, on_program=None, on_erase=None) -> None:
+        """Remove callbacks previously registered with :meth:`subscribe`."""
+        if on_program is not None and on_program in self._on_program:
+            self._on_program.remove(on_program)
+        if on_erase is not None and on_erase in self._on_erase:
+            self._on_erase.remove(on_erase)
 
     # ------------------------------------------------------------------
     # Raw page/block operations
@@ -152,6 +175,8 @@ class NandFlash:
         self._pages[page_no] = bytes(data)
         self._write_cursor[block] = actual + 1
         self.stats.page_programs += 1
+        for callback in self._on_program:
+            callback(page_no)
 
     def erase_block(self, block_no: int) -> None:
         """Erase a whole block, resetting its write cursor."""
@@ -162,6 +187,8 @@ class NandFlash:
         self._write_cursor[block_no] = 0
         self._erase_counts[block_no] += 1
         self.stats.block_erases += 1
+        for callback in self._on_erase:
+            callback(block_no)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -217,6 +244,11 @@ class BlockAllocator:
 
     def __init__(self, flash: NandFlash) -> None:
         self.flash = flash
+        #: Optional :class:`~repro.storage.cache.PageCache` every log built
+        #: on this allocator reads through (see ``attach_cache``). Kept here
+        #: because the allocator is the one object all storage structures
+        #: already share.
+        self.page_cache = None
         # Heap of (erase_count, block); counts are refreshed lazily on pop.
         self._free: list[tuple[int, int]] = [
             (0, block) for block in range(flash.geometry.num_blocks)
@@ -231,6 +263,10 @@ class BlockAllocator:
     @property
     def allocated_blocks(self) -> int:
         return len(self._allocated)
+
+    def attach_cache(self, cache) -> None:
+        """Route every log read through ``cache`` (None to detach)."""
+        self.page_cache = cache
 
     def allocate(self) -> int:
         """Pop the least-worn free (erased) block; raises when full."""

@@ -68,6 +68,7 @@ class SecurePortableToken:
         self,
         profile: HardwareProfile | None = None,
         owner: str = "",
+        cache_pages: int = 0,
     ) -> None:
         self.profile = profile or smart_usb_token()
         self.serial = next(_token_serial)
@@ -77,6 +78,42 @@ class SecurePortableToken:
         self.allocator = BlockAllocator(self.flash)
         self.keystore = KeyStore()
         self._tampered = False
+        self.page_cache = None
+        if cache_pages > 0:
+            self.enable_page_cache(cache_pages)
+
+    # ------------------------------------------------------------------
+    # Page cache (RAM-charged hot-read layer over the flash chip)
+    # ------------------------------------------------------------------
+    def enable_page_cache(self, capacity_pages: int):
+        """Install an LRU page cache charged against the MCU's RAM arena.
+
+        All logs built on this token's allocator immediately read through
+        it; returns the :class:`~repro.storage.cache.PageCache` so callers
+        can inspect its stats. Enabling with 0 pages is allowed (a pure
+        pass-through that still counts misses), matching the benchmarks'
+        cache-disabled baseline.
+        """
+        from repro.storage.cache import PageCache  # avoid layering cycle
+
+        if self.page_cache is not None:
+            self.disable_page_cache()
+        self.page_cache = PageCache(
+            self.flash,
+            capacity_pages,
+            ram=self.mcu.ram,
+            tag=f"pagecache:{self.owner}",
+        )
+        self.allocator.attach_cache(self.page_cache)
+        return self.page_cache
+
+    def disable_page_cache(self) -> None:
+        """Remove the page cache, returning its RAM to the arena."""
+        if self.page_cache is None:
+            return
+        self.allocator.attach_cache(None)
+        self.page_cache.close()
+        self.page_cache = None
 
     # ------------------------------------------------------------------
     @property

@@ -11,6 +11,7 @@ hash-chained :class:`~repro.pds.audit.AuditLog`. For Part III it exposes its
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 
 from repro.errors import AccessDenied
 from repro.hardware.profiles import HardwareProfile
@@ -19,8 +20,11 @@ from repro.pds.acl import PrivacyPolicy, Subject, default_policy
 from repro.pds.audit import AuditLog
 from repro.pds.datamodel import PersonalDocument
 from repro.search.engine import EmbeddedSearchEngine, SearchHit
-from repro.storage.log import RecordLog
+from repro.storage.log import RecordAddress, RecordLog
 from repro.workloads.people import PersonRecord
+
+#: Deserialized documents kept hot; everything else is re-read from the log.
+DOC_CACHE_CAPACITY = 256
 
 
 def _serialize_document(document: PersonalDocument) -> bytes:
@@ -65,7 +69,13 @@ class PersonalDataServer:
         self._documents = RecordLog(self.token.allocator, name="documents")
         self._by_id: dict[int, int] = {}  # doc_id -> search docid
         self._search_to_doc: dict[int, int] = {}  # search docid -> doc_id
-        self._store: dict[int, PersonalDocument] = {}  # RAM cache of the log
+        # The document log is the store of record; only addresses stay in
+        # RAM, plus a bounded LRU of deserialized documents so a hot `get`
+        # does not pay a json round-trip (invalidated on forget/drop).
+        self._doc_addresses: dict[int, RecordAddress] = {}
+        self._doc_cache: OrderedDict[RecordAddress, PersonalDocument] = (
+            OrderedDict()
+        )
         self.search_engine = EmbeddedSearchEngine(
             self.token, num_buckets=search_buckets
         )
@@ -76,13 +86,14 @@ class PersonalDataServer:
     def ingest(self, document: PersonalDocument) -> int:
         """Store + index one document; returns its doc_id."""
         self.token.require_trusted()
-        self._documents.append(_serialize_document(document))
+        address = self._documents.append(_serialize_document(document))
         search_docid = self.search_engine.add_document(
             document.searchable_text()
         )
         self._by_id[document.doc_id] = search_docid
         self._search_to_doc[search_docid] = document.doc_id
-        self._store[document.doc_id] = document
+        self._doc_addresses[document.doc_id] = address
+        self._cache_document(address, document)
         return document.doc_id
 
     def ingest_all(self, documents: list[PersonalDocument]) -> list[int]:
@@ -90,7 +101,25 @@ class PersonalDataServer:
 
     @property
     def document_count(self) -> int:
-        return len(self._store)
+        return len(self._doc_addresses)
+
+    def forget(self, doc_id: int) -> None:
+        """Drop one document from the server (owner-side right-to-forget).
+
+        The append-only log keeps its (now unreachable) bytes until the log
+        is reorganized, but the document disappears from every map and the
+        deserialization cache immediately, so no later read can serve it.
+        """
+        address = self._doc_addresses.pop(doc_id, None)
+        if address is None:
+            raise KeyError(f"no document {doc_id} in this PDS")
+        self._doc_cache.pop(address, None)
+        search_docid = self._by_id.pop(doc_id, None)
+        if search_docid is not None:
+            self._search_to_doc.pop(search_docid, None)
+        self.audit.record(
+            self.owner.name, self.owner.role, "forget", f"doc:{doc_id}", True
+        )
 
     # ------------------------------------------------------------------
     # Guarded access
@@ -130,7 +159,7 @@ class PersonalDataServer:
     def records_for_aggregation(self, subject: Subject) -> list[PersonRecord]:
         """Policy-filtered flat records contributed to a global query."""
         records = []
-        for document in self._store.values():
+        for document in self._iter_documents():
             if self.policy.allows(subject, "aggregate", document):
                 records.append(document.to_record())
         self.audit.record(
@@ -144,15 +173,38 @@ class PersonalDataServer:
 
     def documents_of_kind(self, kind: str) -> list[PersonalDocument]:
         """Owner-side enumeration (no policy check: owner context)."""
-        return [doc for doc in self._store.values() if doc.kind == kind]
+        return [doc for doc in self._iter_documents() if doc.kind == kind]
 
     # ------------------------------------------------------------------
     def _require_document(self, doc_id: int) -> PersonalDocument:
-        document = self._store.get(doc_id)
-        if document is None:
+        address = self._doc_addresses.get(doc_id)
+        if address is None:
             raise KeyError(f"no document {doc_id} in this PDS")
+        return self._load_document(address)
+
+    def _load_document(self, address: RecordAddress) -> PersonalDocument:
+        """Fetch one document, deserializing only on cache miss."""
+        document = self._doc_cache.get(address)
+        if document is not None:
+            self._doc_cache.move_to_end(address)
+            return document
+        document = _deserialize_document(self._documents.read(address))
+        self._cache_document(address, document)
         return document
+
+    def _cache_document(
+        self, address: RecordAddress, document: PersonalDocument
+    ) -> None:
+        self._doc_cache[address] = document
+        self._doc_cache.move_to_end(address)
+        while len(self._doc_cache) > DOC_CACHE_CAPACITY:
+            self._doc_cache.popitem(last=False)
+
+    def _iter_documents(self):
+        """Every live document in ingestion order (cache-aware reads)."""
+        for address in self._doc_addresses.values():
+            yield self._load_document(address)
 
     def _document_for_search_docid(self, search_docid: int):
         doc_id = self._search_to_doc.get(search_docid)
-        return None if doc_id is None else self._store[doc_id]
+        return None if doc_id is None else self._require_document(doc_id)

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 from repro.hardware.flash import BlockAllocator
 from repro.hardware.ram import RamArena
 from repro.relational.tuples import encode_key
-from repro.storage import pager
 from repro.storage.bloom import BloomFilter
 from repro.storage.log import RecordLog
 
@@ -147,7 +146,7 @@ class KeyIndex:
         return sorted(rowids)
 
     def _keys_page(self, position: int) -> list[bytes]:
-        return pager.unpack_records(self.keys.pages.read_page(position))
+        return self.keys.pages.read_records(position)
 
     # ------------------------------------------------------------------
     def scan_entries(self):

@@ -33,16 +33,24 @@ from repro.relational.schema import SchemaGraph
 from repro.relational.table import TableStorage
 from repro.relational.tjoin import AncestorLog, TjoinIndex
 from repro.relational.tselect import TselectIndex
+from repro.storage.cache import CacheStats
 
 
 @dataclass
 class ExecutionStats:
-    """Observed cost of one query execution."""
+    """Observed cost of one query execution.
+
+    ``flash_page_reads`` counts real chip IOs only — reads served by the
+    token's page cache never reach the flash simulator. ``cache`` is the
+    per-query :class:`CacheStats` delta when a cache is attached (None
+    otherwise), so benches can report hits saved alongside IOs paid.
+    """
 
     rows_out: int
     flash_page_reads: int
     ram_high_water: int
     explain: PlanExplain
+    cache: CacheStats | None = None
 
 
 class EmbeddedDatabase:
@@ -181,6 +189,8 @@ class EmbeddedDatabase:
         flash = self.token.flash
         page_size = flash.geometry.page_size
         reads_before = flash.stats.page_reads
+        cache = self.token.allocator.page_cache
+        cache_before = cache.stats.snapshot() if cache is not None else None
         self._ram.reset_high_water()
         # One page buffer per Tselect stream + one joined-row buffer.
         num_streams = sum(
@@ -198,6 +208,9 @@ class EmbeddedDatabase:
             flash_page_reads=flash.stats.page_reads - reads_before,
             ram_high_water=self._ram.high_water,
             explain=explain,
+            cache=(
+                cache.stats.delta(cache_before) if cache is not None else None
+            ),
         )
         return rows, stats
 
@@ -234,6 +247,8 @@ class EmbeddedDatabase:
         self.flush()
         flash = self.token.flash
         reads_before = flash.stats.page_reads
+        cache = self.token.allocator.page_cache
+        cache_before = cache.stats.snapshot() if cache is not None else None
         self._ram.reset_high_water()
         num_streams = sum(
             1 for t, c, _ in query.filters if (t, c) in self.tselects
@@ -273,6 +288,9 @@ class EmbeddedDatabase:
             flash_page_reads=flash.stats.page_reads - reads_before,
             ram_high_water=self._ram.high_water,
             explain=explain,
+            cache=(
+                cache.stats.delta(cache_before) if cache is not None else None
+            ),
         )
         return result, stats
 

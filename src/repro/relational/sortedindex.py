@@ -99,7 +99,7 @@ class SortedKeyIndex:
         for depth in range(len(self.levels) - 1, -1, -1):
             assert child is not None
             stats.tree_pages += 1
-            node = pager.unpack_records(self.tree_log.read_page(child))
+            node = self.tree_log.read_records(child)
             child = None
             for record in node:
                 max_key, child_position = unpack_entry(record)
@@ -115,7 +115,7 @@ class SortedKeyIndex:
     ) -> tuple[list[int], bool]:
         """Matching rowids in one sorted page + whether the run may continue."""
         rowids: list[int] = []
-        records = pager.unpack_records(self.sorted_log.read_page(position))
+        records = self.sorted_log.read_records(position)
         if not records:
             return rowids, False
         for record in records:
@@ -130,8 +130,8 @@ class SortedKeyIndex:
     # ------------------------------------------------------------------
     def iter_entries(self):
         """Yield every ``(key_bytes, rowid)`` in ascending key order."""
-        for page in self.sorted_log.iter_pages():
-            for record in pager.unpack_records(page):
+        for position in range(len(self.sorted_log)):
+            for record in self.sorted_log.read_records(position):
                 yield unpack_entry(record)
 
     def iter_range(self, low, high):
@@ -144,7 +144,7 @@ class SortedKeyIndex:
         if leaf is None:
             return
         for position in range(leaf, len(self.sorted_log)):
-            for record in pager.unpack_records(self.sorted_log.read_page(position)):
+            for record in self.sorted_log.read_records(position):
                 entry_key, rowid = unpack_entry(record)
                 if entry_key < low_bytes:
                     continue

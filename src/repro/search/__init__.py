@@ -8,7 +8,7 @@ baseline it is compared against (:class:`RamHungrySearch`).
 
 from repro.search.analyzer import STOPWORDS, query_terms, term_frequencies, tokenize
 from repro.search.baseline import RamHungrySearch
-from repro.search.engine import EmbeddedSearchEngine, SearchHit
+from repro.search.engine import EmbeddedSearchEngine, SearchHit, SearchStats
 from repro.search.inverted import Posting, SequentialInvertedIndex
 
 __all__ = [
@@ -17,6 +17,7 @@ __all__ = [
     "Posting",
     "RamHungrySearch",
     "SearchHit",
+    "SearchStats",
     "SequentialInvertedIndex",
     "query_terms",
     "term_frequencies",

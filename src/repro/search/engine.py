@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from repro.hardware.token import SecurePortableToken
 from repro.search.analyzer import query_terms, term_frequencies
 from repro.search.inverted import SequentialInvertedIndex
+from repro.storage.cache import CacheStats
 
 #: RAM charged per entry of the top-N result heap: docid + score + heap slot.
 _HEAP_ENTRY_BYTES = 16
@@ -39,6 +40,20 @@ class SearchHit:
 
     docid: int
     score: float
+
+
+@dataclass
+class SearchStats:
+    """Observed IO cost of one search (the search-side ExecutionStats).
+
+    With a page cache attached, the second chain scan of the IDF double
+    pass is served from RAM: ``flash_page_reads`` counts only real chip
+    IOs, and ``cache`` holds the per-search hit/miss delta (None when the
+    token runs uncached).
+    """
+
+    flash_page_reads: int = 0
+    cache: CacheStats | None = None
 
 
 class EmbeddedSearchEngine:
@@ -54,6 +69,8 @@ class EmbeddedSearchEngine:
             token.allocator, num_buckets, ram=token.mcu.ram
         )
         self._next_docid = 0
+        #: IO breakdown of the most recent :meth:`search` call.
+        self.last_search_stats = SearchStats()
 
     # ------------------------------------------------------------------
     # Indexing
@@ -91,17 +108,32 @@ class EmbeddedSearchEngine:
         self.token.require_trusted()
         keywords = query_terms(query)
         if not keywords or self.index.doc_count == 0:
+            self.last_search_stats = SearchStats()
             return []
 
+        flash = self.token.flash
+        reads_before = flash.stats.page_reads
+        cache = self.token.allocator.page_cache
+        cache_before = cache.stats.snapshot() if cache is not None else None
         ram = self.token.mcu.ram
-        page_size = self.token.flash.geometry.page_size
+        page_size = flash.geometry.page_size
         merge_ram = len(keywords) * page_size + n * _HEAP_ENTRY_BYTES
-        with ram.reservation(merge_ram, tag="search:merge"):
-            idf = self._idf_pass(keywords)
-            live = [term for term in keywords if idf.get(term, 0.0) > 0.0]
-            if not live or (require_all and len(live) < len(keywords)):
-                return []
-            return self._merge_pass(live, idf, n, require_all=require_all)
+        try:
+            with ram.reservation(merge_ram, tag="search:merge"):
+                idf = self._idf_pass(keywords)
+                live = [term for term in keywords if idf.get(term, 0.0) > 0.0]
+                if not live or (require_all and len(live) < len(keywords)):
+                    return []
+                return self._merge_pass(live, idf, n, require_all=require_all)
+        finally:
+            self.last_search_stats = SearchStats(
+                flash_page_reads=flash.stats.page_reads - reads_before,
+                cache=(
+                    cache.stats.delta(cache_before)
+                    if cache is not None
+                    else None
+                ),
+            )
 
     def _idf_pass(self, keywords: list[str]) -> dict[str, float]:
         """Counting pass: document frequency -> IDF per keyword."""

@@ -8,12 +8,15 @@ index of the embedded search engine is a backward-chained bucket log
 """
 
 from repro.storage.bloom import BloomFilter, optimal_hash_count
+from repro.storage.cache import CacheStats, PageCache
 from repro.storage.hashbucket import ChainedBucketLog, bucket_of
 from repro.storage.log import PageLog, RecordAddress, RecordLog
 
 __all__ = [
     "BloomFilter",
+    "CacheStats",
     "ChainedBucketLog",
+    "PageCache",
     "PageLog",
     "RecordAddress",
     "RecordLog",

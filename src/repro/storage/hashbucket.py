@@ -29,6 +29,14 @@ def bucket_of(keyword: str, num_buckets: int) -> int:
     return int.from_bytes(digest[:8], "little") % num_buckets
 
 
+def _decode_chain_page(page: bytes) -> tuple[int, list[bytes]]:
+    """``(prev_position, entries)`` of one chain page (cache-memoizable)."""
+    return (
+        pager.unpack_u32(page, 0),
+        pager.unpack_records(page[ChainedBucketLog._HEADER :]),
+    )
+
+
 class ChainedBucketLog:
     """A set of backward-chained bucket page lists sharing one page log.
 
@@ -131,9 +139,8 @@ class ChainedBucketLog:
         yield from reversed(self._staging[bucket])
         position = self._heads[bucket]
         while position != pager.NO_PAGE:
-            page = self.log.read_page(position)
-            prev = pager.unpack_u32(page, 0)
-            yield from reversed(pager.unpack_records(page[self._HEADER :]))
+            prev, entries = self._chain_page(position)
+            yield from reversed(entries)
             position = prev
 
     def chain_length(self, bucket: int) -> int:
@@ -141,10 +148,18 @@ class ChainedBucketLog:
         length = 0
         position = self._heads[bucket]
         while position != pager.NO_PAGE:
-            page = self.log.read_page(position)
-            position = pager.unpack_u32(page, 0)
+            position, _ = self._chain_page(position)
             length += 1
         return length
+
+    def _chain_page(self, position: int) -> tuple[int, list[bytes]]:
+        """Decode one chain page as ``(prev_position, entries)``.
+
+        Goes through the page log's memoized decode so repeated chain
+        walks (the search engine's IDF pass then merge pass) unpack each
+        hot page once.
+        """
+        return self.log.read_decoded(position, _decode_chain_page)
 
     def drop(self) -> None:
         """Discard all chains and reclaim flash blocks."""

@@ -80,14 +80,49 @@ class PageLog:
         return len(self._page_numbers) - 1
 
     def read_page(self, position: int) -> bytes:
-        """Read the page at log ``position`` (0-based append order)."""
+        """Read the page at log ``position`` (0-based append order).
+
+        Served from the allocator's :class:`~repro.storage.cache.PageCache`
+        when one is attached; only cache misses cost flash IO.
+        """
+        page_no = self._physical_page(position)
+        cache = self.allocator.page_cache
+        if cache is not None:
+            return cache.read_page(page_no)
+        return self.flash.read_page(page_no)
+
+    def read_records(self, position: int) -> list[bytes]:
+        """Read + unpack the page at ``position`` as a record list.
+
+        With a cache attached the decode is memoized per cached residency,
+        so hot pages are unpacked once instead of once per read. Callers
+        must not mutate the returned list.
+        """
+        cache = self.allocator.page_cache
+        if cache is not None:
+            return cache.read_records(self._physical_page(position))
+        return pager.unpack_records(self.read_page(position))
+
+    def read_decoded(self, position: int, decode):
+        """Read the page at ``position`` through ``decode``, memoized.
+
+        Like :meth:`read_records` but for logs with their own page layout
+        (e.g. chained bucket pages); ``decode(data)`` runs once per cached
+        residency when a cache is attached, every read otherwise.
+        """
+        cache = self.allocator.page_cache
+        if cache is not None:
+            return cache.read_decoded(self._physical_page(position), decode)
+        return decode(self.read_page(position))
+
+    def _physical_page(self, position: int) -> int:
         self._check_alive()
         if not 0 <= position < len(self._page_numbers):
             raise StorageError(
                 f"log {self.name!r}: position {position} out of range "
                 f"[0, {len(self._page_numbers)})"
             )
-        return self.flash.read_page(self._page_numbers[position])
+        return self._page_numbers[position]
 
     def iter_pages(self) -> Iterator[bytes]:
         """Yield pages in append order."""
@@ -193,11 +228,17 @@ class RecordLog:
 
     def read(self, address: RecordAddress) -> bytes:
         """Fetch one record by address (reads its page, or the RAM buffer)."""
+        if address.position < 0 or address.slot < 0:
+            # A negative index would silently address from the end of the
+            # page — never a valid record address, so reject it outright.
+            raise StorageError(
+                f"log {self.name!r}: negative record address {address}"
+            )
         if address.position == len(self.pages):
             if address.slot >= len(self._buffer):
                 raise StorageError(f"no record at {address}")
             return self._buffer[address.slot]
-        records = pager.unpack_records(self.pages.read_page(address.position))
+        records = self.pages.read_records(address.position)
         if address.slot >= len(records):
             raise StorageError(f"no record at {address}")
         return records[address.slot]
@@ -205,7 +246,7 @@ class RecordLog:
     def scan(self) -> Iterator[tuple[RecordAddress, bytes]]:
         """Yield ``(address, record)`` in append order, buffer included."""
         for position in range(len(self.pages)):
-            records = pager.unpack_records(self.pages.read_page(position))
+            records = self.pages.read_records(position)
             for slot, record in enumerate(records):
                 yield RecordAddress(position, slot), record
         for slot, record in enumerate(self._buffer):
@@ -217,8 +258,8 @@ class RecordLog:
 
     def scan_pages(self) -> Iterator[list[bytes]]:
         """Yield flushed pages as record lists (no buffer), in append order."""
-        for page in self.pages.iter_pages():
-            yield pager.unpack_records(page)
+        for position in range(len(self.pages)):
+            yield self.pages.read_records(position)
 
     def seal(self) -> None:
         """Flush, release the write buffer's RAM and make the log immutable."""

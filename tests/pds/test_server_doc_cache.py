@@ -1,0 +1,90 @@
+"""Tests for the PDS document store: log-backed reads + deserialization cache."""
+
+import pytest
+
+from repro.pds import server as server_module
+from repro.pds.datamodel import PersonalDocument, bill, medical_note
+from repro.pds.server import PersonalDataServer
+
+
+@pytest.fixture
+def pds() -> PersonalDataServer:
+    server = PersonalDataServer(owner="bob")
+    server.ingest_all(
+        [
+            medical_note("annual checkup fine", "healthy"),
+            bill("water invoice april", 30.0, "veolia"),
+            PersonalDocument(kind="email", text="picnic saturday plan"),
+        ]
+    )
+    return server
+
+
+class TestDeserializationCache:
+    def test_hot_get_does_not_json_roundtrip(self, pds, monkeypatch):
+        doc_id = pds.documents_of_kind("bill")[0].doc_id
+        calls = {"n": 0}
+        real = server_module._deserialize_document
+
+        def counting(data):
+            calls["n"] += 1
+            return real(data)
+
+        monkeypatch.setattr(server_module, "_deserialize_document", counting)
+        for _ in range(5):
+            assert pds.read(pds.owner, doc_id).kind == "bill"
+        assert calls["n"] == 0  # ingested docs are cached from the start
+
+    def test_evicted_documents_reload_from_log(self, pds, monkeypatch):
+        monkeypatch.setattr(server_module, "DOC_CACHE_CAPACITY", 1)
+        extra = [
+            PersonalDocument(kind="note", text=f"note number {i}")
+            for i in range(4)
+        ]
+        ids = pds.ingest_all(extra)
+        # Capacity 1: earlier documents were evicted; reads must rebuild
+        # identical documents from the log bytes.
+        for i, doc_id in enumerate(ids):
+            document = pds.read(pds.owner, doc_id)
+            assert document.text == f"note number {i}"
+            assert document.doc_id == doc_id
+        assert len(pds._doc_cache) == 1
+
+    def test_reload_preserves_attributes(self, pds, monkeypatch):
+        monkeypatch.setattr(server_module, "DOC_CACHE_CAPACITY", 1)
+        original = pds.documents_of_kind("bill")[0]
+        pds.ingest(PersonalDocument(kind="filler", text="evict the bill"))
+        reloaded = pds.read(pds.owner, original.doc_id)
+        assert reloaded == original
+
+
+class TestForget:
+    def test_forget_removes_document(self, pds):
+        doc_id = pds.documents_of_kind("email")[0].doc_id
+        count_before = pds.document_count
+        pds.forget(doc_id)
+        assert pds.document_count == count_before - 1
+        with pytest.raises(KeyError):
+            pds.read(pds.owner, doc_id)
+
+    def test_forget_unknown_rejected(self, pds):
+        with pytest.raises(KeyError):
+            pds.forget(999_999)
+
+    def test_forgotten_document_never_surfaces_in_search(self, pds):
+        doc_id = pds.documents_of_kind("email")[0].doc_id
+        assert any(
+            document.doc_id == doc_id
+            for _, document in pds.search(pds.owner, "picnic saturday")
+        )
+        pds.forget(doc_id)
+        assert not any(
+            document.doc_id == doc_id
+            for _, document in pds.search(pds.owner, "picnic saturday")
+        )
+
+    def test_forget_is_audited(self, pds):
+        doc_id = pds.documents_of_kind("bill")[0].doc_id
+        pds.forget(doc_id)
+        entries = [entry for entry in pds.audit.entries() if entry.action == "forget"]
+        assert entries and entries[-1].target == f"doc:{doc_id}"

@@ -278,3 +278,58 @@ class TestEmbeddedAggregates:
             db.aggregate([], ("MEDIAN", "LINEITEM", "Price"))
         with pytest.raises(QueryError, match="needs a column"):
             db.aggregate([], ("SUM", "LINEITEM", None))
+
+
+class TestPageCachedExecution:
+    """The RAM-charged page cache must be invisible except in the stats."""
+
+    def make_cached_db(self):
+        db = EmbeddedDatabase(make_token(), tpcd.tpcd_schema(), tpcd.ROOT_TABLE)
+        tpcd.load(db, tpcd.generate(num_lineitems=300, seed=5))
+        db.create_tselect("CUSTOMER", "Mktsegment")
+        return db
+
+    def test_stats_cache_none_without_cache(self, loaded_db):
+        db, _ = loaded_db
+        _, stats = db.query(tpcd.household_supplier_query())
+        assert stats.cache is None
+
+    def test_repeated_query_hits_cache(self):
+        db = self.make_cached_db()
+        query = tpcd.household_supplier_query()
+        cold_rows, cold = db.query(query)
+        db.token.enable_page_cache(16)
+        warm1_rows, warm1 = db.query(query)
+        warm2_rows, warm2 = db.query(query)
+        assert warm1_rows == cold_rows == warm2_rows
+        assert warm1.cache is not None and warm1.cache.misses > 0
+        assert warm2.cache.hits > 0
+        # The repeat run re-reads everything from RAM: strictly fewer IOs.
+        assert warm2.flash_page_reads < cold.flash_page_reads
+        # Cache RAM is charged to the arena and visible in high water.
+        assert db.token.mcu.ram.in_use >= db.token.page_cache.ram_bytes
+
+    def test_cache_size_zero_reproduces_uncached_io_counts(self):
+        db_plain = self.make_cached_db()
+        db_zero = self.make_cached_db()
+        db_zero.token.enable_page_cache(0)
+        query = tpcd.household_supplier_query()
+        rows_plain, stats_plain = db_plain.query(query)
+        rows_zero, stats_zero = db_zero.query(query)
+        assert rows_plain == rows_zero
+        assert stats_plain.flash_page_reads == stats_zero.flash_page_reads
+        assert stats_zero.cache.hits == 0
+
+    def test_insert_after_cached_query_stays_correct(self):
+        db = self.make_cached_db()
+        db.token.enable_page_cache(16)
+        query = tpcd.household_supplier_query()
+        db.query(query)
+        # New inserts append pages; cached reads must still match a fresh
+        # uncached evaluation of the same database state.
+        baseline_ram = RamArena(10**9)
+        rows, _ = db.query(query)
+        baseline = HashJoinExecutor(
+            db.schema, db.storages, tpcd.ROOT_TABLE, baseline_ram
+        ).execute(query)
+        assert sorted(rows) == sorted(baseline)

@@ -206,3 +206,57 @@ class TestConjunctiveSearch:
         assert engine.search("doctor", require_all=True) == engine.search(
             "doctor"
         )
+
+
+class TestPageCachedSearch:
+    """The IDF double scan should pay flash IO once with a cache attached."""
+
+    def build_pair(self, cache_pages: int):
+        documents = DocumentCorpus(seed=11).generate(150, words_per_doc=20)
+        cached = EmbeddedSearchEngine(make_token(), num_buckets=16)
+        plain = EmbeddedSearchEngine(make_token(), num_buckets=16)
+        for document in documents:
+            cached.add_document(document.text)
+            plain.add_document(document.text)
+        cached.flush()
+        plain.flush()
+        cached.token.enable_page_cache(cache_pages)
+        return cached, plain
+
+    def test_results_identical_and_io_reduced(self):
+        cached, plain = self.build_pair(cache_pages=32)
+        for query in ("doctor invoice", "meeting agenda", "doctor"):
+            assert cached.search(query, n=10) == plain.search(query, n=10)
+            cached_stats = cached.last_search_stats
+            plain_stats = plain.last_search_stats
+            # Second chain scan (the merge pass) is served from RAM.
+            assert cached_stats.flash_page_reads < plain_stats.flash_page_reads
+            assert cached_stats.cache is not None
+            assert cached_stats.cache.hits > 0
+            assert plain_stats.cache is None
+
+    def test_repeat_query_mostly_hits(self):
+        cached, _ = self.build_pair(cache_pages=32)
+        cached.search("doctor invoice", n=10)
+        cached.search("doctor invoice", n=10)
+        repeat = cached.last_search_stats
+        assert repeat.cache.misses == 0
+        assert repeat.flash_page_reads == 0
+
+    def test_cache_zero_matches_uncached_flash_counts(self):
+        cached, plain = self.build_pair(cache_pages=0)
+        assert cached.search("doctor invoice", n=10) == plain.search(
+            "doctor invoice", n=10
+        )
+        assert (
+            cached.last_search_stats.flash_page_reads
+            == plain.last_search_stats.flash_page_reads
+        )
+
+    def test_indexing_after_search_invalidates_correctly(self):
+        cached, plain = self.build_pair(cache_pages=32)
+        cached.search("doctor", n=10)
+        for engine in (cached, plain):
+            engine.add_document("doctor doctor appointment follow up")
+            engine.flush()
+        assert cached.search("doctor", n=10) == plain.search("doctor", n=10)

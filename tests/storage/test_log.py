@@ -109,6 +109,28 @@ class TestRecordLog:
         with pytest.raises(StorageError, match="no record"):
             log.read(RecordAddress(position=0, slot=5))
 
+    def test_negative_slot_rejected(self, allocator):
+        """slot=-1 must not silently serve the last record of the page."""
+        log = RecordLog(allocator)
+        for i in range(3):
+            log.append(f"r{i}".encode())
+        log.flush()
+        with pytest.raises(StorageError, match="negative"):
+            log.read(RecordAddress(position=0, slot=-1))
+
+    def test_negative_position_rejected(self, allocator):
+        log = RecordLog(allocator)
+        log.append(b"x")
+        log.flush()
+        with pytest.raises(StorageError, match="negative"):
+            log.read(RecordAddress(position=-1, slot=0))
+
+    def test_negative_slot_in_buffer_rejected(self, allocator):
+        log = RecordLog(allocator)
+        log.append(b"buffered")
+        with pytest.raises(StorageError, match="negative"):
+            log.read(RecordAddress(position=0, slot=-2))
+
     def test_ram_buffer_accounted_and_released(self, allocator):
         ram = RamArena(1024)
         log = RecordLog(allocator, name="t", ram=ram)
