@@ -17,7 +17,14 @@ Three workloads sweep cache size x access pattern:
 
 from __future__ import annotations
 
-from repro.bench.harness import Experiment, run_and_print, scaled
+from repro import obs
+from repro.bench.harness import (
+    Experiment,
+    attach_profile,
+    profile_requested,
+    run_and_print,
+    scaled,
+)
 from repro.hardware.flash import FlashGeometry
 from repro.hardware.profiles import HardwareProfile, smart_usb_token
 from repro.hardware.ram import RamArena
@@ -74,9 +81,8 @@ def run_tselect(cache_pages: int):
     hits = misses = 0
     for _ in range(QUERY_REPEATS):
         rows, stats = db.query(query)
-        if stats.cache is not None:
-            hits += stats.cache.hits
-            misses += stats.cache.misses
+        hits += stats.cache.hits
+        misses += stats.cache.misses
     reads = db.token.flash.stats.page_reads - reads_before
     return sorted(rows), reads, read_time_us(db.token, reads), hits, misses, db
 
@@ -101,10 +107,8 @@ def run_search(cache_pages: int):
     results = None
     for _ in range(QUERY_REPEATS):
         results = engine.search(SEARCH_QUERY, n=10)
-        cache_stats = engine.last_search_stats.cache
-        if cache_stats is not None:
-            hits += cache_stats.hits
-            misses += cache_stats.misses
+        hits += engine.last_search_stats.cache.hits
+        misses += engine.last_search_stats.cache.misses
     reads = engine.token.flash.stats.page_reads - reads_before
     answer = [(hit.docid, round(hit.score, 9)) for hit in results]
     return answer, reads, read_time_us(engine.token, reads), hits, misses, engine
@@ -145,6 +149,38 @@ WORKLOADS = {
     "search": run_search,
     "reorg": run_reorg,
 }
+
+
+# ----------------------------------------------------------------------
+# --profile: one fully-traced Tselect workload, token birth to last query
+# ----------------------------------------------------------------------
+def profiled_tselect():
+    """Trace load + index build + repeated queries on a 16-page-cache token.
+
+    Everything the token does happens inside the profile's root span, so the
+    per-span ``self_counters`` flash reads sum *exactly* to the token's
+    ``FlashStats`` totals — the invariant the E21 attribution test pins.
+    """
+    token = make_token(16)
+    query = tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1")
+    with obs.profile(token=token) as prof:
+        db = EmbeddedDatabase(token, tpcd.tpcd_schema(), tpcd.ROOT_TABLE)
+        tpcd.load(db, tpcd.generate(scaled(800, 60), seed=31))
+        db.create_tselect("CUSTOMER", "Mktsegment")
+        db.create_tselect("SUPPLIER", "Name")
+        for _ in range(QUERY_REPEATS):
+            db.query(query)
+    return prof, token
+
+
+def attach_tselect_profile(experiment: Experiment) -> None:
+    prof, token = profiled_tselect()
+    attach_profile(experiment, prof)
+    experiment.meta["profile"]["flash_totals"] = {
+        "page_reads": token.flash.stats.page_reads,
+        "page_programs": token.flash.stats.page_programs,
+        "block_erases": token.flash.stats.block_erases,
+    }
 
 
 def build_experiment() -> Experiment:
@@ -190,6 +226,8 @@ def build_experiment() -> Experiment:
     experiment.meta["read_time_reduction_at_16_pages"] = {
         name: round(value, 4) for name, value in reductions.items()
     }
+    if profile_requested():
+        attach_tselect_profile(experiment)
     return experiment
 
 

@@ -101,6 +101,32 @@ def json_requested() -> bool:
     return "--json" in sys.argv or bool(os.environ.get("BENCH_JSON"))
 
 
+def profile_requested() -> bool:
+    """``--profile`` on the command line, or ``BENCH_PROFILE`` in the env.
+
+    When set, benches that support profiling run one representative
+    workload under :func:`repro.obs.profile` and attach the result via
+    :func:`attach_profile` — a metrics snapshot lands in
+    ``BENCH_<id>.json`` and the trace files next to it.
+    """
+    return "--profile" in sys.argv or bool(os.environ.get("BENCH_PROFILE"))
+
+
+def attach_profile(experiment: Experiment, result, directory=None) -> dict:
+    """Embed a :class:`repro.obs.ProfileResult` into ``experiment.meta``
+    and write its trace artifacts (Chrome ``TRACE_<id>.json`` + JSONL).
+
+    Returns ``{"chrome": path, "jsonl": path}``.
+    """
+    experiment.meta["profile"] = result.to_meta()
+    target = Path(directory or os.environ.get("BENCH_JSON_DIR") or ".")
+    paths = result.write(target, stem=experiment.experiment_id)
+    experiment.meta["profile"]["artifacts"] = {
+        kind: str(path) for kind, path in paths.items()
+    }
+    return paths
+
+
 def smoke_mode() -> bool:
     """``BENCH_SMOKE`` in the env: run benches at tiny sizes (CI rot check).
 

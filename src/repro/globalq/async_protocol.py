@@ -33,6 +33,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import NetTimeout, ProtocolError, RetriesExhausted
 from repro.globalq.histogram import EquiDepthBucketizer
 from repro.globalq.messages import EncryptedContribution
@@ -334,6 +335,11 @@ class AsyncGlobalQuery:
             time_scale=self.time_scale,
         )
         metrics = bus.metrics
+        tracer = obs.get_tracer()
+        if tracer is not None:
+            # Per-run metrics start at zero, so watching them mid-trace
+            # attributes the whole run to the spans below.
+            tracer.watch_net(metrics)
         ssi_endpoint = bus.register("ssi", queue_size=self.queue_size)
         querier_endpoint = bus.register("querier", queue_size=self.queue_size)
         token_endpoints = [
@@ -374,42 +380,59 @@ class AsyncGlobalQuery:
             # loop tick (a real deployment's uplinks are not synchronized).
             stagger = random.Random(self.rng.getrandbits(32))
             window = min(0.5, 0.00025 * len(prepared))
-            await asyncio.wait_for(
-                runtime.run(
-                    {
-                        name: self._push_contributions(
-                            bus.endpoint(name),
-                            contributions,
-                            start_delay=stagger.random() * window,
-                        )
-                        for name, contributions in prepared
-                    }
-                ),
-                timeout=self.deadline,
-            )
+            with obs.span(
+                "protocol.collection",
+                family=self.family,
+                nodes=len(prepared),
+            ):
+                await asyncio.wait_for(
+                    runtime.run(
+                        {
+                            name: self._push_contributions(
+                                bus.endpoint(name),
+                                contributions,
+                                metrics,
+                                start_delay=stagger.random() * window,
+                            )
+                            for name, contributions in prepared
+                        }
+                    ),
+                    timeout=self.deadline,
+                )
 
             metrics.set_phase("partitioning")
-            ssi.open_aggregation(self._partition(core))
+            with obs.span("protocol.partitioning", family=self.family) as sp:
+                partitions = self._partition(core)
+                ssi.open_aggregation(partitions)
+                sp.set(partitions=len(partitions))
 
             metrics.set_phase("aggregation")
-            worker_tasks = [
-                asyncio.ensure_future(self._token_worker(endpoint, stats))
-                for endpoint in token_endpoints
-            ]
-            try:
-                await asyncio.wait_for(querier.done.wait(), self.deadline)
-            except asyncio.TimeoutError:
-                raise ProtocolError(
-                    f"async query missed its {self.deadline:.0f}s deadline "
-                    f"({len(querier.outcomes)} partials of "
-                    f"{querier.expected})"
-                ) from None
+            with obs.span(
+                "protocol.aggregation",
+                family=self.family,
+                tokens=self.num_tokens,
+            ):
+                worker_tasks = [
+                    asyncio.ensure_future(
+                        self._token_worker(endpoint, stats, metrics)
+                    )
+                    for endpoint in token_endpoints
+                ]
+                try:
+                    await asyncio.wait_for(querier.done.wait(), self.deadline)
+                except asyncio.TimeoutError:
+                    raise ProtocolError(
+                        f"async query missed its {self.deadline:.0f}s "
+                        f"deadline ({len(querier.outcomes)} partials of "
+                        f"{querier.expected})"
+                    ) from None
 
             metrics.set_phase("merge")
-            ordered = [
-                querier.outcomes[pid] for pid in sorted(querier.outcomes)
-            ]
-            result, failures, duplicates = merge_outcomes(ordered, query)
+            with obs.span("protocol.merge", family=self.family):
+                ordered = [
+                    querier.outcomes[pid] for pid in sorted(querier.outcomes)
+                ]
+                result, failures, duplicates = merge_outcomes(ordered, query)
         finally:
             await _cancel_all(service_tasks + worker_tasks)
             await bus.close()
@@ -480,7 +503,7 @@ class AsyncGlobalQuery:
     # Actor bodies
     # ------------------------------------------------------------------
     async def _push_contributions(
-        self, endpoint, contributions, start_delay: float = 0.0
+        self, endpoint, contributions, metrics, start_delay: float = 0.0
     ) -> None:
         """One PDS node's collection task: reliable upload of each tuple."""
         if start_delay > 0.0:
@@ -498,12 +521,18 @@ class AsyncGlobalQuery:
                     timeout=self.retry.timeout,
                 )
 
-            await with_retries(
-                attempt, self.retry, self.rng,
-                description=f"{endpoint.name} contribution {sequence}",
-            )
+            try:
+                await with_retries(
+                    attempt, self.retry, self.rng,
+                    description=f"{endpoint.name} contribution {sequence}",
+                )
+            except RetriesExhausted:
+                metrics.on_retry_exhausted("contribution")
+                raise
 
-    async def _token_worker(self, endpoint, stats: _TokenStats) -> None:
+    async def _token_worker(
+        self, endpoint, stats: _TokenStats, metrics
+    ) -> None:
         """One connected token: claim partitions until the SSI says FIN."""
         rng = self.rng
         claim_seq = 0
@@ -527,6 +556,7 @@ class AsyncGlobalQuery:
                     description=f"{endpoint.name} claim",
                 )
             except RetriesExhausted:
+                metrics.on_retry_exhausted("claim")
                 return  # token gives up; remaining tokens carry the load
             if reply.kind == KIND_FIN:
                 return
@@ -563,4 +593,5 @@ class AsyncGlobalQuery:
                     description=f"{endpoint.name} partial {pid}",
                 )
             except RetriesExhausted:
+                metrics.on_retry_exhausted("partial")
                 continue  # partition will be reaped and reassigned

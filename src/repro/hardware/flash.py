@@ -120,6 +120,9 @@ class NandFlash:
         # Mutation observers (page caches invalidate through these).
         self._on_program: list = []
         self._on_erase: list = []
+        #: Read observer installed by :meth:`repro.obs.Tracer.watch_flash`
+        #: (None when tracing is off — the hot path pays one None check).
+        self.trace_read = None
 
     def subscribe(self, on_program=None, on_erase=None) -> None:
         """Register callbacks fired after a successful program / erase.
@@ -148,6 +151,8 @@ class NandFlash:
         """Read one page; erased pages read back as empty bytes."""
         self._check_page(page_no)
         self.stats.page_reads += 1
+        if self.trace_read is not None:
+            self.trace_read(page_no)
         content = self._pages[page_no]
         return b"" if content is _ERASED else content
 

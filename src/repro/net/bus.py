@@ -27,6 +27,7 @@ import asyncio
 import random
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import ProtocolError
 from repro.net.codec import Frame, encode_frame
 from repro.net.endpoint import Endpoint
@@ -130,19 +131,31 @@ class MessageBus:
         size = len(data)
         metrics = self.metrics
         metrics.on_send(frame.kind_name, size)
+        # The span that sent this frame: the delivery task inherits its
+        # context (asyncio copies contextvars at task creation), and the
+        # deliver/drop events carry its id as a cross-hop link.
+        send_span = obs.current_span_id()
         if sender in self._offline or receiver in self._offline:
             metrics.on_drop("offline", size)
+            obs.event(
+                "net.drop", reason="offline", sender=sender,
+                receiver=receiver, bytes=size, link=send_span,
+            )
             return False
         link = self.link_for(sender, receiver)
         if link.loss and self.rng.random() < link.loss:
             metrics.on_drop("loss", size)
+            obs.event(
+                "net.drop", reason="loss", sender=sender,
+                receiver=receiver, bytes=size, link=send_span,
+            )
             return False
         latency_ms = link.delay_ms(size, self.rng)
         # Backpressure: block the sender while the receiver's mailbox and
         # its in-flight allowance are both full.
         await self._capacity[receiver].acquire()
         task = asyncio.ensure_future(
-            self._deliver(sender, receiver, data, size, latency_ms)
+            self._deliver(sender, receiver, data, size, latency_ms, send_span)
         )
         self._deliveries.add(task)
         task.add_done_callback(self._deliveries.discard)
@@ -150,15 +163,23 @@ class MessageBus:
 
     async def _deliver(
         self, sender: str, receiver: str, data: bytes, size: int,
-        latency_ms: float,
+        latency_ms: float, send_span: int | None = None,
     ) -> None:
         try:
             await asyncio.sleep(latency_ms / 1000.0 * self.time_scale)
             if receiver in self._offline:
                 self.metrics.on_drop("offline", size)
+                obs.event(
+                    "net.drop", reason="offline", sender=sender,
+                    receiver=receiver, bytes=size, link=send_span,
+                )
                 return
             await self._endpoints[receiver]._put(data)
             self.metrics.on_deliver(sender, receiver, size, latency_ms)
+            obs.event(
+                "net.deliver", sender=sender, receiver=receiver,
+                bytes=size, latency_ms=round(latency_ms, 3), link=send_span,
+            )
         finally:
             self._capacity[receiver].release()
 

@@ -54,6 +54,11 @@ class NetMetrics:
     sent_by_kind: Counter = field(default_factory=Counter)
     drops: Counter = field(default_factory=Counter)  # reason -> count
     dropped_bytes: int = 0
+    #: Messages abandoned by their sender after exhausting every retry —
+    #: these never reach :meth:`on_deliver`, so without this counter they
+    #: would vanish from the latency picture entirely.
+    dropped_after_retry: int = 0
+    retry_exhausted_by: Counter = field(default_factory=Counter)
     inflight: int = 0
     max_inflight: int = 0
     inflight_histogram: Counter = field(default_factory=Counter)
@@ -75,6 +80,11 @@ class NetMetrics:
         self.inflight -= 1
         self.drops[reason] += 1
         self.dropped_bytes += nbytes
+
+    def on_retry_exhausted(self, what: str = "message") -> None:
+        """Record a message its sender gave up on after max retries."""
+        self.dropped_after_retry += 1
+        self.retry_exhausted_by[what] += 1
 
     def on_deliver(
         self, sender: str, receiver: str, nbytes: int, latency_ms: float
@@ -107,6 +117,8 @@ class NetMetrics:
             "frames_sent": self.frames_sent,
             "frames_delivered": self.frames_delivered,
             "frames_dropped": self.frames_dropped,
+            "dropped_after_retry": self.dropped_after_retry,
+            "retry_exhausted_by": dict(self.retry_exhausted_by),
             "bytes_sent": self.bytes_sent,
             "bytes_delivered": self.comm.bytes,
             "max_inflight": self.max_inflight,

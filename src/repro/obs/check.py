@@ -1,0 +1,192 @@
+"""Schema checker for trace artifacts: ``python -m repro.obs.check``.
+
+Validates the two files the exporters produce, so CI can prove a traced run
+emitted well-formed artifacts without any third-party schema library:
+
+* ``TRACE_*.jsonl`` — line-delimited records. The first line must be a
+  ``meta`` record with a known ``schema_version``; every ``span`` record
+  needs ids, monotonic ``start_us <= end_us``, numeric counters, a
+  ``parent_id`` that refers to a span present in the file (spans are
+  recorded on close, children before parents), and ``self_counters`` that
+  never exceed the inclusive ``counters``;
+* ``TRACE_*.json`` — a Chrome ``trace_event`` document: a ``traceEvents``
+  list whose entries carry ``ph``/``name``/``ts`` (and ``dur`` for ``X``
+  events).
+
+Exit status 0 when every file passes; 1 with one line per problem
+otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.export import SCHEMA_VERSION
+
+_SPAN_REQUIRED = (
+    "name", "span_id", "start_us", "end_us", "duration_us",
+    "counters", "self_counters",
+)
+
+
+def check_jsonl(path) -> list[str]:
+    """Problems found in one JSONL span log (empty list = valid)."""
+    problems: list[str] = []
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    if not lines:
+        return [f"{path}: empty file"]
+
+    records = []
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{path}:{lineno}: invalid JSON ({exc})")
+            continue
+        if not isinstance(record, dict) or "type" not in record:
+            problems.append(f"{path}:{lineno}: record needs a 'type' key")
+            continue
+        records.append((lineno, record))
+
+    if not records:
+        return problems or [f"{path}: no records"]
+    first_lineno, first = records[0]
+    if first.get("type") != "meta":
+        problems.append(f"{path}:{first_lineno}: first record must be meta")
+    elif first.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"{path}:{first_lineno}: schema_version "
+            f"{first.get('schema_version')!r} != {SCHEMA_VERSION}"
+        )
+
+    span_ids: set[int] = set()
+    for lineno, record in records:
+        if record["type"] == "span":
+            problems.extend(
+                f"{path}:{lineno}: {problem}"
+                for problem in _check_span(record, span_ids)
+            )
+            if isinstance(record.get("span_id"), int):
+                span_ids.add(record["span_id"])
+        elif record["type"] == "event":
+            if "name" not in record or "ts_us" not in record:
+                problems.append(
+                    f"{path}:{lineno}: event needs name and ts_us"
+                )
+        elif record["type"] != "meta":
+            problems.append(
+                f"{path}:{lineno}: unknown record type {record['type']!r}"
+            )
+    return problems
+
+
+def _check_span(record: dict, seen_ids: set[int]) -> list[str]:
+    problems = []
+    for key in _SPAN_REQUIRED:
+        if key not in record:
+            problems.append(f"span missing {key!r}")
+    if problems:
+        return problems
+    if not isinstance(record["span_id"], int):
+        problems.append("span_id must be an integer")
+    if record["start_us"] > record["end_us"]:
+        problems.append(
+            f"start_us {record['start_us']} > end_us {record['end_us']}"
+        )
+    parent = record.get("parent_id")
+    if parent is not None and parent not in seen_ids:
+        # Children close (and are recorded) before their parents, so a
+        # valid parent appears *after* its children — track open parents
+        # by allowing forward references only to larger ids.
+        if not (isinstance(parent, int) and parent < record["span_id"]):
+            problems.append(f"parent_id {parent!r} is not a plausible span")
+    for field in ("counters", "self_counters"):
+        values = record[field]
+        if not isinstance(values, dict):
+            problems.append(f"{field} must be an object")
+            continue
+        for key, value in values.items():
+            if not isinstance(value, (int, float)):
+                problems.append(f"{field}[{key!r}] is not numeric")
+    if isinstance(record["counters"], dict) and isinstance(
+        record["self_counters"], dict
+    ):
+        for key, value in record["self_counters"].items():
+            total = record["counters"].get(key)
+            if isinstance(value, (int, float)) and isinstance(
+                total, (int, float)
+            ) and value > total + 1e-9:
+                problems.append(
+                    f"self_counters[{key!r}]={value} exceeds inclusive "
+                    f"counters[{key!r}]={total}"
+                )
+    return problems
+
+
+def check_chrome(path) -> list[str]:
+    """Problems found in one Chrome trace_event file."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON ({exc})"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return [f"{path}: traceEvents must be a non-empty list"]
+    problems = []
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"{path}: traceEvents[{index}] is not an object")
+            continue
+        for key in ("ph", "name", "pid"):
+            if key not in event:
+                problems.append(
+                    f"{path}: traceEvents[{index}] missing {key!r}"
+                )
+        if event.get("ph") == "X":
+            if "ts" not in event or "dur" not in event:
+                problems.append(
+                    f"{path}: traceEvents[{index}] 'X' event needs ts + dur"
+                )
+            elif event["dur"] < 0:
+                problems.append(
+                    f"{path}: traceEvents[{index}] negative duration"
+                )
+    return problems
+
+
+def check_file(path) -> list[str]:
+    """Dispatch on extension: ``.jsonl`` span logs, ``.json`` Chrome traces."""
+    if str(path).endswith(".jsonl"):
+        return check_jsonl(path)
+    return check_chrome(path)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print(
+            "usage: python -m repro.obs.check TRACE.jsonl [TRACE.json ...]",
+            file=sys.stderr,
+        )
+        return 2
+    failures = 0
+    for path in argv:
+        problems = check_file(path)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(problem, file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -1,0 +1,264 @@
+"""Trace exporters: JSONL span log, Chrome ``trace_event`` JSON, text reports.
+
+Three consumers, three formats:
+
+* **JSONL** — one JSON object per line (``type: meta | span | event``), the
+  stable machine-readable schema validated by :mod:`repro.obs.check` and
+  consumed by regression tooling;
+* **Chrome trace_event** — a ``{"traceEvents": [...]}`` file loadable in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``; spans become
+  complete (``"X"``) events on one track per asyncio task, with counters
+  and tagged pages in ``args``;
+* **text reports** — a top-cost table (per span name: calls, self flash
+  reads, self simulated time) and a folded-stack flame listing compatible
+  with standard flamegraph tooling.
+
+Timestamps everywhere are *simulated* microseconds from the tracer's cost
+clock, so a Perfetto view of a Tjoin literally shows where the page reads
+went.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.tracer import Span, Tracer
+
+SCHEMA_VERSION = 1
+
+
+def span_dict(span: Span) -> dict:
+    """JSON-ready representation of one span (the JSONL ``span`` record)."""
+    record = {
+        "type": "span",
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "track": span.track,
+        "start_us": round(span.start_us, 3),
+        "end_us": round(span.end_us, 3),
+        "duration_us": round(span.duration_us, 3),
+        "counters": span.counters,
+        "self_counters": span.self_counters,
+    }
+    if span.attrs:
+        record["attrs"] = {k: _jsonable(v) for k, v in span.attrs.items()}
+    if span.levels:
+        record["levels"] = span.levels
+    if span.pages:
+        record["pages"] = span.pages
+    if span.pages_overflow:
+        record["pages_overflow"] = span.pages_overflow
+    if span.links:
+        record["links"] = span.links
+    return record
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def trace_records(tracer: Tracer) -> list[dict]:
+    """Every JSONL record of one trace: meta header, spans, events."""
+    records: list[dict] = [
+        {
+            "type": "meta",
+            "schema_version": SCHEMA_VERSION,
+            "span_count": len(tracer.spans),
+            "event_count": len(tracer.events),
+            "dropped_spans": tracer.dropped_spans,
+            "dropped_events": tracer.dropped_events,
+        }
+    ]
+    records.extend(span_dict(span) for span in tracer.spans)
+    for event in tracer.events:
+        records.append(
+            {
+                "type": "event",
+                "name": event["name"],
+                "ts_us": round(event["ts_us"], 3),
+                "span_id": event["span_id"],
+                "attrs": {
+                    k: _jsonable(v) for k, v in event["attrs"].items()
+                },
+            }
+        )
+    return records
+
+
+def write_jsonl(tracer: Tracer, path) -> Path:
+    """Write the JSONL span log; returns the path written."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for record in trace_records(tracer):
+            fh.write(json.dumps(record) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """The ``trace_event`` document for Perfetto / chrome://tracing."""
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for span in tracer.spans:
+        args: dict = {"span_id": span.span_id}
+        if span.attrs:
+            args.update({k: _jsonable(v) for k, v in span.attrs.items()})
+        if span.self_counters:
+            args["self"] = span.self_counters
+        if span.pages:
+            args["pages"] = span.pages[:64]
+        if span.links:
+            args["links"] = span.links
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": span.track,
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ts": round(span.start_us, 3),
+                "dur": round(max(span.duration_us, 0.001), 3),
+                "args": args,
+            }
+        )
+    for event in tracer.events:
+        events.append(
+            {
+                "ph": "i",
+                "pid": 1,
+                "tid": 0,
+                "name": event["name"],
+                "cat": event["name"].split(".", 1)[0],
+                "ts": round(event["ts_us"], 3),
+                "s": "g",
+                "args": {
+                    k: _jsonable(v) for k, v in event["attrs"].items()
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path, process_name: str = "repro") -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer, process_name), indent=1))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Text reports
+# ----------------------------------------------------------------------
+def _child_time_us(tracer: Tracer) -> dict[int, float]:
+    """span_id -> summed duration of direct children (single pass)."""
+    totals: dict[int, float] = {}
+    for span in tracer.spans:
+        if span.parent_id is not None:
+            totals[span.parent_id] = (
+                totals.get(span.parent_id, 0.0) + span.duration_us
+            )
+    return totals
+
+
+def aggregate_by_name(tracer: Tracer) -> dict[str, dict]:
+    """Per-span-name rollup: calls, self time, self counters."""
+    child_time = _child_time_us(tracer)
+    rollup: dict[str, dict] = {}
+    for span in tracer.spans:
+        entry = rollup.setdefault(
+            span.name,
+            {"calls": 0, "self_time_us": 0.0, "time_us": 0.0, "self": {}},
+        )
+        entry["calls"] += 1
+        entry["time_us"] += span.duration_us
+        entry["self_time_us"] += span.duration_us - child_time.get(
+            span.span_id, 0.0
+        )
+        for key, value in span.self_counters.items():
+            entry["self"][key] = entry["self"].get(key, 0.0) + value
+    return rollup
+
+
+def top_cost_report(
+    tracer: Tracer,
+    sort_key: str = "self_time_us",
+    limit: int = 20,
+) -> str:
+    """Plain-text "top" view: costliest span names first."""
+    rollup = aggregate_by_name(tracer)
+
+    def sort_value(entry: dict) -> float:
+        if sort_key in entry:
+            return entry[sort_key]
+        return entry["self"].get(sort_key, 0.0)
+
+    ranked = sorted(
+        rollup.items(), key=lambda item: sort_value(item[1]), reverse=True
+    )[:limit]
+    lines = [
+        f"{'span':<28} {'calls':>7} {'self_us':>12} {'total_us':>12} "
+        f"{'flash_reads(self)':>18}",
+        "-" * 80,
+    ]
+    for name, entry in ranked:
+        reads = sum(
+            value
+            for key, value in entry["self"].items()
+            if key.endswith(".page_reads")
+        )
+        lines.append(
+            f"{name:<28} {entry['calls']:>7} {entry['self_time_us']:>12.1f} "
+            f"{entry['time_us']:>12.1f} {reads:>18.0f}"
+        )
+    return "\n".join(lines)
+
+
+def flame_report(tracer: Tracer, counter: str | None = None) -> str:
+    """Folded-stack flame lines: ``root;child;leaf <weight>``.
+
+    Weight is self simulated time (microseconds, rounded) by default, or a
+    named self-counter (e.g. ``flash.page_reads``).
+    """
+    by_id = {span.span_id: span for span in tracer.spans}
+
+    def stack(span: Span) -> str:
+        parts = [span.name]
+        parent_id = span.parent_id
+        while parent_id is not None:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                break
+            parts.append(parent.name)
+            parent_id = parent.parent_id
+        return ";".join(reversed(parts))
+
+    child_time = _child_time_us(tracer)
+    folded: dict[str, float] = {}
+    for span in tracer.spans:
+        if counter is None:
+            weight = span.duration_us - child_time.get(span.span_id, 0.0)
+        else:
+            weight = span.self_counters.get(counter, 0.0)
+        if weight <= 0:
+            continue
+        key = stack(span)
+        folded[key] = folded.get(key, 0.0) + weight
+    return "\n".join(
+        f"{key} {round(weight)}" for key, weight in sorted(folded.items())
+    )

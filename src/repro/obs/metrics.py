@@ -1,0 +1,206 @@
+"""Process-wide metrics registry: one snapshot for every ``*Stats`` object.
+
+The repo grew more than a dozen ad-hoc stats dataclasses —
+:class:`~repro.hardware.flash.FlashStats`,
+:class:`~repro.storage.cache.CacheStats`,
+:class:`~repro.relational.query.ExecutionStats`,
+:class:`~repro.search.engine.SearchStats`,
+:class:`~repro.net.metrics.NetMetrics`,
+:class:`~repro.smc.parties.CommStats`, the CPU cycle counters … — each
+readable only by whoever holds the owning object. The
+:class:`MetricsRegistry` rolls them up without breaking any of them: legacy
+stats objects register through :meth:`MetricsRegistry.register_stats`, a
+*pull* adapter that walks numeric dataclass fields (recursing into nested
+stats dataclasses, flattening ``dict``/``Counter`` fields) at snapshot
+time. Code that wants first-class instruments uses
+:meth:`counter`/:meth:`gauge`/:meth:`histogram` directly.
+
+``registry.snapshot()`` returns one flat JSON-ready dict — the object the
+bench harness embeds into ``BENCH_<id>.json`` under ``meta["profile"]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+#: Default histogram bucket upper bounds (powers of two, open-ended top).
+DEFAULT_BOUNDS = tuple(2**i for i in range(0, 21, 2))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (levels, high-waters)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum (high-water convenience)."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max running summary."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: tuple = DEFAULT_BOUNDS) -> None:
+        self.bounds = tuple(sorted(bounds))
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        buckets = {
+            f"le_{bound}": count
+            for bound, count in zip(self.bounds, self.bucket_counts)
+            if count
+        }
+        if self.bucket_counts[-1]:
+            buckets["inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": buckets,
+        }
+
+
+def _flatten_stats(prefix: str, obj, out: dict, depth: int = 0) -> None:
+    """Flatten one stats object into dotted numeric entries."""
+    if depth > 4:  # defensive: stats objects are shallow by construction
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for field in dataclasses.fields(obj):
+            _flatten_stats(
+                f"{prefix}.{field.name}", getattr(obj, field.name), out,
+                depth + 1,
+            )
+        return
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            name = (
+                "->".join(str(part) for part in key)
+                if isinstance(key, tuple)
+                else str(key)
+            )
+            _flatten_stats(f"{prefix}.{name}", value, out, depth + 1)
+        return
+    if isinstance(obj, bool):
+        out[prefix] = int(obj)
+    elif isinstance(obj, (int, float)):
+        out[prefix] = obj
+    elif isinstance(obj, str):
+        out[prefix] = obj
+    # Anything else (iterables, objects) is not a metric: skip silently so
+    # legacy dataclasses can keep non-numeric bookkeeping fields.
+
+
+class MetricsRegistry:
+    """Named instruments plus pull-registered legacy stats objects."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._pulls: list[tuple[str, Callable[[], object]]] = []
+
+    # ------------------------------------------------------------------
+    # First-class instruments
+    # ------------------------------------------------------------------
+    def _get(self, name: str, kind):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind()
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    # ------------------------------------------------------------------
+    # Legacy-stats adapters
+    # ------------------------------------------------------------------
+    def register_stats(self, prefix: str, stats) -> None:
+        """Adapt a legacy ``*Stats`` object: read its fields at snapshot.
+
+        ``stats`` may be a dataclass instance (fields are walked
+        recursively) or a callable returning one / returning a dict.
+        Registration is cheap and non-invasive — the object keeps working
+        exactly as before, it is merely *also* visible in snapshots.
+        """
+        fn = stats if callable(stats) else (lambda: stats)
+        self._pulls.append((prefix, fn))
+
+    def unregister(self, prefix: str) -> None:
+        self._pulls = [(p, fn) for p, fn in self._pulls if p != prefix]
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One flat JSON-ready dict of every instrument and pulled stat."""
+        out: dict = {}
+        for name, instrument in sorted(self._instruments.items()):
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.summary()
+            else:
+                out[name] = instrument.value
+        for prefix, fn in self._pulls:
+            _flatten_stats(prefix, fn(), out)
+        return out
+
+
+#: The process-wide default registry (what ``repro.obs.get_registry()``
+#: hands out when no profile is active).
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    return _GLOBAL

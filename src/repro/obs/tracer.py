@@ -1,0 +1,399 @@
+"""Nested spans with simulated-time durations and exact cost attribution.
+
+The tutorial's Part II argument is a *cost* argument: every design exists
+because NAND page reads, block erases and the 128 KB RAM bound dominate.
+The :class:`Tracer` makes those costs *attributable*: a span brackets one
+logical operation (a query, one Tselect probe, one protocol phase), and its
+duration and counters are **deltas of the existing cost models** — the
+flash chip's :class:`~repro.hardware.flash.FlashStats`, the page cache's
+:class:`~repro.storage.cache.CacheStats`, the MCU cycle counters, the
+network's :class:`~repro.net.metrics.NetMetrics` — never wall-clock time.
+
+Attribution is exact by construction:
+
+* ``span.counters`` is the *inclusive* delta (children included) of every
+  watched counter over the span's lifetime;
+* ``span.self_counters`` subtracts the children's inclusive deltas, so
+  summing ``self_counters`` over any complete trace reproduces the watched
+  totals with no double-count and no leakage (asserted by the test suite);
+* flash page reads are additionally *tagged*: the chip reports each page
+  number to the innermost open span, so "which pages did this one probe
+  touch, and why" is a question the trace can answer.
+
+Span context propagates through a :class:`contextvars.ContextVar`, so spans
+opened inside asyncio tasks nest under the span that spawned the task —
+the natural cross-hop link for :mod:`repro.net` message flows.
+
+When no tracer is installed (the default), every instrumentation site costs
+one ``None`` check and returns a shared no-op span — the "disabled
+overhead" budget of the hot paths.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from typing import Callable, Iterable
+
+#: Innermost open span of the current (task-local) execution context.
+_CURRENT: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: Pages tagged per span before further tags are only counted, not stored.
+MAX_TAGGED_PAGES = 4096
+
+
+class Span:
+    """One timed, counted operation; nested spans form the trace tree."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "start_us",
+        "end_us",
+        "track",
+        "pages",
+        "pages_overflow",
+        "links",
+        "counters",
+        "self_counters",
+        "levels",
+        "_start_counts",
+        "_child_counts",
+        "_token",
+        "_closed",
+    )
+
+    def __init__(
+        self, tracer: "Tracer", name: str, parent: "Span | None", attrs: dict
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = tracer._next_span_id()
+        self.parent_id = parent.span_id if parent is not None else None
+        self.attrs = attrs
+        self.start_us = 0.0
+        self.end_us = 0.0
+        self.track = 0
+        self.pages: list[int] = []
+        self.pages_overflow = 0
+        self.links: list[int] = []
+        self.counters: dict[str, float] = {}
+        self.self_counters: dict[str, float] = {}
+        self.levels: dict[str, float] = {}
+        self._start_counts: dict[str, float] = {}
+        self._child_counts: dict[str, float] = {}
+        self._token = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def set(self, **attrs) -> "Span":
+        """Attach (or overwrite) attributes on an open span."""
+        self.attrs.update(attrs)
+        return self
+
+    def link(self, span_id: int | None) -> "Span":
+        """Record a causal link to another span (e.g. across a network hop)."""
+        if span_id is not None:
+            self.links.append(span_id)
+        return self
+
+    def tag_page(self, page_no: int) -> None:
+        """Attribute one flash page read to this span."""
+        if len(self.pages) < MAX_TAGGED_PAGES:
+            self.pages.append(page_no)
+        else:
+            self.pages_overflow += 1
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        self.start_us = tracer.now_us()
+        self._start_counts = tracer._collect_counts()
+        self.track = tracer._current_track()
+        self._token = _CURRENT.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        tracer = self.tracer
+        self.end_us = tracer.now_us()
+        end_counts = tracer._collect_counts()
+        start = self._start_counts
+        counters = {}
+        for key, value in end_counts.items():
+            delta = value - start.get(key, 0.0)
+            if delta:
+                counters[key] = delta
+        self.counters = counters
+        child = self._child_counts
+        self.self_counters = {
+            key: value - child.get(key, 0.0)
+            for key, value in counters.items()
+            if value - child.get(key, 0.0)
+        }
+        self.levels = tracer._collect_levels()
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        parent = _CURRENT.get()
+        if parent is not None and parent.tracer is tracer:
+            accum = parent._child_counts
+            for key, value in counters.items():
+                accum[key] = accum.get(key, 0.0) + value
+        tracer._record(self)
+
+
+class NullSpan:
+    """Shared no-op span returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    span_id = None
+    parent_id = None
+    pages: tuple = ()
+    links: tuple = ()
+    counters: dict = {}
+    self_counters: dict = {}
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs) -> "NullSpan":
+        return self
+
+    def link(self, span_id) -> "NullSpan":
+        return self
+
+    def tag_page(self, page_no: int) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Produces spans whose costs come from watched simulation counters.
+
+    Counter *sources* are callables returning ``{name: number}`` snapshots
+    of monotonic counters (flash ops, cache hits, bytes sent, CPU cycles).
+    *Time sources* return simulated microseconds and sum into the trace
+    clock. *Level sources* are non-monotonic gauges (RAM high-water)
+    sampled at span close.
+    """
+
+    def __init__(self, max_spans: int = 200_000, max_events: int = 200_000):
+        self.max_spans = max_spans
+        self.max_events = max_events
+        self.spans: list[Span] = []
+        self.events: list[dict] = []
+        self.dropped_spans = 0
+        self.dropped_events = 0
+        self._sources: list[tuple[str, Callable[[], dict]]] = []
+        self._time_sources: list[Callable[[], float]] = []
+        self._levels: list[tuple[str, Callable[[], float]]] = []
+        self._detach: list[Callable[[], None]] = []
+        self._span_counter = 0
+        self._tracks: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Source registration
+    # ------------------------------------------------------------------
+    def add_source(self, prefix: str, fn: Callable[[], dict]) -> None:
+        """Register a monotonic counter source, namespaced by ``prefix``."""
+        self._sources.append((prefix, fn))
+
+    def add_time_source(self, fn: Callable[[], float]) -> None:
+        """Register a simulated-time contributor (microseconds)."""
+        self._time_sources.append(fn)
+
+    def add_level(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a gauge sampled at every span close."""
+        self._levels.append((name, fn))
+
+    def watch_flash(self, flash, prefix: str = "flash") -> None:
+        """Watch a :class:`NandFlash`: op counters, sim time, page tags."""
+        stats = flash.stats
+        cost = flash.cost_model
+        self.add_source(
+            prefix,
+            lambda: {
+                "page_reads": stats.page_reads,
+                "page_programs": stats.page_programs,
+                "block_erases": stats.block_erases,
+            },
+        )
+        self.add_time_source(lambda: stats.time_us(cost))
+        previous = getattr(flash, "trace_read", None)
+        hook = self._on_page_read  # bind once so detach can compare with `is`
+        flash.trace_read = hook
+
+        def detach(flash=flash, previous=previous, hook=hook):
+            if flash.trace_read is hook:
+                flash.trace_read = previous
+
+        self._detach.append(detach)
+
+    def watch_cache(self, cache, prefix: str = "cache") -> None:
+        """Watch a :class:`PageCache`'s hit/miss/eviction counters."""
+        stats = cache.stats
+        self.add_source(
+            prefix,
+            lambda: {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "invalidations": stats.invalidations,
+            },
+        )
+
+    def watch_mcu(self, mcu, prefix: str = "cpu") -> None:
+        """Watch a :class:`Microcontroller`: cycle counters + CPU time."""
+        stats = mcu.stats
+        self.add_source(prefix, lambda: {"cycles": stats.total_cycles})
+        self.add_time_source(mcu.elapsed_us)
+
+    def watch_ram(self, ram, prefix: str = "ram") -> None:
+        """Sample a :class:`RamArena`'s levels at span close."""
+        self.add_level(f"{prefix}.in_use", lambda: ram.in_use)
+        self.add_level(f"{prefix}.high_water", lambda: ram.high_water)
+
+    def watch_net(self, metrics, prefix: str = "net") -> None:
+        """Watch a :class:`NetMetrics`: frames, bytes, drops, retries."""
+        self.add_source(
+            prefix,
+            lambda: {
+                "frames_sent": metrics.frames_sent,
+                "frames_delivered": metrics.frames_delivered,
+                "frames_dropped": metrics.frames_dropped,
+                "bytes_sent": metrics.bytes_sent,
+                "bytes_delivered": metrics.comm.bytes,
+                "dropped_after_retry": metrics.dropped_after_retry,
+            },
+        )
+
+    def watch_token(self, token, prefix: str = "") -> None:
+        """Watch every cost model of one :class:`SecurePortableToken`."""
+        dot = f"{prefix}." if prefix else ""
+        self.watch_flash(token.flash, f"{dot}flash")
+        self.watch_mcu(token.mcu, f"{dot}cpu")
+        self.watch_ram(token.mcu.ram, f"{dot}ram")
+        if token.page_cache is not None:
+            self.watch_cache(token.page_cache, f"{dot}cache")
+
+    def close(self) -> None:
+        """Detach every hook installed on watched objects (idempotent)."""
+        while self._detach:
+            self._detach.pop()()
+
+    # ------------------------------------------------------------------
+    # Span / event production
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs) -> Span:
+        """Open a nested span; use as a context manager."""
+        return Span(self, name, _CURRENT.get(), attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instant event attached to the current span."""
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        current = _CURRENT.get()
+        self.events.append(
+            {
+                "name": name,
+                "ts_us": self.now_us(),
+                "span_id": current.span_id if current is not None else None,
+                "attrs": attrs,
+            }
+        )
+
+    def current_span(self) -> Span | None:
+        return _CURRENT.get()
+
+    def current_span_id(self) -> int | None:
+        current = _CURRENT.get()
+        return current.span_id if current is not None else None
+
+    def now_us(self) -> float:
+        """The simulated clock: sum of every watched cost model's time."""
+        return sum(fn() for fn in self._time_sources)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _next_span_id(self) -> int:
+        self._span_counter += 1
+        return self._span_counter
+
+    def _collect_counts(self) -> dict[str, float]:
+        counts: dict[str, float] = {}
+        for prefix, fn in self._sources:
+            for key, value in fn().items():
+                counts[f"{prefix}.{key}"] = value
+        return counts
+
+    def _collect_levels(self) -> dict[str, float]:
+        return {name: fn() for name, fn in self._levels}
+
+    def _current_track(self) -> int:
+        """Small integer id of the current asyncio task (0 outside tasks)."""
+        try:
+            import asyncio
+
+            task = asyncio.current_task()
+        except RuntimeError:
+            task = None
+        if task is None:
+            return 0
+        key = id(task)
+        track = self._tracks.get(key)
+        if track is None:
+            track = len(self._tracks) + 1
+            self._tracks[key] = track
+        return track
+
+    def _record(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return
+        self.spans.append(span)
+
+    def _on_page_read(self, page_no: int) -> None:
+        current = _CURRENT.get()
+        if current is not None:
+            current.tag_page(page_no)
+
+    # ------------------------------------------------------------------
+    def totals(self, counter: str, self_only: bool = True) -> float:
+        """Sum one counter over every recorded span (``self`` by default)."""
+        if self_only:
+            return sum(s.self_counters.get(counter, 0.0) for s in self.spans)
+        return sum(
+            s.counters.get(counter, 0.0)
+            for s in self.spans
+            if s.parent_id is None
+        )
+
+    def spans_named(self, name: str) -> Iterable[Span]:
+        return [span for span in self.spans if span.name == name]

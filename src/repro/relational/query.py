@@ -23,8 +23,9 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import QueryError
 from repro.hardware.token import SecurePortableToken
 from repro.relational.keyindex import KeyIndex
@@ -42,15 +43,16 @@ class ExecutionStats:
 
     ``flash_page_reads`` counts real chip IOs only — reads served by the
     token's page cache never reach the flash simulator. ``cache`` is the
-    per-query :class:`CacheStats` delta when a cache is attached (None
-    otherwise), so benches can report hits saved alongside IOs paid.
+    per-query :class:`CacheStats` delta when a cache is attached, and an
+    all-zero :class:`CacheStats` otherwise — callers read
+    ``stats.cache.hits`` unconditionally instead of guarding on None.
     """
 
     rows_out: int
     flash_page_reads: int
     ram_high_water: int
     explain: PlanExplain
-    cache: CacheStats | None = None
+    cache: CacheStats = field(default_factory=CacheStats)
 
 
 class EmbeddedDatabase:
@@ -196,20 +198,25 @@ class EmbeddedDatabase:
         num_streams = sum(
             1 for t, c, _ in query.filters if (t, c) in self.tselects
         )
-        with self._ram.reservation(
+        with obs.span(
+            "db.query", filters=len(query.filters)
+        ) as span, self._ram.reservation(
             (num_streams + 1) * page_size, tag="query:pipeline"
         ):
             iterator, explain = plan(
                 query, self.tjoin, self.storages, self.tselects
             )
             rows = list(iterator)
+            span.set(rows_out=len(rows), root_scan=explain.root_scan)
         stats = ExecutionStats(
             rows_out=len(rows),
             flash_page_reads=flash.stats.page_reads - reads_before,
             ram_high_water=self._ram.high_water,
             explain=explain,
             cache=(
-                cache.stats.delta(cache_before) if cache is not None else None
+                cache.stats.delta(cache_before)
+                if cache is not None
+                else CacheStats()
             ),
         )
         return rows, stats
@@ -255,7 +262,9 @@ class EmbeddedDatabase:
         )
         sums: dict = {}
         counts: dict = {}
-        with self._ram.reservation(
+        with obs.span(
+            "db.aggregate", function=function, grouped=group_by is not None
+        ), self._ram.reservation(
             (num_streams + 1) * flash.geometry.page_size, tag="agg:pipeline"
         ):
             groups_handle = self._ram.allocate(0, tag="agg:groups")
@@ -289,7 +298,9 @@ class EmbeddedDatabase:
             ram_high_water=self._ram.high_water,
             explain=explain,
             cache=(
-                cache.stats.delta(cache_before) if cache is not None else None
+                cache.stats.delta(cache_before)
+                if cache is not None
+                else CacheStats()
             ),
         )
         return result, stats

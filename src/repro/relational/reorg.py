@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 from typing import Iterator
 
+from repro import obs
 from repro.errors import StorageError
 from repro.hardware.flash import BlockAllocator
 from repro.hardware.ram import RamArena
@@ -211,4 +212,9 @@ def reorganize(
     task = ReorganizationTask(
         source, allocator, ram, sort_buffer_bytes=sort_buffer_bytes, name=name
     )
-    return task.run()
+    with obs.span(
+        "reorg", index=name, sort_buffer_bytes=sort_buffer_bytes
+    ) as span:
+        index = task.run()
+        span.set(entries=index.entry_count)
+    return index

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import struct
 
+from repro import obs
 from repro.errors import StorageError
 from repro.hardware.flash import BlockAllocator
 from repro.hardware.ram import RamArena
@@ -70,9 +71,10 @@ class AncestorLog:
                 f"table {self.table!r}: no ancestor record for rowid {rowid}"
             )
         per_page = (self.log.pages.page_size - 2) // (2 + self._record_size)
-        record = self.log.read(
-            RecordAddress(position=rowid // per_page, slot=rowid % per_page)
-        )
+        with obs.span("tjoin.probe", table=self.table, rowid=rowid):
+            record = self.log.read(
+                RecordAddress(position=rowid // per_page, slot=rowid % per_page)
+            )
         return {
             name: _ROWID.unpack_from(record, i * _ROWID.size)[0]
             for i, name in enumerate(self.ancestor_tables)

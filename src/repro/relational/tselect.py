@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import obs
 from repro.errors import QueryError
 from repro.hardware.flash import BlockAllocator
 from repro.hardware.ram import RamArena
@@ -92,11 +93,22 @@ class TselectIndex:
     # ------------------------------------------------------------------
     def lookup(self, value) -> list[int]:
         """Sorted root rowids whose ``via_table.column`` equals ``value``."""
-        return self._index.lookup(value)
+        with obs.span(
+            "tselect.probe",
+            index=f"{self.via_table}.{self.column}",
+            value=str(value),
+        ) as span:
+            rowids = self._index.lookup(value)
+            span.set(
+                rowids=len(rowids),
+                tree_pages=self._index.last_lookup.tree_pages,
+                sorted_pages=self._index.last_lookup.sorted_pages,
+            )
+        return rowids
 
     def stream(self, value) -> Iterator[int]:
-        """Lazy variant of :meth:`lookup` for pipelined intersection."""
-        return iter(self._index.lookup(value))
+        """Streaming variant of :meth:`lookup` for pipelined intersection."""
+        return iter(self.lookup(value))
 
     @property
     def entry_count(self) -> int:

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro import obs
 from repro.hardware.token import SecurePortableToken
 from repro.search.analyzer import query_terms, term_frequencies
 from repro.search.inverted import SequentialInvertedIndex
@@ -48,12 +49,13 @@ class SearchStats:
 
     With a page cache attached, the second chain scan of the IDF double
     pass is served from RAM: ``flash_page_reads`` counts only real chip
-    IOs, and ``cache`` holds the per-search hit/miss delta (None when the
-    token runs uncached).
+    IOs, and ``cache`` holds the per-search hit/miss delta (an all-zero
+    :class:`CacheStats` when the token runs uncached, so callers never
+    guard on None).
     """
 
     flash_page_reads: int = 0
-    cache: CacheStats | None = None
+    cache: CacheStats = field(default_factory=CacheStats)
 
 
 class EmbeddedSearchEngine:
@@ -119,19 +121,25 @@ class EmbeddedSearchEngine:
         page_size = flash.geometry.page_size
         merge_ram = len(keywords) * page_size + n * _HEAP_ENTRY_BYTES
         try:
-            with ram.reservation(merge_ram, tag="search:merge"):
-                idf = self._idf_pass(keywords)
+            with obs.span(
+                "search.query", keywords=len(keywords), n=n
+            ), ram.reservation(merge_ram, tag="search:merge"):
+                with obs.span("search.idf"):
+                    idf = self._idf_pass(keywords)
                 live = [term for term in keywords if idf.get(term, 0.0) > 0.0]
                 if not live or (require_all and len(live) < len(keywords)):
                     return []
-                return self._merge_pass(live, idf, n, require_all=require_all)
+                with obs.span("search.merge", live_terms=len(live)):
+                    return self._merge_pass(
+                        live, idf, n, require_all=require_all
+                    )
         finally:
             self.last_search_stats = SearchStats(
                 flash_page_reads=flash.stats.page_reads - reads_before,
                 cache=(
                     cache.stats.delta(cache_before)
                     if cache is not None
-                    else None
+                    else CacheStats()
                 ),
             )
 

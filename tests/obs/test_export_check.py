@@ -1,0 +1,135 @@
+"""Exporters + schema checker round trips: what CI's trace-smoke step runs."""
+
+import json
+
+from repro import obs
+from repro.obs import check, export
+from repro.obs.tracer import Tracer
+
+
+def build_small_trace() -> Tracer:
+    tracer = Tracer()
+    counter = {"ops": 0}
+    tracer.add_source("sim", lambda: dict(counter))
+    tracer.add_time_source(lambda: counter["ops"] * 10.0)
+    with obs.tracing(tracer):
+        with tracer.span("root", kind="test") as root:
+            counter["ops"] += 2
+            with tracer.span("leaf") as leaf:
+                counter["ops"] += 3
+                leaf.tag_page(17)
+            obs.event("tick", n=1)
+            root.link(leaf.span_id)
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip_passes_checker(self, tmp_path):
+        tracer = build_small_trace()
+        path = export.write_jsonl(tracer, tmp_path / "TRACE_t.jsonl")
+        assert check.check_jsonl(path) == []
+
+    def test_meta_header_first_with_counts(self, tmp_path):
+        tracer = build_small_trace()
+        path = export.write_jsonl(tracer, tmp_path / "TRACE_t.jsonl")
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["type"] == "meta"
+        assert first["schema_version"] == export.SCHEMA_VERSION
+        assert first["span_count"] == 2
+        assert first["event_count"] == 1
+
+    def test_span_records_carry_attribution(self, tmp_path):
+        tracer = build_small_trace()
+        path = export.write_jsonl(tracer, tmp_path / "TRACE_t.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        spans = {r["name"]: r for r in records if r["type"] == "span"}
+        assert spans["leaf"]["self_counters"]["sim.ops"] == 3
+        assert spans["root"]["counters"]["sim.ops"] == 5
+        assert spans["root"]["self_counters"]["sim.ops"] == 2
+        assert spans["leaf"]["pages"] == [17]
+        assert spans["root"]["links"] == [spans["leaf"]["span_id"]]
+
+    def test_checker_flags_corruption(self, tmp_path):
+        tracer = build_small_trace()
+        path = export.write_jsonl(tracer, tmp_path / "TRACE_t.jsonl")
+        lines = path.read_text().splitlines()
+        bad_span = json.loads(lines[1])
+        bad_span["start_us"] = bad_span["end_us"] + 1
+        del bad_span["counters"]
+        lines[1] = json.dumps(bad_span)
+        lines.append("{not json")
+        path.write_text("\n".join(lines) + "\n")
+        problems = check.check_jsonl(path)
+        assert any("missing 'counters'" in p for p in problems)
+        assert any("invalid JSON" in p for p in problems)
+
+    def test_checker_flags_missing_meta_and_bad_self(self, tmp_path):
+        path = tmp_path / "TRACE_x.jsonl"
+        span = {
+            "type": "span", "name": "s", "span_id": 1, "parent_id": None,
+            "start_us": 0, "end_us": 1, "duration_us": 1,
+            "counters": {"c": 1}, "self_counters": {"c": 5},
+        }
+        path.write_text(json.dumps(span) + "\n")
+        problems = check.check_jsonl(path)
+        assert any("first record must be meta" in p for p in problems)
+        assert any("exceeds inclusive" in p for p in problems)
+
+
+class TestChromeTrace:
+    def test_round_trip_passes_checker(self, tmp_path):
+        tracer = build_small_trace()
+        path = export.write_chrome_trace(tracer, tmp_path / "TRACE_t.json")
+        assert check.check_chrome(path) == []
+
+    def test_spans_become_complete_events(self, tmp_path):
+        tracer = build_small_trace()
+        document = export.chrome_trace(tracer, process_name="unit")
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"]["name"] == "unit"
+        complete = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert complete["leaf"]["dur"] == 30.0
+        assert complete["root"]["dur"] == 50.0
+        assert complete["leaf"]["args"]["self"]["sim.ops"] == 3
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["name"] == "tick"
+
+    def test_checker_flags_bad_document(self, tmp_path):
+        path = tmp_path / "TRACE_bad.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert check.check_chrome(path)
+        path.write_text(
+            json.dumps({"traceEvents": [{"ph": "X", "name": "s", "pid": 1}]})
+        )
+        assert any("needs ts + dur" in p for p in check.check_chrome(path))
+
+
+class TestReportsAndCli:
+    def test_top_cost_report_ranks_by_self_time(self):
+        tracer = build_small_trace()
+        report = export.top_cost_report(tracer)
+        lines = report.splitlines()
+        assert "span" in lines[0]
+        # leaf spent 30 us self, root only 20 us self: leaf ranks first.
+        assert lines[2].startswith("leaf")
+        assert lines[3].startswith("root")
+
+    def test_flame_report_folds_stacks(self):
+        tracer = build_small_trace()
+        flame = export.flame_report(tracer)
+        assert "root 20" in flame
+        assert "root;leaf 30" in flame
+        by_counter = export.flame_report(tracer, counter="sim.ops")
+        assert "root;leaf 3" in by_counter
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        tracer = build_small_trace()
+        jsonl = export.write_jsonl(tracer, tmp_path / "TRACE_t.jsonl")
+        chrome = export.write_chrome_trace(tracer, tmp_path / "TRACE_t.json")
+        assert check.main([str(jsonl), str(chrome)]) == 0
+        assert "ok" in capsys.readouterr().out
+        bad = tmp_path / "TRACE_bad.jsonl"
+        bad.write_text("")
+        assert check.main([str(bad)]) == 1
+        assert check.main([]) == 2

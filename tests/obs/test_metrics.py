@@ -1,0 +1,109 @@
+"""MetricsRegistry: first-class instruments + legacy *Stats pull adapters."""
+
+import pytest
+
+from repro.hardware.flash import FlashStats
+from repro.net.metrics import NetMetrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.storage.cache import CacheStats
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_max(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.max(7)
+        assert gauge.value == 10
+        gauge.max(12)
+        assert gauge.value == 12
+
+    def test_histogram_summary(self):
+        histogram = Histogram(bounds=(1, 4, 16))
+        for value in (0, 2, 3, 100):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 0 and summary["max"] == 100
+        assert summary["buckets"] == {"le_1": 1, "le_4": 2, "inf": 1}
+        assert summary["mean"] == pytest.approx(105 / 4)
+
+    def test_get_or_create_and_type_conflict(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_snapshot_includes_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").inc(3)
+        registry.gauge("ram").set(64)
+        registry.histogram("lat").observe(2)
+        snapshot = registry.snapshot()
+        assert snapshot["queries"] == 3
+        assert snapshot["ram"] == 64
+        assert snapshot["lat"]["count"] == 1
+
+
+class TestStatsAdapters:
+    def test_flash_stats_adapter_reads_live_values(self):
+        stats = FlashStats()
+        registry = MetricsRegistry()
+        registry.register_stats("flash", stats)
+        assert registry.snapshot()["flash.page_reads"] == 0
+        stats.page_reads += 7  # pull adapter: later mutations are visible
+        assert registry.snapshot()["flash.page_reads"] == 7
+
+    def test_cache_stats_adapter(self):
+        stats = CacheStats(hits=3, misses=1)
+        registry = MetricsRegistry()
+        registry.register_stats("cache", stats)
+        snapshot = registry.snapshot()
+        assert snapshot["cache.hits"] == 3
+        assert snapshot["cache.misses"] == 1
+
+    def test_net_metrics_nested_and_counter_fields(self):
+        metrics = NetMetrics()
+        metrics.on_send("Claim", 120)
+        metrics.on_deliver("n1", "agg", 120, latency_ms=4.0)
+        metrics.on_retry_exhausted("contribution")
+        registry = MetricsRegistry()
+        registry.register_stats("net", metrics)
+        snapshot = registry.snapshot()
+        assert snapshot["net.frames_sent"] == 1
+        assert snapshot["net.dropped_after_retry"] == 1
+        assert snapshot["net.retry_exhausted_by.contribution"] == 1
+        # Nested CommStats dataclass flattens, tuple edge keys become a->b.
+        assert snapshot["net.comm.bytes"] == 120
+        assert snapshot["net.comm.by_edge.n1->agg"] == 120
+
+    def test_callable_source_and_unregister(self):
+        registry = MetricsRegistry()
+        registry.register_stats("ram", lambda: {"in_use": 42})
+        assert registry.snapshot()["ram.in_use"] == 42
+        registry.unregister("ram")
+        assert registry.snapshot() == {}
+
+    def test_non_numeric_fields_skipped(self):
+        registry = MetricsRegistry()
+        registry.register_stats("x", lambda: {"n": 1, "junk": object()})
+        snapshot = registry.snapshot()
+        assert snapshot["x.n"] == 1
+        assert "x.junk" not in snapshot
+
+
+def test_global_registry_is_a_singleton():
+    assert global_registry() is global_registry()

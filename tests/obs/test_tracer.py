@@ -1,0 +1,198 @@
+"""Core tracer semantics: exact attribution, disabled path, async nesting.
+
+The attribution invariant everything else relies on: summing
+``self_counters`` over every span of a complete trace reproduces the
+watched totals exactly — no double-count from nesting, no leakage between
+siblings.
+"""
+
+import asyncio
+
+from repro import obs
+from repro.hardware.flash import FlashGeometry
+from repro.hardware.profiles import HardwareProfile, smart_usb_token
+from repro.hardware.token import SecurePortableToken
+from repro.obs.tracer import MAX_TAGGED_PAGES, Tracer
+from repro.storage.log import RecordLog
+
+
+def make_token(ram_bytes: int = 64 * 1024, cache_pages: int = 0) -> SecurePortableToken:
+    base = smart_usb_token()
+    profile = HardwareProfile(
+        name="obs-test-token",
+        ram_bytes=ram_bytes,
+        cpu_mhz=base.cpu_mhz,
+        flash_geometry=FlashGeometry(page_size=512, pages_per_block=16, num_blocks=512),
+        flash_cost=base.flash_cost,
+        tamper_resistant=True,
+    )
+    return SecurePortableToken(profile=profile, cache_pages=cache_pages)
+
+
+class TestDisabledPath:
+    def test_module_span_is_shared_null_span_when_off(self):
+        assert obs.get_tracer() is None
+        assert obs.span("anything", attr=1) is obs.NULL_SPAN
+        assert obs.current_span_id() is None
+        obs.event("noop")  # must not raise
+
+    def test_null_span_is_inert(self):
+        with obs.NULL_SPAN as span:
+            assert span.set(x=1) is span
+            assert span.link(42) is span
+            span.tag_page(7)
+        assert span.pages == ()
+        assert span.counters == {}
+
+    def test_flash_hook_absent_until_watched(self):
+        token = make_token()
+        assert token.flash.trace_read is None
+        tracer = Tracer()
+        tracer.watch_flash(token.flash)
+        assert token.flash.trace_read is not None
+        tracer.close()
+        assert token.flash.trace_read is None  # detached on close
+
+
+class TestExactAttribution:
+    def build_trace(self):
+        token = make_token()
+        tracer = Tracer()
+        tracer.watch_token(token)
+        log = RecordLog(token.allocator, name="obs-t")
+        before = token.flash.stats.page_reads
+        with obs.tracing(tracer):
+            with tracer.span("outer") as outer:
+                for _ in range(40):
+                    log.append(b"payload" * 8)
+                log.flush()
+                with tracer.span("inner") as inner:
+                    list(log.scan())
+        reads = token.flash.stats.page_reads - before
+        return tracer, token, outer, inner, reads
+
+    def test_self_counters_sum_to_flash_totals(self):
+        tracer, token, outer, inner, reads = self.build_trace()
+        assert reads > 0
+        assert tracer.totals("flash.page_reads") == reads
+        assert tracer.totals("flash.page_reads", self_only=False) == reads
+
+    def test_inclusive_minus_children_is_self(self):
+        tracer, _, outer, inner, _ = self.build_trace()
+        # All the scan reads are the inner span's; outer keeps the writes.
+        assert inner.self_counters["flash.page_reads"] == inner.counters[
+            "flash.page_reads"
+        ]
+        outer_self = outer.self_counters.get("flash.page_reads", 0)
+        assert (
+            outer_self + inner.counters["flash.page_reads"]
+            == outer.counters["flash.page_reads"]
+        )
+        assert outer.self_counters["flash.page_programs"] == outer.counters[
+            "flash.page_programs"
+        ]
+
+    def test_durations_come_from_simulated_time(self):
+        tracer, token, outer, inner, _ = self.build_trace()
+        cost = token.flash.cost_model
+        # inner did only reads: its duration is exactly reads * read_us
+        # (plus CPU cycles, which RecordLog.scan does not charge).
+        assert inner.duration_us > 0
+        assert outer.duration_us >= inner.duration_us
+        assert tracer.now_us() == token.flash.stats.time_us(cost) + token.mcu.elapsed_us()
+
+    def test_pages_tagged_to_innermost_span_match_self_reads(self):
+        tracer, _, outer, inner, _ = self.build_trace()
+        for span in tracer.spans:
+            tagged = len(span.pages) + span.pages_overflow
+            assert tagged == span.self_counters.get("flash.page_reads", 0)
+        assert inner.pages  # the scan's reads carry their page numbers
+
+    def test_nested_span_parentage(self):
+        tracer, _, outer, inner, _ = self.build_trace()
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+
+class TestTracerMechanics:
+    def test_span_cap_counts_drops(self):
+        tracer = Tracer(max_spans=2)
+        with obs.tracing(tracer):
+            for _ in range(5):
+                with tracer.span("s"):
+                    pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped_spans == 3
+
+    def test_page_tag_overflow_counts_not_stores(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            for page in range(MAX_TAGGED_PAGES + 10):
+                span.tag_page(page)
+        assert len(span.pages) == MAX_TAGGED_PAGES
+        assert span.pages_overflow == 10
+
+    def test_event_attaches_to_current_span(self):
+        tracer = Tracer()
+        with obs.tracing(tracer):
+            with obs.span("holder") as span:
+                obs.event("ping", value=3)
+            obs.event("orphan")
+        assert tracer.events[0]["span_id"] == span.span_id
+        assert tracer.events[0]["attrs"] == {"value": 3}
+        assert tracer.events[1]["span_id"] is None
+
+    def test_exception_marks_span_and_still_records(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert tracer.spans[0].attrs["error"] == "ValueError"
+
+    def test_tracing_scope_restores_previous(self):
+        first, second = Tracer(), Tracer()
+        with obs.tracing(first):
+            with obs.tracing(second):
+                assert obs.get_tracer() is second
+            assert obs.get_tracer() is first
+        assert obs.get_tracer() is None
+
+
+class TestAsyncPropagation:
+    def test_task_spans_nest_under_spawning_span(self):
+        tracer = Tracer()
+
+        async def hop():
+            with tracer.span("hop"):
+                await asyncio.sleep(0)
+
+        async def main():
+            with tracer.span("send") as send:
+                await asyncio.gather(
+                    asyncio.create_task(hop()), asyncio.create_task(hop())
+                )
+            return send
+
+        send = asyncio.run(main())
+        hops = tracer.spans_named("hop")
+        assert len(hops) == 2
+        assert all(h.parent_id == send.span_id for h in hops)
+        # Each task renders on its own track in the Chrome trace.
+        assert len({h.track for h in hops}) == 2
+        assert all(h.track != send.track for h in hops)
+
+    def test_sibling_tasks_do_not_leak_context(self):
+        tracer = Tracer()
+
+        async def isolated(name):
+            with tracer.span(name):
+                await asyncio.sleep(0)
+                assert tracer.current_span().name == name
+
+        async def main():
+            await asyncio.gather(isolated("a"), isolated("b"))
+
+        asyncio.run(main())
+        assert {s.name for s in tracer.spans} == {"a", "b"}

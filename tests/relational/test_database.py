@@ -289,10 +289,13 @@ class TestPageCachedExecution:
         db.create_tselect("CUSTOMER", "Mktsegment")
         return db
 
-    def test_stats_cache_none_without_cache(self, loaded_db):
+    def test_stats_cache_empty_without_cache(self, loaded_db):
         db, _ = loaded_db
         _, stats = db.query(tpcd.household_supplier_query())
-        assert stats.cache is None
+        # No cache attached: stats.cache is an all-zero CacheStats, so
+        # callers read hits/misses without a None guard.
+        assert stats.cache.lookups == 0
+        assert stats.cache.hits == 0
 
     def test_repeated_query_hits_cache(self):
         db = self.make_cached_db()
