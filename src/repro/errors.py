@@ -37,12 +37,33 @@ class TamperedTokenError(HardwareError):
     """A secure token detected tampering and destroyed its key material."""
 
 
+class PowerLossError(HardwareError):
+    """The token was unplugged mid-operation (simulated power loss).
+
+    Raised by a :class:`~repro.fault.FaultPlan` at the scheduled IO; all
+    volatile state (RAM, caches, observers) is gone, flash contents up to
+    the interrupted operation survive, and the only way forward is
+    :meth:`~repro.hardware.flash.NandFlash.power_cycle` followed by
+    :func:`~repro.storage.recovery.mount`.
+    """
+
+
 class StorageError(ReproError):
     """Base class for log-structured storage failures."""
 
 
 class LogSealedError(StorageError):
     """An append was attempted on a log that has been sealed (made immutable)."""
+
+
+class RecoveryError(StorageError):
+    """A mount/recovery scan found flash state it cannot reconcile.
+
+    Distinct from :class:`StorageError` raised on the live path: recovery
+    errors mean the on-flash image itself is inconsistent beyond what the
+    crash model allows (e.g. a bucket id outside the directory being
+    remounted), not that a caller misused an API.
+    """
 
 
 class AccessDenied(ReproError):

@@ -1,0 +1,16 @@
+"""Fault injection: power loss, torn writes and bit rot for crash testing.
+
+See :mod:`repro.fault.plan` for the injector and
+:mod:`repro.storage.recovery` for the mount path that survives it.
+"""
+
+from repro.errors import PowerLossError
+from repro.fault.plan import EraseFault, FaultPlan, ProgramFault, unplug
+
+__all__ = [
+    "EraseFault",
+    "FaultPlan",
+    "PowerLossError",
+    "ProgramFault",
+    "unplug",
+]

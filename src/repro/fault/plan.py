@@ -1,0 +1,167 @@
+"""Deterministic power-loss and corruption injection for the flash layer.
+
+The tutorial's design case is explicit that secure portable tokens are
+unplugged without warning; this module turns that threat into a test
+instrument. A :class:`FaultPlan` attaches to a
+:class:`~repro.hardware.flash.NandFlash` and intercepts every program and
+erase:
+
+* **kill-at-k** — at the k-th IO (programs and erases share one counter)
+  power is lost: programs land *torn* (a prefix of the payload, no spare
+  header), erases complete or not per the seeded RNG, and
+  :class:`~repro.errors.PowerLossError` propagates to the workload;
+* **torn writes** — the torn prefix length is drawn from the plan's RNG,
+  so a given ``(seed, kill_at)`` pair always produces the same silicon
+  state — the property sweeps rely on this determinism;
+* **bit flips** — independent of kills, each programmed page is corrupted
+  with probability ``bit_flip_rate`` (one random bit of the payload),
+  which is what the CRC detection tests feed on.
+
+Everything is driven by one ``random.Random(seed)``, mirroring how the
+``repro.net`` loss/churn knobs are seeded, so a network churn schedule and
+a fault plan can share a seed and compose into one reproducible scenario.
+An external scheduler (e.g. a churn callback) can also call
+:meth:`FaultPlan.kill_now` to unplug at the next IO regardless of ``k``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import PowerLossError
+
+
+@dataclass(frozen=True)
+class ProgramFault:
+    """What actually reaches the silicon for one intercepted program."""
+
+    data: bytes
+    spare: bytes
+    kill: bool
+
+
+@dataclass(frozen=True)
+class EraseFault:
+    """Outcome of one intercepted erase: did the pulse land, does power die?"""
+
+    perform: bool
+    kill: bool
+
+
+class FaultPlan:
+    """Seeded, composable fault injector for one :class:`NandFlash`.
+
+    ``kill_at`` is an op index (or iterable of indexes) counted over
+    programs *and* erases, starting at 0; the plan kills execution at each
+    scheduled op exactly once. With ``torn_writes`` (default) a killed
+    program leaves a prefix-only payload and no spare header — the shape a
+    real interrupted NAND program leaves behind. ``bit_flip_rate`` is a
+    per-page probability of silent payload corruption, applied to
+    non-killed programs.
+    """
+
+    def __init__(
+        self,
+        kill_at: int | None = None,
+        *,
+        torn_writes: bool = True,
+        bit_flip_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if kill_at is None:
+            self._kill_at: set[int] = set()
+        elif isinstance(kill_at, int):
+            self._kill_at = {kill_at}
+        else:
+            self._kill_at = set(kill_at)
+        if any(k < 0 for k in self._kill_at):
+            raise ValueError("kill_at op indexes must be >= 0")
+        if not 0.0 <= bit_flip_rate <= 1.0:
+            raise ValueError("bit_flip_rate must be within [0, 1]")
+        self.torn_writes = torn_writes
+        self.bit_flip_rate = bit_flip_rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._kill_next = False
+        #: Programs + erases observed so far (the kill_at index space).
+        self.ops_seen = 0
+        #: Kills delivered (a plan can schedule several).
+        self.kills = 0
+        #: Pages whose payload was silently bit-flipped.
+        self.flipped_pages: list[int] = []
+        #: Pages left torn by a kill (empty payload counts as torn too).
+        self.torn_pages: list[int] = []
+
+    # ------------------------------------------------------------------
+    def attach(self, flash) -> "FaultPlan":
+        """Install on ``flash``; returns self for chaining."""
+        flash.fault_injector = self
+        return self
+
+    def kill_now(self) -> None:
+        """Unplug at the next IO — the hook external schedulers drive.
+
+        A ``repro.net`` churn callback can call this when a node leaves
+        the network, turning a churn event into a token unplug.
+        """
+        self._kill_next = True
+
+    def _take_kill(self) -> bool:
+        op = self.ops_seen
+        self.ops_seen += 1
+        if self._kill_next or op in self._kill_at:
+            self._kill_next = False
+            self._kill_at.discard(op)
+            self.kills += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # NandFlash hooks
+    # ------------------------------------------------------------------
+    def on_program(
+        self, page_no: int, data: bytes, spare: bytes
+    ) -> ProgramFault | None:
+        if self._take_kill():
+            if self.torn_writes:
+                cut = self._rng.randrange(len(data) + 1) if data else 0
+                self.torn_pages.append(page_no)
+                # The interrupted program charges cells up to the cut and
+                # never reaches the spare area: no header, broken CRC.
+                return ProgramFault(data=data[:cut], spare=b"", kill=True)
+            return ProgramFault(data=data, spare=spare, kill=True)
+        if self.bit_flip_rate and self._rng.random() < self.bit_flip_rate and data:
+            bit = self._rng.randrange(len(data) * 8)
+            corrupted = bytearray(data)
+            corrupted[bit >> 3] ^= 1 << (bit & 7)
+            self.flipped_pages.append(page_no)
+            return ProgramFault(data=bytes(corrupted), spare=spare, kill=False)
+        return None
+
+    def on_erase(self, block_no: int) -> EraseFault | None:
+        if self._take_kill():
+            # An interrupted erase either completed the pulse or left the
+            # block untouched; the seeded RNG decides, deterministically.
+            return EraseFault(perform=self._rng.random() < 0.5, kill=True)
+        return None
+
+
+def unplug(flash) -> None:
+    """Simulate yanking the token right now (outside any IO operation).
+
+    Volatile state is discarded exactly as in a mid-IO power loss; since no
+    operation was in flight, no page is torn. This is the clean composition
+    point for ``repro.net`` churn: when a node churns out, unplug its
+    token, and remount when it returns.
+    """
+    flash.power_cycle()
+
+
+__all__ = [
+    "EraseFault",
+    "FaultPlan",
+    "PowerLossError",
+    "ProgramFault",
+    "unplug",
+]

@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-from repro.errors import FlashViolation
+from repro.errors import FlashViolation, PowerLossError
 
 _ERASED = None  # sentinel content of a page that has been erased
 
@@ -43,11 +43,18 @@ class FlashCostModel:
 
 @dataclass
 class FlashStats:
-    """Mutable operation counters for one flash chip."""
+    """Mutable operation counters for one flash chip.
+
+    ``spare_bytes`` meters the out-of-band page-header bytes programmed
+    alongside page payloads (the cost of the self-describing pages that
+    make crash recovery possible); it rides inside the same program
+    operation so it adds no IOs, only metadata volume.
+    """
 
     page_reads: int = 0
     page_programs: int = 0
     block_erases: int = 0
+    spare_bytes: int = 0
 
     def time_us(self, cost: FlashCostModel) -> float:
         """Total simulated time of all operations under ``cost``."""
@@ -59,7 +66,12 @@ class FlashStats:
 
     def snapshot(self) -> "FlashStats":
         """Return an independent copy (for before/after deltas in benches)."""
-        return FlashStats(self.page_reads, self.page_programs, self.block_erases)
+        return FlashStats(
+            self.page_reads,
+            self.page_programs,
+            self.block_erases,
+            self.spare_bytes,
+        )
 
     def delta(self, before: "FlashStats") -> "FlashStats":
         """Operations performed since ``before`` was snapshotted."""
@@ -67,16 +79,25 @@ class FlashStats:
             self.page_reads - before.page_reads,
             self.page_programs - before.page_programs,
             self.block_erases - before.block_erases,
+            self.spare_bytes - before.spare_bytes,
         )
 
 
 @dataclass(frozen=True)
 class FlashGeometry:
-    """Physical layout of a NAND chip."""
+    """Physical layout of a NAND chip.
+
+    ``spare_size`` is the out-of-band (OOB) area every real NAND page
+    carries next to its data area — the place firmware keeps ECC and
+    logical-page metadata. The simulator stores per-page log headers
+    there, so header overhead never eats into payload capacity and the
+    record-packing arithmetic of every log is unchanged by durability.
+    """
 
     page_size: int = 2048
     pages_per_block: int = 64
     num_blocks: int = 1024
+    spare_size: int = 64
 
     @property
     def num_pages(self) -> int:
@@ -114,35 +135,51 @@ class NandFlash:
         self.cost_model = cost_model or FlashCostModel()
         self.stats = FlashStats()
         self._pages: list[bytes | None] = [_ERASED] * self.geometry.num_pages
+        self._spares: list[bytes] = [b""] * self.geometry.num_pages
         # Next programmable page index inside each block (sequential rule).
         self._write_cursor: list[int] = [0] * self.geometry.num_blocks
         self._erase_counts: list[int] = [0] * self.geometry.num_blocks
         # Mutation observers (page caches invalidate through these).
         self._on_program: list = []
         self._on_erase: list = []
+        self._on_power_cycle: list = []
         #: Read observer installed by :meth:`repro.obs.Tracer.watch_flash`
         #: (None when tracing is off — the hot path pays one None check).
         self.trace_read = None
+        #: Optional :class:`~repro.fault.FaultPlan` intercepting programs
+        #: and erases (None on the default, fault-free path).
+        self.fault_injector = None
 
-    def subscribe(self, on_program=None, on_erase=None) -> None:
+    def subscribe(
+        self, on_program=None, on_erase=None, on_power_cycle=None
+    ) -> None:
         """Register callbacks fired after a successful program / erase.
 
         ``on_program(page_no)`` runs after a page is programmed and
         ``on_erase(block_no)`` after a block is erased — the two events
         that can change what a page reads back, hence the complete
         invalidation feed for any cache sitting above the chip.
+        ``on_power_cycle()`` fires when the chip loses power, before every
+        subscription is dropped — the last chance for volatile layers
+        (page caches) to reset alongside the RAM they live in.
         """
         if on_program is not None:
             self._on_program.append(on_program)
         if on_erase is not None:
             self._on_erase.append(on_erase)
+        if on_power_cycle is not None:
+            self._on_power_cycle.append(on_power_cycle)
 
-    def unsubscribe(self, on_program=None, on_erase=None) -> None:
+    def unsubscribe(
+        self, on_program=None, on_erase=None, on_power_cycle=None
+    ) -> None:
         """Remove callbacks previously registered with :meth:`subscribe`."""
         if on_program is not None and on_program in self._on_program:
             self._on_program.remove(on_program)
         if on_erase is not None and on_erase in self._on_erase:
             self._on_erase.remove(on_erase)
+        if on_power_cycle is not None and on_power_cycle in self._on_power_cycle:
+            self._on_power_cycle.remove(on_power_cycle)
 
     # ------------------------------------------------------------------
     # Raw page/block operations
@@ -156,13 +193,38 @@ class NandFlash:
         content = self._pages[page_no]
         return b"" if content is _ERASED else content
 
-    def program_page(self, page_no: int, data: bytes) -> None:
-        """Program an erased page, respecting in-block sequential order."""
+    def read_page_with_spare(self, page_no: int) -> tuple[bytes, bytes]:
+        """Read one page's data and spare (OOB) area in a single operation.
+
+        This is the mount/recovery read path: real NAND transfers the spare
+        area in the same page read, so the scan is metered as exactly one
+        read per programmed page.
+        """
+        self._check_page(page_no)
+        self.stats.page_reads += 1
+        if self.trace_read is not None:
+            self.trace_read(page_no)
+        content = self._pages[page_no]
+        if content is _ERASED:
+            return b"", b""
+        return content, self._spares[page_no]
+
+    def program_page(self, page_no: int, data: bytes, spare: bytes = b"") -> None:
+        """Program an erased page, respecting in-block sequential order.
+
+        ``spare`` lands in the page's out-of-band area (page headers); it is
+        written by the same program operation as the data area.
+        """
         self._check_page(page_no)
         if len(data) > self.geometry.page_size:
             raise FlashViolation(
                 f"page data of {len(data)} B exceeds page size "
                 f"{self.geometry.page_size} B"
+            )
+        if len(spare) > self.geometry.spare_size:
+            raise FlashViolation(
+                f"spare data of {len(spare)} B exceeds spare size "
+                f"{self.geometry.spare_size} B"
             )
         if self._pages[page_no] is not _ERASED:
             raise FlashViolation(
@@ -177,23 +239,82 @@ class NandFlash:
                 f"block {block}: pages must be programmed sequentially; "
                 f"expected in-block index {expected}, got {actual}"
             )
+        fault = None
+        if self.fault_injector is not None:
+            fault = self.fault_injector.on_program(page_no, data, spare)
+            if fault is not None:
+                data, spare = fault.data, fault.spare
         self._pages[page_no] = bytes(data)
+        self._spares[page_no] = bytes(spare)
         self._write_cursor[block] = actual + 1
         self.stats.page_programs += 1
+        self.stats.spare_bytes += len(spare)
+        if fault is not None and fault.kill:
+            # Power died mid-program: the (torn) page is on silicon but the
+            # host never learns — observers are RAM and RAM is gone.
+            raise PowerLossError(
+                f"power lost during program of page {page_no}"
+            )
         for callback in self._on_program:
             callback(page_no)
 
     def erase_block(self, block_no: int) -> None:
         """Erase a whole block, resetting its write cursor."""
         self._check_block(block_no)
+        fault = None
+        if self.fault_injector is not None:
+            fault = self.fault_injector.on_erase(block_no)
+        if fault is not None and fault.kill and not fault.perform:
+            # Power died before the erase pulse took effect.
+            self.stats.block_erases += 1
+            raise PowerLossError(
+                f"power lost before erase of block {block_no}"
+            )
         start = self.geometry.first_page_of(block_no)
         for page_no in range(start, start + self.geometry.pages_per_block):
             self._pages[page_no] = _ERASED
+            self._spares[page_no] = b""
         self._write_cursor[block_no] = 0
         self._erase_counts[block_no] += 1
         self.stats.block_erases += 1
+        if fault is not None and fault.kill:
+            raise PowerLossError(
+                f"power lost right after erase of block {block_no}"
+            )
         for callback in self._on_erase:
             callback(block_no)
+
+    # ------------------------------------------------------------------
+    # Power loss
+    # ------------------------------------------------------------------
+    def power_cycle(self) -> None:
+        """Simulate unplugging the token: volatile state dies, silicon stays.
+
+        Programmed pages (data + spare), erase counts and the operation
+        meter survive — they are physical. Everything host-side is dropped:
+        program/erase/power subscribers (page caches get one last
+        ``on_power_cycle`` so they can reset with the RAM they live in),
+        the trace hook, and any attached fault injector. Write cursors are
+        recomputed from page state, exactly as a NAND controller rediscovers
+        them at boot.
+        """
+        for callback in self._on_power_cycle:
+            callback()
+        self._on_program.clear()
+        self._on_erase.clear()
+        self._on_power_cycle.clear()
+        self.trace_read = None
+        self.fault_injector = None
+        pages_per_block = self.geometry.pages_per_block
+        for block in range(self.geometry.num_blocks):
+            start = self.geometry.first_page_of(block)
+            cursor = 0
+            while (
+                cursor < pages_per_block
+                and self._pages[start + cursor] is not _ERASED
+            ):
+                cursor += 1
+            self._write_cursor[block] = cursor
 
     # ------------------------------------------------------------------
     # Introspection
@@ -247,19 +368,24 @@ class BlockAllocator:
     live or die by this.
     """
 
-    def __init__(self, flash: NandFlash) -> None:
+    def __init__(self, flash: NandFlash, allocated=()) -> None:
         self.flash = flash
         #: Optional :class:`~repro.storage.cache.PageCache` every log built
         #: on this allocator reads through (see ``attach_cache``). Kept here
         #: because the allocator is the one object all storage structures
         #: already share.
         self.page_cache = None
+        self._allocated: set[int] = set(allocated)
         # Heap of (erase_count, block); counts are refreshed lazily on pop.
+        # Priorities are seeded from the chip's real wear counters so an
+        # allocator built over a used chip (the mount/recovery path) still
+        # levels wear instead of assuming a factory-fresh device.
         self._free: list[tuple[int, int]] = [
-            (0, block) for block in range(flash.geometry.num_blocks)
+            (flash.erase_count(block), block)
+            for block in range(flash.geometry.num_blocks)
+            if block not in self._allocated
         ]
         heapq.heapify(self._free)
-        self._allocated: set[int] = set()
 
     @property
     def free_blocks(self) -> int:
@@ -275,11 +401,17 @@ class BlockAllocator:
 
     def allocate(self) -> int:
         """Pop the least-worn free (erased) block; raises when full."""
-        if not self._free:
-            raise FlashViolation("flash chip is full: no free blocks")
-        _, block = heapq.heappop(self._free)
-        self._allocated.add(block)
-        return block
+        while self._free:
+            priority, block = heapq.heappop(self._free)
+            current = self.flash.erase_count(block)
+            if priority != current:
+                # Stale priority (the block wore since it was pushed):
+                # re-queue at its true wear level and keep popping.
+                heapq.heappush(self._free, (current, block))
+                continue
+            self._allocated.add(block)
+            return block
+        raise FlashViolation("flash chip is full: no free blocks")
 
     def free(self, block_no: int) -> None:
         """Erase and recycle a previously allocated block."""

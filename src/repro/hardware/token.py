@@ -69,13 +69,28 @@ class SecurePortableToken:
         profile: HardwareProfile | None = None,
         owner: str = "",
         cache_pages: int = 0,
+        flash: NandFlash | None = None,
+        allocator: BlockAllocator | None = None,
     ) -> None:
+        """``flash``/``allocator`` rebuild a token around surviving silicon.
+
+        The default is a factory-fresh chip. After a power loss the flash
+        contents outlive the token object, so the recovery path passes the
+        same :class:`NandFlash` back in, along with the allocator the mount
+        scan rebuilt from it (see :mod:`repro.storage.recovery`).
+        """
         self.profile = profile or smart_usb_token()
         self.serial = next(_token_serial)
         self.owner = owner or f"user-{self.serial}"
         self.mcu = Microcontroller(self.profile)
-        self.flash = NandFlash(self.profile.flash_geometry, self.profile.flash_cost)
-        self.allocator = BlockAllocator(self.flash)
+        if allocator is not None and flash is None:
+            flash = allocator.flash
+        self.flash = flash or NandFlash(
+            self.profile.flash_geometry, self.profile.flash_cost
+        )
+        if allocator is not None and allocator.flash is not self.flash:
+            raise ValueError("allocator does not manage the provided flash")
+        self.allocator = allocator or BlockAllocator(self.flash)
         self.keystore = KeyStore()
         self._tampered = False
         self.page_cache = None

@@ -83,6 +83,35 @@ class AuditLog:
         self._last_digest = _GENESIS
         self._count = 0
 
+    @classmethod
+    def remount(cls, session) -> "AuditLog":
+        """Rebuild the journal from its durable prefix after power loss.
+
+        Entries still in the RAM write buffer at the crash are gone — the
+        chain simply resumes from the last flushed entry, whose digest is
+        recomputed from the recovered payloads (no extra flash reads).
+        Accountability over durable history is intact: `verify_chain`
+        still walks genesis to head.
+        """
+        from repro.storage import pager  # local: avoid widening module deps
+
+        recovered = session.claim("audit")
+        log = cls.__new__(cls)
+        log._log = RecordLog.remount(session.allocator, "audit", recovered)
+        digest = _GENESIS
+        count = 0
+        for page in recovered.pages:
+            for record in pager.unpack_records(page.payload):
+                digest = AuditEntry.deserialize(record).digest()
+                count += 1
+        log._last_digest = digest
+        log._count = count
+        return log
+
+    def flush(self) -> None:
+        """Push buffered entries to flash (part of a durable checkpoint)."""
+        self._log.flush()
+
     # ------------------------------------------------------------------
     @property
     def count(self) -> int:

@@ -14,6 +14,7 @@ import json
 from collections import OrderedDict
 
 from repro.errors import AccessDenied
+from repro.hardware.flash import NandFlash
 from repro.hardware.profiles import HardwareProfile
 from repro.hardware.token import SecurePortableToken
 from repro.pds.acl import PrivacyPolicy, Subject, default_policy
@@ -21,6 +22,7 @@ from repro.pds.audit import AuditLog
 from repro.pds.datamodel import PersonalDocument
 from repro.search.engine import EmbeddedSearchEngine, SearchHit
 from repro.storage.log import RecordAddress, RecordLog
+from repro.storage.recovery import Manifest, MountSession, mount
 from repro.workloads.people import PersonRecord
 
 #: Deserialized documents kept hot; everything else is re-read from the log.
@@ -61,12 +63,27 @@ class PersonalDataServer:
         profile: HardwareProfile | None = None,
         policy: PrivacyPolicy | None = None,
         search_buckets: int = 32,
+        token: SecurePortableToken | None = None,
+        session: MountSession | None = None,
     ) -> None:
-        self.token = SecurePortableToken(profile=profile, owner=owner)
+        """Fresh PDS by default; pass ``token`` + ``session`` to recover one.
+
+        The recovery path (see :meth:`remount`) supplies a token rebuilt
+        around the surviving flash and the mount session that scanned it;
+        every log is then claimed from the session instead of created, and
+        the RAM-only document maps are rebuilt from the documents log.
+        """
+        self.token = token or SecurePortableToken(profile=profile, owner=owner)
         self.owner = Subject(name=owner, role="owner")
         self.policy = policy or default_policy()
-        self.audit = AuditLog(self.token.allocator)
-        self._documents = RecordLog(self.token.allocator, name="documents")
+        if session is None:
+            self.manifest = Manifest.create(self.token.allocator)
+            self.audit = AuditLog(self.token.allocator)
+            self._documents = RecordLog(self.token.allocator, name="documents")
+        else:
+            self.manifest = Manifest.remount(session)
+            self.audit = AuditLog.remount(session)
+            self._documents = session.claim_record_log("documents")
         self._by_id: dict[int, int] = {}  # doc_id -> search docid
         self._search_to_doc: dict[int, int] = {}  # search docid -> doc_id
         # The document log is the store of record; only addresses stay in
@@ -76,9 +93,88 @@ class PersonalDataServer:
         self._doc_cache: OrderedDict[RecordAddress, PersonalDocument] = (
             OrderedDict()
         )
-        self.search_engine = EmbeddedSearchEngine(
-            self.token, num_buckets=search_buckets
+        if session is None:
+            self.search_engine = EmbeddedSearchEngine(
+                self.token, num_buckets=search_buckets, manifest=self.manifest
+            )
+        else:
+            self.search_engine = EmbeddedSearchEngine.remount(
+                self.token, session, self.manifest, num_buckets=search_buckets
+            )
+            self._recover_documents()
+
+    @classmethod
+    def remount(
+        cls,
+        flash: NandFlash,
+        owner: str,
+        profile: HardwareProfile | None = None,
+        policy: PrivacyPolicy | None = None,
+        search_buckets: int = 32,
+    ) -> "PersonalDataServer":
+        """Recover a PDS from its token's flash after a power loss.
+
+        One sequential scan rebuilds everything: the block allocator, the
+        manifest, the documents/audit logs, and the search index (with
+        ghost postings fenced out and uncheckpointed documents re-indexed
+        from the documents log). Unclaimed blocks — debris of whatever the
+        crash interrupted — are erased and returned to the free pool.
+        """
+        session = mount(flash)
+        token = SecurePortableToken(
+            profile=profile,
+            owner=owner,
+            flash=flash,
+            allocator=session.allocator,
         )
+        pds = cls(
+            owner,
+            policy=policy,
+            search_buckets=search_buckets,
+            token=token,
+            session=session,
+        )
+        session.finish()
+        return pds
+
+    def _recover_documents(self) -> None:
+        """Rebuild RAM maps from the documents log and replay indexing.
+
+        Search docids equal ingestion order (both are append-ordered), so
+        the mapping is positional. Documents past the last search
+        checkpoint are re-indexed with their *original* docids — their
+        replayed postings land above the recovery fence and become the
+        single visible copy. Durable ``forget`` records are re-applied
+        last, so forgotten documents stay forgotten across crashes.
+        """
+        documents: list[PersonalDocument] = []
+        for search_docid, (address, record) in enumerate(
+            self._documents.scan()
+        ):
+            document = _deserialize_document(record)
+            self._by_id[document.doc_id] = search_docid
+            self._search_to_doc[search_docid] = document.doc_id
+            self._doc_addresses[document.doc_id] = address
+            documents.append(document)
+        for docid in range(self.search_engine._next_docid, len(documents)):
+            self.search_engine.add_document(
+                documents[docid].searchable_text(), docid=docid
+            )
+        for record in self.manifest.records():
+            if record["kind"] == "forget":
+                self._forget_from_maps(record["doc"])
+
+    def checkpoint(self) -> None:
+        """Make everything ingested so far durable in one flush.
+
+        Documents and audit entries become durable by flushing their write
+        buffers; the search engine additionally writes its checkpoint
+        record so recovery knows no replay is needed up to here.
+        """
+        self.token.require_trusted()
+        self._documents.flush()
+        self.audit.flush()
+        self.search_engine.checkpoint()
 
     # ------------------------------------------------------------------
     # Ingestion (data integration / aggregation)
@@ -109,17 +205,25 @@ class PersonalDataServer:
         The append-only log keeps its (now unreachable) bytes until the log
         is reorganized, but the document disappears from every map and the
         deserialization cache immediately, so no later read can serve it.
+        The forget itself is committed to the manifest so it survives a
+        power loss — a right-to-forget that un-forgets on reboot is none.
         """
+        if doc_id not in self._doc_addresses:
+            raise KeyError(f"no document {doc_id} in this PDS")
+        self.manifest.append("forget", doc=doc_id)
+        self._forget_from_maps(doc_id)
+        self.audit.record(
+            self.owner.name, self.owner.role, "forget", f"doc:{doc_id}", True
+        )
+
+    def _forget_from_maps(self, doc_id: int) -> None:
         address = self._doc_addresses.pop(doc_id, None)
         if address is None:
-            raise KeyError(f"no document {doc_id} in this PDS")
+            return  # replaying a forget for a never-recovered document
         self._doc_cache.pop(address, None)
         search_docid = self._by_id.pop(doc_id, None)
         if search_docid is not None:
             self._search_to_doc.pop(search_docid, None)
-        self.audit.record(
-            self.owner.name, self.owner.role, "forget", f"doc:{doc_id}", True
-        )
 
     # ------------------------------------------------------------------
     # Guarded access

@@ -10,7 +10,12 @@ from repro.relational.baseline import HashJoinExecutor
 from repro.relational.keyindex import KeyIndex, LookupStats
 from repro.relational.planner import PlanExplain, Query
 from repro.relational.query import EmbeddedDatabase, ExecutionStats
-from repro.relational.reorg import ReorganizationTask, reorganize
+from repro.relational.reorg import (
+    ReorganizationTask,
+    remount_index,
+    reorganize,
+    reorganize_durably,
+)
 from repro.relational.schema import Column, ForeignKey, SchemaGraph, TableSchema
 from repro.relational.sortedindex import SortedIndexBuilder, SortedKeyIndex
 from repro.relational.table import TableStorage
@@ -36,5 +41,7 @@ __all__ = [
     "TableStorage",
     "TjoinIndex",
     "TselectIndex",
+    "remount_index",
     "reorganize",
+    "reorganize_durably",
 ]

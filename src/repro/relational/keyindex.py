@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.hardware.flash import BlockAllocator
 from repro.hardware.ram import RamArena
 from repro.relational.tuples import encode_key
+from repro.storage import pager
 from repro.storage.bloom import BloomFilter
 from repro.storage.log import RecordLog
 
@@ -59,14 +60,62 @@ class KeyIndex:
         allocator: BlockAllocator,
         bits_per_key: float = 16.0,
         ram: RamArena | None = None,
+        epoch: int = 0,
     ) -> None:
         self.name = name
         self.bits_per_key = bits_per_key
-        self.keys = RecordLog(allocator, name=f"{name}:keys", ram=ram)
-        self.summaries = RecordLog(allocator, name=f"{name}:bloom", ram=ram)
+        self.epoch = epoch
+        self.keys = RecordLog(allocator, name=f"{name}:keys", ram=ram, epoch=epoch)
+        self.summaries = RecordLog(
+            allocator, name=f"{name}:bloom", ram=ram, epoch=epoch
+        )
         self.keys.on_page_flush = self._summarize_page
         self._entry_count = 0
         self.last_lookup = LookupStats()
+
+    @classmethod
+    def remount(
+        cls,
+        session,
+        name: str,
+        epoch: int = 0,
+        bits_per_key: float = 16.0,
+        ram: RamArena | None = None,
+    ) -> "KeyIndex":
+        """Rebuild the index from a crash-recovery mount scan.
+
+        Keys pages flush before their Bloom summaries (the summary is
+        *created* by the keys flush), so a crash can leave durable keys
+        pages whose summaries were still staged in RAM. Those summaries are
+        recomputed here from the recovered page payloads — already in RAM
+        from the scan, so the repair costs zero flash reads — and staged
+        for the next summary flush exactly as on the live path.
+        """
+        index = cls.__new__(cls)
+        index.name = name
+        index.bits_per_key = bits_per_key
+        index.epoch = epoch
+        recovered_keys = session.claim(f"{name}:keys", epoch)
+        recovered_blooms = session.claim(f"{name}:bloom", epoch)
+        index.keys = RecordLog.remount(
+            session.allocator, f"{name}:keys", recovered_keys, ram
+        )
+        index.summaries = RecordLog.remount(
+            session.allocator, f"{name}:bloom", recovered_blooms, ram
+        )
+        index.keys.on_page_flush = index._summarize_page
+        index._entry_count = len(index.keys)
+        index.last_lookup = LookupStats()
+        summarized = set()
+        for page in recovered_blooms.pages:
+            for record in pager.unpack_records(page.payload):
+                summarized.add(_POSITION.unpack_from(record, 0)[0])
+        for position, page in enumerate(recovered_keys.pages):
+            if position not in summarized:
+                index._summarize_page(
+                    position, pager.unpack_records(page.payload)
+                )
+        return index
 
     # ------------------------------------------------------------------
     @property
@@ -126,6 +175,10 @@ class KeyIndex:
 
         # Phase 2: probe candidate Keys pages.
         for position in candidates:
+            if position >= self.keys.page_count:
+                # A summary may outlive its keys page only via recovery
+                # truncation; never probe past the durable prefix.
+                continue
             stats.keys_pages += 1
             found = False
             for record in self._keys_page(position):

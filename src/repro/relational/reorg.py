@@ -25,7 +25,7 @@ import heapq
 from typing import Iterator
 
 from repro import obs
-from repro.errors import StorageError
+from repro.errors import PowerLossError, StorageError
 from repro.hardware.flash import BlockAllocator
 from repro.hardware.ram import RamArena
 from repro.relational.keyindex import KeyIndex, pack_entry, unpack_entry
@@ -43,12 +43,14 @@ class ReorganizationTask:
         ram: RamArena,
         sort_buffer_bytes: int = 8 * 1024,
         name: str = "reorg",
+        epoch: int = 0,
     ) -> None:
         self.source = source
         self.allocator = allocator
         self.ram = ram
         self.sort_buffer_bytes = sort_buffer_bytes
         self.name = name
+        self.epoch = epoch
         self.result: SortedKeyIndex | None = None
         self.completed_steps = 0
         self._page_size = allocator.flash.geometry.page_size
@@ -74,6 +76,11 @@ class ReorganizationTask:
             return True
         except StopIteration:
             return False
+        except PowerLossError:
+            # Power is gone: nothing may touch the flash (abort() would
+            # issue erases post-mortem). Recovery reclaims the temp blocks.
+            self._aborted = True
+            raise
         except Exception:
             # A failing step (e.g. flash exhaustion) must not strand
             # temporary logs: reclaim and re-raise for the caller.
@@ -168,7 +175,9 @@ class ReorganizationTask:
 
     def _final_merge(self, runs: list[RecordLog]) -> Iterator[None]:
         """Merge the last runs directly into the sorted index builder."""
-        builder = SortedIndexBuilder(self.allocator, name=self.name)
+        builder = SortedIndexBuilder(
+            self.allocator, name=self.name, epoch=self.epoch
+        )
         self._builder = builder
         with self.ram.reservation(
             max(1, len(runs)) * self._page_size, tag=f"{self.name}:finalmerge"
@@ -201,16 +210,24 @@ def reorganize(
     ram: RamArena,
     sort_buffer_bytes: int = 8 * 1024,
     name: str = "reorg",
+    epoch: int = 0,
 ) -> SortedKeyIndex:
     """Convenience wrapper: run a full reorganization in one call.
 
     The caller owns the swap: after this returns, queries should be routed
-    to the new index and ``source.drop()`` reclaims the old logs.
+    to the new index and ``source.drop()`` reclaims the old logs. For a
+    swap that survives power loss at any instant, use
+    :func:`reorganize_durably` instead.
     """
     if sort_buffer_bytes <= 0:
         raise StorageError("sort buffer must be positive")
     task = ReorganizationTask(
-        source, allocator, ram, sort_buffer_bytes=sort_buffer_bytes, name=name
+        source,
+        allocator,
+        ram,
+        sort_buffer_bytes=sort_buffer_bytes,
+        name=name,
+        epoch=epoch,
     )
     with obs.span(
         "reorg", index=name, sort_buffer_bytes=sort_buffer_bytes
@@ -218,3 +235,75 @@ def reorganize(
         index = task.run()
         span.set(entries=index.entry_count)
     return index
+
+
+def reorganize_durably(
+    source: KeyIndex,
+    allocator: BlockAllocator,
+    ram: RamArena,
+    manifest,
+    sort_buffer_bytes: int = 8 * 1024,
+    name: str | None = None,
+) -> tuple[SortedKeyIndex, KeyIndex]:
+    """Crash-atomic reorganization swap, sequenced through the manifest.
+
+    The order is the whole trick::
+
+        build new epoch E+1   (crash here: E+1 never committed -> recovery
+                               garbage-collects it, keeps the source)
+        commit record to the manifest
+                              (torn commit page: same as above; durable
+                               commit: the swap has happened)
+        drop the source       (crash mid-drop: recovery sees the commit,
+                               erases whatever the drop left behind)
+
+    Recovery therefore always lands on exactly one consistent epoch.
+    Returns the new sorted index plus a fresh delta :class:`KeyIndex` (same
+    logical name, new epoch) for subsequent insertions — the pair
+    :func:`remount_index` reconstructs after a crash.
+    """
+    name = name or source.name
+    epoch = max(manifest.committed_epoch(name, default=0), source.epoch) + 1
+    index = reorganize(
+        source,
+        allocator,
+        ram,
+        sort_buffer_bytes=sort_buffer_bytes,
+        name=name,
+        epoch=epoch,
+    )
+    manifest.append("reorg-commit", name=name, epoch=epoch)
+    source.drop()
+    delta = KeyIndex(
+        name,
+        allocator,
+        bits_per_key=source.bits_per_key,
+        ram=ram,
+        epoch=epoch,
+    )
+    return index, delta
+
+
+def remount_index(
+    session,
+    manifest,
+    name: str,
+    bits_per_key: float = 16.0,
+    ram: RamArena | None = None,
+) -> tuple[SortedKeyIndex | None, KeyIndex]:
+    """Recover the ``(sorted, delta)`` index pair for one logical name.
+
+    The manifest's last ``reorg-commit`` for ``name`` selects the live
+    epoch: its sorted/tree logs are remounted (None if no reorganization
+    ever committed) and the delta key index is remounted under the same
+    epoch. Every other incarnation's blocks stay unclaimed and are erased
+    by ``session.finish()``.
+    """
+    epoch = manifest.committed_epoch(name, default=0)
+    sorted_index = (
+        SortedKeyIndex.remount(session, name, epoch) if epoch > 0 else None
+    )
+    delta = KeyIndex.remount(
+        session, name, epoch=epoch, bits_per_key=bits_per_key, ram=ram
+    )
+    return sorted_index, delta

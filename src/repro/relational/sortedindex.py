@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import StorageError
+from repro.errors import RecoveryError, StorageError
 from repro.hardware.flash import BlockAllocator
 from repro.relational.keyindex import pack_entry, unpack_entry
 from repro.relational.tuples import encode_key
@@ -49,6 +49,7 @@ class SortedKeyIndex:
         tree_log: PageLog,
         levels: list[tuple[int, int]],
         entry_count: int,
+        epoch: int = 0,
     ) -> None:
         self.sorted_log = sorted_log
         self.tree_log = tree_log
@@ -56,7 +57,52 @@ class SortedKeyIndex:
         #: log; level 0 points at sorted-log pages, the last level is the root.
         self.levels = levels
         self.entry_count = entry_count
+        self.epoch = epoch
         self.last_lookup = TreeLookupStats()
+
+    @classmethod
+    def remount(cls, session, name: str, epoch: int) -> "SortedKeyIndex":
+        """Rebuild a committed sorted index from a crash-recovery scan.
+
+        Only epochs named by a durable ``reorg-commit`` manifest record are
+        remounted, so both logs are complete by construction. The level
+        boundaries come back from the tree pages' header ``meta`` field
+        (each node page was written tagged with its level), and the entry
+        count from the recovered leaf payloads — no extra flash reads.
+        """
+        recovered_sorted = session.claim(f"{name}:sorted", epoch)
+        recovered_tree = session.claim(f"{name}:tree", epoch)
+        sorted_log = PageLog.remount(
+            session.allocator, f"{name}:sorted", recovered_sorted
+        )
+        tree_log = PageLog.remount(
+            session.allocator, f"{name}:tree", recovered_tree
+        )
+        levels: list[list[int]] = []
+        for position in range(len(tree_log)):
+            level = tree_log.page_meta(position)
+            if level == len(levels):
+                levels.append([position, position])
+            elif level == len(levels) - 1:
+                levels[-1][1] = position
+            else:
+                raise RecoveryError(
+                    f"tree log {name!r}: page {position} tagged level "
+                    f"{level}, expected {len(levels) - 1} or {len(levels)}"
+                )
+        entry_count = sum(
+            len(pager.unpack_records(page.payload))
+            for page in recovered_sorted.pages
+        )
+        sorted_log.seal()
+        tree_log.seal()
+        return cls(
+            sorted_log,
+            tree_log,
+            [tuple(bounds) for bounds in levels],
+            entry_count,
+            epoch=epoch,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -165,9 +211,12 @@ class SortedIndexBuilder:
     leaf, one tree node).
     """
 
-    def __init__(self, allocator: BlockAllocator, name: str) -> None:
-        self.sorted_log = PageLog(allocator, name=f"{name}:sorted")
-        self.tree_log = PageLog(allocator, name=f"{name}:tree")
+    def __init__(
+        self, allocator: BlockAllocator, name: str, epoch: int = 0
+    ) -> None:
+        self.epoch = epoch
+        self.sorted_log = PageLog(allocator, name=f"{name}:sorted", epoch=epoch)
+        self.tree_log = PageLog(allocator, name=f"{name}:tree", epoch=epoch)
         self._page_size = self.sorted_log.page_size
         self._leaf_buffer: list[bytes] = []
         self._leaf_size = 2
@@ -215,8 +264,10 @@ class SortedIndexBuilder:
                 if not node_buffer:
                     return
                 node_max, _ = unpack_entry(node_buffer[-1])
+                # Tag the node page with its tree level so recovery can
+                # regroup levels without any sidecar metadata.
                 position = self.tree_log.append_page(
-                    pager.pack_records(node_buffer)
+                    pager.pack_records(node_buffer), meta=len(levels)
                 )
                 next_children.append((node_max, position))
                 node_buffer = []
@@ -236,5 +287,9 @@ class SortedIndexBuilder:
         self.sorted_log.seal()
         self.tree_log.seal()
         return SortedKeyIndex(
-            self.sorted_log, self.tree_log, levels, self._entry_count
+            self.sorted_log,
+            self.tree_log,
+            levels,
+            self._entry_count,
+            epoch=self.epoch,
         )

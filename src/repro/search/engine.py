@@ -65,14 +65,54 @@ class EmbeddedSearchEngine:
         self,
         token: SecurePortableToken,
         num_buckets: int = 64,
+        manifest=None,
     ) -> None:
         self.token = token
+        #: Optional :class:`~repro.storage.recovery.Manifest` the engine
+        #: writes its durable checkpoints to (None: no crash guarantees).
+        self.manifest = manifest
         self.index = SequentialInvertedIndex(
             token.allocator, num_buckets, ram=token.mcu.ram
         )
         self._next_docid = 0
         #: IO breakdown of the most recent :meth:`search` call.
         self.last_search_stats = SearchStats()
+
+    @classmethod
+    def remount(
+        cls,
+        token: SecurePortableToken,
+        session,
+        manifest,
+        num_buckets: int = 64,
+    ) -> "EmbeddedSearchEngine":
+        """Recover the engine after power loss (see the index's remount).
+
+        Docid assignment resumes from the last durable checkpoint; the
+        owner is expected to re-index every document ingested after it
+        (their old postings are fenced out as ghosts), which is what
+        :meth:`PersonalDataServer.remount` does from the documents log.
+        """
+        engine = cls.__new__(cls)
+        engine.token = token
+        engine.manifest = manifest
+        engine.index = SequentialInvertedIndex.remount(
+            session, manifest, num_buckets, ram=token.mcu.ram
+        )
+        engine._next_docid = engine.index._last_docid + 1
+        engine.last_search_stats = SearchStats()
+        return engine
+
+    def checkpoint(self) -> None:
+        """Flush all staged postings and durably mark the fully-indexed point.
+
+        After this returns, every document indexed so far survives a crash
+        without replay: the checkpoint record tells recovery that docids up
+        to ``docs - 1`` are completely on flash.
+        """
+        self.index.flush()
+        if self.manifest is not None:
+            self.manifest.append("search-checkpoint", docs=self._next_docid)
 
     # ------------------------------------------------------------------
     # Indexing

@@ -65,6 +65,60 @@ class SequentialInvertedIndex:
         self.num_buckets = num_buckets
         self._last_docid = -1
         self._doc_count = 0
+        #: Recovery ghost fences: ``(pages, max_docid)`` — postings living
+        #: in pages below ``pages`` are trusted only up to ``max_docid``.
+        self._fences: list[tuple[int, int]] = []
+
+    @classmethod
+    def remount(
+        cls,
+        session,
+        manifest,
+        num_buckets: int = 64,
+        ram: RamArena | None = None,
+    ) -> "SequentialInvertedIndex":
+        """Rebuild the inverted index after power loss, fencing out ghosts.
+
+        A crash mid-indexing can leave *partial* documents on flash: some
+        of a document's postings flushed, others still staged. Pages are
+        immutable, so instead of rewriting anything the index drops a
+        durable **fence** into the manifest: postings in the pages that
+        existed at recovery time are only trusted up to the last
+        checkpointed docid. Documents beyond the checkpoint are re-indexed
+        by the owner (their replayed postings land in *new* pages, above
+        the fence, hence visible), so every surviving document is searchable
+        exactly once and no half-indexed ghost ever surfaces.
+        """
+        index = cls.__new__(cls)
+        index.buckets = ChainedBucketLog.remount(
+            session, num_buckets, name="inverted", ram=ram
+        )
+        index.num_buckets = num_buckets
+        checkpoint = manifest.last("search-checkpoint")
+        docs = checkpoint["docs"] if checkpoint is not None else 0
+        index._doc_count = docs
+        index._last_docid = docs - 1
+        index._fences = [
+            (record["pages"], record["max_docid"])
+            for record in manifest.records()
+            if record["kind"] == "search-fence"
+        ]
+        if index.buckets.flushed_pages:
+            fence = (index.buckets.flushed_pages, docs - 1)
+            manifest.append(
+                "search-fence", pages=fence[0], max_docid=fence[1]
+            )
+            index._fences.append(fence)
+        return index
+
+    def _is_ghost(self, position: int | None, docid: int) -> bool:
+        """Whether a posting at page ``position`` is pre-crash debris."""
+        if position is None:  # staged in RAM: written after any crash
+            return False
+        for pages, max_docid in self._fences:
+            if position < pages and docid > max_docid:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     @property
@@ -107,9 +161,11 @@ class SequentialInvertedIndex:
         postings of other terms (they share the chain by construction).
         """
         bucket = bucket_of(term, self.num_buckets)
-        for entry in self.buckets.iter_bucket(bucket):
+        for position, entry in self.buckets.iter_bucket_with_positions(bucket):
             posting = unpack_posting(entry)
-            if posting.term == term:
+            if posting.term == term and not self._is_ghost(
+                position, posting.docid
+            ):
                 yield posting
 
     def document_frequency(self, term: str) -> int:

@@ -11,15 +11,29 @@ from repro.storage.bloom import BloomFilter, optimal_hash_count
 from repro.storage.cache import CacheStats, PageCache
 from repro.storage.hashbucket import ChainedBucketLog, bucket_of
 from repro.storage.log import PageLog, RecordAddress, RecordLog
+from repro.storage.recovery import (
+    Manifest,
+    MountReport,
+    MountSession,
+    RecoveredLog,
+    RecoveredPage,
+    mount,
+)
 
 __all__ = [
     "BloomFilter",
     "CacheStats",
     "ChainedBucketLog",
+    "Manifest",
+    "MountReport",
+    "MountSession",
     "PageCache",
     "PageLog",
+    "RecoveredLog",
+    "RecoveredPage",
     "RecordAddress",
     "RecordLog",
     "bucket_of",
+    "mount",
     "optimal_hash_count",
 ]

@@ -131,7 +131,9 @@ class PageCache:
         if ram is not None and capacity_pages > 0:
             self._ram_handle = ram.allocate(self.ram_bytes, tag=tag)
         flash.subscribe(
-            on_program=self._on_program, on_erase=self._on_erase
+            on_program=self._on_program,
+            on_erase=self._on_erase,
+            on_power_cycle=self._on_power_cycle,
         )
 
     # ------------------------------------------------------------------
@@ -296,6 +298,22 @@ class PageCache:
     def _on_erase(self, block_no: int) -> None:
         self.invalidate_block(block_no)
 
+    def _on_power_cycle(self) -> None:
+        """Power loss: the RAM this cache lives in is gone, contents and all.
+
+        Pins evaporate with their readers. The cache also *disables*
+        itself: the chip just dropped every subscription, so continuing to
+        cache would mean serving pages with no invalidation feed — the one
+        way this layer could ever return stale bytes.
+        """
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+        self._pinned_pages = 0
+        self._closed = True
+        if self._ram is not None and self._ram_handle is not None:
+            self._ram.free(self._ram_handle)
+            self._ram_handle = None
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release the RAM reservation and stop caching (idempotent)."""
@@ -308,7 +326,9 @@ class PageCache:
         self._entries.clear()
         self._closed = True
         self.flash.unsubscribe(
-            on_program=self._on_program, on_erase=self._on_erase
+            on_program=self._on_program,
+            on_erase=self._on_erase,
+            on_power_cycle=self._on_power_cycle,
         )
         if self._ram is not None and self._ram_handle is not None:
             self._ram.free(self._ram_handle)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import hashlib
 from typing import Iterator
 
-from repro.errors import StorageError
+from repro.errors import RecoveryError, StorageError
 from repro.hardware.flash import BlockAllocator
 from repro.hardware.ram import RamArena
 from repro.storage import pager
@@ -58,10 +58,15 @@ class ChainedBucketLog:
         num_buckets: int,
         name: str = "buckets",
         ram: RamArena | None = None,
+        epoch: int = 0,
     ) -> None:
         if num_buckets <= 0:
             raise StorageError("need at least one bucket")
-        self.log = PageLog(allocator, name)
+        if num_buckets > 0x10000:
+            # The owning bucket is persisted in the page header's u16 meta
+            # field, which is what makes the directory remountable.
+            raise StorageError("at most 65536 buckets are supported")
+        self.log = PageLog(allocator, name, epoch=epoch)
         self.num_buckets = num_buckets
         self._heads: list[int] = [pager.NO_PAGE] * num_buckets
         self._staging: list[list[bytes]] = [[] for _ in range(num_buckets)]
@@ -74,6 +79,38 @@ class ChainedBucketLog:
             # buckets (entries are flushed bucket-by-bucket as pages fill).
             budget = 4 * num_buckets + self.page_size
             self._ram_handle = ram.allocate(budget, tag=f"buckets:{name}")
+
+    @classmethod
+    def remount(
+        cls,
+        session,
+        num_buckets: int,
+        name: str = "buckets",
+        ram: RamArena | None = None,
+        epoch: int = 0,
+    ) -> "ChainedBucketLog":
+        """Rebuild the bucket directory from a crash-recovery mount scan.
+
+        Each page's header ``meta`` field names its bucket, so the head of
+        every chain is simply the bucket's highest surviving log position.
+        Backward ``prev`` pointers inside pages reference strictly earlier
+        positions, and recovery truncation only drops suffixes — every
+        surviving chain is therefore intact by construction.
+        """
+        recovered = session.claim(name, epoch)
+        chain = cls(session.allocator, num_buckets, name=name, ram=ram, epoch=epoch)
+        chain.log = PageLog.remount(session.allocator, name, recovered)
+        for position, page in enumerate(recovered.pages):
+            bucket = page.header.meta
+            if bucket >= num_buckets:
+                raise RecoveryError(
+                    f"bucket log {name!r}: page {page.page_no} claims bucket "
+                    f"{bucket}, but the directory has {num_buckets}"
+                )
+            chain._heads[bucket] = position
+            _, entries = _decode_chain_page(page.payload)
+            chain._entry_count += len(entries)
+        return chain
 
     # ------------------------------------------------------------------
     @property
@@ -120,7 +157,7 @@ class ChainedBucketLog:
         if not entries:
             return
         page = pager.pack_u32(self._heads[bucket]) + pager.pack_records(entries)
-        position = self.log.append_page(page)
+        position = self.log.append_page(page, meta=bucket)
         self._heads[bucket] = position
         self._staging[bucket] = []
         self._staging_sizes[bucket] = 2
@@ -132,15 +169,29 @@ class ChainedBucketLog:
         Staged (not yet flushed) entries come first, reversed; then each
         chained page from head to tail, entries reversed within the page.
         """
+        for _, entry in self.iter_bucket_with_positions(bucket):
+            yield entry
+
+    def iter_bucket_with_positions(
+        self, bucket: int
+    ) -> Iterator[tuple[int | None, bytes]]:
+        """Like :meth:`iter_bucket` but yields ``(page_position, entry)``.
+
+        Staged entries (RAM, no page yet) yield ``None`` as position. The
+        position lets readers apply recovery fences — "trust entries in
+        pages below P only up to docid D" — without touching page formats.
+        """
         if not 0 <= bucket < self.num_buckets:
             raise StorageError(
                 f"bucket {bucket} out of range [0, {self.num_buckets})"
             )
-        yield from reversed(self._staging[bucket])
+        for entry in reversed(self._staging[bucket]):
+            yield None, entry
         position = self._heads[bucket]
         while position != pager.NO_PAGE:
             prev, entries = self._chain_page(position)
-            yield from reversed(entries)
+            for entry in reversed(entries):
+                yield position, entry
             position = prev
 
     def chain_length(self, bucket: int) -> int:

@@ -11,6 +11,13 @@ structure obeys:
 spanning dynamically allocated blocks. :class:`RecordLog` layers a
 record-per-append interface on top with a single-page RAM write buffer,
 which is the entire RAM cost of maintaining a log.
+
+Every page a :class:`PageLog` programs carries a
+:class:`~repro.storage.pager.PageHeader` in the flash spare area naming
+its log, epoch and in-log sequence number. That makes logs *remountable*:
+after power loss, :mod:`repro.storage.recovery` rebuilds them from a
+sequential flash scan via :meth:`PageLog.remount` /
+:meth:`RecordLog.remount`, with torn or corrupt tail pages truncated away.
 """
 
 from __future__ import annotations
@@ -38,16 +45,61 @@ class RecordAddress:
 
 
 class PageLog:
-    """Append-only sequence of pages over block-granular flash allocation."""
+    """Append-only sequence of pages over block-granular flash allocation.
 
-    def __init__(self, allocator: BlockAllocator, name: str = "log") -> None:
+    ``epoch`` identifies the log's incarnation: reorganizations build the
+    successor structure under a fresh epoch so crash recovery can tell the
+    old and new instances of a log name apart and keep exactly one.
+    """
+
+    def __init__(
+        self,
+        allocator: BlockAllocator,
+        name: str = "log",
+        epoch: int = 0,
+    ) -> None:
         self.allocator = allocator
         self.flash = allocator.flash
         self.name = name
+        self.epoch = epoch
+        self.log_id = pager.log_id_of(name)
         self._blocks: list[int] = []
         self._page_numbers: list[int] = []  # physical page of each log position
+        self._page_metas: list[int] = []  # per-page u16 from the page header
+        self._next_seq = 0
         self._sealed = False
         self._dropped = False
+
+    @classmethod
+    def remount(
+        cls,
+        allocator: BlockAllocator,
+        name: str,
+        recovered,
+    ) -> "PageLog":
+        """Rebuild a log from a :class:`~repro.storage.recovery.RecoveredLog`.
+
+        The recovered pages are already CRC-checked and ordered by sequence
+        number, so position ``i`` here is exactly position ``i`` of the
+        pre-crash log (truncation only ever drops a suffix). ``next_seq``
+        resumes above every sequence number seen on flash — including
+        truncated ones — so re-appended pages can never collide with
+        leftovers from before the crash.
+        """
+        log = cls(allocator, name, epoch=recovered.epoch)
+        if recovered.log_id != log.log_id:
+            raise StorageError(
+                f"recovered pages belong to log id {recovered.log_id:#x}, "
+                f"not to {name!r} ({log.log_id:#x})"
+            )
+        for page in recovered.pages:
+            block = log.flash.geometry.block_of(page.page_no)
+            if not log._blocks or log._blocks[-1] != block:
+                log._blocks.append(block)
+            log._page_numbers.append(page.page_no)
+            log._page_metas.append(page.header.meta)
+        log._next_seq = recovered.next_seq
+        return log
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -66,18 +118,39 @@ class PageLog:
     def sealed(self) -> bool:
         return self._sealed
 
-    def append_page(self, data: bytes) -> int:
-        """Program ``data`` as the next page; returns its log position."""
+    def append_page(self, data: bytes, meta: int = 0) -> int:
+        """Program ``data`` as the next page; returns its log position.
+
+        ``meta`` is stored in the page's header for the owning structure
+        (tree level, bucket id, ...) and recovered verbatim on remount.
+
+        The next free slot is asked of the chip's write cursor rather than
+        derived from ``len(log) % pages_per_block``: after a crash the tail
+        block may contain a torn page that occupies a slot but belongs to
+        no log, and appends must continue *past* it.
+        """
         self._check_writable()
-        pages_per_block = self.flash.geometry.pages_per_block
-        if not self._blocks or len(self._page_numbers) % pages_per_block == 0:
+        if (
+            not self._blocks
+            or self.flash.next_free_page(self._blocks[-1]) is None
+        ):
             self._blocks.append(self.allocator.allocate())
         block = self._blocks[-1]
-        in_block = len(self._page_numbers) % pages_per_block
+        in_block = self.flash.next_free_page(block)
         page_no = self.flash.geometry.first_page_of(block) + in_block
-        self.flash.program_page(page_no, data)
+        header = pager.PageHeader.for_payload(
+            self.log_id, self.epoch, self._next_seq, data, meta=meta
+        )
+        self.flash.program_page(page_no, data, spare=header.pack())
+        self._next_seq += 1
         self._page_numbers.append(page_no)
+        self._page_metas.append(meta)
         return len(self._page_numbers) - 1
+
+    def page_meta(self, position: int) -> int:
+        """The header ``meta`` value the page at ``position`` was written with."""
+        self._physical_page(position)  # bounds + liveness check
+        return self._page_metas[position]
 
     def read_page(self, position: int) -> bytes:
         """Read the page at log ``position`` (0-based append order).
@@ -144,6 +217,7 @@ class PageLog:
             self.allocator.free(block)
         self._blocks.clear()
         self._page_numbers.clear()
+        self._page_metas.clear()
         self._dropped = True
 
     # ------------------------------------------------------------------
@@ -171,8 +245,9 @@ class RecordLog:
         allocator: BlockAllocator,
         name: str = "records",
         ram: RamArena | None = None,
+        epoch: int = 0,
     ) -> None:
-        self.pages = PageLog(allocator, name)
+        self.pages = PageLog(allocator, name, epoch=epoch)
         self.name = name
         #: Optional hook called as ``on_page_flush(position, records)`` right
         #: after a page hits flash — used by indexes that summarize pages
@@ -188,6 +263,29 @@ class RecordLog:
             if ram is not None
             else None
         )
+
+    @classmethod
+    def remount(
+        cls,
+        allocator: BlockAllocator,
+        name: str,
+        recovered,
+        ram: RamArena | None = None,
+    ) -> "RecordLog":
+        """Rebuild a record log from a crash-recovery scan.
+
+        Record counts per page come from the recovered payloads already in
+        RAM — re-deriving ``_records_per_page`` costs zero flash reads.
+        Anything that was only in the write buffer at the crash is gone,
+        which is the contract: a record is durable once its page flushed.
+        """
+        log = cls(allocator, name, ram, epoch=recovered.epoch)
+        log.pages = PageLog.remount(allocator, name, recovered)
+        log._records_per_page = [
+            len(pager.unpack_records(page.payload)) for page in recovered.pages
+        ]
+        log._record_count = sum(log._records_per_page)
+        return log
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -238,10 +336,22 @@ class RecordLog:
             if address.slot >= len(self._buffer):
                 raise StorageError(f"no record at {address}")
             return self._buffer[address.slot]
+        if address.slot >= self._records_per_page[address.position]:
+            # The per-page record tally rejects a dangling slot before any
+            # flash read is spent fetching the page it cannot be on.
+            raise StorageError(f"no record at {address}")
         records = self.pages.read_records(address.position)
         if address.slot >= len(records):
             raise StorageError(f"no record at {address}")
         return records[address.slot]
+
+    def records_on_page(self, position: int) -> int:
+        """Records packed into the flushed page at ``position`` (no IO)."""
+        if not 0 <= position < len(self._records_per_page):
+            raise StorageError(
+                f"log {self.name!r}: no flushed page at position {position}"
+            )
+        return self._records_per_page[position]
 
     def scan(self) -> Iterator[tuple[RecordAddress, bytes]]:
         """Yield ``(address, record)`` in append order, buffer included."""
@@ -272,6 +382,11 @@ class RecordLog:
         self._buffer = []
         self._buffer_size = 2
         self._record_count = 0
+        # Without this reset a dropped log still reports per-page record
+        # tallies for pages whose blocks were just erased, and anything
+        # consulting them (the read-path bounds check above) would trust
+        # counts for data that no longer exists.
+        self._records_per_page.clear()
         self.pages.drop()
         self._release_ram()
 

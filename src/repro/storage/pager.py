@@ -3,11 +3,19 @@
 Everything a token writes to flash goes through these fixed little-endian
 encodings, so page formats stay consistent across the record logs, bucket
 chains, Bloom summaries and tree nodes, and so tests can byte-compare pages.
+
+:class:`PageHeader` is the self-describing per-page header every
+:class:`~repro.storage.log.PageLog` writes into the page's spare (OOB)
+area. It is what makes a database mountable from flash alone: a single
+sequential scan can attribute every programmed page to its log, order the
+pages, and detect torn or corrupted tails by CRC — no RAM state needed.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
+from dataclasses import dataclass
 
 from repro.errors import StorageError
 
@@ -70,3 +78,126 @@ def records_size(records: list[bytes]) -> int:
 def record_fits(current_size: int, record: bytes, page_size: int) -> bool:
     """Whether appending ``record`` keeps the packed page within ``page_size``."""
     return current_size + 2 + len(record) <= page_size
+
+
+# ----------------------------------------------------------------------
+# Self-describing page headers (spare-area metadata for crash recovery)
+# ----------------------------------------------------------------------
+
+#: magic, log_id, epoch, seq, meta, payload_len, header_crc, payload_crc
+_HEADER = struct.Struct("<HIIIHHII")
+
+#: Bytes one packed :class:`PageHeader` occupies in the spare area.
+PAGE_HEADER_SIZE = _HEADER.size
+
+_HEADER_MAGIC = 0x5D5B  # "]["  — a page bracketed by its log
+
+
+def log_id_of(name: str) -> int:
+    """Stable 32-bit identity of a log name, as stored in page headers."""
+    return zlib.crc32(name.encode("utf-8")) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class PageHeader:
+    """Durable identity of one flash page: who wrote it, where, and intact?
+
+    * ``log_id`` — :func:`log_id_of` the owning log's name;
+    * ``epoch`` — the log incarnation (reorganizations build the successor
+      structure under a new epoch; recovery picks exactly one);
+    * ``seq`` — in-log sequence number, strictly increasing per append;
+    * ``meta`` — one u16 the owning log may use (tree level, bucket id);
+    * ``payload_len``/``payload_crc`` — length and CRC32 of the data area,
+      the torn-write detector: a page whose program was cut short fails
+      the CRC and recovery truncates the log to the last durable page.
+
+    The header itself carries a second CRC over its own fields, so a
+    corrupted header is never mistaken for a valid page of some log.
+    """
+
+    log_id: int
+    epoch: int
+    seq: int
+    meta: int
+    payload_len: int
+    payload_crc: int
+
+    @classmethod
+    def for_payload(
+        cls,
+        log_id: int,
+        epoch: int,
+        seq: int,
+        payload: bytes,
+        meta: int = 0,
+    ) -> "PageHeader":
+        return cls(
+            log_id=log_id,
+            epoch=epoch,
+            seq=seq,
+            meta=meta,
+            payload_len=len(payload),
+            payload_crc=zlib.crc32(payload) & 0xFFFFFFFF,
+        )
+
+    def pack(self) -> bytes:
+        """Spare-area encoding, self-checksummed."""
+        body = _HEADER.pack(
+            _HEADER_MAGIC,
+            self.log_id,
+            self.epoch,
+            self.seq,
+            self.meta,
+            self.payload_len,
+            0,
+            self.payload_crc,
+        )
+        header_crc = zlib.crc32(body) & 0xFFFFFFFF
+        return _HEADER.pack(
+            _HEADER_MAGIC,
+            self.log_id,
+            self.epoch,
+            self.seq,
+            self.meta,
+            self.payload_len,
+            header_crc,
+            self.payload_crc,
+        )
+
+    @classmethod
+    def unpack(cls, spare: bytes) -> "PageHeader | None":
+        """Decode a spare area; None if absent, truncated or corrupt."""
+        if len(spare) < PAGE_HEADER_SIZE:
+            return None
+        (
+            magic,
+            log_id,
+            epoch,
+            seq,
+            meta,
+            payload_len,
+            header_crc,
+            payload_crc,
+        ) = _HEADER.unpack_from(spare, 0)
+        if magic != _HEADER_MAGIC:
+            return None
+        body = _HEADER.pack(
+            magic, log_id, epoch, seq, meta, payload_len, 0, payload_crc
+        )
+        if (zlib.crc32(body) & 0xFFFFFFFF) != header_crc:
+            return None
+        return cls(
+            log_id=log_id,
+            epoch=epoch,
+            seq=seq,
+            meta=meta,
+            payload_len=payload_len,
+            payload_crc=payload_crc,
+        )
+
+    def matches(self, payload: bytes) -> bool:
+        """Whether ``payload`` is the exact data this header committed to."""
+        return (
+            len(payload) == self.payload_len
+            and (zlib.crc32(payload) & 0xFFFFFFFF) == self.payload_crc
+        )

@@ -1,0 +1,339 @@
+"""Crash recovery: mount a database from flash alone, in one sequential scan.
+
+The tutorial's secure portable token can be unplugged at any instant, so
+*all* host-side state — write buffers, caches, the allocator's view of
+which blocks are used — must be reconstructible from the silicon. The
+pieces here do exactly that:
+
+* :class:`MountSession` scans every programmed page once (one metered read
+  per page, spare area included), validates each
+  :class:`~repro.storage.pager.PageHeader` by CRC, groups valid pages by
+  ``(log_id, epoch)`` and orders them by sequence number, truncating each
+  log at the first gap — which is how a torn tail page (no valid header)
+  or a corrupt page (payload CRC mismatch) silently disappears, restoring
+  the log to its last durable prefix.
+* Structures then :meth:`~MountSession.claim` their logs by name and
+  epoch; :meth:`~MountSession.finish` erases whatever nobody claimed —
+  half-built reorganization output, logs that were mid-drop at the crash —
+  returning those blocks to the allocator's free pool.
+* :class:`Manifest` is the tiny commit log that makes multi-log operations
+  crash-atomic: one self-contained JSON record per page, durable the
+  moment its program completes. A reorganization writes its commit record
+  *between* building the new structure and dropping the old one, so
+  recovery finds either "not committed" (keep the old epoch, garbage-
+  collect the new) or "committed" (keep the new, garbage-collect the old)
+  — never both, never neither.
+
+Erased vs programmed-but-empty pages: both read back as ``b""`` from the
+data area, so the scan asks the chip's :meth:`~NandFlash.is_erased`
+instead of inspecting content — a controller-level distinction real NAND
+makes electrically. A programmed-empty page still consumes its in-block
+slot and, with a valid header, is a legitimate log page.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import RecoveryError, StorageError
+from repro.hardware.flash import BlockAllocator, NandFlash
+from repro.hardware.ram import RamArena
+from repro.storage import pager
+from repro.storage.log import PageLog, RecordLog
+from repro.storage.pager import PageHeader
+
+
+@dataclass(frozen=True)
+class RecoveredPage:
+    """One CRC-valid page attributed to a log during the mount scan."""
+
+    page_no: int
+    header: PageHeader
+    payload: bytes
+
+
+@dataclass
+class RecoveredLog:
+    """Durable prefix of one log incarnation, as found on flash.
+
+    ``pages`` are ordered by header sequence number and form a gapless
+    prefix ``0..len(pages)-1``; position ``i`` of the remounted log is
+    ``pages[i]``, identical to the pre-crash position (truncation only
+    drops suffixes, so stored :class:`RecordAddress`es and chained-page
+    pointers stay valid). ``next_seq`` exceeds every sequence number seen
+    for this incarnation, valid or not, so post-recovery appends cannot
+    collide with junk pages that survived in claimed blocks.
+    """
+
+    log_id: int
+    epoch: int
+    pages: list[RecoveredPage]
+    next_seq: int
+    truncated_pages: int
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+
+@dataclass
+class MountReport:
+    """What one mount scan saw and did — the E22 recovery-cost metrics."""
+
+    pages_scanned: int = 0
+    flash_reads: int = 0
+    torn_pages: int = 0
+    corrupt_pages: int = 0
+    truncated_pages: int = 0
+    logs_found: int = 0
+    reclaimed_blocks: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form for benchmark meta blocks."""
+        return {
+            "pages_scanned": self.pages_scanned,
+            "flash_reads": self.flash_reads,
+            "torn_pages": self.torn_pages,
+            "corrupt_pages": self.corrupt_pages,
+            "truncated_pages": self.truncated_pages,
+            "logs_found": self.logs_found,
+            "reclaimed_blocks": self.reclaimed_blocks,
+        }
+
+
+class MountSession:
+    """One mount: scan flash, hand out recovered logs, reclaim the rest.
+
+    Protocol::
+
+        session = mount(flash)
+        manifest = Manifest.remount(session)
+        log = session.claim_record_log("documents")
+        ...                       # every structure claims its logs
+        session.finish()          # unclaimed blocks are erased and freed
+
+    The session owns the rebuilt :class:`BlockAllocator`: it starts with
+    every block that holds programmed pages marked allocated, and
+    :meth:`finish` frees the ones no claimed log accounted for.
+    """
+
+    def __init__(self, flash: NandFlash, ram: RamArena | None = None) -> None:
+        self.flash = flash
+        self.ram = ram
+        self.report = MountReport()
+        self._logs: dict[tuple[int, int], RecoveredLog] = {}
+        self._programmed_blocks: set[int] = set()
+        self._claimed_blocks: set[int] = set()
+        self._finished = False
+        self._scan()
+        self.allocator = BlockAllocator(
+            flash, allocated=sorted(self._programmed_blocks)
+        )
+
+    # ------------------------------------------------------------------
+    def _scan(self) -> None:
+        geometry = self.flash.geometry
+        groups: dict[tuple[int, int], list[RecoveredPage]] = {}
+        max_seq: dict[tuple[int, int], int] = {}
+        for block in range(geometry.num_blocks):
+            first = geometry.first_page_of(block)
+            for index in range(geometry.pages_per_block):
+                page_no = first + index
+                if self.flash.is_erased(page_no):
+                    # Sequential in-block programming: everything after the
+                    # first erased page is erased too. (Content alone could
+                    # not tell us this — a programmed-empty page also reads
+                    # back b"".)
+                    break
+                self._programmed_blocks.add(block)
+                data, spare = self.flash.read_page_with_spare(page_no)
+                self.report.pages_scanned += 1
+                self.report.flash_reads += 1
+                header = PageHeader.unpack(spare)
+                if header is None:
+                    # Interrupted program: the spare area (written last)
+                    # never made it. The page is junk occupying a slot.
+                    self.report.torn_pages += 1
+                    continue
+                key = (header.log_id, header.epoch)
+                max_seq[key] = max(max_seq.get(key, -1), header.seq)
+                if not header.matches(data):
+                    self.report.corrupt_pages += 1
+                    continue
+                groups.setdefault(key, []).append(
+                    RecoveredPage(page_no, header, data)
+                )
+        for key in set(groups) | set(max_seq):
+            pages = groups.get(key, [])
+            pages.sort(key=lambda page: page.header.seq)
+            prefix: list[RecoveredPage] = []
+            for page in pages:
+                if page.header.seq != len(prefix):
+                    break
+                prefix.append(page)
+            truncated = len(pages) - len(prefix)
+            self.report.truncated_pages += truncated
+            self._logs[key] = RecoveredLog(
+                log_id=key[0],
+                epoch=key[1],
+                pages=prefix,
+                next_seq=max_seq[key] + 1,
+                truncated_pages=truncated,
+            )
+        self.report.logs_found = sum(
+            1 for log in self._logs.values() if log.pages
+        )
+
+    # ------------------------------------------------------------------
+    def find(self, name: str, epoch: int = 0) -> RecoveredLog | None:
+        """Recovered state of ``name``'s ``epoch`` incarnation, if any."""
+        return self._logs.get((pager.log_id_of(name), epoch))
+
+    def epochs_of(self, name: str) -> list[int]:
+        """Every epoch of ``name`` with at least one durable page."""
+        log_id = pager.log_id_of(name)
+        return sorted(
+            epoch
+            for (found_id, epoch), log in self._logs.items()
+            if found_id == log_id and log.pages
+        )
+
+    def claim(self, name: str, epoch: int = 0) -> RecoveredLog:
+        """Take ownership of a log's blocks; they survive :meth:`finish`.
+
+        Claiming a log that left no durable pages returns an empty
+        :class:`RecoveredLog` — the structure simply starts fresh.
+        """
+        self._check_open()
+        key = (pager.log_id_of(name), epoch)
+        recovered = self._logs.get(key)
+        if recovered is None:
+            recovered = RecoveredLog(
+                log_id=key[0],
+                epoch=epoch,
+                pages=[],
+                next_seq=0,
+                truncated_pages=0,
+            )
+            self._logs[key] = recovered
+        for page in recovered.pages:
+            self._claimed_blocks.add(
+                self.flash.geometry.block_of(page.page_no)
+            )
+        return recovered
+
+    def claim_page_log(self, name: str, epoch: int = 0) -> PageLog:
+        """Claim and remount a :class:`PageLog` in one step."""
+        return PageLog.remount(self.allocator, name, self.claim(name, epoch))
+
+    def claim_record_log(
+        self,
+        name: str,
+        epoch: int = 0,
+        ram: RamArena | None = None,
+    ) -> RecordLog:
+        """Claim and remount a :class:`RecordLog` in one step."""
+        return RecordLog.remount(
+            self.allocator,
+            name,
+            self.claim(name, epoch),
+            ram if ram is not None else self.ram,
+        )
+
+    def finish(self) -> MountReport:
+        """Erase and free every programmed block no claimed log owns.
+
+        This is where the crash's debris goes: half-built reorganization
+        epochs that never committed, logs that were mid-drop, torn pages
+        stranded alone in a fresh block. Idempotent state-wise but callable
+        once — the session is closed afterwards.
+        """
+        self._check_open()
+        garbage = sorted(self._programmed_blocks - self._claimed_blocks)
+        for block in garbage:
+            self.allocator.free(block)
+        self.report.reclaimed_blocks = len(garbage)
+        self._finished = True
+        return self.report
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise RecoveryError("mount session already finished")
+
+
+def mount(flash: NandFlash, ram: RamArena | None = None) -> MountSession:
+    """Scan ``flash`` and open a :class:`MountSession` over what it holds."""
+    return MountSession(flash, ram)
+
+
+class Manifest:
+    """Durable commit log: one self-contained JSON record per flash page.
+
+    Writing a record is a single page program, so a record either exists
+    completely (header CRC valid) or not at all (torn, invisible after
+    remount) — exactly the atomicity primitive multi-log commit points
+    need. Records are never updated; later records supersede earlier ones
+    of the same kind, and recovery replays the whole (small) log.
+
+    Record kinds used by the stack:
+
+    * ``reorg-commit`` ``{name, epoch}`` — the reorganization of ``name``
+      into incarnation ``epoch`` is complete; recovery must load that
+      epoch and garbage-collect every other incarnation.
+    * ``search-checkpoint`` ``{docs}`` — the first ``docs`` documents are
+      fully indexed by the search engine's flushed buckets.
+    * ``search-fence`` ``{positions, max_docid}`` — per-bucket page limits
+      paired with the checkpoint: postings in pages below the fence are
+      trusted only up to ``max_docid`` (ghost-posting filter).
+    """
+
+    NAME = "manifest"
+
+    def __init__(self, pages: PageLog) -> None:
+        self.pages = pages
+
+    @classmethod
+    def create(cls, allocator: BlockAllocator) -> "Manifest":
+        """Open a fresh manifest on a fresh token."""
+        return cls(PageLog(allocator, cls.NAME))
+
+    @classmethod
+    def remount(cls, session: MountSession) -> "Manifest":
+        """Claim and rebuild the manifest from a mount session."""
+        return cls(session.claim_page_log(cls.NAME))
+
+    def append(self, kind: str, **fields) -> None:
+        """Durably commit one record; returns only after it is on flash."""
+        record = dict(fields)
+        record["kind"] = kind
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        if len(payload) > self.pages.page_size:
+            raise StorageError(
+                f"manifest record of {len(payload)} B exceeds the "
+                f"{self.pages.page_size} B page"
+            )
+        self.pages.append_page(payload)
+
+    def records(self) -> list[dict]:
+        """Every committed record, oldest first."""
+        out = []
+        for page in self.pages.iter_pages():
+            out.append(json.loads(page.decode("utf-8")))
+        return out
+
+    def last(self, kind: str) -> dict | None:
+        """Most recent record of ``kind``, or None."""
+        found = None
+        for record in self.records():
+            if record["kind"] == kind:
+                found = record
+        return found
+
+    def committed_epoch(self, name: str, default: int = 0) -> int:
+        """Epoch the latest ``reorg-commit`` for ``name`` selected."""
+        epoch = default
+        for record in self.records():
+            if record["kind"] == "reorg-commit" and record["name"] == name:
+                epoch = record["epoch"]
+        return epoch

@@ -1,0 +1,370 @@
+"""The headline crash-recovery property: unplug at EVERY IO, lose nothing.
+
+A mixed insert/query/reorganize workload runs against a small chip while a
+silicon-level recorder tracks, after every program and erase, exactly which
+records are durable. The sweep then re-runs the workload once per IO index
+``k`` with a :class:`FaultPlan` that kills power at op ``k``, remounts from
+flash alone, and asserts:
+
+* no committed (page-flushed) record is lost,
+* no torn record is visible,
+* lookups are bit-identical to the durable subset of a never-crashed run,
+* exactly one index epoch survives, and
+* no flash block leaks (everything is claimed or reclaimed).
+
+``FAULT_SMOKE=1`` (the CI fault-smoke job) samples every 7th crash point;
+the full suite sweeps every single one.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.errors import PowerLossError
+from repro.fault import FaultPlan
+from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
+from repro.hardware.profiles import smart_usb_token
+from repro.hardware.ram import RamArena
+from repro.hardware.token import SecurePortableToken
+from repro.pds.datamodel import PersonalDocument
+from repro.pds.server import PersonalDataServer
+from repro.relational import KeyIndex, remount_index, reorganize_durably
+from repro.storage import pager
+from repro.storage.log import RecordLog
+from repro.storage.pager import PageHeader
+from repro.storage.recovery import Manifest, mount
+
+STRIDE = 7 if os.environ.get("FAULT_SMOKE") else 1
+
+# ---------------------------------------------------------------------------
+# Relational sweep: inserts + flushes + durable reorganization + delta.
+# ---------------------------------------------------------------------------
+GEOM = FlashGeometry(page_size=128, pages_per_block=4, num_blocks=160, spare_size=64)
+KEYS = 7
+PRE_INSERTS = [(i % KEYS, i) for i in range(40)]
+DELTA_INSERTS = [(i % KEYS, i) for i in range(40, 60)]
+DOCS = [b"doc-%02d" % i for i in range(60)]
+
+
+class DurabilityRecorder:
+    """Reconstructs, from silicon alone, what is durable after every IO.
+
+    Subscribed to the chip's program/erase notifications, it decodes each
+    freshly programmed page's spare header and accumulates, per log, the
+    durable record counts — snapshotted after every op, so snapshot ``k-1``
+    is exactly the durable state a crash at op ``k`` must recover.
+    """
+
+    def __init__(self, flash: NandFlash) -> None:
+        self.flash = flash
+        self._keys_id = pager.log_id_of("age:keys")
+        self._docs_id = pager.log_id_of("documents")
+        self._manifest_id = pager.log_id_of("manifest")
+        self.keys_flushed: dict[int, int] = {}  # epoch -> durable entries
+        self.docs_flushed = 0
+        self.committed_epoch = 0
+        self.snapshots: list[tuple[dict[int, int], int, int]] = []
+        flash.subscribe(on_program=self._on_program, on_erase=self._on_erase)
+
+    def _on_program(self, page_no: int) -> None:
+        data = self.flash._pages[page_no]
+        header = PageHeader.unpack(self.flash._spares[page_no])
+        if header is not None:
+            if header.log_id == self._keys_id:
+                self.keys_flushed[header.epoch] = self.keys_flushed.get(
+                    header.epoch, 0
+                ) + len(pager.unpack_records(data))
+            elif header.log_id == self._docs_id:
+                self.docs_flushed += len(pager.unpack_records(data))
+            elif header.log_id == self._manifest_id:
+                record = json.loads(data)
+                if record["kind"] == "reorg-commit" and record["name"] == "age":
+                    self.committed_epoch = record["epoch"]
+        self._snap()
+
+    def _on_erase(self, block_no: int) -> None:
+        self._snap()
+
+    def _snap(self) -> None:
+        self.snapshots.append(
+            (dict(self.keys_flushed), self.docs_flushed, self.committed_epoch)
+        )
+
+
+def run_workload(flash: NandFlash):
+    """Mixed workload: batched inserts, a durable reorg, delta inserts."""
+    allocator = BlockAllocator(flash)
+    manifest = Manifest.create(allocator)
+    index = KeyIndex("age", allocator, bits_per_key=8.0)
+    docs = RecordLog(allocator, "documents")
+    for n, (value, rowid) in enumerate(PRE_INSERTS):
+        index.insert(value, rowid)
+        docs.append(DOCS[rowid])
+        if n % 7 == 6:
+            index.flush()
+            docs.flush()
+    index.flush()
+    docs.flush()
+    sorted_index, delta = reorganize_durably(
+        index, allocator, RamArena(1 << 20), manifest, sort_buffer_bytes=256
+    )
+    for n, (value, rowid) in enumerate(DELTA_INSERTS):
+        delta.insert(value, rowid)
+        docs.append(DOCS[rowid])
+        if n % 5 == 4:
+            delta.flush()
+            docs.flush()
+    delta.flush()
+    docs.flush()
+    return sorted_index, delta, docs, manifest
+
+
+def expected_lookups(snapshot) -> dict[int, list[int]]:
+    """Durable query answers implied by one recorder snapshot."""
+    keys_flushed, _, committed = snapshot
+    if committed:
+        entries = list(PRE_INSERTS) + DELTA_INSERTS[: keys_flushed.get(committed, 0)]
+    else:
+        entries = PRE_INSERTS[: keys_flushed.get(0, 0)]
+    return {
+        value: sorted(rowid for key, rowid in entries if key == value)
+        for value in range(KEYS)
+    }
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """One never-crashed run: op count, final answers, durability timeline."""
+    flash = NandFlash(GEOM)
+    recorder = DurabilityRecorder(flash)
+    sorted_index, delta, docs, _ = run_workload(flash)
+    final = {
+        value: sorted(sorted_index.lookup(value) + delta.lookup(value))
+        for value in range(KEYS)
+    }
+    return {
+        "total_ops": len(recorder.snapshots),
+        "final": final,
+        "snapshots": recorder.snapshots,
+    }
+
+
+def crash_and_verify(k: int) -> None:
+    flash = NandFlash(GEOM)
+    recorder = DurabilityRecorder(flash)
+    plan = FaultPlan(kill_at=k, seed=k).attach(flash)
+    with pytest.raises(PowerLossError):
+        run_workload(flash)
+    assert plan.kills == 1, k
+    snapshot = recorder.snapshots[-1] if k else ({}, 0, 0)
+    flash.power_cycle()
+
+    session = mount(flash)
+    manifest = Manifest.remount(session)
+    sorted_index, delta = remount_index(session, manifest, "age", bits_per_key=8.0)
+    docs = session.claim_record_log("documents")
+    report = session.finish()
+    assert report.torn_pages <= 1, k
+
+    # No committed record lost, no torn record visible: the recovered
+    # documents log is byte-for-byte the durable prefix.
+    keys_flushed, docs_flushed, committed = snapshot
+    assert [record for _, record in docs.scan()] == DOCS[:docs_flushed], k
+
+    # Exactly one consistent epoch.
+    if committed:
+        assert sorted_index is not None and sorted_index.epoch == committed, k
+        assert delta.epoch == committed, k
+    else:
+        assert sorted_index is None, k
+        assert delta.epoch == 0, k
+
+    # Query results bit-identical to the durable subset of the clean run.
+    expected = expected_lookups(snapshot)
+    for value in range(KEYS):
+        if sorted_index is None:
+            got = delta.lookup(value)
+        else:
+            got = sorted(sorted_index.lookup(value) + delta.lookup(value))
+        assert got == expected[value], (k, value)
+
+    # No block leaks: after reclamation, every allocated block belongs to a
+    # claimed log.
+    expected_blocks = (
+        manifest.pages.num_blocks
+        + docs.pages.num_blocks
+        + delta.keys.pages.num_blocks
+        + delta.summaries.pages.num_blocks
+    )
+    if sorted_index is not None:
+        expected_blocks += (
+            sorted_index.sorted_log.num_blocks + sorted_index.tree_log.num_blocks
+        )
+    assert session.allocator.allocated_blocks == expected_blocks, k
+
+    # A second mount must see only the claimed incarnations — the losing
+    # epoch and every temp run log are gone from the silicon.
+    again = mount(flash)
+    live = committed
+    wanted = [live] if keys_flushed.get(live, 0) else []
+    assert again.epochs_of("age:keys") == wanted, k
+    assert again.epochs_of("age:sorted") == ([live] if committed else []), k
+    for temp in ("age:run0", "age:run1", "age:run2", "age:run3", "age:pass0"):
+        assert again.epochs_of(temp) == [], (k, temp)
+
+
+class TestCrashAtEveryIO:
+    def test_clean_remount_is_bit_identical(self, reference):
+        flash = NandFlash(GEOM)
+        run_workload(flash)
+        programmed = flash.stats.page_programs
+        flash.power_cycle()
+        before = flash.stats.page_reads
+        session = mount(flash)
+        # Mount cost: exactly one read per programmed page, never more.
+        assert flash.stats.page_reads - before == session.report.pages_scanned
+        assert session.report.pages_scanned <= programmed
+        manifest = Manifest.remount(session)
+        sorted_index, delta = remount_index(
+            session, manifest, "age", bits_per_key=8.0
+        )
+        session.finish()
+        got = {
+            value: sorted(sorted_index.lookup(value) + delta.lookup(value))
+            for value in range(KEYS)
+        }
+        assert got == reference["final"]
+
+    def test_crash_at_every_program_and_erase(self, reference):
+        total_ops = reference["total_ops"]
+        assert total_ops > 40  # the workload is genuinely mixed
+        for k in range(0, total_ops, STRIDE):
+            crash_and_verify(k)
+
+
+# ---------------------------------------------------------------------------
+# PDS-level sweep: ingest + checkpoint + forget across the full stack.
+# ---------------------------------------------------------------------------
+PDS_GEOM = FlashGeometry(page_size=512, pages_per_block=4, num_blocks=128, spare_size=64)
+PDS_PROFILE = dataclasses.replace(smart_usb_token(), flash_geometry=PDS_GEOM)
+DOC_IDS = [9000 + i for i in range(12)]
+FORGOTTEN = DOC_IDS[2]
+
+
+def make_documents() -> list[PersonalDocument]:
+    return [
+        PersonalDocument(
+            kind="note",
+            text=f"recipe number{i} flavour{i % 3}",
+            attributes={},
+            source="sweep",
+            timestamp=i,
+            doc_id=DOC_IDS[i],
+        )
+        for i in range(12)
+    ]
+
+
+class PdsRecorder:
+    """Silicon-level durability tracker for the PDS workload."""
+
+    def __init__(self, flash: NandFlash) -> None:
+        self.flash = flash
+        self._docs_id = pager.log_id_of("documents")
+        self._manifest_id = pager.log_id_of("manifest")
+        self.docs_flushed = 0
+        self.forgotten: set[int] = set()
+        self.snapshots: list[tuple[int, frozenset[int]]] = []
+        flash.subscribe(on_program=self._on_program, on_erase=self._on_erase)
+
+    def _on_program(self, page_no: int) -> None:
+        data = self.flash._pages[page_no]
+        header = PageHeader.unpack(self.flash._spares[page_no])
+        if header is not None:
+            if header.log_id == self._docs_id:
+                self.docs_flushed += len(pager.unpack_records(data))
+            elif header.log_id == self._manifest_id:
+                record = json.loads(data)
+                if record["kind"] == "forget":
+                    self.forgotten.add(record["doc"])
+        self._snap()
+
+    def _on_erase(self, block_no: int) -> None:
+        self._snap()
+
+    def _snap(self) -> None:
+        self.snapshots.append((self.docs_flushed, frozenset(self.forgotten)))
+
+
+def run_pds_workload(flash: NandFlash) -> PersonalDataServer:
+    token = SecurePortableToken(profile=PDS_PROFILE, owner="alice", flash=flash)
+    pds = PersonalDataServer("alice", token=token, search_buckets=8)
+    documents = make_documents()
+    for document in documents[:8]:
+        pds.ingest(document)
+    pds.checkpoint()
+    for document in documents[8:]:
+        pds.ingest(document)
+    pds.forget(FORGOTTEN)
+    pds.checkpoint()
+    return pds
+
+
+def pds_crash_and_verify(k: int) -> None:
+    flash = NandFlash(PDS_GEOM)
+    recorder = PdsRecorder(flash)
+    plan = FaultPlan(kill_at=k, seed=k).attach(flash)
+    with pytest.raises(PowerLossError):
+        run_pds_workload(flash)
+    assert plan.kills == 1, k
+    docs_flushed, forgotten = recorder.snapshots[-1] if k else (0, frozenset())
+    flash.power_cycle()
+
+    pds = PersonalDataServer.remount(
+        flash, "alice", profile=PDS_PROFILE, search_buckets=8
+    )
+    visible = [i for i in DOC_IDS[:docs_flushed] if i not in forgotten]
+    assert sorted(pds._doc_addresses) == visible, k
+    # Every durable, unforgotten document is searchable exactly once: no
+    # committed doc lost, no half-indexed ghost, no double hit.
+    hits = pds.search(pds.owner, "recipe", n=50)
+    hit_ids = sorted(document.doc_id for _, document in hits)
+    assert hit_ids == visible, k
+    for doc_id in visible:
+        recovered = pds.read(pds.owner, doc_id)
+        assert recovered.text == f"recipe number{doc_id - 9000} flavour{(doc_id - 9000) % 3}"
+
+
+class TestPdsCrashSweep:
+    def test_crash_at_every_io(self):
+        flash = NandFlash(PDS_GEOM)
+        recorder = PdsRecorder(flash)
+        pds = run_pds_workload(flash)
+        total_ops = len(recorder.snapshots)
+        assert total_ops > 10
+        assert pds.document_count == 11
+        for k in range(0, total_ops, STRIDE):
+            pds_crash_and_verify(k)
+
+    def test_repeated_crashes_converge(self):
+        """Crash, remount, crash again: fences keep visibility exact."""
+        flash = NandFlash(PDS_GEOM)
+        run_pds_workload(flash)
+        flash.power_cycle()
+        first = PersonalDataServer.remount(
+            flash, "alice", profile=PDS_PROFILE, search_buckets=8
+        )
+        expected = sorted(
+            document.doc_id for _, document in first.search(first.owner, "recipe", n=50)
+        )
+        for _ in range(3):
+            flash.power_cycle()
+            pds = PersonalDataServer.remount(
+                flash, "alice", profile=PDS_PROFILE, search_buckets=8
+            )
+            got = sorted(
+                document.doc_id for _, document in pds.search(pds.owner, "recipe", n=50)
+            )
+            assert got == expected

@@ -1,0 +1,163 @@
+"""Unit tests for the deterministic fault injector (repro.fault)."""
+
+import pytest
+
+from repro.errors import PowerLossError
+from repro.fault import FaultPlan, unplug
+from repro.hardware.flash import FlashGeometry, NandFlash
+
+GEOM = FlashGeometry(page_size=64, pages_per_block=4, num_blocks=8, spare_size=32)
+
+
+def fresh_flash() -> NandFlash:
+    return NandFlash(GEOM)
+
+
+class TestKillAtProgram:
+    def test_kill_raises_power_loss(self):
+        flash = fresh_flash()
+        FaultPlan(kill_at=2, seed=7).attach(flash)
+        flash.program_page(0, b"a" * 8, spare=b"s")
+        flash.program_page(1, b"b" * 8, spare=b"s")
+        with pytest.raises(PowerLossError):
+            flash.program_page(2, b"c" * 8, spare=b"s")
+
+    def test_torn_write_shape(self):
+        """A killed program leaves a prefix-only payload and no spare."""
+        flash = fresh_flash()
+        plan = FaultPlan(kill_at=0, seed=3).attach(flash)
+        payload = bytes(range(32))
+        with pytest.raises(PowerLossError):
+            flash.program_page(0, payload, spare=b"full-header")
+        assert not flash.is_erased(0)  # the torn page occupies its slot
+        data, spare = flash.read_page_with_spare(0)
+        assert payload.startswith(data)
+        assert len(data) < len(payload) or data == payload
+        assert spare == b""
+        assert plan.torn_pages == [0]
+        assert plan.kills == 1
+
+    def test_torn_page_counts_in_stats_and_cursor(self):
+        flash = fresh_flash()
+        FaultPlan(kill_at=0, seed=1).attach(flash)
+        with pytest.raises(PowerLossError):
+            flash.program_page(0, b"x" * 16, spare=b"h")
+        assert flash.stats.page_programs == 1
+        # The slot is consumed: the block's next free page moves past it.
+        assert flash.next_free_page(0) == 1
+
+    def test_determinism_same_seed_same_silicon(self):
+        """(seed, kill_at) fully determines the torn bytes on the chip."""
+
+        def run(seed: int) -> tuple[bytes, bytes]:
+            flash = fresh_flash()
+            FaultPlan(kill_at=3, seed=seed).attach(flash)
+            try:
+                for i in range(6):
+                    flash.program_page(i, bytes([i]) * 40, spare=b"hdr")
+            except PowerLossError:
+                pass
+            return flash.read_page_with_spare(3)
+
+        assert run(42) == run(42)
+
+    def test_different_seed_can_differ(self):
+        def torn_len(seed: int) -> int:
+            flash = fresh_flash()
+            FaultPlan(kill_at=0, seed=seed).attach(flash)
+            with pytest.raises(PowerLossError):
+                flash.program_page(0, bytes(48), spare=b"h")
+            return len(flash.read_page_with_spare(0)[0])
+
+        lengths = {torn_len(seed) for seed in range(16)}
+        assert len(lengths) > 1  # the cut point really is drawn from the RNG
+
+    def test_untorn_mode_writes_full_page(self):
+        flash = fresh_flash()
+        FaultPlan(kill_at=0, torn_writes=False, seed=0).attach(flash)
+        with pytest.raises(PowerLossError):
+            flash.program_page(0, b"z" * 8, spare=b"hdr")
+        assert flash.read_page_with_spare(0) == (b"z" * 8, b"hdr")
+
+
+class TestKillAtErase:
+    def test_erase_kill_counts_and_is_deterministic(self):
+        def outcome(seed: int) -> bool:
+            flash = fresh_flash()
+            flash.program_page(0, b"d" * 8)
+            FaultPlan(kill_at=0, seed=seed).attach(flash)
+            with pytest.raises(PowerLossError):
+                flash.erase_block(0)
+            assert flash.stats.block_erases == 1  # counted either way
+            return flash.is_erased(0)
+
+        assert outcome(5) == outcome(5)
+        # Across seeds both outcomes (pulse landed / did not) occur.
+        assert {outcome(seed) for seed in range(12)} == {True, False}
+
+    def test_ops_counter_spans_programs_and_erases(self):
+        flash = fresh_flash()
+        plan = FaultPlan(kill_at=1, seed=0).attach(flash)
+        flash.program_page(0, b"a" * 4)  # op 0
+        with pytest.raises(PowerLossError):
+            flash.erase_block(1)  # op 1
+        assert plan.ops_seen == 2
+        assert plan.kills == 1
+
+
+class TestBitFlips:
+    def test_flip_changes_exactly_one_bit(self):
+        flash = fresh_flash()
+        plan = FaultPlan(bit_flip_rate=1.0, seed=9).attach(flash)
+        payload = bytes(32)
+        flash.program_page(0, payload, spare=b"hdr")
+        data, spare = flash.read_page_with_spare(0)
+        assert spare == b"hdr"  # flips corrupt the payload, not the header
+        diff = [a ^ b for a, b in zip(data, payload)]
+        assert sum(bin(byte).count("1") for byte in diff) == 1
+        assert plan.flipped_pages == [0]
+
+    def test_zero_rate_never_flips(self):
+        flash = fresh_flash()
+        plan = FaultPlan(bit_flip_rate=0.0, seed=9).attach(flash)
+        for i in range(4):
+            flash.program_page(i, bytes([i]) * 16)
+        assert plan.flipped_pages == []
+
+
+class TestScheduling:
+    def test_kill_now_unplugs_at_next_io(self):
+        flash = fresh_flash()
+        plan = FaultPlan(seed=0).attach(flash)
+        flash.program_page(0, b"a" * 4)
+        plan.kill_now()
+        with pytest.raises(PowerLossError):
+            flash.program_page(1, b"b" * 4)
+
+    def test_multiple_kill_points(self):
+        flash = fresh_flash()
+        plan = FaultPlan(kill_at=[1, 3], seed=0).attach(flash)
+        flash.program_page(0, b"a" * 4)
+        with pytest.raises(PowerLossError):
+            flash.program_page(1, b"b" * 4)
+        flash.program_page(2, b"c" * 4)
+        with pytest.raises(PowerLossError):
+            flash.program_page(3, b"d" * 4)
+        assert plan.kills == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kill_at"):
+            FaultPlan(kill_at=-1)
+        with pytest.raises(ValueError, match="bit_flip_rate"):
+            FaultPlan(bit_flip_rate=1.5)
+
+    def test_unplug_clears_volatile_state(self):
+        flash = fresh_flash()
+        plan = FaultPlan(kill_at=99, seed=0).attach(flash)
+        fired = []
+        flash.subscribe(on_program=fired.append)
+        flash.program_page(0, b"a" * 4)
+        unplug(flash)
+        assert flash.fault_injector is None
+        flash.program_page(1, b"b" * 4)  # would fire the observer if alive
+        assert fired == [0]
