@@ -14,7 +14,11 @@ from __future__ import annotations
 import random
 import time
 
-from repro.bench.harness import Experiment, render_table, run_and_print
+from repro.bench.harness import (
+    Experiment,
+    record_wall_clock,
+    run_and_print,
+)
 from repro.crypto.paillier import generate_keypair as paillier_keypair
 from repro.crypto.rsa import generate_keypair as rsa_keypair
 from repro.smc.millionaire import millionaires
@@ -43,6 +47,9 @@ def build_millionaire_experiment() -> Experiment:
         elapsed_ms = (time.perf_counter() - start) * 1000
         assert result.alice_at_least_bob  # domain//2 >= domain//3
         experiment.add_row(bits, domain, result.decryptions, round(elapsed_ms, 1))
+        record_wall_clock(
+            experiment, f"millionaire_bits_{bits}", elapsed_ms / 1000
+        )
     return experiment
 
 
@@ -78,6 +85,10 @@ def build_sum_experiment() -> Experiment:
             sites, "paillier", paillier.crypto.modexps,
             channel.stats.messages, round(paillier_ms, 3),
             paillier.total == expected,
+        )
+        record_wall_clock(experiment, f"ring_sites_{sites}", ring_ms / 1000)
+        record_wall_clock(
+            experiment, f"paillier_sites_{sites}", paillier_ms / 1000
         )
     return experiment
 

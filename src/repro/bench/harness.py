@@ -127,6 +127,18 @@ def attach_profile(experiment: Experiment, result, directory=None) -> dict:
     return paths
 
 
+def record_wall_clock(
+    experiment: Experiment, phase: str, seconds: float
+) -> None:
+    """Record measured wall-clock seconds of one phase in ``meta``.
+
+    Simulated costs stay the headline numbers; real seconds ride along
+    under ``meta["wall_clock_s"]`` so crypto-bound phases (where the cost
+    *is* CPU time, not flash IO) can be regression-tracked across PRs.
+    """
+    experiment.meta.setdefault("wall_clock_s", {})[phase] = round(seconds, 6)
+
+
 def smoke_mode() -> bool:
     """``BENCH_SMOKE`` in the env: run benches at tiny sizes (CI rot check).
 

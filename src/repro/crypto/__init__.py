@@ -9,6 +9,7 @@ experiments; none of this is audited for production use.
 
 from repro.crypto.elgamal import ElGamalPrivateKey, ElGamalPublicKey
 from repro.crypto.elgamal import generate_keypair as generate_elgamal_keypair
+from repro.crypto.fastexp import BlindingPool, FixedBaseExp, count_modexp
 from repro.crypto.paillier import (
     PaillierPrivateKey,
     PaillierPublicKey,
@@ -32,8 +33,11 @@ from repro.crypto.sharing import (
 from repro.crypto.symmetric import DeterministicCipher, NondeterministicCipher
 
 __all__ = [
+    "BlindingPool",
     "DEFAULT_MODULUS",
     "DeterministicCipher",
+    "FixedBaseExp",
+    "count_modexp",
     "ElGamalPrivateKey",
     "ElGamalPublicKey",
     "generate_elgamal_keypair",

@@ -40,7 +40,12 @@ def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
 
 
 def _xor(data: bytes, pad: bytes) -> bytes:
-    return bytes(a ^ b for a, b in zip(data, pad))
+    # One big-int XOR instead of a per-byte Python loop: ~10x less time on
+    # the million-contribution collection phases of bench E23.
+    length = len(data)
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(pad[:length], "little")
+    ).to_bytes(length, "little")
 
 
 class DeterministicCipher:

@@ -29,6 +29,13 @@ from repro.globalq.messages import (
     pack_payload,
     unpack_payload,
 )
+from repro.globalq.parallel import (
+    DEFAULT_SHARD_SIZE,
+    ShardedCollector,
+    collect_encrypted_sum,
+    shard_seed,
+    shard_slices,
+)
 from repro.globalq.noise import (
     COMPLEMENTARY_NOISE,
     NO_NOISE,
@@ -67,6 +74,7 @@ from repro.globalq.verification import (
 
 __all__ = [
     "COMPLEMENTARY_NOISE",
+    "DEFAULT_SHARD_SIZE",
     "FAMILIES",
     "GLOBAL_GROUP",
     "HISTOGRAM_BASED",
@@ -92,11 +100,13 @@ __all__ = [
     "PdsNode",
     "ProtocolReport",
     "SecureAggregationProtocol",
+    "ShardedCollector",
     "SsiBehavior",
     "SupportingServerInfrastructure",
     "TokenFleet",
     "TrustedAggregator",
     "centralized_reachability",
+    "collect_encrypted_sum",
     "detection_probability",
     "frequency_analysis",
     "histogram_flatness",
@@ -108,5 +118,7 @@ __all__ = [
     "plan_fakes",
     "private_reachability",
     "record_matches",
+    "shard_seed",
+    "shard_slices",
     "unpack_payload",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 
 from repro.errors import ProtocolError
+from repro.globalq.parallel import DEFAULT_SHARD_SIZE, ShardedCollector
 from repro.globalq.protocol import (
     PdsNode,
     ProtocolReport,
@@ -79,11 +80,20 @@ class HistogramProtocol:
         bucketizer: EquiDepthBucketizer,
         ssi_behavior: SsiBehavior = HONEST,
         rng: random.Random | None = None,
+        workers: int | None = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        collection_seed: int = 0,
     ) -> None:
         self.fleet = fleet
         self.bucketizer = bucketizer
         self.ssi_behavior = ssi_behavior
         self.rng = rng or random.Random(0)
+        #: ``None`` = original loop; an int routes collection through the
+        #: sharded executor (the bucketizer ships to workers whole — it is
+        #: a plain public mapping).
+        self.workers = workers
+        self.shard_size = shard_size
+        self.collection_seed = collection_seed
 
     def run(
         self, nodes: list[PdsNode], query: AggregateQuery
@@ -93,16 +103,35 @@ class HistogramProtocol:
 
         # Phase 1: collection with cleartext bucket ids.
         tuples_sent = 0
-        for node in nodes:
-            contributions = node.contributions(
-                query, self.fleet, bucketizer=self.bucketizer
-            )
-            tuples_sent += len(contributions)
-            for contribution in contributions:
-                channel.send(
-                    f"pds-{node.pds_id}", "ssi", contribution.blob + b"\x00" * 4
+        if self.workers is None:
+            for node in nodes:
+                contributions = node.contributions(
+                    query, self.fleet, bucketizer=self.bucketizer
                 )
-            ssi.collect(contributions)
+                tuples_sent += len(contributions)
+                for contribution in contributions:
+                    channel.send(
+                        f"pds-{node.pds_id}",
+                        "ssi",
+                        contribution.blob + b"\x00" * 4,
+                    )
+                ssi.collect(contributions)
+        else:
+            collector = ShardedCollector(
+                self.workers, self.shard_size, self.collection_seed
+            )
+            collected = collector.collect(
+                nodes, query, self.fleet, bucketizer=self.bucketizer
+            )
+            for item in collected:
+                tuples_sent += len(item.contributions)
+                for contribution in item.contributions:
+                    channel.send(
+                        f"pds-{item.pds_id}",
+                        "ssi",
+                        contribution.blob + b"\x00" * 4,
+                    )
+                ssi.collect(item.contributions)
 
         # Phase 2: partition by bucket.
         partitions = ssi.partition_by_bucket()

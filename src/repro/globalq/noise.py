@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass
 
 from repro.errors import ProtocolError
+from repro.globalq.parallel import DEFAULT_SHARD_SIZE, ShardedCollector
 from repro.globalq.protocol import (
     PdsNode,
     ProtocolReport,
@@ -81,11 +82,20 @@ class NoiseProtocol:
         noise: NoisePlan | None = None,
         ssi_behavior: SsiBehavior = HONEST,
         rng: random.Random | None = None,
+        workers: int | None = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        collection_seed: int = 0,
     ) -> None:
         self.fleet = fleet
         self.noise = noise or NoisePlan()
         self.ssi_behavior = ssi_behavior
         self.rng = rng or random.Random(0)
+        #: ``None`` = original loop; an int routes collection through the
+        #: sharded executor (fakes then draw from per-shard seeds, so the
+        #: result is identical for every worker count).
+        self.workers = workers
+        self.shard_size = shard_size
+        self.collection_seed = collection_seed
 
     def run(
         self, nodes: list[PdsNode], query: AggregateQuery
@@ -95,21 +105,40 @@ class NoiseProtocol:
 
         # Phase 1: collection with deterministic group tags + planned fakes.
         tuples_sent = fakes_sent = 0
-        for node in nodes:
-            real = local_contributions(node.records, query)
-            fakes = plan_fakes(real, self.noise, self.rng)
-            contributions = node.contributions(
-                query, self.fleet, with_group_tag=True, fakes=fakes
-            )
-            tuples_sent += len(contributions)
-            fakes_sent += len(fakes)
-            for contribution in contributions:
-                channel.send(
-                    f"pds-{node.pds_id}",
-                    "ssi",
-                    contribution.blob + (contribution.group_tag or b""),
+        if self.workers is None:
+            for node in nodes:
+                real = local_contributions(node.records, query)
+                fakes = plan_fakes(real, self.noise, self.rng)
+                contributions = node.contributions(
+                    query, self.fleet, with_group_tag=True, fakes=fakes
                 )
-            ssi.collect(contributions)
+                tuples_sent += len(contributions)
+                fakes_sent += len(fakes)
+                for contribution in contributions:
+                    channel.send(
+                        f"pds-{node.pds_id}",
+                        "ssi",
+                        contribution.blob + (contribution.group_tag or b""),
+                    )
+                ssi.collect(contributions)
+        else:
+            collector = ShardedCollector(
+                self.workers, self.shard_size, self.collection_seed
+            )
+            collected = collector.collect(
+                nodes, query, self.fleet, with_group_tag=True,
+                noise=self.noise,
+            )
+            for item in collected:
+                tuples_sent += len(item.contributions)
+                fakes_sent += item.fake_count
+                for contribution in item.contributions:
+                    channel.send(
+                        f"pds-{item.pds_id}",
+                        "ssi",
+                        contribution.blob + (contribution.group_tag or b""),
+                    )
+                ssi.collect(item.contributions)
 
         # Phase 2: the SSI groups by tag — one partition per (apparent) group.
         partitions = ssi.partition_by_group_tag()

@@ -1,0 +1,296 @@
+"""Sharded parallel execution of the [TNP14] collection phase.
+
+The collection phase is embarrassingly parallel — every PDS encrypts its
+own contributions with fleet-wide keys — yet the protocol drivers iterated
+nodes one at a time, capping experiments at a few thousand PDSs. This
+module fans collection out over a process pool without giving up
+reproducibility:
+
+* the population is cut into fixed-size **shards** (shard geometry never
+  depends on the worker count);
+* each shard derives its randomness from a **deterministic shard seed**
+  (SHA-256 of ``base_seed || shard index``), and every PDS inside a shard
+  draws its fake plan and cipher-nonce seed from the shard stream in node
+  order — so the produced ciphertexts are bit-identical whether the shard
+  runs in-process, in any worker, or in any order;
+* workers rebuild the :class:`~repro.globalq.protocol.TokenFleet` from its
+  key-derivation seed, so no key material crosses the process boundary
+  inside live objects.
+
+``workers=1`` is a true serial fallback (no pool, no pickling) that runs
+the very same shard function, which is what makes ``parallel == serial``
+an *exact* equality the tests and bench E23 assert, not an approximation.
+
+The same machinery drives the Paillier secure-sum collection
+(:func:`collect_encrypted_sum`): each shard encrypts its sites through a
+shard-seeded :class:`~repro.crypto.fastexp.BlindingPool` and returns one
+partial homomorphic aggregate for the SSI to merge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro import obs
+from repro.globalq.queries import AggregateQuery, local_contributions
+
+#: Nodes per shard. Fixed (never derived from the worker count) so that
+#: changing ``workers`` cannot change a single ciphertext.
+DEFAULT_SHARD_SIZE = 512
+
+
+def shard_seed(base_seed: int, index: int) -> int:
+    """Deterministic 64-bit seed of shard ``index`` (scheduling-independent)."""
+    digest = hashlib.sha256(f"shard:{base_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def shard_slices(count: int, shard_size: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` shard bounds over ``count`` items."""
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    return [
+        (start, min(start + shard_size, count))
+        for start in range(0, count, shard_size)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Symmetric collection ([TNP14] families)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CollectTask:
+    """Everything one worker needs to collect one shard (all picklable)."""
+
+    shard_index: int
+    shard_seed: int
+    fleet_seed: int
+    query: AggregateQuery
+    nodes: tuple
+    with_group_tag: bool = False
+    bucketizer: object = None
+    noise: object = None
+
+
+@dataclass
+class NodeContributions:
+    """One PDS's collection output, tagged for accounting in the driver."""
+
+    pds_id: int
+    contributions: list
+    fake_count: int
+
+
+def collect_shard(task: CollectTask) -> list[NodeContributions]:
+    """Collect one shard: the unit of work both serial and pooled paths run.
+
+    Per node, in order: (1) plan fakes from the shard stream, (2) draw the
+    cipher-nonce seed, (3) encrypt. The fixed draw order is the whole
+    determinism contract.
+    """
+    # Imported here: the family modules import this module at top level.
+    from repro.globalq.noise import plan_fakes
+    from repro.globalq.protocol import TokenFleet
+
+    fleet = TokenFleet(task.fleet_seed)
+    rng = random.Random(task.shard_seed)
+    out = []
+    for node in task.nodes:
+        fakes = None
+        if task.noise is not None:
+            real = local_contributions(node.records, task.query)
+            fakes = plan_fakes(real, task.noise, rng)
+        cipher_seed = rng.getrandbits(64)
+        contributions = node.contributions(
+            task.query,
+            fleet,
+            with_group_tag=task.with_group_tag,
+            bucketizer=task.bucketizer,
+            fakes=fakes,
+            cipher_seed=cipher_seed,
+        )
+        out.append(
+            NodeContributions(node.pds_id, contributions, len(fakes or ()))
+        )
+    return out
+
+
+class ShardedCollector:
+    """Runs the collection phase over deterministic shards, optionally pooled.
+
+    ``workers=1`` executes shards inline; ``workers>1`` fans them out over
+    a :class:`~concurrent.futures.ProcessPoolExecutor`. Results always come
+    back in shard order. One ``globalq.collect.shard`` obs span brackets
+    each shard (inline execution, or the wait for its worker result).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        base_seed: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.shard_size = shard_size
+        self.base_seed = base_seed
+
+    def _tasks(self, nodes, query, fleet, with_group_tag, bucketizer, noise):
+        return [
+            CollectTask(
+                shard_index=index,
+                shard_seed=shard_seed(self.base_seed, index),
+                fleet_seed=fleet.seed,
+                query=query,
+                nodes=tuple(nodes[start:stop]),
+                with_group_tag=with_group_tag,
+                bucketizer=bucketizer,
+                noise=noise,
+            )
+            for index, (start, stop) in enumerate(
+                shard_slices(len(nodes), self.shard_size)
+            )
+        ]
+
+    def collect(
+        self,
+        nodes,
+        query: AggregateQuery,
+        fleet,
+        with_group_tag: bool = False,
+        bucketizer=None,
+        noise=None,
+    ) -> list[NodeContributions]:
+        """Collect the whole population; flat list in population order."""
+        tasks = self._tasks(
+            nodes, query, fleet, with_group_tag, bucketizer, noise
+        )
+        results: list[NodeContributions] = []
+        if self.workers == 1:
+            for task in tasks:
+                with obs.span(
+                    "globalq.collect.shard",
+                    shard=task.shard_index,
+                    nodes=len(task.nodes),
+                ):
+                    results.extend(collect_shard(task))
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [pool.submit(collect_shard, task) for task in tasks]
+                for task, future in zip(tasks, futures):
+                    with obs.span(
+                        "globalq.collect.shard",
+                        shard=task.shard_index,
+                        nodes=len(task.nodes),
+                    ):
+                        results.extend(future.result())
+        return results
+
+
+# ----------------------------------------------------------------------
+# Homomorphic collection (Paillier secure sum)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SumShardTask:
+    """One shard of a Paillier secure-sum collection (picklable)."""
+
+    shard_index: int
+    shard_seed: int
+    n: int
+    values: tuple
+    stock_size: int
+    subset_size: int
+
+
+@dataclass
+class SumShardResult:
+    """Partial homomorphic aggregate of one shard."""
+
+    shard_index: int
+    partial: int
+    ciphertext_bytes: tuple
+    modexps: int
+
+
+def sum_shard(task: SumShardTask) -> SumShardResult:
+    """Encrypt one shard of sites batched and fold it homomorphically."""
+    # Local import keeps worker start-up (and pickling) minimal.
+    from repro.crypto.paillier import PaillierPublicKey
+
+    public = PaillierPublicKey(n=task.n, n_squared=task.n * task.n)
+    pool = public.blinding_pool(
+        seed=task.shard_seed,
+        stock_size=task.stock_size,
+        subset_size=task.subset_size,
+    )
+    ciphertexts = public.encrypt_batch(task.values, pool=pool)
+    partial = 1
+    sizes = []
+    for ciphertext in ciphertexts:
+        partial = public.add(partial, ciphertext)
+        sizes.append((ciphertext.bit_length() + 7) // 8)
+    # One pow for the pool generator plus one fixed-base eval per stock
+    # entry is all the full-width exponentiation this shard performed.
+    return SumShardResult(
+        shard_index=task.shard_index,
+        partial=partial,
+        ciphertext_bytes=tuple(sizes),
+        modexps=1 + task.stock_size,
+    )
+
+
+def collect_encrypted_sum(
+    values,
+    public,
+    workers: int = 1,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    base_seed: int = 0,
+    stock_size: int = 32,
+    subset_size: int = 8,
+) -> list[SumShardResult]:
+    """Sharded batched encryption of ``values``; partials in shard order."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    tasks = [
+        SumShardTask(
+            shard_index=index,
+            shard_seed=shard_seed(base_seed, index),
+            n=public.n,
+            values=tuple(values[start:stop]),
+            stock_size=stock_size,
+            subset_size=subset_size,
+        )
+        for index, (start, stop) in enumerate(
+            shard_slices(len(values), shard_size)
+        )
+    ]
+    results: list[SumShardResult] = []
+    if workers == 1:
+        for task in tasks:
+            with obs.span(
+                "smc.secure_sum.shard",
+                shard=task.shard_index,
+                sites=len(task.values),
+            ):
+                results.append(sum_shard(task))
+    else:
+        from repro.crypto.fastexp import count_modexp
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(sum_shard, task) for task in tasks]
+            for task, future in zip(tasks, futures):
+                with obs.span(
+                    "smc.secure_sum.shard",
+                    shard=task.shard_index,
+                    sites=len(task.values),
+                ):
+                    result = future.result()
+                    # Workers counted their exponentiations in their own
+                    # process; mirror them into this process's registry.
+                    count_modexp(result.modexps)
+                    results.append(result)
+    return results

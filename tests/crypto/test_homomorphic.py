@@ -65,6 +65,71 @@ class TestPaillier:
         assert root * root != PUB.n
 
 
+class TestPaillierProperties:
+    """Round-trip properties of the homomorphic API and the CRT decrypt."""
+
+    @given(
+        st.integers(min_value=0, max_value=2**48),
+        st.integers(min_value=-(2**32), max_value=2**32),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_add_plain_roundtrip(self, a, b):
+        rng = random.Random(a ^ b)
+        ciphertext = PUB.add_plain(PUB.encrypt(a, rng), b)
+        assert PRIV.decrypt(ciphertext) == (a + b) % PUB.n
+
+    def test_add_plain_equivalent_to_encrypt_and_add(self):
+        # The (1 + b·n) shortcut and a full encryption of b land on the
+        # same plaintext (the ciphertexts differ only in blinding).
+        rng = random.Random(8)
+        base = PUB.encrypt(100, rng)
+        shortcut = PUB.add_plain(base, 23)
+        full = PUB.add(base, PUB.encrypt(23, rng))
+        assert PRIV.decrypt(shortcut) == PRIV.decrypt(full) == 123
+
+    @given(
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_multiply_plain_roundtrip(self, a, k):
+        rng = random.Random(a + k)
+        ciphertext = PUB.multiply_plain(PUB.encrypt(a, rng), k)
+        assert PRIV.decrypt(ciphertext) == (a * k) % PUB.n
+
+    def test_decrypt_signed_boundary_at_half_n(self):
+        rng = random.Random(9)
+        half = PUB.n // 2
+        # Values up to n//2 stay positive; the first value past it is the
+        # most negative representable.
+        assert PRIV.decrypt_signed(PUB.encrypt(half, rng)) == half
+        assert (
+            PRIV.decrypt_signed(PUB.encrypt(half + 1, rng))
+            == half + 1 - PUB.n
+        )
+        assert PRIV.decrypt_signed(PUB.encrypt(PUB.n - 1, rng)) == -1
+        assert PRIV.decrypt_signed(PUB.encrypt(0, rng)) == 0
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_property_crt_equals_plain_across_random_keys(self, seed):
+        public, private = paillier_keypair(bits=128, rng=random.Random(seed))
+        assert private.p and private.q  # generated keys carry factors
+        rng = random.Random(seed + 1)
+        for message in (0, 1, seed % public.n, public.n - 1):
+            ciphertext = public.encrypt(message, rng)
+            assert private.decrypt(ciphertext) == private.decrypt_plain(
+                ciphertext
+            )
+
+    def test_factorless_key_still_decrypts(self):
+        from repro.crypto.paillier import PaillierPrivateKey
+
+        legacy = PaillierPrivateKey(public=PUB, lam=PRIV.lam, mu=PRIV.mu)
+        ciphertext = PUB.encrypt(4321, random.Random(10))
+        assert legacy.decrypt(ciphertext) == 4321
+
+
 class TestRsa:
     def test_roundtrip(self):
         for message in (0, 1, 123456789):

@@ -1,0 +1,223 @@
+"""Sharded parallel collection: determinism, equality, and wiring.
+
+The contract under test is the E23 acceptance property: for every protocol
+family (and the Paillier secure sum), running the collection phase with any
+worker count produces *exactly* the same results — same ciphertext bytes,
+same accounting, same final aggregates — because shard geometry and seeds
+never depend on scheduling.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.paillier import generate_keypair
+from repro.globalq.histogram import EquiDepthBucketizer, HistogramProtocol
+from repro.globalq.noise import WHITE_NOISE, NoisePlan, NoiseProtocol
+from repro.globalq.parallel import (
+    ShardedCollector,
+    collect_encrypted_sum,
+    shard_seed,
+    shard_slices,
+)
+from repro.globalq.protocol import PdsNode, TokenFleet
+from repro.globalq.queries import AggregateQuery, plaintext_answer
+from repro.globalq.secureagg import SecureAggregationProtocol
+from repro.smc.parties import Channel
+from repro.smc.secure_sum import paillier_secure_sum
+from repro.workloads.people import PersonRecord
+
+CITIES = ["paris", "lyon", "lille", "nantes"]
+
+
+def make_nodes(count: int) -> list[PdsNode]:
+    return [
+        PdsNode(
+            i,
+            [
+                PersonRecord(
+                    {"city": CITIES[i % len(CITIES)], "salary": float(i % 97)}
+                )
+            ],
+        )
+        for i in range(count)
+    ]
+
+
+NODES = make_nodes(120)
+QUERY = AggregateQuery.sum("salary", group_by="city")
+TRUTH = plaintext_answer([n.records for n in NODES], QUERY)
+
+
+class TestShardPlan:
+    def test_slices_cover_population_exactly(self):
+        slices = shard_slices(10, 3)
+        assert slices == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert shard_slices(0, 4) == []
+        with pytest.raises(ValueError):
+            shard_slices(5, 0)
+
+    def test_shard_seeds_stable_and_distinct(self):
+        seeds = [shard_seed(7, i) for i in range(50)]
+        assert seeds == [shard_seed(7, i) for i in range(50)]
+        assert len(set(seeds)) == 50
+        assert shard_seed(8, 0) != shard_seed(7, 0)
+
+
+class TestShardedCollector:
+    def test_worker_count_cannot_change_ciphertexts(self):
+        fleet = TokenFleet(3)
+        outputs = []
+        for workers in (1, 2, 3):
+            collected = ShardedCollector(
+                workers=workers, shard_size=16, base_seed=5
+            ).collect(NODES, QUERY, TokenFleet(3), with_group_tag=True)
+            outputs.append(
+                [
+                    (item.pds_id, [c.blob for c in item.contributions])
+                    for item in collected
+                ]
+            )
+        assert outputs[0] == outputs[1] == outputs[2]
+        del fleet
+
+    def test_shard_size_does_change_ciphertexts(self):
+        # Nonce seeds derive from the shard stream, so geometry is part of
+        # the determinism contract — pin that it matters.
+        one = ShardedCollector(workers=1, shard_size=16).collect(
+            NODES, QUERY, TokenFleet(3)
+        )
+        other = ShardedCollector(workers=1, shard_size=32).collect(
+            NODES, QUERY, TokenFleet(3)
+        )
+        assert [i.contributions[0].blob for i in one] != [
+            i.contributions[0].blob for i in other
+        ]
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ShardedCollector(workers=0)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+class TestFamilyEquality:
+    """Full protocol runs: sharded path == truth, any worker count."""
+
+    def test_secure_aggregation(self, workers):
+        report = SecureAggregationProtocol(
+            TokenFleet(0),
+            rng=random.Random(1),
+            workers=workers,
+            shard_size=32,
+        ).run(NODES, QUERY)
+        assert report.result == TRUTH
+        assert report.tuples_sent == len(NODES)
+
+    def test_noise(self, workers):
+        plan = NoisePlan(WHITE_NOISE, 0.4, tuple(CITIES))
+        report = NoiseProtocol(
+            TokenFleet(0),
+            plan,
+            rng=random.Random(1),
+            workers=workers,
+            shard_size=32,
+        ).run(NODES, QUERY)
+        assert report.result == TRUTH
+        assert report.fake_tuples_sent > 0
+
+    def test_histogram(self, workers):
+        bucketizer = EquiDepthBucketizer({c: 1.0 for c in CITIES}, 2)
+        report = HistogramProtocol(
+            TokenFleet(0),
+            bucketizer,
+            rng=random.Random(1),
+            workers=workers,
+            shard_size=32,
+        ).run(NODES, QUERY)
+        assert report.result == TRUTH
+
+
+class TestFullReportEquality:
+    def test_serial_and_pooled_reports_identical(self):
+        def run(workers):
+            return SecureAggregationProtocol(
+                TokenFleet(0),
+                rng=random.Random(9),
+                workers=workers,
+                shard_size=16,
+            ).run(NODES, QUERY)
+
+        serial, pooled = run(1), run(2)
+        assert serial.result == pooled.result
+        assert serial.tuples_sent == pooled.tuples_sent
+        assert serial.comm_bytes == pooled.comm_bytes
+        assert serial.comm_messages == pooled.comm_messages
+        assert serial.token_decryptions == pooled.token_decryptions
+
+    def test_noise_accounting_identical(self):
+        plan = NoisePlan(WHITE_NOISE, 0.5, tuple(CITIES))
+
+        def run(workers):
+            return NoiseProtocol(
+                TokenFleet(0),
+                plan,
+                rng=random.Random(2),
+                workers=workers,
+                shard_size=16,
+            ).run(NODES, QUERY)
+
+        serial, pooled = run(1), run(2)
+        assert serial.fake_tuples_sent == pooled.fake_tuples_sent
+        assert serial.comm_bytes == pooled.comm_bytes
+        assert serial.ssi_tag_histogram == pooled.ssi_tag_histogram
+
+    def test_legacy_path_unchanged_by_default(self):
+        # workers=None must keep the original node-at-a-time rng pattern.
+        legacy = SecureAggregationProtocol(
+            TokenFleet(0), rng=random.Random(1)
+        ).run(NODES, QUERY)
+        assert legacy.result == TRUTH
+
+
+class TestEncryptedSumShards:
+    PUB, PRIV = generate_keypair(bits=256, rng=random.Random(321))
+
+    def test_partials_merge_to_exact_sum(self):
+        values = [v * 3 for v in range(90)]
+        for workers in (1, 2):
+            shards = collect_encrypted_sum(
+                values, self.PUB, workers=workers, shard_size=32
+            )
+            assert [s.shard_index for s in shards] == [0, 1, 2]
+            combined = 1
+            for shard in shards:
+                combined = self.PUB.add(combined, shard.partial)
+            assert self.PRIV.decrypt(combined) == sum(values)
+
+    def test_shard_partials_deterministic(self):
+        values = list(range(50))
+        a = collect_encrypted_sum(values, self.PUB, workers=1, shard_size=20)
+        b = collect_encrypted_sum(values, self.PUB, workers=2, shard_size=20)
+        assert [s.partial for s in a] == [s.partial for s in b]
+
+    def test_secure_sum_wiring(self):
+        values = [7 * v for v in range(64)]
+        channel = Channel()
+        scalar = paillier_secure_sum(
+            values, self.PUB, self.PRIV, channel, random.Random(1)
+        )
+        batched = paillier_secure_sum(
+            values, self.PUB, self.PRIV, Channel(), workers=1, shard_size=16
+        )
+        pooled = paillier_secure_sum(
+            values, self.PUB, self.PRIV, Channel(), workers=2, shard_size=16
+        )
+        assert scalar.total == batched.total == pooled.total == sum(values)
+        # Batching collapses the full-exponentiation count: 4 shards pay a
+        # 33-exponentiation pool each instead of one per site.
+        assert scalar.crypto.modexps == len(values) + 1
+        assert batched.crypto.modexps == pooled.crypto.modexps == 4 * 33 + 1
+
+    def test_scalar_path_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            paillier_secure_sum([1, 2], self.PUB, self.PRIV, Channel())
