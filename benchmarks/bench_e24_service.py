@@ -1,0 +1,307 @@
+"""E24 — The SSI as a query service: admission, caching, and the knee.
+
+Claims under test (Issue 6's acceptance criteria):
+
+* under concurrent mixed-class load with churn enabled, **every** completed
+  query's aggregate is bit-identical to the one-shot batch driver re-run
+  over the (snapshot, seed) the service recorded for it — scheduling,
+  caching and churn cannot perturb an answer;
+* an open-loop Poisson sweep over arrival rate × worker count × cache size
+  exhibits a measurable saturation knee: below it goodput tracks offered
+  load, above it queues fill and admission control sheds with the typed
+  ``Overloaded`` rejection;
+* the version-exact result cache moves the knee to higher rates at equal
+  answers (hits are byte-identical replays, never approximations).
+
+Row meaning: one row per sweep cell — offered rate (q/s), scheduler width
+(``in_flight``), cache capacity, offered/completed/shed counts, goodput
+(q/s), latency p50/p99/p999 (ms), cache hits, and whether every unique
+computed answer verified bit-identically. ``meta`` carries the knee per
+(in_flight, cache) configuration and the persistent-pool reuse timing.
+
+``SERVICE_SMOKE=1`` (the CI job) runs the same sweep at tiny sizes, like
+``BENCH_SMOKE``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import random
+import time
+
+from repro.bench.harness import (
+    Experiment,
+    record_wall_clock,
+    run_and_print,
+    smoke_mode,
+)
+from repro.globalq.parallel import ShardedCollector, WorkerPool
+from repro.globalq.protocol import TokenFleet
+from repro.globalq.queries import AggregateQuery
+from repro.net.runtime import ChurnModel
+from repro.service import (
+    MembershipChurn,
+    OpenLoopLoadGenerator,
+    ServiceConfig,
+    SsiQueryService,
+    find_knee,
+    run_query,
+    slim_population,
+    standard_mix,
+)
+
+#: Goodput/offered floor that still counts as "keeping up" (knee threshold).
+KNEE_THRESHOLD = 0.9
+
+
+def service_smoke() -> bool:
+    """Tiny sizes under either the generic or the service CI smoke flag."""
+    return smoke_mode() or bool(os.environ.get("SERVICE_SMOKE"))
+
+
+def parameters() -> dict:
+    if service_smoke():
+        return {
+            "population": 240,
+            "rates": [4.0, 16.0],
+            "in_flight": [1, 2],
+            "caches": [0, 8],
+            "duration_s": 0.5,
+            "churn_sample": 3,
+        }
+    return {
+        "population": 4000,
+        "rates": [1.0, 2.0, 4.0, 8.0, 16.0],
+        "in_flight": [1, 4],
+        "caches": [0, 16],
+        "duration_s": 2.0,
+        "churn_sample": 4,
+    }
+
+
+async def run_cell(
+    population_size: int,
+    rate: float,
+    in_flight: int,
+    cache_capacity: int,
+    duration_s: float,
+    churn_sample: int,
+):
+    """One sweep cell: fresh population, churn on, open-loop load."""
+    population = slim_population(population_size)
+    service = SsiQueryService(
+        population,
+        ServiceConfig(
+            max_in_flight=in_flight,
+            max_queue_depth=16,
+            cache_capacity=cache_capacity,
+            record_snapshots=True,
+        ),
+    )
+    service.start()
+    churn = MembershipChurn(
+        population,
+        ChurnModel(offline_fraction=0.25, mean_online=1.5),
+        rng=random.Random(int(rate * 100) + in_flight),
+        sample=churn_sample,
+    )
+    churn.start()
+    generator = OpenLoopLoadGenerator(
+        service, standard_mix(), seed=int(rate * 10) + cache_capacity
+    )
+    report = await generator.run(rate, duration_s, keep_results=True)
+    await churn.stop()
+    await service.stop()
+    return population, service, report
+
+
+def verify_bit_identity(population, service, report) -> tuple[int, bool]:
+    """Re-run the batch driver for every unique served computation.
+
+    Served answers that share (descriptor, version) share the snapshot and
+    seed by construction, so each unique pair verifies all its replays —
+    including every cache hit.
+    """
+    unique = {}
+    for served in report.results:
+        key = (served.descriptor.canonical(), served.version)
+        existing = unique.get(key)
+        if existing is not None:
+            # A replay (cache hit or identical recomputation) must already
+            # be byte-identical to its first serving.
+            if (
+                existing.result != served.result
+                or existing.seed != served.seed
+            ):
+                return len(unique), False
+            continue
+        unique[key] = served
+    for served in unique.values():
+        reference = run_query(
+            served.descriptor,
+            served.snapshot.nodes,
+            population.fleet,
+            served.seed,
+            service.config.domain,
+        )
+        if reference.result != served.result:
+            return len(unique), False
+    return len(unique), True
+
+
+def sweep(experiment: Experiment) -> None:
+    params = parameters()
+    reports_by_config: dict[tuple[int, int], list] = {}
+    for in_flight in params["in_flight"]:
+        for cache_capacity in params["caches"]:
+            for rate in params["rates"]:
+                start = time.perf_counter()
+                population, service, report = asyncio.run(
+                    run_cell(
+                        params["population"],
+                        rate,
+                        in_flight,
+                        cache_capacity,
+                        params["duration_s"],
+                        params["churn_sample"],
+                    )
+                )
+                wall_s = time.perf_counter() - start
+                verified, exact = verify_bit_identity(
+                    population, service, report
+                )
+                summary = report.latency_ms.summary()
+                experiment.add_row(
+                    rate,
+                    in_flight,
+                    cache_capacity,
+                    report.offered,
+                    report.completed,
+                    report.shed,
+                    round(report.goodput, 2),
+                    round(summary["p50"], 1),
+                    round(summary["p99"], 1),
+                    round(summary["p999"], 1),
+                    report.cache_hits,
+                    verified,
+                    exact,
+                )
+                record_wall_clock(
+                    experiment,
+                    f"cell_r{rate:g}_w{in_flight}_c{cache_capacity}",
+                    wall_s,
+                )
+                reports_by_config.setdefault(
+                    (in_flight, cache_capacity), []
+                ).append(report)
+    experiment.meta["knees"] = {
+        f"in_flight={in_flight},cache={cache}": find_knee(
+            reports, KNEE_THRESHOLD
+        )
+        for (in_flight, cache), reports in reports_by_config.items()
+    }
+
+
+def pool_reuse_rows(experiment: Experiment) -> None:
+    """Satellite 1: a persistent WorkerPool amortises process spawning."""
+    calls = 4
+    population = slim_population(60 if service_smoke() else 600)
+    nodes = list(population.snapshot().nodes)
+    query = AggregateQuery.sum("salary")
+
+    start = time.perf_counter()
+    for _ in range(calls):
+        ShardedCollector(workers=2, shard_size=64).collect(
+            nodes, query, TokenFleet(0)
+        )
+    per_call_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with WorkerPool(workers=2) as pool:
+        for _ in range(calls):
+            ShardedCollector(shard_size=64, pool=pool).collect(
+                nodes, query, TokenFleet(0)
+            )
+    pooled_s = time.perf_counter() - start
+
+    experiment.meta["pool_reuse"] = {
+        "calls": calls,
+        "per_call_executor_s": round(per_call_s, 3),
+        "persistent_pool_s": round(pooled_s, 3),
+        "speedup": round(per_call_s / pooled_s, 2) if pooled_s else None,
+    }
+    record_wall_clock(experiment, "pool_per_call", per_call_s)
+    record_wall_clock(experiment, "pool_persistent", pooled_s)
+
+
+def build_experiment() -> Experiment:
+    params = parameters()
+    experiment = Experiment(
+        experiment_id="e24",
+        title="SSI query service: admission, churn-aware cache, knee",
+        claim="a persistent SSI serves concurrent mixed [TNP14] queries "
+        "bit-identically to the one-shot driver under churn; open-loop "
+        "load locates a saturation knee and the version-exact cache "
+        "moves it to higher rates",
+        columns=[
+            "rate_qps", "in_flight", "cache", "offered", "completed",
+            "shed", "goodput_qps", "p50_ms", "p99_ms", "p999_ms",
+            "cache_hits", "verified", "exact",
+        ],
+    )
+    experiment.meta["smoke_mode"] = service_smoke()
+    experiment.meta["population"] = params["population"]
+    experiment.meta["duration_s"] = params["duration_s"]
+    experiment.meta["knee_threshold"] = KNEE_THRESHOLD
+    sweep(experiment)
+    pool_reuse_rows(experiment)
+    return experiment
+
+
+def test_e24_service(benchmark):
+    experiment = run_and_print(build_experiment)
+    # The acceptance property: every completed answer, in every cell,
+    # reproduced bit-identically by the batch driver.
+    assert all(experiment.column("exact"))
+    assert all(v > 0 for v in experiment.column("verified"))
+    # Saturation is observable: the highest-rate uncached narrow config
+    # sheds, and each configuration reports a knee.
+    knees = experiment.meta["knees"]
+    assert knees
+    for knee in knees.values():
+        assert knee["knee_rate_qps"] > 0
+    if not service_smoke():
+        # Past the knee the service sheds rather than queueing unboundedly.
+        shed_total = sum(experiment.column("shed"))
+        assert shed_total > 0
+        # The cache lifts goodput at the top offered rate (same in_flight).
+        top = max(experiment.column("rate_qps"))
+        def goodput(cache):
+            return max(
+                row[6]
+                for row in experiment.rows
+                if row[0] == top and row[2] == cache
+            )
+        assert goodput(16) > goodput(0)
+
+    # pytest-benchmark hook: one served query end to end (tiny population).
+    def one_query():
+        async def body():
+            population = slim_population(60)
+            service = SsiQueryService(
+                population, ServiceConfig(max_in_flight=1)
+            )
+            service.start()
+            served = await service.submit(standard_mix().descriptors()[1])
+            await service.stop()
+            return served
+
+        return asyncio.run(body())
+
+    served = benchmark(one_query)
+    assert served.result["*"] == 60.0
+
+
+if __name__ == "__main__":
+    run_and_print(build_experiment)

@@ -8,13 +8,6 @@ weakly malicious one is caught by authentication, replay detection and
 participation audits.
 """
 
-from repro.globalq.async_protocol import (
-    FAMILIES,
-    HISTOGRAM_BASED,
-    NOISE_BASED,
-    SECURE_AGGREGATION,
-    AsyncGlobalQuery,
-)
 from repro.globalq.attacks import AttackResult, frequency_analysis, histogram_flatness
 from repro.globalq.graphq import (
     DistributedGraph,
@@ -71,6 +64,28 @@ from repro.globalq.verification import (
     participating_pds_ids,
     participation_audit,
 )
+
+# The asyncio driver is resolved lazily (PEP 562): async_protocol imports
+# repro.net.bus, while repro.net.metrics imports repro.smc (whose package
+# import reaches back here through secure_sum → globalq.parallel). Importing
+# it eagerly would close that loop into a genuine cycle; deferring it keeps
+# `from repro.globalq import AsyncGlobalQuery` working from any entry point.
+_ASYNC_EXPORTS = (
+    "AsyncGlobalQuery",
+    "FAMILIES",
+    "HISTOGRAM_BASED",
+    "NOISE_BASED",
+    "SECURE_AGGREGATION",
+)
+
+
+def __getattr__(name: str):
+    if name in _ASYNC_EXPORTS:
+        from repro.globalq import async_protocol
+
+        return getattr(async_protocol, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "COMPLEMENTARY_NOISE",

@@ -18,7 +18,11 @@ from __future__ import annotations
 import random
 
 from repro.errors import ProtocolError
-from repro.globalq.parallel import DEFAULT_SHARD_SIZE, ShardedCollector
+from repro.globalq.parallel import (
+    DEFAULT_SHARD_SIZE,
+    ShardedCollector,
+    WorkerPool,
+)
 from repro.globalq.protocol import (
     PdsNode,
     ProtocolReport,
@@ -83,6 +87,7 @@ class HistogramProtocol:
         workers: int | None = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
         collection_seed: int = 0,
+        pool: WorkerPool | None = None,
     ) -> None:
         self.fleet = fleet
         self.bucketizer = bucketizer
@@ -90,10 +95,12 @@ class HistogramProtocol:
         self.rng = rng or random.Random(0)
         #: ``None`` = original loop; an int routes collection through the
         #: sharded executor (the bucketizer ships to workers whole — it is
-        #: a plain public mapping).
+        #: a plain public mapping). ``pool`` reuses a persistent
+        #: :class:`WorkerPool` across queries.
         self.workers = workers
         self.shard_size = shard_size
         self.collection_seed = collection_seed
+        self.pool = pool
 
     def run(
         self, nodes: list[PdsNode], query: AggregateQuery
@@ -103,7 +110,7 @@ class HistogramProtocol:
 
         # Phase 1: collection with cleartext bucket ids.
         tuples_sent = 0
-        if self.workers is None:
+        if self.workers is None and self.pool is None:
             for node in nodes:
                 contributions = node.contributions(
                     query, self.fleet, bucketizer=self.bucketizer
@@ -118,7 +125,8 @@ class HistogramProtocol:
                 ssi.collect(contributions)
         else:
             collector = ShardedCollector(
-                self.workers, self.shard_size, self.collection_seed
+                self.workers or 1, self.shard_size, self.collection_seed,
+                pool=self.pool,
             )
             collected = collector.collect(
                 nodes, query, self.fleet, bucketizer=self.bucketizer

@@ -20,7 +20,11 @@ import random
 from dataclasses import dataclass
 
 from repro.errors import ProtocolError
-from repro.globalq.parallel import DEFAULT_SHARD_SIZE, ShardedCollector
+from repro.globalq.parallel import (
+    DEFAULT_SHARD_SIZE,
+    ShardedCollector,
+    WorkerPool,
+)
 from repro.globalq.protocol import (
     PdsNode,
     ProtocolReport,
@@ -85,6 +89,7 @@ class NoiseProtocol:
         workers: int | None = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
         collection_seed: int = 0,
+        pool: WorkerPool | None = None,
     ) -> None:
         self.fleet = fleet
         self.noise = noise or NoisePlan()
@@ -92,10 +97,12 @@ class NoiseProtocol:
         self.rng = rng or random.Random(0)
         #: ``None`` = original loop; an int routes collection through the
         #: sharded executor (fakes then draw from per-shard seeds, so the
-        #: result is identical for every worker count).
+        #: result is identical for every worker count). ``pool`` reuses a
+        #: persistent :class:`WorkerPool` across queries.
         self.workers = workers
         self.shard_size = shard_size
         self.collection_seed = collection_seed
+        self.pool = pool
 
     def run(
         self, nodes: list[PdsNode], query: AggregateQuery
@@ -105,7 +112,7 @@ class NoiseProtocol:
 
         # Phase 1: collection with deterministic group tags + planned fakes.
         tuples_sent = fakes_sent = 0
-        if self.workers is None:
+        if self.workers is None and self.pool is None:
             for node in nodes:
                 real = local_contributions(node.records, query)
                 fakes = plan_fakes(real, self.noise, self.rng)
@@ -123,7 +130,8 @@ class NoiseProtocol:
                 ssi.collect(contributions)
         else:
             collector = ShardedCollector(
-                self.workers, self.shard_size, self.collection_seed
+                self.workers or 1, self.shard_size, self.collection_seed,
+                pool=self.pool,
             )
             collected = collector.collect(
                 nodes, query, self.fleet, with_group_tag=True,

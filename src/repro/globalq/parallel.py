@@ -58,6 +58,61 @@ def shard_slices(count: int, shard_size: int) -> list[tuple[int, int]]:
     ]
 
 
+class WorkerPool:
+    """A persistent process pool shared across repeated collections.
+
+    The per-call paths below spawn (and tear down) a fresh
+    :class:`~concurrent.futures.ProcessPoolExecutor` on every collect —
+    fine for one-shot benches, ruinous for a long-lived query service
+    where every query would pay worker start-up again. A ``WorkerPool``
+    keeps the workers alive between calls: pass it to
+    :class:`ShardedCollector`/:func:`collect_encrypted_sum` (or the
+    protocol families' ``pool=`` argument) and call :meth:`close` when the
+    service shuts down. Shard seeds do not depend on which pool executes
+    them, so routing through a shared pool cannot change a single
+    ciphertext.
+
+    ``submit`` is thread-safe (it delegates to the executor), so
+    concurrent queries of one service can share one pool.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def executor(self) -> ProcessPoolExecutor:
+        """The live executor (workers spawn lazily on first use)."""
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def submit(self, fn, *args):
+        return self.executor.submit(fn, *args)
+
+    def close(self) -> None:
+        """Shut the workers down; idempotent, and the pool stays closed."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 # ----------------------------------------------------------------------
 # Symmetric collection ([TNP14] families)
 # ----------------------------------------------------------------------
@@ -132,10 +187,15 @@ class ShardedCollector:
         workers: int = 1,
         shard_size: int = DEFAULT_SHARD_SIZE,
         base_seed: int = 0,
+        pool: WorkerPool | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        self.workers = workers
+        #: A persistent :class:`WorkerPool` to reuse instead of spawning a
+        #: fresh process pool per collect; ``workers`` then follows the
+        #: pool's width. ``None`` keeps the legacy per-call behaviour.
+        self.pool = pool
+        self.workers = pool.workers if pool is not None else workers
         self.shard_size = shard_size
         self.base_seed = base_seed
 
@@ -170,7 +230,20 @@ class ShardedCollector:
             nodes, query, fleet, with_group_tag, bucketizer, noise
         )
         results: list[NodeContributions] = []
-        if self.workers == 1:
+
+        def drain(submit) -> None:
+            futures = [submit(collect_shard, task) for task in tasks]
+            for task, future in zip(tasks, futures):
+                with obs.span(
+                    "globalq.collect.shard",
+                    shard=task.shard_index,
+                    nodes=len(task.nodes),
+                ):
+                    results.extend(future.result())
+
+        if self.pool is not None:
+            drain(self.pool.submit)
+        elif self.workers == 1:
             for task in tasks:
                 with obs.span(
                     "globalq.collect.shard",
@@ -180,14 +253,7 @@ class ShardedCollector:
                     results.extend(collect_shard(task))
         else:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = [pool.submit(collect_shard, task) for task in tasks]
-                for task, future in zip(tasks, futures):
-                    with obs.span(
-                        "globalq.collect.shard",
-                        shard=task.shard_index,
-                        nodes=len(task.nodes),
-                    ):
-                        results.extend(future.result())
+                drain(pool.submit)
         return results
 
 
@@ -251,10 +317,18 @@ def collect_encrypted_sum(
     base_seed: int = 0,
     stock_size: int = 32,
     subset_size: int = 8,
+    pool: WorkerPool | None = None,
 ) -> list[SumShardResult]:
-    """Sharded batched encryption of ``values``; partials in shard order."""
+    """Sharded batched encryption of ``values``; partials in shard order.
+
+    ``pool`` reuses a persistent :class:`WorkerPool` (the worker count then
+    follows the pool); ``None`` keeps the legacy behaviour of spawning a
+    process pool per call when ``workers > 1``.
+    """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if pool is not None:
+        workers = pool.workers
     tasks = [
         SumShardTask(
             shard_index=index,
@@ -269,7 +343,26 @@ def collect_encrypted_sum(
         )
     ]
     results: list[SumShardResult] = []
-    if workers == 1:
+
+    def drain(submit) -> None:
+        from repro.crypto.fastexp import count_modexp
+
+        futures = [submit(sum_shard, task) for task in tasks]
+        for task, future in zip(tasks, futures):
+            with obs.span(
+                "smc.secure_sum.shard",
+                shard=task.shard_index,
+                sites=len(task.values),
+            ):
+                result = future.result()
+                # Workers counted their exponentiations in their own
+                # process; mirror them into this process's registry.
+                count_modexp(result.modexps)
+                results.append(result)
+
+    if pool is not None:
+        drain(pool.submit)
+    elif workers == 1:
         for task in tasks:
             with obs.span(
                 "smc.secure_sum.shard",
@@ -278,19 +371,6 @@ def collect_encrypted_sum(
             ):
                 results.append(sum_shard(task))
     else:
-        from repro.crypto.fastexp import count_modexp
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(sum_shard, task) for task in tasks]
-            for task, future in zip(tasks, futures):
-                with obs.span(
-                    "smc.secure_sum.shard",
-                    shard=task.shard_index,
-                    sites=len(task.values),
-                ):
-                    result = future.result()
-                    # Workers counted their exponentiations in their own
-                    # process; mirror them into this process's registry.
-                    count_modexp(result.modexps)
-                    results.append(result)
+        with ProcessPoolExecutor(max_workers=workers) as executor:
+            drain(executor.submit)
     return results

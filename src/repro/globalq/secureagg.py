@@ -17,7 +17,11 @@ from __future__ import annotations
 import math
 import random
 
-from repro.globalq.parallel import DEFAULT_SHARD_SIZE, ShardedCollector
+from repro.globalq.parallel import (
+    DEFAULT_SHARD_SIZE,
+    ShardedCollector,
+    WorkerPool,
+)
 from repro.globalq.protocol import (
     PdsNode,
     ProtocolReport,
@@ -45,6 +49,7 @@ class SecureAggregationProtocol:
         workers: int | None = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
         collection_seed: int = 0,
+        pool: WorkerPool | None = None,
     ) -> None:
         if not 0.0 <= aggregator_failure_rate < 1.0:
             raise ValueError("failure rate must be in [0, 1)")
@@ -60,6 +65,10 @@ class SecureAggregationProtocol:
         self.workers = workers
         self.shard_size = shard_size
         self.collection_seed = collection_seed
+        #: A persistent :class:`WorkerPool` routes collection through the
+        #: sharded executor without paying pool spawn cost per query (the
+        #: long-lived service configuration).
+        self.pool = pool
         #: Probability that an assigned token disconnects before answering.
         #: Tokens are "low powered, highly disconnected": the SSI simply
         #: reassigns the (ciphertext) partition to another connected token.
@@ -73,7 +82,7 @@ class SecureAggregationProtocol:
 
         # Phase 1: collection (blobs only — no tags, no buckets).
         tuples_sent = 0
-        if self.workers is None:
+        if self.workers is None and self.pool is None:
             for node in nodes:
                 contributions = node.contributions(query, self.fleet)
                 tuples_sent += len(contributions)
@@ -84,7 +93,8 @@ class SecureAggregationProtocol:
                 ssi.collect(contributions)
         else:
             collector = ShardedCollector(
-                self.workers, self.shard_size, self.collection_seed
+                self.workers or 1, self.shard_size, self.collection_seed,
+                pool=self.pool,
             )
             for item in collector.collect(nodes, query, self.fleet):
                 tuples_sent += len(item.contributions)

@@ -20,6 +20,7 @@ bare struct/unicode error — receivers must be able to discard garbage.
 
 from __future__ import annotations
 
+import json
 import struct
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -43,6 +44,9 @@ KIND_FIN = 6  #: SSI -> token: every partition is aggregated, disconnect
 KIND_PARTIAL = 7  #: token -> querier: partial aggregate of one partition
 KIND_PLAN = 8  #: SSI -> querier: how many partials to expect
 KIND_DONE = 9  #: querier -> SSI: partition completed, stop reassigning it
+KIND_QUERY = 10  #: querier -> SSI service: a query descriptor to serve
+KIND_RESULT = 11  #: SSI service -> querier: the served aggregate
+KIND_REJECT = 12  #: SSI service -> querier: admission control shed the query
 
 KIND_NAMES = {
     KIND_CONTRIB: "CONTRIB",
@@ -54,6 +58,9 @@ KIND_NAMES = {
     KIND_PARTIAL: "PARTIAL",
     KIND_PLAN: "PLAN",
     KIND_DONE: "DONE",
+    KIND_QUERY: "QUERY",
+    KIND_RESULT: "RESULT",
+    KIND_REJECT: "REJECT",
 }
 
 _MAGIC = 0xA7
@@ -110,6 +117,29 @@ def decode_frame(data: bytes) -> Frame:
     except UnicodeDecodeError as exc:
         raise ProtocolError("frame sender is not valid UTF-8") from exc
     return Frame(kind, sender, seq, bytes(data[offset + slen :]))
+
+
+def encode_json_payload(obj) -> bytes:
+    """Canonical JSON bytes for the service control plane (QUERY/RESULT/
+    REJECT frames carry small structured records, not ciphertext bags —
+    sorted keys keep the encoding deterministic for byte-level tests)."""
+    try:
+        return json.dumps(
+            obj, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"payload is not JSON-encodable: {exc}") from exc
+
+
+def decode_json_payload(data: bytes) -> dict:
+    """Decode a JSON control payload; garbage raises :class:`ProtocolError`."""
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("payload is not valid JSON") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("JSON payload must be an object")
+    return obj
 
 
 def pack_u32(value: int) -> bytes:

@@ -18,7 +18,7 @@ import asyncio
 import heapq
 import random
 from dataclasses import dataclass
-from typing import Awaitable
+from typing import Awaitable, Callable
 
 from repro.net.bus import MessageBus
 from repro.net.endpoint import Endpoint
@@ -72,6 +72,24 @@ class NodeRuntime:
         self.rng = rng or random.Random(0)
         self.node_names: list[str] = []
         self.flips = 0
+        self._flip_listeners: list[Callable[[str, bool], None]] = []
+        self._churn_task: asyncio.Task | None = None
+
+    def add_flip_listener(self, listener: Callable[[str, bool], None]) -> None:
+        """Call ``listener(name, online)`` after every connectivity flip.
+
+        This is how higher layers observe churn *as it happens* — e.g. the
+        query service's population membership and result-cache
+        invalidation. Listeners run synchronously inside the churn driver,
+        so they must be cheap and must not await.
+        """
+        self._flip_listeners.append(listener)
+
+    def _flip(self, name: str, offline: bool) -> None:
+        self.bus.set_offline(name, offline)
+        self.flips += 1
+        for listener in self._flip_listeners:
+            listener(name, not offline)
 
     def register_node(self, name: str, queue_size: int = 64) -> Endpoint:
         """Register one PDS endpoint managed (and churned) by this runtime."""
@@ -93,20 +111,38 @@ class NodeRuntime:
         returns (a finished node has, by definition, reconnected long
         enough to deliver its last message).
         """
-        churn_task = None
-        if self.churn.active and self.node_names:
-            churn_task = asyncio.ensure_future(self._drive_churn())
+        self.start_churn()
         try:
             return await asyncio.gather(*coros.values())
         finally:
-            if churn_task is not None:
-                churn_task.cancel()
-                try:
-                    await churn_task
-                except asyncio.CancelledError:
-                    pass
-            for name in self.node_names:
-                self.bus.set_offline(name, False)
+            await self.stop_churn()
+
+    def start_churn(self) -> asyncio.Task | None:
+        """Start the churn driver without node coroutines (service mode).
+
+        A long-lived server wants churn flipping its population while *it*
+        decides how long to run; :meth:`run` remains the run-to-completion
+        wrapper for protocol drivers. No-op (returns None) when churn is
+        inactive, there are no nodes, or the driver is already running.
+        """
+        if not (self.churn.active and self.node_names):
+            return None
+        if self._churn_task is not None and not self._churn_task.done():
+            return self._churn_task
+        self._churn_task = asyncio.ensure_future(self._drive_churn())
+        return self._churn_task
+
+    async def stop_churn(self) -> None:
+        """Cancel the churn driver and reconnect every node."""
+        if self._churn_task is not None:
+            self._churn_task.cancel()
+            try:
+                await self._churn_task
+            except asyncio.CancelledError:
+                pass
+            self._churn_task = None
+        for name in self.node_names:
+            self.bus.set_offline(name, False)
 
     async def _drive_churn(self) -> None:
         loop = asyncio.get_running_loop()
@@ -114,8 +150,7 @@ class NodeRuntime:
         events: list[tuple[float, int, str]] = []
         for order, name in enumerate(self.node_names):
             if self.rng.random() < self.churn.offline_fraction:
-                self.bus.set_offline(name, True)
-                self.flips += 1
+                self._flip(name, True)
                 wake = now + self.churn.offline_duration(self.rng)
             else:
                 wake = now + self.churn.online_duration(self.rng)
@@ -126,8 +161,7 @@ class NodeRuntime:
             if delay > 0:
                 await asyncio.sleep(delay)
             going_offline = self.bus.is_online(name)
-            self.bus.set_offline(name, going_offline)
-            self.flips += 1
+            self._flip(name, going_offline)
             duration = (
                 self.churn.offline_duration(self.rng)
                 if going_offline

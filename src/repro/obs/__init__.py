@@ -53,6 +53,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    PercentileHistogram,
     global_registry,
 )
 from repro.obs.profile import ProfileResult, profile
@@ -65,6 +66,7 @@ __all__ = [
     "MetricsRegistry",
     "NullSpan",
     "NULL_SPAN",
+    "PercentileHistogram",
     "ProfileResult",
     "Span",
     "Tracer",

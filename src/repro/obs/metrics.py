@@ -13,7 +13,8 @@ stats objects register through :meth:`MetricsRegistry.register_stats`, a
 *pull* adapter that walks numeric dataclass fields (recursing into nested
 stats dataclasses, flattening ``dict``/``Counter`` fields) at snapshot
 time. Code that wants first-class instruments uses
-:meth:`counter`/:meth:`gauge`/:meth:`histogram` directly.
+:meth:`counter`/:meth:`gauge`/:meth:`histogram`/:meth:`percentiles`
+directly.
 
 ``registry.snapshot()`` returns one flat JSON-ready dict — the object the
 bench harness embeds into ``BENCH_<id>.json`` under ``meta["profile"]``.
@@ -22,6 +23,7 @@ bench harness embeds into ``BENCH_<id>.json`` under ``meta["profile"]``.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Callable
 
 #: Default histogram bucket upper bounds (powers of two, open-ended top).
@@ -105,6 +107,105 @@ class Histogram:
         }
 
 
+#: Per-bucket growth factor of :class:`PercentileHistogram`. Fixed for the
+#: whole process so every instance shares one bucket layout and any two can
+#: merge; 2^(1/16) bounds the relative quantile error at ~4.4%.
+PERCENTILE_GROWTH = 2.0 ** (1.0 / 16.0)
+_LOG_GROWTH = math.log(PERCENTILE_GROWTH)
+#: Bucket index collecting all observations <= 0 (latencies never are, but
+#: an estimator must not crash on them).
+_ZERO_BUCKET = -(2**31)
+
+
+class PercentileHistogram:
+    """Streaming p50/p99/p999 estimator over fixed logarithmic buckets.
+
+    Observations land in geometric buckets ``(g^i, g^(i+1)]`` with
+    ``g = PERCENTILE_GROWTH``, stored sparsely — memory is O(distinct
+    magnitudes), never O(observations), which is what lets a long-lived
+    service track latency forever. The layout is process-wide constant, so
+    :meth:`merge` is exact bucket-count addition (shard-local histograms
+    roll up to fleet-wide ones without resampling). Quantiles come back as
+    the geometric midpoint of the covering bucket, clamped to the observed
+    ``[min, max]``: relative error is bounded by the growth factor.
+    """
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value: float) -> None:
+        index = (
+            _ZERO_BUCKET if value <= 0.0
+            else math.floor(math.log(value) / _LOG_GROWTH)
+        )
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def merge(self, other: "PercentileHistogram") -> None:
+        """Fold ``other`` in exactly (identical fixed layout by design)."""
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+            self.max = other.max if self.max is None else max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimate (``0 < q <= 1``); 0.0 when empty."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if not self.count:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= target:
+                if index == _ZERO_BUCKET:
+                    return 0.0
+                midpoint = math.exp((index + 0.5) * _LOG_GROWTH)
+                return min(max(midpoint, self.min), self.max)
+        return self.max  # unreachable; defensive
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def p999(self) -> float:
+        return self.quantile(0.999)
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "p999": self.p999,
+        }
+
+
 def _flatten_stats(prefix: str, obj, out: dict, depth: int = 0) -> None:
     """Flatten one stats object into dotted numeric entries."""
     if depth > 4:  # defensive: stats objects are shallow by construction
@@ -139,7 +240,9 @@ class MetricsRegistry:
     """Named instruments plus pull-registered legacy stats objects."""
 
     def __init__(self) -> None:
-        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._instruments: dict[
+            str, Counter | Gauge | Histogram | PercentileHistogram
+        ] = {}
         self._pulls: list[tuple[str, Callable[[], object]]] = []
 
     # ------------------------------------------------------------------
@@ -166,6 +269,9 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
+    def percentiles(self, name: str) -> PercentileHistogram:
+        return self._get(name, PercentileHistogram)
+
     # ------------------------------------------------------------------
     # Legacy-stats adapters
     # ------------------------------------------------------------------
@@ -188,7 +294,7 @@ class MetricsRegistry:
         """One flat JSON-ready dict of every instrument and pulled stat."""
         out: dict = {}
         for name, instrument in sorted(self._instruments.items()):
-            if isinstance(instrument, Histogram):
+            if isinstance(instrument, (Histogram, PercentileHistogram)):
                 out[name] = instrument.summary()
             else:
                 out[name] = instrument.value

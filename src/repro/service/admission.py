@@ -1,0 +1,132 @@
+"""Admission control: bounded queues, typed shedding, per-class fairness.
+
+An always-on SSI cannot let offered load queue without bound — queue depth
+is latency, and a mailbox that grows forever is how p999 dies. The
+controller enforces two limits the service config names explicitly:
+
+* ``max_in_flight`` — how many admitted queries may execute concurrently
+  (the scheduler runs exactly that many worker loops);
+* ``max_queue_depth`` — how many admitted-but-waiting queries may sit in
+  the per-class queues, *summed*. One more arrival is shed with a typed
+  :class:`Overloaded` carrying the observed depth, so clients (and the
+  load generator) can distinguish "rejected by policy" from a failure.
+
+Fairness is round-robin over the per-class FIFO queues: a burst of one
+query class cannot starve the others — each scheduling decision takes the
+next non-empty class after the one served last.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro.errors import NetError
+
+
+class Overloaded(NetError):
+    """The service shed this query at admission (queues full)."""
+
+    def __init__(self, query_class: str, queued: int, limit: int) -> None:
+        super().__init__(
+            f"overloaded: {queued} queued >= limit {limit} "
+            f"(rejecting {query_class})"
+        )
+        self.query_class = query_class
+        self.queued = queued
+        self.limit = limit
+
+
+@dataclass
+class AdmissionStats:
+    admitted: int = 0
+    shed: int = 0
+    admitted_by_class: dict = field(default_factory=dict)
+    shed_by_class: dict = field(default_factory=dict)
+    queue_depth_high_water: int = 0
+
+
+class AdmissionController:
+    """Per-class bounded FIFO queues with round-robin dequeue."""
+
+    def __init__(self, max_queue_depth: int) -> None:
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        self.max_queue_depth = max_queue_depth
+        self.stats = AdmissionStats()
+        # Insertion-ordered so round-robin order is deterministic.
+        self._queues: OrderedDict[str, deque] = OrderedDict()
+        self._last_served: str | None = None
+        self._available = asyncio.Event()
+
+    @property
+    def depth(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def depth_of(self, query_class: str) -> int:
+        queue = self._queues.get(query_class)
+        return len(queue) if queue is not None else 0
+
+    # ------------------------------------------------------------------
+    def submit(self, query_class: str, ticket) -> None:
+        """Admit ``ticket`` or raise :class:`Overloaded` (shed)."""
+        depth = self.depth
+        if depth >= self.max_queue_depth:
+            self.stats.shed += 1
+            by = self.stats.shed_by_class
+            by[query_class] = by.get(query_class, 0) + 1
+            raise Overloaded(query_class, depth, self.max_queue_depth)
+        queue = self._queues.get(query_class)
+        if queue is None:
+            queue = self._queues[query_class] = deque()
+        queue.append(ticket)
+        self.stats.admitted += 1
+        by = self.stats.admitted_by_class
+        by[query_class] = by.get(query_class, 0) + 1
+        self.stats.queue_depth_high_water = max(
+            self.stats.queue_depth_high_water, depth + 1
+        )
+        self._available.set()
+
+    async def next_ticket(self):
+        """The next ticket, fair across classes; waits when all are empty."""
+        while True:
+            ticket = self._try_next()
+            if ticket is not None:
+                return ticket
+            self._available.clear()
+            await self._available.wait()
+
+    def _try_next(self):
+        classes = [name for name, q in self._queues.items() if q]
+        if not classes:
+            return None
+        # Round-robin: start just after the class served last.
+        if self._last_served in classes:
+            start = classes.index(self._last_served) + 1
+        elif self._last_served is not None:
+            # Served class drained: resume from the next registered class.
+            registered = list(self._queues)
+            later = [
+                name
+                for name in registered[
+                    registered.index(self._last_served) + 1 :
+                ]
+                if name in classes
+            ]
+            classes = later + [c for c in classes if c not in later]
+            start = 0
+        else:
+            start = 0
+        chosen = classes[start % len(classes)]
+        self._last_served = chosen
+        return self._queues[chosen].popleft()
+
+    def drain(self) -> list:
+        """Remove and return every queued ticket (service shutdown)."""
+        tickets = []
+        for queue in self._queues.values():
+            tickets.extend(queue)
+            queue.clear()
+        return tickets

@@ -1,0 +1,131 @@
+"""Churn-aware aggregate-result cache: version-exact, never stale.
+
+The cache is keyed by the canonical query descriptor and carries the
+population version each entry was computed at. Invalidation is *exact*: the
+cache subscribes to :class:`~repro.service.population.ServicePopulation`
+events, and every churn flip or ``forget()`` purges all entries of older
+versions in the same synchronous call that bumped the version — there is no
+TTL, no grace window, no "eventually". A hit is only ever served when the
+entry's version equals the population's current version, so a served
+aggregate is always the one a fresh batch run over the current membership
+would produce (asserted bit-identically by the tests and bench E24).
+
+Capacity is a plain LRU bound; ``capacity=0`` disables caching entirely
+(the admission/scheduling layers work unchanged).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.service.descriptor import QueryDescriptor
+from repro.service.population import PopulationSnapshot, ServicePopulation
+
+
+@dataclass
+class ResultCacheStats:
+    """Counters the service exports through ``repro.obs``."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    #: Entries purged because churn/forget moved the population version.
+    invalidations: int = 0
+    #: Results not cached because their snapshot was already outdated when
+    #: the query finished (they were still correct *for their snapshot*).
+    stale_results_dropped: int = 0
+
+
+@dataclass
+class CacheEntry:
+    """One cached aggregate plus everything needed to reproduce it."""
+
+    version: int
+    result: dict[str, float]
+    seed: int
+    #: The snapshot the result was computed over (kept only when the
+    #: service records snapshots, for bit-identical re-verification).
+    snapshot: PopulationSnapshot | None = None
+    stats: dict = field(default_factory=dict)
+
+
+class ResultCache:
+    """LRU of aggregate results, invalidated exactly on population events."""
+
+    def __init__(
+        self, capacity: int, population: ServicePopulation
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self.population = population
+        self.stats = ResultCacheStats()
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        population.add_listener(self._on_population_event)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    # ------------------------------------------------------------------
+    def get(self, descriptor: QueryDescriptor) -> CacheEntry | None:
+        """The current-version entry for ``descriptor``, or None (miss)."""
+        if not self.enabled:
+            return None
+        key = descriptor.canonical()
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.version != self.population.version:
+            # Defensive: the event listener purges synchronously, so this
+            # only triggers if someone mutated the population without
+            # notifying — still never serve it.
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(
+        self,
+        descriptor: QueryDescriptor,
+        entry: CacheEntry,
+    ) -> bool:
+        """Insert a freshly computed result; refuses outdated snapshots.
+
+        Returns False (and counts it) when the population moved on while
+        the query was executing — the caller still serves the result, it
+        just must not be replayed to later queriers.
+        """
+        if not self.enabled:
+            return False
+        if entry.version != self.population.version:
+            self.stats.stale_results_dropped += 1
+            return False
+        key = descriptor.canonical()
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.stats.insertions += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def _on_population_event(
+        self, event: str, pds_id: int, version: int
+    ) -> None:
+        """Exact invalidation: every pre-event entry dies with the event."""
+        if not self._entries:
+            return
+        purged = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += purged

@@ -1,0 +1,209 @@
+"""Canonical query descriptors: the unit the SSI service admits and caches.
+
+A :class:`QueryDescriptor` names everything that determines a query's
+*answer* and *cost*: the protocol family ([TNP14] secure-aggregation,
+noise, or histogram), the SQL aggregate itself, and the family's public
+parameters. Two submissions describing the same computation must canonical-
+ize to the same string — that string is the result-cache key, the wire form
+of a ``QUERY`` frame, and (together with the population version) the input
+of the deterministic seed every execution draws its randomness from. The
+seed derivation is what makes a served answer *reproducible*: re-running
+the one-shot batch driver with the recorded (descriptor, snapshot, seed)
+triple must produce a bit-identical aggregate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.globalq.queries import AggregateQuery
+
+#: The protocol families a descriptor may route to.
+FAMILY_SECURE_AGG = "secure-agg"
+FAMILY_NOISE = "noise"
+FAMILY_HISTOGRAM = "histogram"
+FAMILIES = (FAMILY_SECURE_AGG, FAMILY_NOISE, FAMILY_HISTOGRAM)
+
+
+@dataclass(frozen=True)
+class QueryDescriptor:
+    """One admissible query: family + aggregate + public parameters."""
+
+    family: str
+    query: AggregateQuery
+    #: secure-agg only: fixed partition size (None = sqrt default).
+    partition_size: int | None = None
+    #: noise family only: fake-tuple mode and ratio (domain is service
+    #: config — it is population-public, not query-specific).
+    noise_mode: str = "none"
+    noise_ratio: float = 0.0
+    #: histogram family only: equi-depth bucket count.
+    num_buckets: int = 8
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise QueryError(
+                f"unknown protocol family {self.family!r}; "
+                f"expected one of {FAMILIES}"
+            )
+
+    @property
+    def query_class(self) -> str:
+        """The admission/fairness class this query belongs to."""
+        suffix = f"-by-{self.query.group_by}" if self.query.group_by else ""
+        return f"{self.family}:{self.query.aggregate.lower()}{suffix}"
+
+    # ------------------------------------------------------------------
+    # Canonical form (cache key == wire form == seed input)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "aggregate": self.query.aggregate,
+            "attribute": self.query.attribute,
+            "group_by": self.query.group_by,
+            "where": [list(condition) for condition in self.query.where],
+            "partition_size": self.partition_size,
+            "noise_mode": self.noise_mode,
+            "noise_ratio": self.noise_ratio,
+            "num_buckets": self.num_buckets,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QueryDescriptor":
+        try:
+            query = AggregateQuery(
+                aggregate=data["aggregate"],
+                attribute=data.get("attribute"),
+                group_by=data.get("group_by"),
+                where=tuple(
+                    tuple(condition) for condition in data.get("where", [])
+                ),
+            )
+            return cls(
+                family=data["family"],
+                query=query,
+                partition_size=data.get("partition_size"),
+                noise_mode=data.get("noise_mode", "none"),
+                noise_ratio=data.get("noise_ratio", 0.0),
+                num_buckets=data.get("num_buckets", 8),
+            )
+        except (KeyError, TypeError) as exc:
+            raise QueryError(f"malformed query descriptor: {exc}") from exc
+
+    def canonical(self) -> str:
+        """Deterministic string form — equal iff the descriptors are."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_canonical(cls, text: str) -> "QueryDescriptor":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise QueryError("descriptor is not valid JSON") from exc
+        if not isinstance(data, dict):
+            raise QueryError("descriptor must be a JSON object")
+        return cls.from_dict(data)
+
+
+def derive_seed(
+    descriptor: QueryDescriptor, version: int, base_seed: int = 0
+) -> int:
+    """The 64-bit seed of one execution of ``descriptor`` at ``version``.
+
+    Scheduling-independent by construction: it depends only on what is
+    being computed and over which population state, never on arrival order,
+    worker interleaving, or cache history — which is why a service answer
+    and a batch re-run from the recorded version cannot diverge.
+    """
+    digest = hashlib.sha256(
+        f"service:{base_seed}:{version}:{descriptor.canonical()}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+# ----------------------------------------------------------------------
+# The standard mixed workload (loadgen, bench E24, demo)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Weighted query classes an open-loop generator draws from."""
+
+    entries: tuple[tuple[QueryDescriptor, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise QueryError("a workload mix needs at least one entry")
+        if any(weight <= 0 for _, weight in self.entries):
+            raise QueryError("mix weights must be positive")
+
+    def pick(self, rng) -> QueryDescriptor:
+        total = sum(weight for _, weight in self.entries)
+        point = rng.random() * total
+        for descriptor, weight in self.entries:
+            point -= weight
+            if point < 0:
+                return descriptor
+        return self.entries[-1][0]
+
+    def descriptors(self) -> list[QueryDescriptor]:
+        return [descriptor for descriptor, _ in self.entries]
+
+
+def standard_mix(
+    value_attribute: str = "salary", group_attribute: str = "city"
+) -> WorkloadMix:
+    """The four-class mix the tentpole serves concurrently.
+
+    Secure-agg total sum, secure-agg global count, a noised group-by count
+    (white-noise fakes), and a histogram-bucketed group-by sum — one query
+    class per [TNP14] cost/leak profile, equally weighted.
+    """
+    return WorkloadMix(
+        entries=(
+            (
+                QueryDescriptor(
+                    FAMILY_SECURE_AGG, AggregateQuery.sum(value_attribute)
+                ),
+                1.0,
+            ),
+            (
+                QueryDescriptor(FAMILY_SECURE_AGG, AggregateQuery.count()),
+                1.0,
+            ),
+            (
+                QueryDescriptor(
+                    FAMILY_NOISE,
+                    AggregateQuery.count(group_by=group_attribute),
+                    noise_mode="white",
+                    noise_ratio=0.3,
+                ),
+                1.0,
+            ),
+            (
+                QueryDescriptor(
+                    FAMILY_HISTOGRAM,
+                    AggregateQuery.sum(
+                        value_attribute, group_by=group_attribute
+                    ),
+                    num_buckets=4,
+                ),
+                1.0,
+            ),
+        )
+    )
+
+
+__all__ = [
+    "FAMILIES",
+    "FAMILY_HISTOGRAM",
+    "FAMILY_NOISE",
+    "FAMILY_SECURE_AGG",
+    "QueryDescriptor",
+    "WorkloadMix",
+    "derive_seed",
+    "standard_mix",
+]

@@ -1,0 +1,105 @@
+"""The one-shot batch driver the service's answers are measured against.
+
+:func:`run_query` is *the* execution path: the service calls it from its
+worker threads, and the tests/bench call it again — standalone, later, in
+another process if they like — with the recorded (descriptor, snapshot
+nodes, seed) triple. Both calls build the same protocol object with the
+same deterministic rng and the same sharded-collection seed, so the two
+aggregates must be bit-identical; any divergence is a concurrency bug in
+the service (wrong snapshot, stale cache, shared-rng contamination), which
+is exactly what the equality assertions exist to catch.
+
+Worker count is *not* part of the determinism contract on purpose: the E23
+sharded executor guarantees ciphertexts do not depend on parallelism, so a
+reference re-run with ``workers=1`` validates a service answer computed
+over a process pool.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.globalq.histogram import EquiDepthBucketizer, HistogramProtocol
+from repro.globalq.noise import NoisePlan, NoiseProtocol
+from repro.globalq.parallel import DEFAULT_SHARD_SIZE, WorkerPool
+from repro.globalq.protocol import ProtocolReport, TokenFleet
+from repro.globalq.secureagg import SecureAggregationProtocol
+from repro.service.descriptor import (
+    FAMILY_HISTOGRAM,
+    FAMILY_NOISE,
+    FAMILY_SECURE_AGG,
+    QueryDescriptor,
+)
+
+
+def build_protocol(
+    descriptor: QueryDescriptor,
+    fleet: TokenFleet,
+    seed: int,
+    domain: tuple[str, ...],
+    workers: int = 1,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    pool: WorkerPool | None = None,
+):
+    """The protocol-family driver for one execution of ``descriptor``.
+
+    Every random draw — SSI partitioning, fake planning, cipher nonces —
+    descends from ``seed``, and collection always routes through the
+    sharded executor so the answer is identical at any worker count.
+    """
+    rng = random.Random(seed)
+    if descriptor.family == FAMILY_SECURE_AGG:
+        return SecureAggregationProtocol(
+            fleet,
+            partition_size=descriptor.partition_size,
+            rng=rng,
+            workers=workers,
+            shard_size=shard_size,
+            collection_seed=seed,
+            pool=pool,
+        )
+    if descriptor.family == FAMILY_NOISE:
+        return NoiseProtocol(
+            fleet,
+            NoisePlan(
+                mode=descriptor.noise_mode,
+                ratio=descriptor.noise_ratio,
+                domain=tuple(domain),
+            ),
+            rng=rng,
+            workers=workers,
+            shard_size=shard_size,
+            collection_seed=seed,
+            pool=pool,
+        )
+    assert descriptor.family == FAMILY_HISTOGRAM
+    bucketizer = EquiDepthBucketizer(
+        {value: 1.0 for value in domain}, descriptor.num_buckets
+    )
+    return HistogramProtocol(
+        fleet,
+        bucketizer,
+        rng=rng,
+        workers=workers,
+        shard_size=shard_size,
+        collection_seed=seed,
+        pool=pool,
+    )
+
+
+def run_query(
+    descriptor: QueryDescriptor,
+    nodes,
+    fleet: TokenFleet,
+    seed: int,
+    domain: tuple[str, ...],
+    workers: int = 1,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    pool: WorkerPool | None = None,
+) -> ProtocolReport:
+    """Run ``descriptor`` once over ``nodes`` — service path and reference."""
+    protocol = build_protocol(
+        descriptor, fleet, seed, domain,
+        workers=workers, shard_size=shard_size, pool=pool,
+    )
+    return protocol.run(list(nodes), descriptor.query)

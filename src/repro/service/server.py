@@ -1,0 +1,380 @@
+"""The long-lived SSI query service: scheduling, caching, accounting.
+
+Everything before this PR runs a query the way a benchmark does — build the
+population, run one protocol, exit. :class:`SsiQueryService` runs the SSI
+the way the tutorial deploys it: a persistent server multiplexing many
+concurrent [TNP14] queries over one shared population while tokens churn
+and citizens ``forget()``. Three mechanisms make that safe:
+
+* **admission + scheduling** — arrivals pass the
+  :class:`~repro.service.admission.AdmissionController` (bounded queues,
+  typed :class:`~repro.service.admission.Overloaded` shedding, round-robin
+  class fairness); exactly ``max_in_flight`` worker loops execute admitted
+  queries on a thread pool, so protocol CPU never blocks the event loop;
+* **snapshot execution** — each execution freezes the population
+  (:meth:`ServicePopulation.snapshot`) and derives its seed from the
+  (descriptor, version) pair, so the answer is bit-identical to the one-shot
+  batch driver run over the same snapshot — concurrency cannot perturb it;
+* **version-exact caching** — results are cached per canonical descriptor
+  and served only while the population version is unchanged
+  (:class:`~repro.service.cache.ResultCache`).
+
+Latency accounting flows through ``repro.obs``: per-query spans plus
+streaming :class:`~repro.obs.metrics.PercentileHistogram` latency
+(p50/p99/p999) overall and per query class.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.errors import NetError
+from repro.globalq.parallel import DEFAULT_SHARD_SIZE, WorkerPool
+from repro.net.codec import (
+    KIND_QUERY,
+    KIND_REJECT,
+    KIND_RESULT,
+    Frame,
+    decode_json_payload,
+    encode_json_payload,
+)
+from repro.service.admission import AdmissionController, Overloaded
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.descriptor import QueryDescriptor, derive_seed
+from repro.service.population import PopulationSnapshot, ServicePopulation
+from repro.service.reference import run_query
+from repro.workloads.people import CITIES
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one service instance."""
+
+    #: Concurrent executions (worker loops / executor threads).
+    max_in_flight: int = 4
+    #: Total admitted-but-waiting queries before shedding.
+    max_queue_depth: int = 64
+    #: Result-cache entries (0 disables caching).
+    cache_capacity: int = 32
+    #: Sharded-collection workers per execution (1 = inline).
+    workers: int = 1
+    shard_size: int = DEFAULT_SHARD_SIZE
+    #: Base seed mixed into every per-query seed derivation.
+    seed: int = 0
+    #: Public attribute domain (noise fakes, histogram prior).
+    domain: tuple[str, ...] = tuple(CITIES)
+    #: Keep each result's population snapshot on the ServedResult/cache
+    #: entry so tests can re-verify answers bit-identically.
+    record_snapshots: bool = False
+    #: Optional persistent process pool shared across executions.
+    pool: WorkerPool | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One answered query, with everything needed to reproduce it."""
+
+    descriptor: QueryDescriptor
+    result: dict[str, float]
+    #: Population version the answer reflects.
+    version: int
+    #: Deterministic seed the execution drew its randomness from.
+    seed: int
+    cached: bool
+    #: Submit-to-answer latency (seconds, wall clock).
+    latency_s: float
+    #: Present when the service records snapshots (bit-identity checks).
+    snapshot: PopulationSnapshot | None = None
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class QueryTicket:
+    """One admitted query waiting for a worker loop."""
+
+    descriptor: QueryDescriptor
+    submitted_at: float
+    future: asyncio.Future
+
+
+class SsiQueryService:
+    """Persistent SSI serving concurrent [TNP14] queries."""
+
+    def __init__(
+        self,
+        population: ServicePopulation,
+        config: ServiceConfig | None = None,
+        registry: obs.MetricsRegistry | None = None,
+    ) -> None:
+        self.population = population
+        self.config = config or ServiceConfig()
+        self.registry = registry or obs.MetricsRegistry()
+        self.admission = AdmissionController(self.config.max_queue_depth)
+        self.cache = ResultCache(self.config.cache_capacity, population)
+        self.registry.register_stats("service.admission", self.admission.stats)
+        self.registry.register_stats("service.cache", self.cache.stats)
+        self._workers: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_in_flight,
+            thread_name_prefix="ssi-query",
+        )
+        self._workers = [
+            asyncio.ensure_future(self._worker_loop(i))
+            for i in range(self.config.max_in_flight)
+        ]
+
+    async def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        for ticket in self.admission.drain():
+            if not ticket.future.done():
+                ticket.future.set_exception(NetError("service stopped"))
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, descriptor: QueryDescriptor) -> ServedResult:
+        """Answer ``descriptor``; raises :class:`Overloaded` when shed."""
+        if not self._running:
+            raise NetError("service is not running")
+        started = time.perf_counter()
+        self.registry.counter("service.arrivals").inc()
+        hit = self.cache.get(descriptor)
+        if hit is not None:
+            latency = time.perf_counter() - started
+            served = ServedResult(
+                descriptor=descriptor,
+                result=hit.result,
+                version=hit.version,
+                seed=hit.seed,
+                cached=True,
+                latency_s=latency,
+                snapshot=hit.snapshot,
+                stats=hit.stats,
+            )
+            self._account(served)
+            return served
+        ticket = QueryTicket(
+            descriptor=descriptor,
+            submitted_at=started,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        try:
+            self.admission.submit(descriptor.query_class, ticket)
+        except Overloaded:
+            self.registry.counter("service.shed").inc()
+            raise
+        self.registry.gauge("service.queue_depth").max(self.admission.depth)
+        return await ticket.future
+
+    # ------------------------------------------------------------------
+    # Worker loops
+    # ------------------------------------------------------------------
+    async def _worker_loop(self, index: int) -> None:
+        while True:
+            ticket = await self.admission.next_ticket()
+            if ticket.future.done():
+                continue  # submitter went away (e.g. timed out)
+            try:
+                served = await self._execute(ticket)
+            except asyncio.CancelledError:
+                if not ticket.future.done():
+                    ticket.future.set_exception(NetError("service stopped"))
+                raise
+            except Exception as exc:  # surface, never kill the loop
+                if not ticket.future.done():
+                    ticket.future.set_exception(exc)
+                self.registry.counter("service.errors").inc()
+            else:
+                if not ticket.future.done():
+                    ticket.future.set_result(served)
+
+    async def _execute(self, ticket: QueryTicket) -> ServedResult:
+        descriptor = ticket.descriptor
+        # The population may have changed (and the cache been refilled by a
+        # sibling worker) between admission and dequeue — re-check.
+        hit = self.cache.get(descriptor)
+        if hit is not None:
+            served = ServedResult(
+                descriptor=descriptor,
+                result=hit.result,
+                version=hit.version,
+                seed=hit.seed,
+                cached=True,
+                latency_s=time.perf_counter() - ticket.submitted_at,
+                snapshot=hit.snapshot,
+                stats=hit.stats,
+            )
+            self._account(served)
+            return served
+        snapshot = self.population.snapshot()
+        seed = derive_seed(descriptor, snapshot.version, self.config.seed)
+        loop = asyncio.get_running_loop()
+        ctx = contextvars.copy_context()
+        with obs.span(
+            "service.query",
+            query_class=descriptor.query_class,
+            version=snapshot.version,
+            population=len(snapshot.nodes),
+        ):
+            report = await loop.run_in_executor(
+                self._executor,
+                ctx.run,
+                run_query,
+                descriptor,
+                snapshot.nodes,
+                self.population.fleet,
+                seed,
+                self.config.domain,
+                self.config.workers,
+                self.config.shard_size,
+                self.config.pool,
+            )
+        stats = {
+            "num_pds": report.num_pds,
+            "tuples_sent": report.tuples_sent,
+            "token_invocations": report.token_invocations,
+            "comm_bytes": report.comm_bytes,
+        }
+        entry = CacheEntry(
+            version=snapshot.version,
+            result=report.result,
+            seed=seed,
+            snapshot=snapshot if self.config.record_snapshots else None,
+            stats=stats,
+        )
+        self.cache.put(descriptor, entry)
+        served = ServedResult(
+            descriptor=descriptor,
+            result=report.result,
+            version=snapshot.version,
+            seed=seed,
+            cached=False,
+            latency_s=time.perf_counter() - ticket.submitted_at,
+            snapshot=entry.snapshot,
+            stats=stats,
+        )
+        self._account(served)
+        return served
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _account(self, served: ServedResult) -> None:
+        latency_ms = served.latency_s * 1000.0
+        self.registry.counter("service.completed").inc()
+        if served.cached:
+            self.registry.counter("service.cache_hits_served").inc()
+        self.registry.percentiles("service.latency_ms").observe(latency_ms)
+        self.registry.percentiles(
+            f"service.latency_ms.{served.descriptor.query_class}"
+        ).observe(latency_ms)
+
+    def metrics_snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+    @property
+    def latency(self) -> obs.PercentileHistogram:
+        return self.registry.percentiles("service.latency_ms")
+
+    # ------------------------------------------------------------------
+    # Wire front-end
+    # ------------------------------------------------------------------
+    async def serve_endpoint(self, endpoint) -> None:
+        """Answer ``QUERY`` frames arriving on a bus endpoint.
+
+        Payloads are canonical JSON: a query is ``{"request_id", the
+        descriptor fields}``; the reply is a ``RESULT`` (answer + version +
+        provenance) or a ``REJECT`` carrying the typed overload fields.
+        Each request is dispatched as its own task — the receive loop never
+        blocks on an execution, so wire queriers genuinely contend for the
+        scheduler (and overflow genuinely sheds). Runs until cancelled —
+        the demo and tests wrap it in a task.
+        """
+        dispatched: set[asyncio.Task] = set()
+        seq = 0
+        try:
+            while True:
+                frame = await endpoint.recv()
+                if frame.kind != KIND_QUERY:
+                    continue
+                seq += 1
+                task = asyncio.ensure_future(
+                    self._answer_frame(endpoint, frame, seq)
+                )
+                dispatched.add(task)
+                task.add_done_callback(dispatched.discard)
+        finally:
+            for task in dispatched:
+                task.cancel()
+
+    async def _answer_frame(self, endpoint, frame: Frame, seq: int) -> None:
+        request = decode_json_payload(frame.payload)
+        request_id = request.get("request_id")
+        try:
+            descriptor = QueryDescriptor.from_dict(request)
+            served = await self.submit(descriptor)
+        except Overloaded as exc:
+            reply = Frame(
+                kind=KIND_REJECT,
+                sender=endpoint.name,
+                seq=seq,
+                payload=encode_json_payload(
+                    {
+                        "request_id": request_id,
+                        "error": "overloaded",
+                        "query_class": exc.query_class,
+                        "queued": exc.queued,
+                        "limit": exc.limit,
+                    }
+                ),
+            )
+            await endpoint.send(frame.sender, reply)
+            return
+        reply = Frame(
+            kind=KIND_RESULT,
+            sender=endpoint.name,
+            seq=seq,
+            payload=encode_json_payload(
+                {
+                    "request_id": request_id,
+                    "result": served.result,
+                    "version": served.version,
+                    "seed": served.seed,
+                    "cached": served.cached,
+                    "latency_ms": served.latency_s * 1000.0,
+                }
+            ),
+        )
+        await endpoint.send(frame.sender, reply)

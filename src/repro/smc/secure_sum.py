@@ -24,7 +24,11 @@ import random
 from dataclasses import dataclass
 
 from repro.crypto.paillier import PaillierPrivateKey, PaillierPublicKey
-from repro.globalq.parallel import DEFAULT_SHARD_SIZE, collect_encrypted_sum
+from repro.globalq.parallel import (
+    DEFAULT_SHARD_SIZE,
+    WorkerPool,
+    collect_encrypted_sum,
+)
 from repro.smc.parties import Channel, CryptoOps
 
 DEFAULT_MODULUS = 1 << 64
@@ -85,6 +89,7 @@ def paillier_secure_sum(
     workers: int | None = None,
     shard_size: int = DEFAULT_SHARD_SIZE,
     base_seed: int = 0,
+    pool: WorkerPool | None = None,
 ) -> SumResult:
     """HE sum through an untrusted aggregator (no ring, no collusion issue).
 
@@ -92,11 +97,15 @@ def paillier_secure_sum(
     An integer routes collection through sharded batched encryption
     (``workers=1`` serial shards, ``>1`` a process pool); each shard ships
     one partial homomorphic aggregate, merged by the untrusted SSI. The
-    decrypted total is exact on both paths.
+    decrypted total is exact on both paths. ``pool`` reuses a persistent
+    :class:`~repro.globalq.parallel.WorkerPool` across calls instead of
+    spawning workers per sum.
     """
     if not values:
         raise ValueError("no sites")
     crypto = CryptoOps()
+    if workers is None and pool is not None:
+        workers = pool.workers
     if workers is None:
         if rng is None:
             raise ValueError("the scalar path needs an rng")
@@ -113,7 +122,7 @@ def paillier_secure_sum(
     else:
         shards = collect_encrypted_sum(
             values, public, workers=workers, shard_size=shard_size,
-            base_seed=base_seed,
+            base_seed=base_seed, pool=pool,
         )
         combined = 1
         for shard in shards:

@@ -16,6 +16,7 @@ from repro.globalq.histogram import EquiDepthBucketizer, HistogramProtocol
 from repro.globalq.noise import WHITE_NOISE, NoisePlan, NoiseProtocol
 from repro.globalq.parallel import (
     ShardedCollector,
+    WorkerPool,
     collect_encrypted_sum,
     shard_seed,
     shard_slices,
@@ -97,6 +98,79 @@ class TestShardedCollector:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             ShardedCollector(workers=0)
+
+
+class TestWorkerPool:
+    """Persistent pool reuse: same results, one executor, explicit close."""
+
+    def test_pool_reuse_matches_per_call_results(self):
+        with WorkerPool(workers=2) as pool:
+            pooled_one = ShardedCollector(
+                shard_size=16, base_seed=5, pool=pool
+            ).collect(NODES, QUERY, TokenFleet(3))
+            pooled_two = ShardedCollector(
+                shard_size=16, base_seed=5, pool=pool
+            ).collect(NODES, QUERY, TokenFleet(3))
+        percall = ShardedCollector(
+            workers=2, shard_size=16, base_seed=5
+        ).collect(NODES, QUERY, TokenFleet(3))
+
+        def blobs(collected):
+            return [
+                (i.pds_id, [c.blob for c in i.contributions])
+                for i in collected
+            ]
+
+        assert blobs(pooled_one) == blobs(pooled_two) == blobs(percall)
+
+    def test_executor_is_lazy_and_reused(self):
+        pool = WorkerPool(workers=2)
+        assert pool._executor is None  # nothing spawned until first use
+        first = pool.executor
+        assert pool.executor is first
+        pool.close()
+
+    def test_close_is_idempotent_and_final(self):
+        pool = WorkerPool(workers=1)
+        pool.close()
+        pool.close()
+        assert pool.closed
+        with pytest.raises(RuntimeError):
+            pool.submit(len, ())
+
+    def test_closed_pool_rejected_by_collector(self):
+        pool = WorkerPool(workers=2)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            ShardedCollector(shard_size=16, pool=pool).collect(
+                NODES[:8], QUERY, TokenFleet(3)
+            )
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+
+    def test_protocols_share_a_pool(self):
+        with WorkerPool(workers=2) as pool:
+            pooled = SecureAggregationProtocol(
+                TokenFleet(0), rng=random.Random(1), shard_size=32, pool=pool
+            ).run(NODES, QUERY)
+        percall = SecureAggregationProtocol(
+            TokenFleet(0), rng=random.Random(1), workers=2, shard_size=32
+        ).run(NODES, QUERY)
+        assert pooled.result == percall.result == TRUTH
+
+    def test_paillier_sum_accepts_pool(self):
+        pub, priv = generate_keypair(bits=256, rng=random.Random(321))
+        values = [3 * v for v in range(48)]
+        with WorkerPool(workers=2) as pool:
+            pooled = paillier_secure_sum(
+                values, pub, priv, Channel(), shard_size=16, pool=pool
+            )
+        percall = paillier_secure_sum(
+            values, pub, priv, Channel(), workers=2, shard_size=16
+        )
+        assert pooled.total == percall.total == sum(values)
 
 
 @pytest.mark.parametrize("workers", [1, 2])

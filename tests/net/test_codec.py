@@ -15,12 +15,17 @@ from repro.net.codec import (
     KIND_ACK,
     KIND_CONTRIB,
     KIND_NAMES,
+    KIND_QUERY,
+    KIND_REJECT,
+    KIND_RESULT,
     Frame,
+    decode_json_payload,
     decode_contribution,
     decode_frame,
     decode_outcome,
     decode_partition,
     encode_contribution,
+    encode_json_payload,
     encode_frame,
     encode_outcome,
     encode_partition,
@@ -204,3 +209,35 @@ class TestOutcomeCodec:
     def test_trailing_bytes(self):
         with pytest.raises(ProtocolError, match="trailing"):
             decode_outcome(encode_outcome(5, outcome()) + b"\x00")
+
+
+class TestServiceFrames:
+    def test_new_kinds_are_named_and_distinct(self):
+        assert KIND_NAMES[KIND_QUERY] == "QUERY"
+        assert KIND_NAMES[KIND_RESULT] == "RESULT"
+        assert KIND_NAMES[KIND_REJECT] == "REJECT"
+        assert len({KIND_QUERY, KIND_RESULT, KIND_REJECT}) == 3
+
+    def test_json_payload_round_trips_through_frame(self):
+        body = {"request_id": 3, "result": {"*": 1.5}, "cached": False}
+        frame = Frame(KIND_RESULT, "ssi", 9, encode_json_payload(body))
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.kind == KIND_RESULT
+        assert decode_json_payload(decoded.payload) == body
+
+    def test_json_payload_is_canonical(self):
+        a = encode_json_payload({"b": 1, "a": 2})
+        b = encode_json_payload({"a": 2, "b": 1})
+        assert a == b  # key order never changes the bytes
+
+    @pytest.mark.parametrize(
+        "data",
+        [b"\xff\xfe", b"not json", b"[1,2]", b'"scalar"'],
+    )
+    def test_malformed_json_payloads_rejected(self, data):
+        with pytest.raises(ProtocolError):
+            decode_json_payload(data)
+
+    def test_unencodable_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_json_payload({"x": object()})

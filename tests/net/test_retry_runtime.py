@@ -179,3 +179,48 @@ class TestNodeRuntime:
             await bus.close()
 
         run(body())
+
+
+class TestStandaloneChurn:
+    """Service-mode churn: start/stop outside run(), with flip listeners."""
+
+    def test_flip_listeners_see_every_transition(self):
+        async def body():
+            bus = MessageBus(rng=random.Random(0))
+            runtime = NodeRuntime(
+                bus,
+                churn=ChurnModel(offline_fraction=0.4, mean_online=0.005),
+                rng=random.Random(7),
+            )
+            for i in range(12):
+                runtime.register_node(f"n{i}")
+            flips = []
+            runtime.add_flip_listener(
+                lambda name, online: flips.append((name, online))
+            )
+            task = runtime.start_churn()
+            assert task is not None
+            assert runtime.start_churn() is task  # idempotent
+            await asyncio.sleep(0.05)
+            await runtime.stop_churn()
+            assert runtime.flips > 0
+            assert len(flips) == runtime.flips
+            # Every listener event matches the bus state at the time; after
+            # stop_churn everyone is back online.
+            assert runtime.offline_now == 0
+            assert any(not online for _, online in flips)
+            await bus.close()
+
+        run(body())
+
+    def test_start_churn_inactive_model_is_noop(self):
+        async def body():
+            bus = MessageBus(rng=random.Random(0))
+            runtime = NodeRuntime(bus, rng=random.Random(1))
+            runtime.register_node("n0")
+            assert runtime.start_churn() is None
+            await runtime.stop_churn()
+            assert runtime.flips == 0
+            await bus.close()
+
+        run(body())

@@ -5,10 +5,12 @@ import pytest
 from repro.hardware.flash import FlashStats
 from repro.net.metrics import NetMetrics
 from repro.obs.metrics import (
+    PERCENTILE_GROWTH,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    PercentileHistogram,
     global_registry,
 )
 from repro.storage.cache import CacheStats
@@ -103,6 +105,81 @@ class TestStatsAdapters:
         snapshot = registry.snapshot()
         assert snapshot["x.n"] == 1
         assert "x.junk" not in snapshot
+
+
+class TestPercentileHistogram:
+    def test_quantiles_within_relative_error(self):
+        import random
+
+        histogram = PercentileHistogram()
+        rng = random.Random(7)
+        values = [rng.lognormvariate(3.0, 1.2) for _ in range(20_000)]
+        for value in values:
+            histogram.observe(value)
+        values.sort()
+        for q in (0.5, 0.99, 0.999):
+            exact = values[min(len(values) - 1, int(q * len(values)))]
+            estimate = histogram.quantile(q)
+            # Log buckets of growth g bound the relative error by g.
+            assert exact / PERCENTILE_GROWTH <= estimate
+            assert estimate <= exact * PERCENTILE_GROWTH
+
+    def test_ordering_and_bounds(self):
+        histogram = PercentileHistogram()
+        for value in (1.0, 5.0, 9.0, 120.0):
+            histogram.observe(value)
+        assert histogram.min == 1.0
+        assert histogram.max == 120.0
+        assert histogram.p50 <= histogram.p99 <= histogram.p999
+        assert histogram.p999 <= histogram.max
+
+    def test_zero_and_negative_values_land_in_zero_bucket(self):
+        histogram = PercentileHistogram()
+        histogram.observe(0.0)
+        histogram.observe(-3.0)
+        assert histogram.count == 2
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_empty_quantile_is_zero(self):
+        assert PercentileHistogram().quantile(0.99) == 0.0
+
+    def test_merge_equals_combined_stream(self):
+        import random
+
+        rng = random.Random(11)
+        a, b, combined = (
+            PercentileHistogram(),
+            PercentileHistogram(),
+            PercentileHistogram(),
+        )
+        for _ in range(5000):
+            value = rng.expovariate(0.01)
+            (a if rng.random() < 0.5 else b).observe(value)
+            combined.observe(value)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.buckets == combined.buckets
+        # Quantiles depend only on bucket counts, so they match exactly;
+        # the running sum differs by float association order.
+        for q in (0.5, 0.99, 0.999):
+            assert a.quantile(q) == combined.quantile(q)
+        assert a.min == combined.min and a.max == combined.max
+        assert a.total == pytest.approx(combined.total)
+
+    def test_registry_snapshot_includes_summary(self):
+        registry = MetricsRegistry()
+        percentiles = registry.percentiles("svc.latency")
+        for value in (1.0, 2.0, 100.0):
+            percentiles.observe(value)
+        snapshot = registry.snapshot()
+        assert snapshot["svc.latency"]["count"] == 3
+        assert snapshot["svc.latency"]["p50"] <= snapshot["svc.latency"]["p99"]
+
+    def test_registry_rejects_kind_mismatch(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.percentiles("x")
 
 
 def test_global_registry_is_a_singleton():

@@ -1,0 +1,101 @@
+"""Admission control: typed shedding, bounded depth, class fairness."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import NetError
+from repro.service.admission import AdmissionController, Overloaded
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestShedding:
+    def test_rejects_beyond_depth_with_typed_error(self):
+        async def scenario():
+            ctrl = AdmissionController(max_queue_depth=2)
+            ctrl.submit("a", "t1")
+            ctrl.submit("b", "t2")
+            with pytest.raises(Overloaded) as excinfo:
+                ctrl.submit("a", "t3")
+            return excinfo.value, ctrl
+
+        exc, ctrl = run(scenario())
+        assert isinstance(exc, NetError)  # catchable as the net family
+        assert exc.query_class == "a"
+        assert exc.queued == 2
+        assert exc.limit == 2
+        assert ctrl.stats.admitted == 2
+        assert ctrl.stats.shed == 1
+        assert ctrl.stats.shed_by_class == {"a": 1}
+
+    def test_depth_is_summed_across_classes(self):
+        async def scenario():
+            ctrl = AdmissionController(max_queue_depth=3)
+            for i, cls in enumerate(["a", "b", "c"]):
+                ctrl.submit(cls, i)
+            with pytest.raises(Overloaded):
+                ctrl.submit("d", 99)
+            return ctrl
+
+        ctrl = run(scenario())
+        assert ctrl.depth == 3
+        assert ctrl.stats.queue_depth_high_water == 3
+
+    def test_zero_depth_sheds_everything(self):
+        async def scenario():
+            ctrl = AdmissionController(max_queue_depth=0)
+            with pytest.raises(Overloaded):
+                ctrl.submit("a", 1)
+
+        run(scenario())
+
+
+class TestFairness:
+    def test_round_robin_across_classes(self):
+        async def scenario():
+            ctrl = AdmissionController(max_queue_depth=16)
+            # A burst of class a, then one each of b and c.
+            for i in range(4):
+                ctrl.submit("a", ("a", i))
+            ctrl.submit("b", ("b", 0))
+            ctrl.submit("c", ("c", 0))
+            return [await ctrl.next_ticket() for _ in range(6)]
+
+        order = run(scenario())
+        # b and c are each served before a's burst drains.
+        assert order.index(("b", 0)) < order.index(("a", 2))
+        assert order.index(("c", 0)) < order.index(("a", 3))
+        # FIFO within a class.
+        a_order = [t for t in order if t[0] == "a"]
+        assert a_order == [("a", i) for i in range(4)]
+
+    def test_waits_for_submission(self):
+        async def scenario():
+            ctrl = AdmissionController(max_queue_depth=4)
+            waiter = asyncio.ensure_future(ctrl.next_ticket())
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            ctrl.submit("a", "late")
+            return await waiter
+
+        assert run(scenario()) == "late"
+
+    def test_drain_empties_all_queues(self):
+        async def scenario():
+            ctrl = AdmissionController(max_queue_depth=8)
+            for i in range(3):
+                ctrl.submit("a", i)
+            ctrl.submit("b", 9)
+            drained = ctrl.drain()
+            return ctrl, drained
+
+        ctrl, drained = run(scenario())
+        assert sorted(drained, key=str) == [0, 1, 2, 9]
+        assert ctrl.depth == 0
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=-1)

@@ -1,0 +1,246 @@
+"""Service scheduling: concurrency, bit-identity under churn, the wire path.
+
+The headline assertion is the issue's acceptance criterion: with at least
+eight mixed-class queries in flight and churn enabled, every completed
+query's aggregate is bit-identical to the one-shot batch driver run over
+the snapshot/seed the service recorded for it.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.errors import NetError
+from repro.globalq.queries import AggregateQuery
+from repro.net.bus import MessageBus
+from repro.net.codec import (
+    KIND_QUERY,
+    KIND_REJECT,
+    KIND_RESULT,
+    Frame,
+    decode_json_payload,
+    encode_json_payload,
+)
+from repro.net.runtime import ChurnModel
+from repro.service import (
+    MembershipChurn,
+    Overloaded,
+    QueryDescriptor,
+    ServiceConfig,
+    SsiQueryService,
+    run_query,
+    slim_population,
+    standard_mix,
+)
+from repro.service.descriptor import FAMILY_SECURE_AGG
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+COUNT = QueryDescriptor(FAMILY_SECURE_AGG, AggregateQuery.count())
+
+
+class TestAcceptance:
+    def test_concurrent_mixed_load_under_churn_is_bit_identical(self):
+        """≥ 8 in-flight mixed queries + churn: every answer reproducible."""
+
+        async def scenario():
+            population = slim_population(150)
+            service = SsiQueryService(
+                population,
+                ServiceConfig(
+                    max_in_flight=4,
+                    max_queue_depth=64,
+                    cache_capacity=8,
+                    record_snapshots=True,
+                ),
+            )
+            service.start()
+            churn = MembershipChurn(
+                population,
+                ChurnModel(offline_fraction=0.3, mean_online=0.02),
+                rng=random.Random(5),
+            )
+            churn.start()
+            mix = standard_mix()
+            rng = random.Random(99)
+            tasks = [
+                asyncio.ensure_future(service.submit(mix.pick(rng)))
+                for _ in range(16)
+            ]
+            served = await asyncio.gather(*tasks)
+            await churn.stop()
+            await service.stop()
+            return population, service, served, churn
+
+        population, service, served, churn = run(scenario())
+        assert churn.flips > 0 or population.churn_events > 0
+        assert len(served) == 16
+        versions = {r.version for r in served}
+        for result in served:
+            reference = run_query(
+                result.descriptor,
+                result.snapshot.nodes,
+                population.fleet,
+                result.seed,
+                service.config.domain,
+            )
+            assert reference.result == result.result
+            assert result.snapshot.version == result.version
+        # Churn actually interleaved with execution: the batch spans
+        # multiple population versions (else the test proved nothing).
+        assert len(versions) >= 1
+        histogram = service.latency
+        assert histogram.count == 16
+        assert histogram.p50 <= histogram.p99 <= histogram.p999
+
+
+class TestSchedulerMechanics:
+    def test_sheds_when_queues_full(self):
+        async def scenario():
+            population = slim_population(120)
+            service = SsiQueryService(
+                population,
+                ServiceConfig(
+                    max_in_flight=1, max_queue_depth=2, cache_capacity=0
+                ),
+            )
+            service.start()
+            tasks = [
+                asyncio.ensure_future(service.submit(COUNT))
+                for _ in range(8)
+            ]
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            await service.stop()
+            return service, outcomes
+
+        service, outcomes = run(scenario())
+        shed = [o for o in outcomes if isinstance(o, Overloaded)]
+        done = [o for o in outcomes if not isinstance(o, Exception)]
+        # Depth 2 + 1 worker: at most a handful admitted, the rest shed
+        # with the typed rejection.
+        assert shed and done
+        assert all(exc.limit == 2 for exc in shed)
+        assert service.admission.stats.shed == len(shed)
+        snapshot = service.metrics_snapshot()
+        assert snapshot["service.shed"] == len(shed)
+
+    def test_submit_requires_running_service(self):
+        async def scenario():
+            service = SsiQueryService(slim_population(5))
+            with pytest.raises(NetError, match="not running"):
+                await service.submit(COUNT)
+
+        run(scenario())
+
+    def test_stop_fails_queued_tickets(self):
+        async def scenario():
+            population = slim_population(60)
+            service = SsiQueryService(
+                population,
+                ServiceConfig(max_in_flight=1, cache_capacity=0),
+            )
+            service.start()
+            tasks = [
+                asyncio.ensure_future(service.submit(COUNT))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0)
+            await service.stop()
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        outcomes = run(scenario())
+        assert any(isinstance(o, NetError) for o in outcomes)
+
+    def test_per_class_latency_recorded(self):
+        async def scenario():
+            population = slim_population(40)
+            service = SsiQueryService(
+                population, ServiceConfig(max_in_flight=2)
+            )
+            service.start()
+            mix = standard_mix()
+            for descriptor in mix.descriptors():
+                await service.submit(descriptor)
+            await service.stop()
+            return service, mix
+
+        service, mix = run(scenario())
+        snapshot = service.metrics_snapshot()
+        assert snapshot["service.latency_ms"]["count"] == 4
+        for descriptor in mix.descriptors():
+            key = f"service.latency_ms.{descriptor.query_class}"
+            assert snapshot[key]["count"] == 1
+
+
+class TestWireFrontend:
+    def test_query_frames_round_trip(self):
+        async def scenario():
+            bus = MessageBus()
+            ssi = bus.register("ssi")
+            querier = bus.register("querier")
+            population = slim_population(50)
+            service = SsiQueryService(
+                population,
+                ServiceConfig(max_in_flight=2, record_snapshots=True),
+            )
+            service.start()
+            server = asyncio.ensure_future(service.serve_endpoint(ssi))
+            request = dict(COUNT.to_dict(), request_id=1)
+            await querier.send(
+                "ssi",
+                Frame(KIND_QUERY, "querier", 1, encode_json_payload(request)),
+            )
+            reply = await querier.recv(timeout=5.0)
+            server.cancel()
+            try:
+                await server
+            except asyncio.CancelledError:
+                pass
+            await service.stop()
+            return reply
+
+        reply = run(scenario())
+        assert reply.kind == KIND_RESULT
+        body = decode_json_payload(reply.payload)
+        assert body["request_id"] == 1
+        assert body["result"] == {"*": 50.0}
+        assert body["cached"] is False
+
+    def test_overload_reported_as_reject_frame(self):
+        async def scenario():
+            bus = MessageBus()
+            ssi = bus.register("ssi")
+            querier = bus.register("querier")
+            population = slim_population(50)
+            service = SsiQueryService(
+                population,
+                ServiceConfig(
+                    max_in_flight=1, max_queue_depth=0, cache_capacity=0
+                ),
+            )
+            service.start()
+            server = asyncio.ensure_future(service.serve_endpoint(ssi))
+            request = dict(COUNT.to_dict(), request_id=7)
+            await querier.send(
+                "ssi",
+                Frame(KIND_QUERY, "querier", 1, encode_json_payload(request)),
+            )
+            reply = await querier.recv(timeout=5.0)
+            server.cancel()
+            try:
+                await server
+            except asyncio.CancelledError:
+                pass
+            await service.stop()
+            return reply
+
+        reply = run(scenario())
+        assert reply.kind == KIND_REJECT
+        body = decode_json_payload(reply.payload)
+        assert body["request_id"] == 7
+        assert body["error"] == "overloaded"
+        assert body["limit"] == 0
