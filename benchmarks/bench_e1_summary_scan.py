@@ -8,7 +8,9 @@ table grows and selectivity varies.
 
 from __future__ import annotations
 
-from repro.bench.harness import Experiment, run_and_print
+import time
+
+from repro.bench.harness import Experiment, record_wall_clock, run_and_print
 from repro.hardware.flash import BlockAllocator, FlashGeometry, NandFlash
 from repro.relational.keyindex import KeyIndex
 from repro.relational.schema import Column, TableSchema
@@ -75,9 +77,17 @@ def build_experiment() -> Experiment:
         _, table, index = build_table(num_rows, distinct)
         city = "city-007"
         expected = [r for r in range(num_rows) if r % distinct == 7]
+        start = time.perf_counter()
         assert index.lookup(city) == expected
+        record_wall_clock(
+            experiment, f"lookup_r{num_rows}", time.perf_counter() - start
+        )
         stats = index.last_lookup
+        start = time.perf_counter()
         scan_ios, matches = full_scan_ios(table, city)
+        record_wall_clock(
+            experiment, f"scan_r{num_rows}", time.perf_counter() - start
+        )
         assert matches == len(expected)
         experiment.add_row(
             num_rows,

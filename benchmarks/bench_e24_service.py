@@ -45,6 +45,7 @@ from repro.service import (
     OpenLoopLoadGenerator,
     ServiceConfig,
     SsiQueryService,
+    embedded_mix,
     find_knee,
     run_query,
     slim_population,
@@ -69,6 +70,9 @@ def parameters() -> dict:
             "caches": [0, 8],
             "duration_s": 0.5,
             "churn_sample": 3,
+            "embedded_rates": [4.0, 16.0, 32.0],
+            "embedded_rows": 2000,
+            "embedded_duration_s": 0.5,
         }
     return {
         "population": 4000,
@@ -77,6 +81,9 @@ def parameters() -> dict:
         "caches": [0, 16],
         "duration_s": 2.0,
         "churn_sample": 4,
+        "embedded_rates": [2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+        "embedded_rows": 2000,
+        "embedded_duration_s": 2.0,
     }
 
 
@@ -186,6 +193,7 @@ def sweep(experiment: Experiment) -> None:
                     report.cache_hits,
                     verified,
                     exact,
+                    "-",
                 )
                 record_wall_clock(
                     experiment,
@@ -201,6 +209,96 @@ def sweep(experiment: Experiment) -> None:
         )
         for (in_flight, cache), reports in reports_by_config.items()
     }
+
+
+async def run_embedded_cell(
+    rate: float, duration_s: float, rows: int, batch_size: int | None
+):
+    """One embedded-spj sweep cell: engine choice via service config.
+
+    Churn is off and the population tiny — this family never touches the
+    fleet; the cell isolates the hosted Part II engine's per-query CPU
+    cost, which is exactly what the columnar executor changes. Cache is
+    off so every admitted query actually executes.
+    """
+    population = slim_population(24)
+    service = SsiQueryService(
+        population,
+        ServiceConfig(
+            max_in_flight=2,
+            max_queue_depth=16,
+            cache_capacity=0,
+            record_snapshots=True,
+            embedded_batch_size=batch_size,
+        ),
+    )
+    service.start()
+    generator = OpenLoopLoadGenerator(
+        service, embedded_mix(rows), seed=int(rate * 10)
+    )
+    report = await generator.run(rate, duration_s, keep_results=True)
+    await service.stop()
+    return population, service, report
+
+
+def embedded_sweep(experiment: Experiment) -> None:
+    """Embedded-family rate sweep, legacy vs columnar executor.
+
+    The tentpole's service-level claim: the batch engine's cheaper
+    per-query CPU moves the saturation knee to a strictly higher offered
+    rate (above 8 q/s) than the tuple-at-a-time engine sustains.
+    """
+    params = parameters()
+    # Prewarm the hosted database so the one-time build cost (shared by
+    # both engines via the registry) never lands in a cell's latency.
+    from repro.service import run_embedded
+
+    start = time.perf_counter()
+    run_embedded(embedded_mix(params["embedded_rows"]).descriptors()[0])
+    record_wall_clock(
+        experiment, "embedded_db_build", time.perf_counter() - start
+    )
+    knees = {}
+    for engine, batch_size in (("legacy", 0), ("batch", None)):
+        reports = []
+        for rate in params["embedded_rates"]:
+            start = time.perf_counter()
+            population, service, report = asyncio.run(
+                run_embedded_cell(
+                    rate,
+                    params["embedded_duration_s"],
+                    params["embedded_rows"],
+                    batch_size,
+                )
+            )
+            wall_s = time.perf_counter() - start
+            verified, exact = verify_bit_identity(
+                population, service, report
+            )
+            summary = report.latency_ms.summary()
+            experiment.add_row(
+                rate,
+                2,
+                0,
+                report.offered,
+                report.completed,
+                report.shed,
+                round(report.goodput, 2),
+                round(summary["p50"], 1),
+                round(summary["p99"], 1),
+                round(summary["p999"], 1),
+                report.cache_hits,
+                verified,
+                exact,
+                engine,
+            )
+            record_wall_clock(
+                experiment, f"embedded_r{rate:g}_{engine}", wall_s
+            )
+            reports.append(report)
+        knees[engine] = find_knee(reports, KNEE_THRESHOLD)
+    experiment.meta["embedded_knees"] = knees
+    experiment.meta["embedded_rows"] = params["embedded_rows"]
 
 
 def pool_reuse_rows(experiment: Experiment) -> None:
@@ -247,7 +345,7 @@ def build_experiment() -> Experiment:
         columns=[
             "rate_qps", "in_flight", "cache", "offered", "completed",
             "shed", "goodput_qps", "p50_ms", "p99_ms", "p999_ms",
-            "cache_hits", "verified", "exact",
+            "cache_hits", "verified", "exact", "engine",
         ],
     )
     experiment.meta["smoke_mode"] = service_smoke()
@@ -255,6 +353,7 @@ def build_experiment() -> Experiment:
     experiment.meta["duration_s"] = params["duration_s"]
     experiment.meta["knee_threshold"] = KNEE_THRESHOLD
     sweep(experiment)
+    embedded_sweep(experiment)
     pool_reuse_rows(experiment)
     return experiment
 
@@ -271,16 +370,26 @@ def test_e24_service(benchmark):
     assert knees
     for knee in knees.values():
         assert knee["knee_rate_qps"] > 0
+    # The tentpole's service claim, asserted in smoke and full runs alike:
+    # the columnar engine sustains embedded-spj load past 8 q/s, and at
+    # least as far as the tuple-at-a-time engine does.
+    embedded_knees = experiment.meta["embedded_knees"]
+    assert embedded_knees["batch"]["knee_rate_qps"] > 8.0
+    assert (
+        embedded_knees["batch"]["knee_rate_qps"]
+        >= embedded_knees["legacy"]["knee_rate_qps"]
+    )
+    protocol_rows = [row for row in experiment.rows if row[13] == "-"]
     if not service_smoke():
         # Past the knee the service sheds rather than queueing unboundedly.
         shed_total = sum(experiment.column("shed"))
         assert shed_total > 0
         # The cache lifts goodput at the top offered rate (same in_flight).
-        top = max(experiment.column("rate_qps"))
+        top = max(row[0] for row in protocol_rows)
         def goodput(cache):
             return max(
                 row[6]
-                for row in experiment.rows
+                for row in protocol_rows
                 if row[0] == top and row[2] == cache
             )
         assert goodput(16) > goodput(0)

@@ -1,0 +1,255 @@
+"""E25 — Columnar batch execution vs tuple-at-a-time (the raw-speed pass).
+
+Claims under test (Issue 7's acceptance criteria):
+
+* the columnar executor answers the E1 summary-scan predicate and the E4
+  SPJ workload **bit-identically** to the legacy tuple-at-a-time pipeline —
+  same rows, same aggregates, byte-identical simulated ``flash_page_reads``
+  (batches form only over pages the plan already reads);
+* at the default batch size the wall-clock speedup is ≥ 5× on both
+  workloads (full mode; smoke runs assert IO equality only);
+* RAM high-water stays within the token arena budget at every batch size —
+  the batch buffer is charged to the :class:`RamArena` like a page buffer.
+
+Row meaning: one row per (workload, batch size). ``legacy_ms``/``batch_ms``
+are best-of-``repeats`` wall clock for the whole workload; ``ios`` is the
+(engine-independent) flash page-read count; ``io_equal`` is the CI gate.
+
+The E4 workload is the mixed query set a service actually sees — the
+tutorial's narrow two-Tselect SPJ, a wide one-Tselect five-column
+projection, a root-scan query with a string residual, and a grouped AVG —
+so the ratio reflects all plan shapes, not just the intersection-dominated
+one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import (
+    Experiment,
+    record_wall_clock,
+    run_and_print,
+    scaled,
+    smoke_mode,
+)
+from repro.hardware.flash import FlashGeometry
+from repro.hardware.profiles import HardwareProfile, smart_usb_token
+from repro.hardware.token import SecurePortableToken
+from repro.relational.batch import DEFAULT_BATCH_ROWS
+from repro.relational.planner import Query
+from repro.relational.query import EmbeddedDatabase
+from repro.relational.schema import Column, SchemaGraph, TableSchema
+from repro.workloads import tpcd
+
+#: Batch sizes swept per workload (the engine default is asserted ≥ 5×).
+BATCH_SIZES = [16, DEFAULT_BATCH_ROWS, 256, 1024]
+
+
+def make_token(page_size: int) -> SecurePortableToken:
+    base = smart_usb_token()
+    profile = HardwareProfile(
+        name="bench-token",
+        ram_bytes=64 * 1024,
+        cpu_mhz=base.cpu_mhz,
+        flash_geometry=FlashGeometry(
+            page_size=page_size, pages_per_block=32, num_blocks=8192
+        ),
+        flash_cost=base.flash_cost,
+        tamper_resistant=True,
+    )
+    return SecurePortableToken(profile=profile)
+
+
+# ----------------------------------------------------------------------
+# E1 workload: the summary-scan predicate as an unindexed column scan
+# ----------------------------------------------------------------------
+def make_scan_db(num_rows: int, distinct_cities: int) -> EmbeddedDatabase:
+    schema = SchemaGraph(
+        [
+            TableSchema(
+                "CUSTOMER",
+                [
+                    Column("CUSkey", "int"),
+                    Column("Name", "str"),
+                    Column("Address", "str"),
+                    Column("Comment", "str"),
+                    Column("City", "str"),
+                ],
+                primary_key="CUSkey",
+            )
+        ]
+    )
+    db = EmbeddedDatabase(make_token(512), schema, "CUSTOMER")
+    for row in range(num_rows):
+        db.insert(
+            "CUSTOMER",
+            (
+                row,
+                f"Customer#{row:06d}",
+                f"{row % 997} rue de la Paix, BP {row % 89:05d}",
+                "standard account, postal contact preferred",
+                f"city-{row % distinct_cities:03d}",
+            ),
+        )
+    db.flush()
+    return db
+
+
+def run_scan_workload(db: EmbeddedDatabase) -> tuple[list[int], int]:
+    """(matching rowids, flash page reads) of one predicate scan."""
+    reads_before = db.token.flash.stats.page_reads
+    rowids = db.lookup("CUSTOMER", "City", "city-007")
+    return rowids, db.token.flash.stats.page_reads - reads_before
+
+
+# ----------------------------------------------------------------------
+# E4 workload: the mixed SPJ query set
+# ----------------------------------------------------------------------
+def make_spj_db(num_lineitems: int) -> EmbeddedDatabase:
+    db = EmbeddedDatabase(make_token(1024), tpcd.tpcd_schema(), tpcd.ROOT_TABLE)
+    tpcd.load(db, tpcd.generate(num_lineitems, seed=31))
+    db.create_tselect("CUSTOMER", "Mktsegment")
+    db.create_tselect("SUPPLIER", "Name")
+    return db
+
+
+def spj_queries() -> list[Query]:
+    wide_projection = [
+        ("CUSTOMER", "Name"),
+        ("ORDER", "ORDkey"),
+        ("LINEITEM", "LINkey"),
+        ("LINEITEM", "Price"),
+        ("SUPPLIER", "Name"),
+    ]
+    return [
+        # The tutorial's narrow two-Tselect query (tiny result set).
+        tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1"),
+        # Wide one-Tselect query: projection cost dominates.
+        Query.build(
+            filters=[("CUSTOMER", "Mktsegment", "HOUSEHOLD")],
+            projection=wide_projection,
+        ),
+        # Root scan with a string residual: no Tselect applies.
+        Query.build(
+            filters=[("SUPPLIER", "Nation", "FRANCE")],
+            projection=wide_projection,
+        ),
+    ]
+
+
+def run_spj_workload(db: EmbeddedDatabase):
+    """(rows per query, grouped AVG, flash reads, max RAM high-water)."""
+    reads_before = db.token.flash.stats.page_reads
+    rows_out = []
+    ram_high = 0
+    for query in spj_queries():
+        rows, stats = db.query(query)
+        rows_out.append(rows)
+        ram_high = max(ram_high, stats.ram_high_water)
+    aggregate, stats = db.aggregate(
+        [("CUSTOMER", "Mktsegment", "HOUSEHOLD")],
+        ("AVG", "LINEITEM", "Price"),
+        group_by=("SUPPLIER", "Name"),
+    )
+    ram_high = max(ram_high, stats.ram_high_water)
+    reads = db.token.flash.stats.page_reads - reads_before
+    return rows_out, aggregate, reads, ram_high
+
+
+# ----------------------------------------------------------------------
+def best_of(repeats: int, run) -> tuple[float, object]:
+    """Best wall-clock of ``repeats`` runs (the last run's result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def sweep_workload(
+    experiment: Experiment, workload: str, db: EmbeddedDatabase, run, repeats: int
+) -> None:
+    """One workload's batch-size sweep against its legacy baseline."""
+    db.batch_size = None
+    legacy_s, legacy_result = best_of(repeats, run)
+    record_wall_clock(experiment, f"{workload}_legacy", legacy_s)
+    for batch_rows in BATCH_SIZES:
+        db.batch_size = batch_rows
+        batch_s, batch_result = best_of(repeats, run)
+        record_wall_clock(experiment, f"{workload}_batch{batch_rows}", batch_s)
+        # Bit-identity: answers and simulated IO may not depend on the
+        # executor. ``io_equal`` is what the CI smoke job gates on.
+        answers_equal = batch_result[:-2] == legacy_result[:-2]
+        io_equal = batch_result[-2] == legacy_result[-2]
+        assert answers_equal, f"{workload}@{batch_rows}: answers diverged"
+        experiment.add_row(
+            workload,
+            batch_rows,
+            round(legacy_s * 1000, 2),
+            round(batch_s * 1000, 2),
+            round(legacy_s / batch_s, 2) if batch_s else float("inf"),
+            legacy_result[-2],
+            io_equal and answers_equal,
+            batch_result[-1],
+        )
+
+
+def build_experiment() -> Experiment:
+    experiment = Experiment(
+        experiment_id="e25",
+        title="Columnar batch execution: speedup at unchanged IO",
+        claim="vectorized masks/gathers answer E1 scans and E4 SPJ "
+        "bit-identically to the tuple-at-a-time pipeline with byte-equal "
+        "flash reads, ≥5x faster at the default batch size, within the "
+        "token RAM budget",
+        columns=[
+            "workload", "batch_rows", "legacy_ms", "batch_ms",
+            "speedup", "ios", "io_equal", "ram_hw_B",
+        ],
+    )
+    experiment.meta["smoke_mode"] = smoke_mode()
+    experiment.meta["default_batch_rows"] = DEFAULT_BATCH_ROWS
+    repeats = scaled(3, 1)
+
+    scan_db = make_scan_db(scaled(12000, 1200), 200)
+    # lookup() returns only rowids; wrap so the result carries (rows, ios,
+    # ram_hw) in the shape sweep_workload slices.
+    def scan_run():
+        scan_db._ram.reset_high_water()
+        rowids, reads = run_scan_workload(scan_db)
+        return (rowids, reads, scan_db._ram.high_water)
+
+    sweep_workload(experiment, "e1_scan", scan_db, scan_run, repeats)
+
+    spj_db = make_spj_db(scaled(4000, 400))
+    def spj_run():
+        rows_out, aggregate, reads, ram_high = run_spj_workload(spj_db)
+        return (rows_out, aggregate, reads, ram_high)
+
+    sweep_workload(experiment, "e4_spj", spj_db, spj_run, repeats)
+    experiment.meta["ram_budget_B"] = 64 * 1024
+    return experiment
+
+
+def test_e25_batch(benchmark):
+    experiment = run_and_print(build_experiment)
+    # The CI gate (satellite 5): simulated IO is executor-independent.
+    assert all(experiment.column("io_equal"))
+    # Batch buffers stay inside the token arena at every batch size.
+    budget = experiment.meta["ram_budget_B"]
+    assert all(ram <= budget for ram in experiment.column("ram_hw_B"))
+    if not smoke_mode():
+        # The acceptance ratio at the engine's default batch size.
+        for row in experiment.rows:
+            if row[1] == DEFAULT_BATCH_ROWS:
+                assert row[4] >= 5.0, f"{row[0]}: speedup {row[4]} < 5"
+
+    db = make_spj_db(400)
+    benchmark(db.query, tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1"))
+
+
+if __name__ == "__main__":
+    run_and_print(build_experiment)

@@ -8,7 +8,14 @@ conventional hash join's RAM grows linearly; both produce identical rows.
 
 from __future__ import annotations
 
-from repro.bench.harness import Experiment, render_table, run_and_print
+import time
+
+from repro.bench.harness import (
+    Experiment,
+    record_wall_clock,
+    render_table,
+    run_and_print,
+)
 from repro.hardware.flash import FlashGeometry
 from repro.hardware.profiles import HardwareProfile, smart_usb_token
 from repro.hardware.ram import RamArena
@@ -53,7 +60,11 @@ def build_experiment() -> Experiment:
     query = tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1")
     for num_lineitems in (400, 1500, 4000):
         db = make_db(num_lineitems)
+        start = time.perf_counter()
         rows, stats = db.query(query)
+        record_wall_clock(
+            experiment, f"query_l{num_lineitems}", time.perf_counter() - start
+        )
         baseline_ram = RamArena(10**9)
         baseline_rows = HashJoinExecutor(
             db.schema, db.storages, tpcd.ROOT_TABLE, baseline_ram

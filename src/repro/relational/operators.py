@@ -78,20 +78,52 @@ def tjoin_materialize(
 
 
 def filter_rows(
-    rows: Iterable[JoinedRow], predicates: list[tuple[str, str, object]]
+    rows: Iterable[JoinedRow],
+    predicates: list[tuple[str, str, object]],
+    storages: dict[str, TableStorage] | None = None,
 ) -> Iterator[JoinedRow]:
-    """Apply residual conjunctive equality predicates in pipeline."""
+    """Apply residual conjunctive equality predicates in pipeline.
+
+    With ``storages`` the column positions are resolved once up front
+    instead of ``column_index`` per row per predicate.
+    """
+    if storages is None:
+        for row in rows:
+            if all(
+                row.value(table, column) == value
+                for table, column, value in predicates
+            ):
+                yield row
+        return
+    resolved = [
+        (table, storages[table].schema.column_index(column), value)
+        for table, column, value in predicates
+    ]
     for row in rows:
         if all(
-            row.value(table, column) == value
-            for table, column, value in predicates
+            row.row(table)[position] == value
+            for table, position, value in resolved
         ):
             yield row
 
 
 def project(
-    rows: Iterable[JoinedRow], columns: list[tuple[str, str]]
+    rows: Iterable[JoinedRow],
+    columns: list[tuple[str, str]],
+    storages: dict[str, TableStorage] | None = None,
 ) -> Iterator[tuple]:
-    """Emit the requested ``(table, column)`` values per joined row."""
+    """Emit the requested ``(table, column)`` values per joined row.
+
+    With ``storages`` the column positions are resolved once up front
+    instead of ``column_index`` per row per column.
+    """
+    if storages is None:
+        for row in rows:
+            yield tuple(row.value(table, column) for table, column in columns)
+        return
+    resolved = [
+        (table, storages[table].schema.column_index(column))
+        for table, column in columns
+    ]
     for row in rows:
-        yield tuple(row.value(table, column) for table, column in columns)
+        yield tuple(row.row(table)[position] for table, position in resolved)

@@ -49,6 +49,8 @@ class PlanExplain:
     indexed_predicates: list[tuple[str, str, object]] = field(default_factory=list)
     residual_predicates: list[tuple[str, str, object]] = field(default_factory=list)
     root_scan: bool = False
+    #: Rows per output batch under columnar execution; None = legacy path.
+    batch_rows: int | None = None
 
 
 def validate_query(
@@ -102,5 +104,25 @@ def plan(
 
     rows = operators.tjoin_materialize(root_rowids, tjoin, storages)
     if explain.residual_predicates:
-        rows = operators.filter_rows(rows, explain.residual_predicates)
-    return operators.project(rows, list(query.projection)), explain
+        rows = operators.filter_rows(
+            rows, explain.residual_predicates, storages
+        )
+    return operators.project(rows, list(query.projection), storages), explain
+
+
+def plan_batches(
+    query: Query,
+    tjoin: TjoinIndex,
+    storages: dict[str, TableStorage],
+    tselects: dict[tuple[str, str], TselectIndex],
+    batch_rows: int,
+) -> tuple[Iterator[list[tuple]], PlanExplain]:
+    """Columnar twin of :func:`plan`: batches of projected tuples.
+
+    Same plan shape, page accesses and results as :func:`plan` (see
+    :mod:`repro.relational.batch`); differential tests run both and compare
+    rows and IO counters bit-for-bit.
+    """
+    from repro.relational import batch
+
+    return batch.build_batch_plan(query, tjoin, storages, tselects, batch_rows)

@@ -24,12 +24,14 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import compress
 
 from repro import obs
 from repro.errors import QueryError
 from repro.hardware.token import SecurePortableToken
+from repro.relational.batch import DEFAULT_BATCH_ROWS
 from repro.relational.keyindex import KeyIndex
-from repro.relational.planner import PlanExplain, Query, plan
+from repro.relational.planner import PlanExplain, Query, plan, plan_batches
 from repro.relational.schema import SchemaGraph
 from repro.relational.table import TableStorage
 from repro.relational.tjoin import AncestorLog, TjoinIndex
@@ -63,9 +65,13 @@ class EmbeddedDatabase:
         token: SecurePortableToken,
         schema: SchemaGraph,
         root_table: str,
+        batch_size: int | None = DEFAULT_BATCH_ROWS,
     ) -> None:
         self.token = token
         self.schema = schema
+        #: Rows per columnar batch; ``None``/``0`` selects the legacy
+        #: tuple-at-a-time reference path (kept for differential testing).
+        self.batch_size = batch_size or None
         self.root_table = schema.table(root_table).name
         ram = token.mcu.ram
         self.storages: dict[str, TableStorage] = {
@@ -194,20 +200,38 @@ class EmbeddedDatabase:
         cache = self.token.allocator.page_cache
         cache_before = cache.stats.snapshot() if cache is not None else None
         self._ram.reset_high_water()
-        # One page buffer per Tselect stream + one joined-row buffer.
+        # One page buffer per Tselect stream + one joined-row buffer; in
+        # batch mode the joined-row buffer becomes the output batch (8 B
+        # per row slot, never charged below one page).
         num_streams = sum(
             1 for t, c, _ in query.filters if (t, c) in self.tselects
         )
+        batch_rows = self.batch_size
+        pipeline_bytes = self._pipeline_bytes(num_streams, page_size)
         with obs.span(
             "db.query", filters=len(query.filters)
-        ) as span, self._ram.reservation(
-            (num_streams + 1) * page_size, tag="query:pipeline"
-        ):
-            iterator, explain = plan(
-                query, self.tjoin, self.storages, self.tselects
-            )
-            rows = list(iterator)
-            span.set(rows_out=len(rows), root_scan=explain.root_scan)
+        ) as span, self._ram.reservation(pipeline_bytes, tag="query:pipeline"):
+            if batch_rows:
+                batches, explain = plan_batches(
+                    query, self.tjoin, self.storages, self.tselects, batch_rows
+                )
+                rows: list[tuple] = []
+                num_batches = 0
+                for chunk in batches:
+                    rows.extend(chunk)
+                    num_batches += 1
+                span.set(
+                    rows_out=len(rows),
+                    root_scan=explain.root_scan,
+                    batches=num_batches,
+                    batch_rows=batch_rows,
+                )
+            else:
+                iterator, explain = plan(
+                    query, self.tjoin, self.storages, self.tselects
+                )
+                rows = list(iterator)
+                span.set(rows_out=len(rows), root_scan=explain.root_scan)
         stats = ExecutionStats(
             rows_out=len(rows),
             flash_page_reads=flash.stats.page_reads - reads_before,
@@ -220,6 +244,20 @@ class EmbeddedDatabase:
             ),
         )
         return rows, stats
+
+    def _pipeline_bytes(self, num_streams: int, page_size: int) -> int:
+        """RAM reservation for the query pipeline's working buffers.
+
+        Legacy: one page buffer per Tselect stream + one joined-row page.
+        Batch: the per-stream pages plus the output batch (8 bytes per
+        buffered row slot), charged at least one page so the default batch
+        size reserves exactly what the legacy pipeline does.
+        """
+        if self.batch_size:
+            return num_streams * page_size + max(
+                page_size, self.batch_size * 8
+            )
+        return (num_streams + 1) * page_size
 
     def aggregate(
         self,
@@ -262,16 +300,28 @@ class EmbeddedDatabase:
         )
         sums: dict = {}
         counts: dict = {}
+        batch_rows = self.batch_size
+        pipeline_bytes = self._pipeline_bytes(
+            num_streams, flash.geometry.page_size
+        )
         with obs.span(
             "db.aggregate", function=function, grouped=group_by is not None
-        ), self._ram.reservation(
-            (num_streams + 1) * flash.geometry.page_size, tag="agg:pipeline"
-        ):
+        ), self._ram.reservation(pipeline_bytes, tag="agg:pipeline"):
             groups_handle = self._ram.allocate(0, tag="agg:groups")
             try:
-                iterator, explain = plan(
-                    query, self.tjoin, self.storages, self.tselects
-                )
+                if batch_rows:
+                    batches, explain = plan_batches(
+                        query,
+                        self.tjoin,
+                        self.storages,
+                        self.tselects,
+                        batch_rows,
+                    )
+                    iterator = (row for chunk in batches for row in chunk)
+                else:
+                    iterator, explain = plan(
+                        query, self.tjoin, self.storages, self.tselects
+                    )
                 for row in iterator:
                     group = row[0] if group_by is not None else "*"
                     value = row[-1]
@@ -316,9 +366,17 @@ class EmbeddedDatabase:
             index = self.pk_indexes[table.name]
             index.flush()
             return index.lookup(value)
+        # Fallback scan: flush first, like the indexed paths above, so the
+        # visibility contract doesn't depend on the write buffer's scan
+        # behavior.
         position = table.column_index(column)
+        storage = self.storages[table.name]
+        storage.flush()
+        if self.batch_size:
+            rowids: list[int] = []
+            for first, mask in storage.scan_mask(column, value):
+                rowids.extend(compress(range(first, first + len(mask)), mask))
+            return rowids
         return [
-            rowid
-            for rowid, row in self.storages[table.name].scan()
-            if row[position] == value
+            rowid for rowid, row in storage.scan() if row[position] == value
         ]

@@ -18,7 +18,15 @@ until the next reorganization (see :mod:`repro.relational.reorg`).
 
 from __future__ import annotations
 
+import struct
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from operator import itemgetter
+
+# Entries are ``rowid (4 bytes) + key bytes`` (see keyindex.pack_entry);
+# slicing off the prefix compares keys without decoding rowids.
+_ENTRY_KEY = itemgetter(slice(4, None))
+_ENTRY_ROWID = struct.Struct("<I")
 
 from repro.errors import RecoveryError, StorageError
 from repro.hardware.flash import BlockAllocator
@@ -135,6 +143,58 @@ class SortedKeyIndex:
                 position += 1
         self.last_lookup = stats
         return rowids
+
+    def lookup_batch(self, value) -> list[int]:
+        """Batch-path :meth:`lookup`: same page reads, sliced-key compares.
+
+        Used only by the columnar executor so the legacy path stays a true
+        tuple-at-a-time reference. Reads the identical root-to-leaf +
+        duplicate-run page sequence (``last_lookup`` matches), but locates
+        the run with :func:`bisect` over key slices and decodes rowids only
+        for run members instead of ``unpack_entry`` on every record.
+        """
+        key_bytes = encode_key(value)
+        stats = TreeLookupStats()
+        rowids: list[int] = []
+        if self.entry_count == 0:
+            self.last_lookup = stats
+            return rowids
+
+        leaf = self._descend_batch(key_bytes, stats)
+        if leaf is not None:
+            unpack_rowid = _ENTRY_ROWID.unpack_from
+            for position in range(leaf, len(self.sorted_log)):
+                stats.sorted_pages += 1
+                records = self.sorted_log.read_records(position)
+                if not records:
+                    break
+                low = bisect_left(records, key_bytes, key=_ENTRY_KEY)
+                high = bisect_right(records, key_bytes, key=_ENTRY_KEY)
+                rowids.extend(
+                    unpack_rowid(record)[0] for record in records[low:high]
+                )
+                if high < len(records):
+                    break  # an entry past the key ends the duplicate run
+        self.last_lookup = stats
+        return rowids
+
+    def _descend_batch(
+        self, key_bytes: bytes, stats: TreeLookupStats
+    ) -> int | None:
+        """:meth:`_descend` with bisect over sliced node keys (same reads)."""
+        if not self.levels:
+            return 0 if len(self.sorted_log) else None
+        child: int | None = self.levels[-1][0]
+        unpack_position = _ENTRY_ROWID.unpack_from
+        for _ in range(len(self.levels)):
+            assert child is not None
+            stats.tree_pages += 1
+            node = self.tree_log.read_records(child)
+            index = bisect_left(node, key_bytes, key=_ENTRY_KEY)
+            if index == len(node):
+                return None  # key greater than every key in the subtree
+            child = unpack_position(node[index])[0]
+        return child
 
     def _descend(self, key_bytes: bytes, stats: TreeLookupStats) -> int | None:
         """Walk the tree to the first leaf page that may contain the key."""

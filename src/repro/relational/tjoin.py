@@ -44,6 +44,7 @@ class AncestorLog:
         self.ancestor_tables = sorted(ancestor_tables)
         self.log = RecordLog(allocator, name=f"{table}:ancestors", ram=ram)
         self._record_size = _ROWID.size * len(self.ancestor_tables)
+        self._record = struct.Struct("<%dI" % len(self.ancestor_tables))
         self._row_count = 0
 
     # ------------------------------------------------------------------
@@ -80,6 +81,56 @@ class AncestorLog:
             for i, name in enumerate(self.ancestor_tables)
         }
 
+    @property
+    def records_per_page(self) -> int:
+        """Fixed-size ancestor records packed per log page."""
+        return (self.log.pages.page_size - 2) // (2 + self._record_size)
+
+    def _decode_page(self, page: bytes) -> list[tuple[int, ...]]:
+        """Decode one log page into ancestor-rowid tuples, slot order."""
+        from repro.storage import pager
+
+        unpack = self._record.unpack
+        return [unpack(record) for record in pager.unpack_records(page)]
+
+    def get_tuple(self, rowid: int, memo: dict) -> tuple[int, ...]:
+        """Batch-path :meth:`get`: ancestor rowids in ``ancestor_tables`` order.
+
+        Issues the exact page access :meth:`get` would (same address
+        computation, same ``tjoin.probe`` span per row), but memoizes the
+        decoded page in the caller-owned ``memo`` so repeated probes into
+        one page decode it once per query instead of once per row.
+        """
+        if not 0 <= rowid < self._row_count:
+            raise StorageError(
+                f"table {self.table!r}: no ancestor record for rowid {rowid}"
+            )
+        per_page = self.records_per_page
+        position, slot = rowid // per_page, rowid % per_page
+        with obs.span("tjoin.probe", table=self.table, rowid=rowid):
+            if position == self.log.page_count:
+                # Record still in the RAM write buffer: no page access,
+                # exactly like RecordLog.read on the buffered position.
+                key = ("buffer", position)
+                try:
+                    decoded = memo[key]
+                except KeyError:
+                    unpack = self._record.unpack
+                    decoded = memo[key] = [
+                        unpack(record)
+                        for record in self.log.buffered_records()
+                    ]
+            else:
+                decoded = self.log.pages.read_decoded(
+                    position, self._decode_page, memo=memo
+                )
+        if slot >= len(decoded):
+            raise StorageError(
+                f"log {self.log.name!r}: slot {slot} out of range on page "
+                f"{position}"
+            )
+        return decoded[slot]
+
     def flush(self) -> None:
         self.log.flush()
 
@@ -103,5 +154,6 @@ class TjoinIndex:
     def joined_rowids(self, root_rowid: int) -> dict[str, int]:
         """rowids of the full joined tuple anchored at ``root_rowid``."""
         joined = {self.root_table: root_rowid}
-        joined.update(self.ancestors.get(root_rowid))
+        if self.ancestors.ancestor_tables:
+            joined.update(self.ancestors.get(root_rowid))
         return joined

@@ -66,6 +66,207 @@ def deserialize_row(schema: TableSchema, data: bytes) -> tuple:
     return tuple(values)
 
 
+def make_column_decoder(schema: TableSchema, positions):
+    """Batch row decoder: ``decode(records) -> {position: [values...]}``.
+
+    The returned ``decode`` turns a list of serialized rows (one flash
+    page's records, already split by :func:`repro.storage.pager.
+    unpack_records`) into typed column vectors for exactly the requested
+    column ``positions`` — the unit of work of the columnar batch executor.
+    Two properties make it cheap:
+
+    * columns the query never touches are *skipped*, not materialized:
+      fixed-width kinds advance the offset by 8, strings by their length
+      prefix, with no value construction;
+    * when every requested column sits before the first variable-length
+      (string) column, its offset is page-constant and the walk is skipped
+      entirely — one ``unpack_from`` per (row, column).
+
+    Decoding a page once per query replaces the per-row
+    :func:`deserialize_row` + per-access ``column_index`` work of the
+    tuple-at-a-time path.
+    """
+    wanted = sorted(set(positions))
+    if not all(0 <= p < len(schema.columns) for p in wanted):
+        raise StorageError(
+            f"table {schema.name!r}: column position out of range in {wanted}"
+        )
+    kinds = [column.kind for column in schema.columns]
+
+    # Fixed offsets hold up to (and including) the first string column.
+    fixed_offsets: list[int | None] = []
+    offset: int | None = 0
+    for kind in kinds:
+        fixed_offsets.append(offset)
+        if offset is None:
+            continue
+        offset = None if kind == "str" else offset + 8
+
+    def _direct(position: int):
+        """Decoder for one column at a page-constant offset."""
+        kind = kinds[position]
+        at = fixed_offsets[position]
+        if kind == "int":
+            unpack = _I64.unpack_from
+            return lambda records: [unpack(r, at)[0] for r in records]
+        if kind == "float":
+            unpack = _F64.unpack_from
+            return lambda records: [unpack(r, at)[0] for r in records]
+        len_unpack = _U16.unpack_from
+
+        def strings(records):
+            out = []
+            for r in records:
+                (length,) = len_unpack(r, at)
+                out.append(r[at + 2 : at + 2 + length].decode("utf-8"))
+            return out
+
+        return strings
+
+    if all(fixed_offsets[p] is not None for p in wanted):
+        per_column = [(p, _direct(p)) for p in wanted]
+
+        def decode_fixed(records):
+            return {p: col(records) for p, col in per_column}
+
+        return decode_fixed
+
+    # General case: walk each record, materializing only wanted columns.
+    last_wanted = wanted[-1]
+    wanted_set = frozenset(wanted)
+    steps = [
+        (i, kinds[i], i in wanted_set) for i in range(last_wanted + 1)
+    ]
+
+    def decode_walk(records):
+        columns: dict[int, list] = {p: [] for p in wanted}
+        for data in records:
+            offset = 0
+            for position, kind, keep in steps:
+                if kind == "str":
+                    (length,) = _U16.unpack_from(data, offset)
+                    offset += 2
+                    if keep:
+                        columns[position].append(
+                            data[offset : offset + length].decode("utf-8")
+                        )
+                    offset += length
+                else:
+                    if keep:
+                        columns[position].append(
+                            (_I64 if kind == "int" else _F64).unpack_from(
+                                data, offset
+                            )[0]
+                        )
+                    offset += 8
+        return columns
+
+    return decode_walk
+
+
+def make_predicate_mask(schema: TableSchema, position: int, value):
+    """Equality-predicate mask: ``mask(records) -> list[bool]``.
+
+    The batch-executor counterpart of ``row[position] == value``: one bool
+    per record, computed where possible by comparing the value's *encoded*
+    form against the record bytes — no value materialization at all:
+
+    * ``int`` columns with an ``int`` probe compare the 8 little-endian
+      bytes directly (out-of-range probes match nothing, like ``==``);
+    * ``str`` columns with a ``str`` probe compare the length-prefixed
+      UTF-8 slice (bytes equality ⇔ string equality);
+    * everything else — ``float`` columns (``-0.0 == 0.0`` but their bit
+      patterns differ) and cross-kind probes — decodes the column via
+      :func:`make_column_decoder` and falls back to Python ``==``.
+    """
+    if not 0 <= position < len(schema.columns):
+        raise StorageError(
+            f"table {schema.name!r}: column position {position} out of range"
+        )
+    kind = schema.columns[position].kind
+    encoded: bytes | None = None
+
+    def never(records):
+        return [False] * len(records)
+
+    never.needle = None
+    if kind == "int" and isinstance(value, int):
+        try:
+            encoded = _I64.pack(value)
+        except struct.error:
+            return never
+    elif kind == "str" and isinstance(value, str):
+        probe = value.encode("utf-8")
+        if len(probe) > 0xFFFF:
+            return never
+        encoded = _U16.pack(len(probe)) + probe
+
+    if encoded is None:
+        decode = make_column_decoder(schema, [position])
+
+        def compare_decoded(records):
+            return [v == value for v in decode(records)[position]]
+
+        compare_decoded.needle = None
+        return compare_decoded
+
+    width = len(encoded)
+    kinds = [column.kind for column in schema.columns]
+    first_str = next(
+        (i for i, k in enumerate(kinds) if k == "str"), len(kinds)
+    )
+    if position <= first_str:
+        at = position * 8  # page-constant offset
+
+        def compare_fixed(records):
+            return [r[at : at + width] == encoded for r in records]
+
+        compare_fixed.needle = encoded
+        return compare_fixed
+
+    # Walk to the column: fixed-width prefixes skip in one hop, strings
+    # advance by their length prefix; nothing before it is materialized.
+    skips = []  # (fixed bytes to skip, number of strings to hop)
+    fixed = 0
+    strings = 0
+    for k in kinds[:position]:
+        if k == "str":
+            strings += 1
+        elif strings:
+            skips.append((fixed, strings))
+            fixed, strings = 8, 0
+        else:
+            fixed += 8
+    skips.append((fixed, strings))
+    len_unpack = _U16.unpack_from
+
+    def verify(r: bytes) -> bool:
+        offset = 0
+        for fixed_bytes, string_hops in skips:
+            offset += fixed_bytes
+            for _ in range(string_hops):
+                offset += 2 + len_unpack(r, offset)[0]
+        return r[offset : offset + width] == encoded
+
+    # Prefilter at C speed: the encoded value must appear in the record
+    # bytes (at its end, for the last column) for the row to match; the
+    # Python offset walk then runs only on candidate rows, so a selective
+    # predicate scans most of the page without any per-row decoding.
+    if position == len(kinds) - 1:
+
+        def compare_tail(records):
+            return [r.endswith(encoded) and verify(r) for r in records]
+
+        compare_tail.needle = encoded
+        return compare_tail
+
+    def compare_contains(records):
+        return [encoded in r and verify(r) for r in records]
+
+    compare_contains.needle = encoded
+    return compare_contains
+
+
 def encode_key(value) -> bytes:
     """Order-preserving byte encoding of an index key value.
 

@@ -210,14 +210,18 @@ class EmbeddedSearchEngine:
         their ``tf * idf`` contributions summed, and the doc's score goes to
         the bounded min-heap of the best ``n``.
         """
-        iterators = {term: self.index.iter_term(term) for term in keywords}
+        # Array-backed (docid, weight) streams: same chain pages in the same
+        # order as iter_term, minus per-posting object construction.
+        iterators = {
+            term: self.index.iter_term_tuples(term) for term in keywords
+        }
         heads: list[tuple[int, str]] = []  # (-docid, term)
         current: dict[str, float] = {}
         for term, iterator in iterators.items():
             posting = next(iterator, None)
             if posting is not None:
-                heapq.heappush(heads, (-posting.docid, term))
-                current[term] = posting.weight
+                heapq.heappush(heads, (-posting[0], term))
+                current[term] = posting[1]
 
         # Min-heap of (score, -docid): the weakest entry is the lowest score,
         # ties resolved against the *largest* docid, so equal-score documents
@@ -234,8 +238,8 @@ class EmbeddedSearchEngine:
                 self.token.mcu.charge_compares(1)
                 nxt = next(iterators[term], None)
                 if nxt is not None:
-                    heapq.heappush(heads, (-nxt.docid, term))
-                    current[term] = nxt.weight
+                    heapq.heappush(heads, (-nxt[0], term))
+                    current[term] = nxt[1]
             if require_all and matched_terms < len(keywords):
                 continue
             entry = (score, -docid)

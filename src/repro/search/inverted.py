@@ -18,9 +18,35 @@ from typing import Iterator
 from repro.errors import StorageError
 from repro.hardware.flash import BlockAllocator
 from repro.hardware.ram import RamArena
+from repro.storage import pager
 from repro.storage.hashbucket import ChainedBucketLog, bucket_of
 
 _POSTING_TAIL = struct.Struct("<If")  # docid, weight
+
+
+def _decode_posting_page(page: bytes):
+    """Columnar chain-page decode: ``(prev, entries, terms, docids, weights)``.
+
+    Richer than the bucket log's default decoder (same ``[0]``/``[1]``
+    layout, so generic chain readers keep working) — each posting is split
+    once per page residency into parallel term-bytes/docid/weight vectors,
+    which is what lets the scoring loop compare raw UTF-8 term bytes and
+    skip per-posting ``unpack_posting`` calls. Installed as the inverted
+    bucket log's ``page_decoder``.
+    """
+    prev = pager.unpack_u32(page, 0)
+    entries = pager.unpack_records(page[ChainedBucketLog._HEADER :])
+    terms: list[bytes] = []
+    docids: list[int] = []
+    weights: list[float] = []
+    unpack_tail = _POSTING_TAIL.unpack_from
+    for entry in entries:
+        term_len = entry[0]
+        terms.append(entry[1 : 1 + term_len])
+        docid, weight = unpack_tail(entry, 1 + term_len)
+        docids.append(docid)
+        weights.append(weight)
+    return prev, entries, terms, docids, weights
 
 
 @dataclass(frozen=True)
@@ -60,7 +86,11 @@ class SequentialInvertedIndex:
         ram: RamArena | None = None,
     ) -> None:
         self.buckets = ChainedBucketLog(
-            allocator, num_buckets, name="inverted", ram=ram
+            allocator,
+            num_buckets,
+            name="inverted",
+            ram=ram,
+            page_decoder=_decode_posting_page,
         )
         self.num_buckets = num_buckets
         self._last_docid = -1
@@ -91,7 +121,11 @@ class SequentialInvertedIndex:
         """
         index = cls.__new__(cls)
         index.buckets = ChainedBucketLog.remount(
-            session, num_buckets, name="inverted", ram=ram
+            session,
+            num_buckets,
+            name="inverted",
+            ram=ram,
+            page_decoder=_decode_posting_page,
         )
         index.num_buckets = num_buckets
         checkpoint = manifest.last("search-checkpoint")
@@ -168,9 +202,55 @@ class SequentialInvertedIndex:
             ):
                 yield posting
 
+    def iter_term_tuples(self, term: str) -> Iterator[tuple[int, float]]:
+        """``(docid, weight)`` pairs of ``term`` in descending docid order.
+
+        The batch counterpart of :meth:`iter_term`: same chain pages in the
+        same order, but term matching compares raw UTF-8 bytes against the
+        page's decoded term vector (bytes equality ⇔ string equality) and
+        never builds a :class:`Posting`. This is the scoring loop's stream.
+        """
+        term_bytes = term.encode("utf-8")
+        bucket = bucket_of(term, self.num_buckets)
+        fences = self._fences
+        for position, decoded in self.buckets.iter_decoded(bucket):
+            if position is None:
+                # Staged entries (RAM): newest-first, decoded on the fly.
+                for entry in reversed(decoded):
+                    term_len = entry[0]
+                    if entry[1 : 1 + term_len] == term_bytes:
+                        yield _POSTING_TAIL.unpack_from(entry, 1 + term_len)
+                continue
+            terms, docids, weights = decoded[2], decoded[3], decoded[4]
+            for i in range(len(terms) - 1, -1, -1):
+                if terms[i] == term_bytes:
+                    docid = docids[i]
+                    if fences and self._is_ghost(position, docid):
+                        continue
+                    yield docid, weights[i]
+
     def document_frequency(self, term: str) -> int:
-        """Number of documents containing ``term`` (one chain scan)."""
-        return sum(1 for _ in self.iter_term(term))
+        """Number of documents containing ``term`` (one chain scan).
+
+        Counts per decoded page (``terms.count``) instead of iterating
+        postings one by one; falls back to the posting stream when recovery
+        fences are active, since ghosts must be excluded per entry.
+        """
+        if self._fences:
+            return sum(1 for _ in self.iter_term_tuples(term))
+        term_bytes = term.encode("utf-8")
+        bucket = bucket_of(term, self.num_buckets)
+        count = 0
+        for position, decoded in self.buckets.iter_decoded(bucket):
+            if position is None:
+                count += sum(
+                    1
+                    for entry in decoded
+                    if entry[1 : 1 + entry[0]] == term_bytes
+                )
+            else:
+                count += decoded[2].count(term_bytes)
+        return count
 
     def chain_pages(self, term: str) -> int:
         """Flash pages a probe of ``term`` must read (IO cost)."""

@@ -25,12 +25,14 @@ from repro.service.admission import (
 from repro.service.cache import CacheEntry, ResultCache, ResultCacheStats
 from repro.service.descriptor import (
     FAMILIES,
+    FAMILY_EMBEDDED,
     FAMILY_HISTOGRAM,
     FAMILY_NOISE,
     FAMILY_SECURE_AGG,
     QueryDescriptor,
     WorkloadMix,
     derive_seed,
+    embedded_mix,
     standard_mix,
 )
 from repro.service.loadgen import (
@@ -44,7 +46,7 @@ from repro.service.population import (
     ServicePopulation,
     slim_population,
 )
-from repro.service.reference import build_protocol, run_query
+from repro.service.reference import build_protocol, run_embedded, run_query
 from repro.service.server import (
     QueryTicket,
     ServedResult,
@@ -57,6 +59,7 @@ __all__ = [
     "AdmissionStats",
     "CacheEntry",
     "FAMILIES",
+    "FAMILY_EMBEDDED",
     "FAMILY_HISTOGRAM",
     "FAMILY_NOISE",
     "FAMILY_SECURE_AGG",
@@ -76,7 +79,9 @@ __all__ = [
     "WorkloadMix",
     "build_protocol",
     "derive_seed",
+    "embedded_mix",
     "find_knee",
+    "run_embedded",
     "run_query",
     "slim_population",
     "standard_mix",

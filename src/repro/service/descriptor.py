@@ -25,7 +25,12 @@ from repro.globalq.queries import AggregateQuery
 FAMILY_SECURE_AGG = "secure-agg"
 FAMILY_NOISE = "noise"
 FAMILY_HISTOGRAM = "histogram"
-FAMILIES = (FAMILY_SECURE_AGG, FAMILY_NOISE, FAMILY_HISTOGRAM)
+#: Part II family: the aggregate runs on a service-hosted embedded SPJ
+#: engine (one token's relational database) instead of a Part III
+#: population protocol — attribute/group_by name ``TABLE.Column`` pairs of
+#: the TPCD-like schema and WHERE conditions are equality filters.
+FAMILY_EMBEDDED = "embedded-spj"
+FAMILIES = (FAMILY_SECURE_AGG, FAMILY_NOISE, FAMILY_HISTOGRAM, FAMILY_EMBEDDED)
 
 
 @dataclass(frozen=True)
@@ -42,6 +47,10 @@ class QueryDescriptor:
     noise_ratio: float = 0.0
     #: histogram family only: equi-depth bucket count.
     num_buckets: int = 8
+    #: embedded-spj family only: lineitem count of the service's hosted
+    #: TPCD-like database (0 everywhere else). Part of the canonical form
+    #: because it determines the answer.
+    embedded_rows: int = 0
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -70,6 +79,7 @@ class QueryDescriptor:
             "noise_mode": self.noise_mode,
             "noise_ratio": self.noise_ratio,
             "num_buckets": self.num_buckets,
+            "embedded_rows": self.embedded_rows,
         }
 
     @classmethod
@@ -90,6 +100,7 @@ class QueryDescriptor:
                 noise_mode=data.get("noise_mode", "none"),
                 noise_ratio=data.get("noise_ratio", 0.0),
                 num_buckets=data.get("num_buckets", 8),
+                embedded_rows=data.get("embedded_rows", 0),
             )
         except (KeyError, TypeError) as exc:
             raise QueryError(f"malformed query descriptor: {exc}") from exc
@@ -197,13 +208,67 @@ def standard_mix(
     )
 
 
+def embedded_mix(rows: int = 4000) -> WorkloadMix:
+    """An all-embedded SPJ mix: the E25 query shapes served concurrently.
+
+    Three aggregate shapes over the service-hosted TPCD-like database of
+    ``rows`` lineitems — a grouped AVG behind one Tselect, a grouped SUM
+    with a string residual, and a two-filter COUNT — so an embedded-family
+    sweep exercises root-dominant, residual-heavy, and narrow-intersection
+    plans in one open loop.
+    """
+    return WorkloadMix(
+        entries=(
+            (
+                QueryDescriptor(
+                    FAMILY_EMBEDDED,
+                    AggregateQuery.avg(
+                        "LINEITEM.Price",
+                        group_by="SUPPLIER.Name",
+                        where=(("CUSTOMER.Mktsegment", "HOUSEHOLD"),),
+                    ),
+                    embedded_rows=rows,
+                ),
+                1.0,
+            ),
+            (
+                QueryDescriptor(
+                    FAMILY_EMBEDDED,
+                    AggregateQuery.sum(
+                        "LINEITEM.Quantity",
+                        group_by="CUSTOMER.Mktsegment",
+                        where=(("SUPPLIER.Nation", "FRANCE"),),
+                    ),
+                    embedded_rows=rows,
+                ),
+                1.0,
+            ),
+            (
+                QueryDescriptor(
+                    FAMILY_EMBEDDED,
+                    AggregateQuery.count(
+                        where=(
+                            ("CUSTOMER.Mktsegment", "HOUSEHOLD"),
+                            ("SUPPLIER.Name", "SUPPLIER-1"),
+                        ),
+                    ),
+                    embedded_rows=rows,
+                ),
+                1.0,
+            ),
+        )
+    )
+
+
 __all__ = [
     "FAMILIES",
+    "FAMILY_EMBEDDED",
     "FAMILY_HISTOGRAM",
     "FAMILY_NOISE",
     "FAMILY_SECURE_AGG",
     "QueryDescriptor",
     "WorkloadMix",
     "derive_seed",
+    "embedded_mix",
     "standard_mix",
 ]

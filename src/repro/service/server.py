@@ -73,6 +73,10 @@ class ServiceConfig:
     record_snapshots: bool = False
     #: Optional persistent process pool shared across executions.
     pool: WorkerPool | None = None
+    #: Executor for embedded-spj queries: None = engine default (columnar
+    #: batches), 0 = legacy tuple-at-a-time, N = explicit batch row count.
+    #: Never part of the descriptor — both executors answer identically.
+    embedded_batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -260,6 +264,7 @@ class SsiQueryService:
                 self.config.workers,
                 self.config.shard_size,
                 self.config.pool,
+                self.config.embedded_batch_size,
             )
         stats = {
             "num_pds": report.num_pds,

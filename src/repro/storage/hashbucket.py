@@ -59,6 +59,7 @@ class ChainedBucketLog:
         name: str = "buckets",
         ram: RamArena | None = None,
         epoch: int = 0,
+        page_decoder=None,
     ) -> None:
         if num_buckets <= 0:
             raise StorageError("need at least one bucket")
@@ -68,6 +69,13 @@ class ChainedBucketLog:
             raise StorageError("at most 65536 buckets are supported")
         self.log = PageLog(allocator, name, epoch=epoch)
         self.num_buckets = num_buckets
+        #: Chain-page decoder used for every read of this instance's pages.
+        #: Must return a sequence whose ``[0]`` is the previous position and
+        #: ``[1]`` the entry list; owners may return richer decodes (the
+        #: inverted index adds columnar posting vectors), as long as every
+        #: reader of the same log uses the same decoder — the page cache
+        #: memoizes one decoded form per page.
+        self.page_decoder = page_decoder or _decode_chain_page
         self._heads: list[int] = [pager.NO_PAGE] * num_buckets
         self._staging: list[list[bytes]] = [[] for _ in range(num_buckets)]
         self._staging_sizes: list[int] = [2] * num_buckets
@@ -88,6 +96,7 @@ class ChainedBucketLog:
         name: str = "buckets",
         ram: RamArena | None = None,
         epoch: int = 0,
+        page_decoder=None,
     ) -> "ChainedBucketLog":
         """Rebuild the bucket directory from a crash-recovery mount scan.
 
@@ -98,7 +107,14 @@ class ChainedBucketLog:
         surviving chain is therefore intact by construction.
         """
         recovered = session.claim(name, epoch)
-        chain = cls(session.allocator, num_buckets, name=name, ram=ram, epoch=epoch)
+        chain = cls(
+            session.allocator,
+            num_buckets,
+            name=name,
+            ram=ram,
+            epoch=epoch,
+            page_decoder=page_decoder,
+        )
         chain.log = PageLog.remount(session.allocator, name, recovered)
         for position, page in enumerate(recovered.pages):
             bucket = page.header.meta
@@ -108,8 +124,8 @@ class ChainedBucketLog:
                     f"{bucket}, but the directory has {num_buckets}"
                 )
             chain._heads[bucket] = position
-            _, entries = _decode_chain_page(page.payload)
-            chain._entry_count += len(entries)
+            decoded = chain.page_decoder(page.payload)
+            chain._entry_count += len(decoded[1])
         return chain
 
     # ------------------------------------------------------------------
@@ -189,28 +205,49 @@ class ChainedBucketLog:
             yield None, entry
         position = self._heads[bucket]
         while position != pager.NO_PAGE:
-            prev, entries = self._chain_page(position)
-            for entry in reversed(entries):
+            decoded = self._chain_page(position)
+            for entry in reversed(decoded[1]):
                 yield position, entry
-            position = prev
+            position = decoded[0]
+
+    def iter_decoded(self, bucket: int):
+        """Yield ``(page_position, decoded_page)`` head-first along a chain.
+
+        The batch counterpart of :meth:`iter_bucket_with_positions`: same
+        page reads in the same order, but each page surfaces once in its
+        decoded form (whatever ``page_decoder`` returned) instead of entry
+        by entry. Staged entries come first as ``(None, raw_entry_list)``
+        in append order — callers iterate them newest-first themselves.
+        """
+        if not 0 <= bucket < self.num_buckets:
+            raise StorageError(
+                f"bucket {bucket} out of range [0, {self.num_buckets})"
+            )
+        if self._staging[bucket]:
+            yield None, self._staging[bucket]
+        position = self._heads[bucket]
+        while position != pager.NO_PAGE:
+            decoded = self._chain_page(position)
+            yield position, decoded
+            position = decoded[0]
 
     def chain_length(self, bucket: int) -> int:
         """Number of flash pages in a bucket's chain (IO cost of a probe)."""
         length = 0
         position = self._heads[bucket]
         while position != pager.NO_PAGE:
-            position, _ = self._chain_page(position)
+            position = self._chain_page(position)[0]
             length += 1
         return length
 
-    def _chain_page(self, position: int) -> tuple[int, list[bytes]]:
-        """Decode one chain page as ``(prev_position, entries)``.
+    def _chain_page(self, position: int):
+        """Decode one chain page via the instance's ``page_decoder``.
 
         Goes through the page log's memoized decode so repeated chain
         walks (the search engine's IDF pass then merge pass) unpack each
         hot page once.
         """
-        return self.log.read_decoded(position, _decode_chain_page)
+        return self.log.read_decoded(position, self.page_decoder)
 
     def drop(self) -> None:
         """Discard all chains and reclaim flash blocks."""

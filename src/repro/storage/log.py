@@ -176,13 +176,29 @@ class PageLog:
             return cache.read_records(self._physical_page(position))
         return pager.unpack_records(self.read_page(position))
 
-    def read_decoded(self, position: int, decode):
+    def read_decoded(self, position: int, decode, memo: dict | None = None):
         """Read the page at ``position`` through ``decode``, memoized.
 
         Like :meth:`read_records` but for logs with their own page layout
         (e.g. chained bucket pages); ``decode(data)`` runs once per cached
         residency when a cache is attached, every read otherwise.
+
+        With a caller-owned ``memo`` dict (the batch executor's per-query
+        decode memo), the page access is **always** paid first — a cache
+        lookup or a real flash read, exactly like the record-at-a-time
+        path — and only the *decode* is memoized, keyed by log position.
+        This keeps simulated IO counts byte-identical while letting one
+        query decode each touched page a single time, and it never touches
+        the cache's own single decode slot (which may belong to a
+        different decoder for the same page).
         """
+        if memo is not None:
+            data = self.read_page(position)  # IO accounting, cache or flash
+            try:
+                return memo[position]
+            except KeyError:
+                decoded = memo[position] = decode(data)
+                return decoded
         cache = self.allocator.page_cache
         if cache is not None:
             return cache.read_decoded(self._physical_page(position), decode)

@@ -1,0 +1,403 @@
+"""Differential tests: columnar batch execution vs the legacy pipeline.
+
+The batch executor's contract is *bit-identical observable behavior*: same
+rows, same simulated ``flash_page_reads``, same cache hit/miss deltas, and
+RAM high-water no higher than legacy at the default batch size. These tests
+enforce it with randomized schemas/data/queries (hypothesis) plus fixed
+regressions for the edge cases the property test rarely hits.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.flash import FlashGeometry
+from repro.hardware.profiles import HardwareProfile, smart_usb_token
+from repro.hardware.token import SecurePortableToken
+from repro.relational import operators
+from repro.relational.batch import (
+    DEFAULT_BATCH_ROWS,
+    intersect_sorted,
+    union_sorted,
+)
+from repro.relational.planner import Query
+from repro.relational.query import EmbeddedDatabase
+from repro.relational.schema import Column, ForeignKey, SchemaGraph, TableSchema
+from repro.relational.table import TableStorage
+from repro.relational.tuples import make_column_decoder, make_predicate_mask
+from repro.workloads import tpcd
+
+
+def make_token(ram_bytes=64 * 1024, page_size=512, cache_pages=0):
+    base = smart_usb_token()
+    profile = HardwareProfile(
+        name="test-token",
+        ram_bytes=ram_bytes,
+        cpu_mhz=base.cpu_mhz,
+        flash_geometry=FlashGeometry(
+            page_size=page_size, pages_per_block=16, num_blocks=2048
+        ),
+        flash_cost=base.flash_cost,
+        tamper_resistant=True,
+    )
+    return SecurePortableToken(profile=profile, cache_pages=cache_pages)
+
+
+# ---------------------------------------------------------------------------
+# Randomized schema/data/query generation
+# ---------------------------------------------------------------------------
+_INTS = [-2, 0, 1, 5]
+_FLOATS = [0.0, 1.5, -2.25]
+_STRS = ["red", "green", "blue", "", "x" * 40]
+_KINDS = {"int": _INTS, "float": _FLOATS, "str": _STRS}
+
+
+@st.composite
+def _workloads(draw):
+    """A linear-chain schema (1-3 tables), its data, a query, tselects."""
+    depth = draw(st.integers(1, 3))
+    names = ["R", "P", "G"][:depth]  # root references P references G
+    tables = []
+    for level, name in enumerate(names):
+        extra = draw(
+            st.lists(
+                st.sampled_from(["int", "float", "str"]), min_size=1, max_size=3
+            )
+        )
+        columns = [Column("Id", "int")]
+        columns += [Column(f"C{i}", kind) for i, kind in enumerate(extra)]
+        fks = []
+        if level + 1 < depth:
+            parent = names[level + 1]
+            columns.append(Column(f"{parent}id", "int"))
+            fks.append(ForeignKey(f"{parent}id", parent, "Id"))
+        tables.append(
+            TableSchema(name, columns, primary_key="Id", foreign_keys=fks)
+        )
+    schema = SchemaGraph(tables)
+
+    # Rows: ancestors first (FKs resolve through parent PK indexes).
+    rows: dict[str, list[tuple]] = {}
+    counts = {}
+    for level in range(depth - 1, -1, -1):
+        name = names[level]
+        table = schema.table(name)
+        num = draw(st.integers(1, 8)) if level else draw(st.integers(0, 40))
+        counts[name] = num
+        table_rows = []
+        for rowid in range(num):
+            values = []
+            for column in table.columns:
+                if column.name == "Id":
+                    values.append(rowid)
+                elif column.name.endswith("id") and len(column.name) == 3:
+                    values.append(
+                        draw(st.integers(0, counts[names[level + 1]] - 1))
+                    )
+                else:
+                    values.append(draw(st.sampled_from(_KINDS[column.kind])))
+            table_rows.append(tuple(values))
+        rows[name] = table_rows
+
+    # Query: 0-3 filters, 1-4 projected columns, 0-2 tselects.
+    def column_ref():
+        name = draw(st.sampled_from(names))
+        column = draw(st.sampled_from(schema.table(name).columns))
+        return name, column
+
+    filters = []
+    for _ in range(draw(st.integers(0, 3))):
+        table, column = column_ref()
+        value = draw(st.sampled_from(_KINDS[column.kind]))
+        filters.append((table, column.name, value))
+    projection = []
+    for _ in range(draw(st.integers(1, 4))):
+        table, column = column_ref()
+        projection.append((table, column.name))
+    tselects = draw(
+        st.sets(
+            st.sampled_from([(t, c) for t, c, _ in filters] or [("R", "Id")]),
+            max_size=2,
+        )
+    )
+    batch_rows = draw(st.sampled_from([1, 2, 7, DEFAULT_BATCH_ROWS, 256]))
+    return schema, names[0], rows, filters, projection, sorted(tselects), batch_rows
+
+
+def _build_db(schema, root, rows, tselects, batch_size, cache_pages):
+    db = EmbeddedDatabase(
+        make_token(cache_pages=cache_pages), schema, root, batch_size=batch_size
+    )
+    order = [t for t in ["G", "P", "R"] if t in rows]
+    for name in order:
+        for values in rows[name]:
+            db.insert(name, values)
+    for via_table, column in tselects:
+        db.create_tselect(via_table, column)
+    return db
+
+
+@settings(max_examples=30, deadline=None)
+@given(_workloads(), st.sampled_from([0, 4]))
+def test_batch_matches_legacy(workload, cache_pages):
+    schema, root, rows, filters, projection, tselects, batch_rows = workload
+    query = Query.build(filters=filters, projection=projection)
+    legacy = _build_db(schema, root, rows, tselects, None, cache_pages)
+    batch = _build_db(schema, root, rows, tselects, batch_rows, cache_pages)
+
+    legacy_rows, legacy_stats = legacy.query(query)
+    batch_rows_out, batch_stats = batch.query(query)
+
+    assert batch_rows_out == legacy_rows
+    assert batch_stats.flash_page_reads == legacy_stats.flash_page_reads
+    assert (batch_stats.cache.hits, batch_stats.cache.misses) == (
+        legacy_stats.cache.hits,
+        legacy_stats.cache.misses,
+    )
+    assert batch_stats.explain.root_scan == legacy_stats.explain.root_scan
+    assert batch_stats.explain.batch_rows == batch_rows
+    if batch_rows * 8 <= 512:  # batch buffer within one page: charge equal
+        assert batch_stats.ram_high_water <= legacy_stats.ram_high_water
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(0, 30), max_size=12).map(
+            lambda xs: sorted(set(xs))
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_sorted_set_ops_match_merge_operators(postings):
+    assert intersect_sorted(postings) == list(
+        operators.merge_intersect([iter(p) for p in postings])
+    )
+    assert union_sorted(postings) == list(
+        operators.merge_union([iter(p) for p in postings])
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(_INTS),
+            st.sampled_from(_STRS + ["\x03\x00red", "ed", "redd"]),
+            st.sampled_from(_FLOATS),
+            st.sampled_from(_STRS),
+        ),
+        max_size=30,
+    ),
+    st.integers(0, 3),
+    st.sampled_from(
+        _INTS + _FLOATS + _STRS + ["\x03\x00red", 10**20, True, "nope"]
+    ),
+)
+def test_predicate_mask_matches_python_equality(data, position, probe):
+    schema = TableSchema(
+        "T",
+        columns=[
+            Column("A", "int"),
+            Column("B", "str"),
+            Column("C", "float"),
+            Column("D", "str"),
+        ],
+    )
+    table = TableStorage(schema, make_token().allocator)
+    for values in data:
+        table.insert(values)
+    table.flush()
+    mask = make_predicate_mask(schema, position, probe)
+    records = [
+        record for page in table.data.scan_pages() for record in page
+    ] + table.data.buffered_records()
+    assert mask(records) == [row[position] == probe for row in data]
+
+
+def test_column_decoder_matches_deserialize():
+    schema = TableSchema(
+        "T",
+        columns=[
+            Column("A", "int"),
+            Column("B", "float"),
+            Column("C", "str"),
+            Column("D", "int"),
+        ],
+    )
+    table = TableStorage(schema, make_token().allocator)
+    data = [(i, i * 1.5, f"s{i}" * (i % 4), -i) for i in range(50)]
+    for values in data:
+        table.insert(values)
+    table.flush()
+    for positions in ([0], [1], [0, 1], [2], [3], [0, 3], [2, 3], [0, 1, 2, 3]):
+        decode = make_column_decoder(schema, positions)
+        out = {p: [] for p in positions}
+        for page in table.data.scan_pages():
+            decoded = decode(page)
+            for p in positions:
+                out[p].extend(decoded[p])
+        for p in positions:
+            assert out[p] == [row[p] for row in data]
+
+
+# ---------------------------------------------------------------------------
+# Fixed regressions on the TPCD workload
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tpcd_pair():
+    def build(batch_size):
+        db = EmbeddedDatabase(
+            make_token(page_size=1024),
+            tpcd.tpcd_schema(),
+            tpcd.ROOT_TABLE,
+            batch_size=batch_size,
+        )
+        tpcd.load(db, tpcd.generate(num_lineitems=600, seed=17))
+        db.create_tselect("CUSTOMER", "Mktsegment")
+        db.create_tselect("SUPPLIER", "Name")
+        return db
+
+    return build(None), build(DEFAULT_BATCH_ROWS)
+
+
+def _assert_same(legacy_result, batch_result):
+    (rows_a, stats_a), (rows_b, stats_b) = legacy_result, batch_result
+    assert rows_a == rows_b
+    assert stats_a.flash_page_reads == stats_b.flash_page_reads
+
+
+def test_tpcd_query_identical(tpcd_pair):
+    legacy, batch = tpcd_pair
+    query = tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1")
+    _assert_same(legacy.query(query), batch.query(query))
+
+
+def test_tpcd_empty_result(tpcd_pair):
+    legacy, batch = tpcd_pair
+    query = tpcd.household_supplier_query("HOUSEHOLD", "NO-SUCH-SUPPLIER")
+    (rows, _), _ = legacy.query(query), None
+    assert rows == []
+    _assert_same(legacy.query(query), batch.query(query))
+
+
+def test_tpcd_string_residual_predicate(tpcd_pair):
+    legacy, batch = tpcd_pair
+    query = Query.build(
+        filters=[("CUSTOMER", "Name", "customer-3"), ("LINEITEM", "Quantity", 5)],
+        projection=[("CUSTOMER", "Name"), ("LINEITEM", "Price")],
+    )
+    _assert_same(legacy.query(query), batch.query(query))
+
+
+def test_tpcd_grouped_aggregates(tpcd_pair):
+    legacy, batch = tpcd_pair
+    for function in ("COUNT", "SUM", "AVG"):
+        column = None if function == "COUNT" else "Price"
+        agg_a, stats_a = legacy.aggregate(
+            [("CUSTOMER", "Mktsegment", "HOUSEHOLD")],
+            (function, "LINEITEM", column),
+            group_by=("SUPPLIER", "Name"),
+        )
+        agg_b, stats_b = batch.aggregate(
+            [("CUSTOMER", "Mktsegment", "HOUSEHOLD")],
+            (function, "LINEITEM", column),
+            group_by=("SUPPLIER", "Name"),
+        )
+        assert agg_a == agg_b  # bit-identical: same accumulation order
+        assert stats_a.flash_page_reads == stats_b.flash_page_reads
+
+
+def test_union_stream_queries_identical(tpcd_pair):
+    """OR semantics via merged rowid sets: both unions are bit-identical."""
+    legacy, batch = tpcd_pair
+    segments = ("HOUSEHOLD", "BUILDING")
+    legacy_union = sorted(
+        set(
+            r
+            for s in segments
+            for r in legacy.tselects[("CUSTOMER", "Mktsegment")].lookup(s)
+        )
+    )
+    batch_union = union_sorted(
+        [
+            batch.tselects[("CUSTOMER", "Mktsegment")].lookup_batch(s)
+            for s in segments
+        ]
+    )
+    assert batch_union == legacy_union
+    assert legacy_union  # non-trivial
+
+
+def test_single_table_schema_queries():
+    schema = SchemaGraph(
+        [TableSchema("T", [Column("Id", "int"), Column("V", "str")])]
+    )
+    for batch_size in (None, DEFAULT_BATCH_ROWS):
+        db = EmbeddedDatabase(make_token(), schema, "T", batch_size=batch_size)
+        for i in range(20):
+            db.insert("T", (i, "even" if i % 2 == 0 else "odd"))
+        rows, stats = db.query(
+            Query.build(filters=[("T", "V", "odd")], projection=[("T", "Id")])
+        )
+        assert rows == [(i,) for i in range(20) if i % 2]
+        assert stats.explain.root_scan
+
+
+def test_lookup_unindexed_column_without_flush():
+    """Regression: fallback-scan lookup must see unflushed inserts."""
+    schema = SchemaGraph(
+        [TableSchema("T", [Column("Id", "int"), Column("V", "str")])]
+    )
+    for batch_size in (None, DEFAULT_BATCH_ROWS):
+        db = EmbeddedDatabase(make_token(), schema, "T", batch_size=batch_size)
+        db.insert("T", (0, "a"))
+        db.insert("T", (1, "b"))
+        db.insert("T", (2, "a"))
+        # No explicit flush: lookup() flushes the storage itself.
+        assert db.lookup("T", "V", "a") == [0, 2]
+        assert db.lookup("T", "V", "missing") == []
+
+
+def test_scan_mask_page_prefilter_matches_scan():
+    """The page-level needle skip can never drop a match.
+
+    Many pages carry no occurrence of the probe's encoded bytes (skipped
+    without unpacking); others contain them only inside a *different*
+    column (page-level false positive, resolved by the per-row mask).
+    """
+    schema = SchemaGraph(
+        [
+            TableSchema(
+                "T",
+                [Column("Id", "int"), Column("A", "str"), Column("B", "str")],
+            )
+        ]
+    )
+    db = EmbeddedDatabase(make_token(), schema, "T")
+    probe = "needle"
+    expected = []
+    for i in range(300):
+        a = probe if i % 17 == 0 else f"filler-{i}"
+        # The probe's exact encoded bytes appear in column A on other rows.
+        b = "\x06\x00needle" if i % 23 == 0 else "x"
+        db.insert("T", (i, b, a))
+        if a == probe:
+            expected.append(i)
+    db.flush()
+    assert db.lookup("T", "B", probe) == expected
+    legacy = [
+        rowid
+        for rowid, row in db.storages["T"].scan()
+        if row[2] == probe
+    ]
+    assert legacy == expected
+
+
+def test_batch_size_zero_selects_legacy():
+    schema = SchemaGraph(
+        [TableSchema("T", [Column("Id", "int"), Column("V", "str")])]
+    )
+    db = EmbeddedDatabase(make_token(), schema, "T", batch_size=0)
+    assert db.batch_size is None
