@@ -1,0 +1,360 @@
+"""E26 — Distributed tracing overhead, sampling invariance, flight recorder.
+
+Claims under test (Issue 8's acceptance criteria):
+
+* **overhead** — under an E24-style closed-loop mixed-class load, serving
+  with the telemetry bundle installed at a 1% head-sampling rate costs at
+  most 2% wall-clock over serving with tracing disabled entirely (0% and
+  100% rates are measured alongside for the curve);
+* **invariance** — sampling is an observation, never an input: at every
+  rate the service returns bit-identical answers, and an embedded Tjoin
+  run under any rate performs exactly the same ``flash.page_reads``;
+* **flight recorder** — a forced ``Overloaded`` burst dumps a bundle that
+  ``repro.obs.check`` validates and that carries the shedding queue
+  depths (header details, shed events, and the frozen service registry).
+
+Overhead is measured **paired**: per mode, a traced and an untraced
+service serve the same query back to back (order alternating), and the
+overhead is the median per-pair wall ratio minus one. Absolute walls on a
+shared box swing +-20%; the paired median holds within +-1% in a null
+experiment (two untraced services), so it can resolve the 2% ceiling.
+
+Row meaning: ``load`` rows are one serving mode each (``disabled`` or a
+sampling rate) — query count, best-of-``repeats`` summed wall seconds,
+per-query milliseconds, paired-median overhead vs disabled, spans
+recorded; ``flash`` rows are one embedded Tjoin per mode with its exact
+page-read count. ``meta`` carries the answer digests per mode (all
+equal), the flight-bundle path and its checker verdict, and wall-clock
+timings.
+
+``BENCH_SMOKE=1`` runs tiny sizes; the overhead ceiling is only asserted
+at full size (a 0.3 s smoke cell cannot resolve 2%).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import os
+import time
+from pathlib import Path
+
+from repro.bench.harness import (
+    Experiment,
+    record_wall_clock,
+    run_and_print,
+    smoke_mode,
+)
+from repro.obs import check as obs_check
+from repro.obs import telemetry as obs_telemetry
+from repro.obs.telemetry import Telemetry
+from repro.service import (
+    ServiceConfig,
+    SsiQueryService,
+    slim_population,
+    standard_mix,
+)
+from repro.service.admission import Overloaded
+
+#: Serving modes: None = no telemetry object at all; else sampling rate.
+MODES: tuple[tuple[str, float | None], ...] = (
+    ("disabled", None),
+    ("0%", 0.0),
+    ("1%", 0.01),
+    ("100%", 1.0),
+)
+
+#: The acceptance ceiling: 1%-sampled wall-clock over disabled, percent.
+OVERHEAD_CEILING_PCT = 2.0
+
+
+def parameters() -> dict:
+    if smoke_mode():
+        return {"population": 120, "queries": 24, "repeats": 2}
+    return {"population": 1000, "queries": 240, "repeats": 3}
+
+
+# ----------------------------------------------------------------------
+# Phase 1: closed-loop load at each telemetry mode, paired per query
+# ----------------------------------------------------------------------
+async def run_paired(rate: float, queries: int, population_size: int):
+    """One mode vs tracing-disabled, paired query by query.
+
+    Two identical services serve the same query sequence; for each query
+    the traced service (telemetry bundle installed, tracer active) and
+    the untraced one (no bundle, tracer off) run back to back, order
+    alternating. The per-pair wall ratio cancels host contention — on a
+    noisy shared box absolute walls swing ±20%, while the null
+    experiment (two untraced services) holds the median ratio within
+    ±1% — so ``median(ratio) - 1`` is the tracing overhead.
+    """
+    from repro import obs
+
+    config = dict(
+        max_in_flight=2, max_queue_depth=64, cache_capacity=0, seed=5
+    )
+    bundle = Telemetry(sample_rate=rate)
+    bundle.install()
+    obs.set_tracer(None)  # off by default; toggled on per traced query
+    try:
+        traced = SsiQueryService(
+            slim_population(population_size),
+            ServiceConfig(**config),
+            telemetry=bundle,
+        )
+        untraced = SsiQueryService(
+            slim_population(population_size), ServiceConfig(**config)
+        )
+        traced.start()
+        untraced.start()
+        descriptors = standard_mix().descriptors()
+        ratios, answers_on, answers_off = [], [], []
+        wall_on = wall_off = 0.0
+        for index in range(queries):
+            descriptor = descriptors[index % len(descriptors)]
+            t_on = t_off = 0.0
+            for service in (
+                (traced, untraced) if index % 2 else (untraced, traced)
+            ):
+                is_traced = service is traced
+                if is_traced:
+                    obs.set_tracer(bundle.tracer)
+                start = time.perf_counter()
+                served = await service.submit(descriptor)
+                elapsed = time.perf_counter() - start
+                if is_traced:
+                    obs.set_tracer(None)
+                    t_on = elapsed
+                    answers_on.append(served.result)
+                else:
+                    t_off = elapsed
+                    answers_off.append(served.result)
+            wall_on += t_on
+            wall_off += t_off
+            ratios.append(t_on / t_off)
+        await traced.stop()
+        await untraced.stop()
+        spans = len(bundle.tracer.spans)
+    finally:
+        bundle.shutdown()
+    return ratios, wall_on, wall_off, answers_on, answers_off, spans
+
+
+def answer_digest(answers: list) -> str:
+    """Order-sensitive digest of every served answer (bit-identity proxy)."""
+    return hashlib.sha256(
+        "|".join(repr(a) for a in answers).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def load_phase(experiment: Experiment, params: dict) -> None:
+    import gc
+
+    # One untimed pass first: process-wide lazy caches (crypto tables,
+    # fleet state) warm up exactly once, billed to no mode.
+    asyncio.run(run_paired(0.0, params["queries"], params["population"]))
+    digests: dict[str, str] = {}
+    best_off = float("inf")
+    mode_rows = []
+    for mode, rate in MODES:
+        if rate is None:
+            continue
+        pooled: list[float] = []
+        walls_on: list[float] = []
+        spans = 0
+        for _ in range(params["repeats"]):
+            # Garbage from the previous run must not slow this one's
+            # allocations (uncollected heaps drift walls monotonically).
+            gc.collect()
+            ratios, wall_on, wall_off, on, off, spans = asyncio.run(
+                run_paired(rate, params["queries"], params["population"])
+            )
+            pooled.extend(ratios)
+            walls_on.append(wall_on)
+            best_off = min(best_off, wall_off)
+            digest = answer_digest(on)
+            # Traced and untraced answers are identical bytes, and every
+            # repeat of every mode agrees.
+            assert answer_digest(off) == digest
+            assert digests.setdefault(mode, digest) == digest
+            digests.setdefault("disabled", digest)
+        overhead = (_median(pooled) - 1.0) * 100.0
+        experiment.meta.setdefault("overhead_pct", {})[mode] = round(
+            overhead, 3
+        )
+        mode_rows.append((mode, min(walls_on), overhead, spans))
+        record_wall_clock(experiment, f"load_{mode}", min(walls_on))
+    experiment.add_row(
+        "load",
+        "disabled",
+        params["queries"],
+        round(best_off, 4),
+        round(best_off / params["queries"] * 1000.0, 3),
+        0.0,
+        0,
+        "-",
+    )
+    record_wall_clock(experiment, "load_disabled", best_off)
+    for mode, wall_on, overhead, spans in mode_rows:
+        experiment.add_row(
+            "load",
+            mode,
+            params["queries"],
+            round(wall_on, 4),
+            round(wall_on / params["queries"] * 1000.0, 3),
+            round(overhead, 2),
+            spans,
+            "-",
+        )
+    experiment.meta["answer_digests"] = digests
+
+
+# ----------------------------------------------------------------------
+# Phase 2: flash-read invariance on the embedded engine
+# ----------------------------------------------------------------------
+def make_embedded_db():
+    from repro.hardware.flash import FlashGeometry
+    from repro.hardware.profiles import HardwareProfile, smart_usb_token
+    from repro.hardware.token import SecurePortableToken
+    from repro.relational.query import EmbeddedDatabase
+    from repro.workloads import tpcd
+
+    base = smart_usb_token()
+    profile = HardwareProfile(
+        name="e26-token",
+        ram_bytes=128 * 1024,
+        cpu_mhz=base.cpu_mhz,
+        flash_geometry=FlashGeometry(
+            page_size=1024, pages_per_block=32, num_blocks=2048
+        ),
+        flash_cost=base.flash_cost,
+        tamper_resistant=True,
+    )
+    token = SecurePortableToken(profile=profile, cache_pages=16)
+    db = EmbeddedDatabase(token, tpcd.tpcd_schema(), tpcd.ROOT_TABLE)
+    scale = 40 if smoke_mode() else 150
+    tpcd.load(db, tpcd.generate(scale, seed=31))
+    db.create_tselect("CUSTOMER", "Mktsegment")
+    return db, tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1")
+
+
+def flash_phase(experiment: Experiment) -> None:
+    readings: dict[str, tuple] = {}
+    for mode, rate in MODES:
+        db, query = make_embedded_db()
+        before = db.token.flash.stats.page_reads
+        if rate is None:
+            rows, _ = db.query(query)
+        else:
+            with Telemetry(sample_rate=rate) as bundle:
+                context = bundle.sampler.context_for("e26-flash")
+                with obs_telemetry.activate(context):
+                    rows, _ = db.query(query)
+        delta = db.token.flash.stats.page_reads - before
+        readings[mode] = (repr(rows), delta)
+        experiment.add_row("flash", mode, 1, "-", "-", "-", "-", delta)
+    experiment.meta["flash_reads"] = {m: d for m, (_, d) in readings.items()}
+    baseline = readings["disabled"]
+    assert baseline[1] > 0
+    for mode, reading in readings.items():
+        assert reading == baseline, f"mode {mode} diverged from disabled"
+
+
+# ----------------------------------------------------------------------
+# Phase 3: forced Overloaded burst -> validated flight bundle
+# ----------------------------------------------------------------------
+async def run_burst(dump_dir: Path):
+    with Telemetry(sample_rate=1.0, dump_dir=dump_dir) as bundle:
+        service = SsiQueryService(
+            slim_population(64),
+            ServiceConfig(max_in_flight=1, max_queue_depth=1, cache_capacity=0),
+            telemetry=bundle,
+        )
+        service.start()
+        descriptor = standard_mix().descriptors()[0]
+        try:
+            outcomes = await asyncio.gather(
+                *(service.submit(descriptor) for _ in range(8)),
+                return_exceptions=True,
+            )
+        finally:
+            await service.stop()
+        sheds = sum(1 for o in outcomes if isinstance(o, Overloaded))
+        return sheds, list(bundle.recorder.dumps)
+
+
+def burst_phase(experiment: Experiment) -> None:
+    dump_dir = Path(
+        os.environ.get("BENCH_JSON_DIR") or "."
+    ) / "e26_flight"
+    sheds, dumps = asyncio.run(run_burst(dump_dir))
+    assert sheds > 0 and dumps, "burst produced no shed or no bundle"
+    problems = [p for path in dumps for p in obs_check.check_file(path)]
+    experiment.meta["flight_bundles"] = [str(p) for p in dumps]
+    experiment.meta["flight_sheds"] = sheds
+    experiment.meta["flight_check_problems"] = problems
+    assert problems == [], problems
+    # The bundle carries the shedding queue depths where promised.
+    import json
+
+    lines = [
+        json.loads(line) for line in dumps[0].read_text().splitlines()
+    ]
+    assert lines[0]["details"]["queue_depth"] >= 1
+    assert lines[-1]["snapshot"]["service.shed_queue_depth"] >= 1
+
+
+# ----------------------------------------------------------------------
+def build_experiment() -> Experiment:
+    params = parameters()
+    experiment = Experiment(
+        experiment_id="e26",
+        title="Distributed tracing: overhead, invariance, flight recorder",
+        claim="1%-head-sampled tracing costs <=2% wall-clock over tracing "
+        "disabled on an E24-style load; sampling at any rate changes no "
+        "answer and no flash read; a forced Overloaded burst dumps a "
+        "schema-valid flight bundle carrying the shed queue depths",
+        columns=[
+            "phase", "mode", "queries", "wall_s", "per_query_ms",
+            "overhead_pct", "spans", "flash_reads",
+        ],
+    )
+    experiment.meta["smoke_mode"] = smoke_mode()
+    experiment.meta["population"] = params["population"]
+    experiment.meta["repeats"] = params["repeats"]
+    load_phase(experiment, params)
+    flash_phase(experiment)
+    burst_phase(experiment)
+    return experiment
+
+
+def verify(experiment: Experiment) -> None:
+    digests = experiment.meta["answer_digests"]
+    # Sampling never changes an answer: every mode served the same bytes.
+    assert len(set(digests.values())) == 1, digests
+    # Full tracing actually traced; head sampling actually sampled.
+    by_mode = {row[1]: row for row in experiment.rows if row[0] == "load"}
+    assert by_mode["100%"][6] > by_mode["1%"][6] >= 0
+    assert by_mode["0%"][6] == 0
+    if not smoke_mode():
+        overhead = experiment.meta["overhead_pct"]["1%"]
+        assert overhead <= OVERHEAD_CEILING_PCT, (
+            f"1%-sampled overhead {overhead:.2f}% exceeds "
+            f"{OVERHEAD_CEILING_PCT}%"
+        )
+
+
+def test_e26_telemetry(benchmark):
+    verify(run_and_print(build_experiment))
+
+
+if __name__ == "__main__":
+    verify(run_and_print(build_experiment))

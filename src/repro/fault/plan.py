@@ -29,6 +29,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import PowerLossError
 
 
@@ -114,6 +115,9 @@ class FaultPlan:
             self._kill_next = False
             self._kill_at.discard(op)
             self.kills += 1
+            # The flight recorder triggers on this event: an injected kill
+            # is exactly the anomaly whose preceding spans matter.
+            obs.event("fault.kill", op=op, kills=self.kills)
             return True
         return False
 

@@ -30,12 +30,14 @@ partial homomorphic aggregate for the SSI to merge.
 from __future__ import annotations
 
 import hashlib
+import os
 import random
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro import obs
 from repro.globalq.queries import AggregateQuery, local_contributions
+from repro.obs import telemetry
 
 #: Nodes per shard. Fixed (never derived from the worker count) so that
 #: changing ``workers`` cannot change a single ciphertext.
@@ -128,6 +130,9 @@ class CollectTask:
     with_group_tag: bool = False
     bucketizer: object = None
     noise: object = None
+    #: Distributed trace context of the submitting span (or None): lets a
+    #: worker process record its shard span for adoption by the submitter.
+    trace: object = None
 
 
 @dataclass
@@ -139,37 +144,54 @@ class NodeContributions:
     fake_count: int
 
 
-def collect_shard(task: CollectTask) -> list[NodeContributions]:
+def collect_shard(task: CollectTask):
     """Collect one shard: the unit of work both serial and pooled paths run.
 
     Per node, in order: (1) plan fakes from the shard stream, (2) draw the
     cipher-nonce seed, (3) encrypt. The fixed draw order is the whole
     determinism contract.
+
+    When the task carries a sampled trace context and runs in a worker
+    process, the shard's execution span is recorded locally and shipped
+    back wrapped in a :class:`~repro.obs.telemetry.TracedResult` for the
+    submitter to adopt; otherwise the plain contribution list returns.
     """
     # Imported here: the family modules import this module at top level.
     from repro.globalq.noise import plan_fakes
     from repro.globalq.protocol import TokenFleet
 
-    fleet = TokenFleet(task.fleet_seed)
-    rng = random.Random(task.shard_seed)
-    out = []
-    for node in task.nodes:
-        fakes = None
-        if task.noise is not None:
-            real = local_contributions(node.records, task.query)
-            fakes = plan_fakes(real, task.noise, rng)
-        cipher_seed = rng.getrandbits(64)
-        contributions = node.contributions(
-            task.query,
-            fleet,
-            with_group_tag=task.with_group_tag,
-            bucketizer=task.bucketizer,
-            fakes=fakes,
-            cipher_seed=cipher_seed,
-        )
-        out.append(
-            NodeContributions(node.pds_id, contributions, len(fakes or ()))
-        )
+    with telemetry.remote_recording(
+        task.trace, f"worker-{os.getpid()}"
+    ) as recording:
+        with obs.span(
+            "globalq.collect.shard.exec",
+            shard=task.shard_index,
+            nodes=len(task.nodes),
+        ):
+            fleet = TokenFleet(task.fleet_seed)
+            rng = random.Random(task.shard_seed)
+            out = []
+            for node in task.nodes:
+                fakes = None
+                if task.noise is not None:
+                    real = local_contributions(node.records, task.query)
+                    fakes = plan_fakes(real, task.noise, rng)
+                cipher_seed = rng.getrandbits(64)
+                contributions = node.contributions(
+                    task.query,
+                    fleet,
+                    with_group_tag=task.with_group_tag,
+                    bucketizer=task.bucketizer,
+                    fakes=fakes,
+                    cipher_seed=cipher_seed,
+                )
+                out.append(
+                    NodeContributions(
+                        node.pds_id, contributions, len(fakes or ())
+                    )
+                )
+    if recording is not None:
+        return recording.wrap(out)
     return out
 
 
@@ -200,6 +222,7 @@ class ShardedCollector:
         self.base_seed = base_seed
 
     def _tasks(self, nodes, query, fleet, with_group_tag, bucketizer, noise):
+        trace = telemetry.propagated()
         return [
             CollectTask(
                 shard_index=index,
@@ -210,6 +233,7 @@ class ShardedCollector:
                 with_group_tag=with_group_tag,
                 bucketizer=bucketizer,
                 noise=noise,
+                trace=trace,
             )
             for index, (start, stop) in enumerate(
                 shard_slices(len(nodes), self.shard_size)
@@ -238,8 +262,10 @@ class ShardedCollector:
                     "globalq.collect.shard",
                     shard=task.shard_index,
                     nodes=len(task.nodes),
-                ):
-                    results.extend(future.result())
+                ) as shard_span:
+                    results.extend(
+                        telemetry.adopt(future.result(), shard_span)
+                    )
 
         if self.pool is not None:
             drain(self.pool.submit)
@@ -249,8 +275,10 @@ class ShardedCollector:
                     "globalq.collect.shard",
                     shard=task.shard_index,
                     nodes=len(task.nodes),
-                ):
-                    results.extend(collect_shard(task))
+                ) as shard_span:
+                    results.extend(
+                        telemetry.adopt(collect_shard(task), shard_span)
+                    )
         else:
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
                 drain(pool.submit)
@@ -270,6 +298,8 @@ class SumShardTask:
     values: tuple
     stock_size: int
     subset_size: int
+    #: Distributed trace context of the submitting span (or None).
+    trace: object = None
 
 
 @dataclass
@@ -282,31 +312,47 @@ class SumShardResult:
     modexps: int
 
 
-def sum_shard(task: SumShardTask) -> SumShardResult:
-    """Encrypt one shard of sites batched and fold it homomorphically."""
+def sum_shard(task: SumShardTask):
+    """Encrypt one shard of sites batched and fold it homomorphically.
+
+    Returns a :class:`SumShardResult`, wrapped in a
+    :class:`~repro.obs.telemetry.TracedResult` when the task's trace
+    context asked this worker process to record its execution span.
+    """
     # Local import keeps worker start-up (and pickling) minimal.
     from repro.crypto.paillier import PaillierPublicKey
 
-    public = PaillierPublicKey(n=task.n, n_squared=task.n * task.n)
-    pool = public.blinding_pool(
-        seed=task.shard_seed,
-        stock_size=task.stock_size,
-        subset_size=task.subset_size,
-    )
-    ciphertexts = public.encrypt_batch(task.values, pool=pool)
-    partial = 1
-    sizes = []
-    for ciphertext in ciphertexts:
-        partial = public.add(partial, ciphertext)
-        sizes.append((ciphertext.bit_length() + 7) // 8)
-    # One pow for the pool generator plus one fixed-base eval per stock
-    # entry is all the full-width exponentiation this shard performed.
-    return SumShardResult(
-        shard_index=task.shard_index,
-        partial=partial,
-        ciphertext_bytes=tuple(sizes),
-        modexps=1 + task.stock_size,
-    )
+    with telemetry.remote_recording(
+        task.trace, f"worker-{os.getpid()}"
+    ) as recording:
+        with obs.span(
+            "smc.secure_sum.shard.exec",
+            shard=task.shard_index,
+            sites=len(task.values),
+        ):
+            public = PaillierPublicKey(n=task.n, n_squared=task.n * task.n)
+            pool = public.blinding_pool(
+                seed=task.shard_seed,
+                stock_size=task.stock_size,
+                subset_size=task.subset_size,
+            )
+            ciphertexts = public.encrypt_batch(task.values, pool=pool)
+            partial = 1
+            sizes = []
+            for ciphertext in ciphertexts:
+                partial = public.add(partial, ciphertext)
+                sizes.append((ciphertext.bit_length() + 7) // 8)
+            # One pow for the pool generator plus one fixed-base eval per
+            # stock entry is all the full-width exponentiation performed.
+            result = SumShardResult(
+                shard_index=task.shard_index,
+                partial=partial,
+                ciphertext_bytes=tuple(sizes),
+                modexps=1 + task.stock_size,
+            )
+    if recording is not None:
+        return recording.wrap(result)
+    return result
 
 
 def collect_encrypted_sum(
@@ -329,6 +375,7 @@ def collect_encrypted_sum(
         raise ValueError("workers must be >= 1")
     if pool is not None:
         workers = pool.workers
+    trace = telemetry.propagated()
     tasks = [
         SumShardTask(
             shard_index=index,
@@ -337,6 +384,7 @@ def collect_encrypted_sum(
             values=tuple(values[start:stop]),
             stock_size=stock_size,
             subset_size=subset_size,
+            trace=trace,
         )
         for index, (start, stop) in enumerate(
             shard_slices(len(values), shard_size)
@@ -353,10 +401,12 @@ def collect_encrypted_sum(
                 "smc.secure_sum.shard",
                 shard=task.shard_index,
                 sites=len(task.values),
-            ):
-                result = future.result()
+            ) as shard_span:
+                result = telemetry.adopt(future.result(), shard_span)
                 # Workers counted their exponentiations in their own
-                # process; mirror them into this process's registry.
+                # process; mirror them into this process's registry. An
+                # adopted exec span's counters land in shard_span's child
+                # counts, cancelling the mirror out of its self_counters.
                 count_modexp(result.modexps)
                 results.append(result)
 
@@ -368,8 +418,10 @@ def collect_encrypted_sum(
                 "smc.secure_sum.shard",
                 shard=task.shard_index,
                 sites=len(task.values),
-            ):
-                results.append(sum_shard(task))
+            ) as shard_span:
+                results.append(
+                    telemetry.adopt(sum_shard(task), shard_span)
+                )
     else:
         with ProcessPoolExecutor(max_workers=workers) as executor:
             drain(executor.submit)

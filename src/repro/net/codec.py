@@ -47,6 +47,7 @@ KIND_DONE = 9  #: querier -> SSI: partition completed, stop reassigning it
 KIND_QUERY = 10  #: querier -> SSI service: a query descriptor to serve
 KIND_RESULT = 11  #: SSI service -> querier: the served aggregate
 KIND_REJECT = 12  #: SSI service -> querier: admission control shed the query
+KIND_TELEMETRY = 13  #: telemetry snapshot request/response (obs.top)
 
 KIND_NAMES = {
     KIND_CONTRIB: "CONTRIB",
@@ -61,22 +62,37 @@ KIND_NAMES = {
     KIND_QUERY: "QUERY",
     KIND_RESULT: "RESULT",
     KIND_REJECT: "REJECT",
+    KIND_TELEMETRY: "TELEMETRY",
 }
 
 _MAGIC = 0xA7
 _VERSION = 1
+#: Version-2 frames carry a fixed trace-context block (trace id, parent
+#: span id, sampling flags) between sender and payload. Emitted only when
+#: a frame actually propagates a context, so untraced traffic stays
+#: byte-identical to version 1 — and the 17 context bytes of traced
+#: traffic are charged by the bandwidth model like any other bytes.
+_VERSION_TRACED = 2
+_TRACE_BLOCK = struct.Struct("<QQB")  # trace id, parent span id, flags
 _FRAME_HEADER = struct.Struct("<BBBBII")  # magic, version, kind, slen, seq, plen
 _U32 = struct.Struct("<I")
 
 
 @dataclass(frozen=True)
 class Frame:
-    """One message on the wire: kind, sender address, sequence, payload."""
+    """One message on the wire: kind, sender address, sequence, payload.
+
+    ``trace`` is an optional distributed trace context
+    (:class:`repro.obs.telemetry.TraceContext`, duck-typed: anything with
+    ``to_bytes()`` producing the 17-byte block) linking the work this
+    frame triggers to the span that sent it.
+    """
 
     kind: int
     sender: str
     seq: int
     payload: bytes = b""
+    trace: "object | None" = None
 
     @property
     def kind_name(self) -> str:
@@ -89,12 +105,20 @@ def encode_frame(frame: Frame) -> bytes:
         raise ProtocolError("sender address longer than 255 bytes")
     if frame.kind not in KIND_NAMES:
         raise ProtocolError(f"unknown frame kind {frame.kind}")
+    version = _VERSION
+    trace_block = b""
+    if frame.trace is not None:
+        trace_block = frame.trace.to_bytes()
+        if len(trace_block) != _TRACE_BLOCK.size:
+            raise ProtocolError("trace context block has the wrong size")
+        version = _VERSION_TRACED
     return (
         _FRAME_HEADER.pack(
-            _MAGIC, _VERSION, frame.kind, len(sender),
+            _MAGIC, version, frame.kind, len(sender),
             frame.seq & 0xFFFFFFFF, len(frame.payload),
         )
         + sender
+        + trace_block
         + frame.payload
     )
 
@@ -105,18 +129,26 @@ def decode_frame(data: bytes) -> Frame:
     magic, version, kind, slen, seq, plen = _FRAME_HEADER.unpack_from(data, 0)
     if magic != _MAGIC:
         raise ProtocolError(f"bad frame magic 0x{magic:02x}")
-    if version != _VERSION:
+    if version not in (_VERSION, _VERSION_TRACED):
         raise ProtocolError(f"unsupported frame version {version}")
     if kind not in KIND_NAMES:
         raise ProtocolError(f"unknown frame kind {kind}")
-    if len(data) != _FRAME_HEADER.size + slen + plen:
+    trace_len = _TRACE_BLOCK.size if version == _VERSION_TRACED else 0
+    if len(data) != _FRAME_HEADER.size + slen + trace_len + plen:
         raise ProtocolError("frame length does not match its header")
     offset = _FRAME_HEADER.size
     try:
         sender = data[offset : offset + slen].decode("utf-8")
     except UnicodeDecodeError as exc:
         raise ProtocolError("frame sender is not valid UTF-8") from exc
-    return Frame(kind, sender, seq, bytes(data[offset + slen :]))
+    offset += slen
+    trace = None
+    if trace_len:
+        from repro.obs.telemetry import TraceContext
+
+        trace = TraceContext.from_bytes(data[offset : offset + trace_len])
+        offset += trace_len
+    return Frame(kind, sender, seq, bytes(data[offset:]), trace=trace)
 
 
 def encode_json_payload(obj) -> bytes:

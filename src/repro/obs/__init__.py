@@ -57,7 +57,13 @@ from repro.obs.metrics import (
     global_registry,
 )
 from repro.obs.profile import ProfileResult, profile
-from repro.obs.tracer import NULL_SPAN, NullSpan, Span, Tracer
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NullSpan,
+    Span,
+    Tracer,
+    current_trace_context,
+)
 
 __all__ = [
     "Counter",
@@ -73,6 +79,7 @@ __all__ = [
     "aggregate_by_name",
     "chrome_trace",
     "current_span_id",
+    "current_trace_context",
     "event",
     "flame_report",
     "get_tracer",
@@ -117,9 +124,20 @@ def tracing(tracer: Tracer):
 
 
 def span(name: str, **attrs):
-    """A span on the active tracer, or the shared no-op span when off."""
+    """A span on the active tracer, or the shared no-op span when off.
+
+    Head sampling hooks in here: while an *unsampled* distributed trace
+    context is active (:func:`repro.obs.telemetry.activate`), spans are
+    suppressed to the shared no-op — the per-trace off switch. The check
+    runs only when a tracer is installed, so the disabled-overhead budget
+    stays one ``None`` check. Events are never suppressed (the anomaly
+    always-keep channel).
+    """
     tracer = _active
     if tracer is None:
+        return NULL_SPAN
+    context = current_trace_context()
+    if context is not None and not context.sampled:
         return NULL_SPAN
     return tracer.span(name, **attrs)
 

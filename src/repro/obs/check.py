@@ -1,17 +1,26 @@
 """Schema checker for trace artifacts: ``python -m repro.obs.check``.
 
-Validates the two files the exporters produce, so CI can prove a traced run
+Validates the files the exporters produce, so CI can prove a traced run
 emitted well-formed artifacts without any third-party schema library:
 
 * ``TRACE_*.jsonl`` — line-delimited records. The first line must be a
   ``meta`` record with a known ``schema_version``; every ``span`` record
   needs ids, monotonic ``start_us <= end_us``, numeric counters, a
-  ``parent_id`` that refers to a span present in the file (spans are
-  recorded on close, children before parents), and ``self_counters`` that
-  never exceed the inclusive ``counters``;
-* ``TRACE_*.json`` — a Chrome ``trace_event`` document: a ``traceEvents``
-  list whose entries carry ``ph``/``name``/``ts`` (and ``dur`` for ``X``
-  events).
+  ``parent_id`` that resolves to a span present in the file (no orphan
+  spans), and ``self_counters`` that never exceed the inclusive
+  ``counters``. Schema v2 adds the distributed-tracing fields: an
+  optional positive ``trace_id``, an optional ``process`` label on spans
+  adopted from worker processes, and a ``remote_parent`` flag marking a
+  parent id that lives in the *submitting* tracer's id space (exempt
+  from local resolution — the one legal kind of cross-file link);
+* flight-recorder bundles (also ``.jsonl``) — first line is a ``bundle``
+  header whose ``span_count``/``event_count`` must match the records
+  that follow, and the last line must be a ``metrics`` snapshot.
+  Ring-buffer truncation makes *unresolved* parents legal here (the
+  parent span may have been evicted), but every other span rule holds;
+* ``TRACE_*.json`` — a Chrome ``trace_event`` document: a
+  ``traceEvents`` list whose entries carry ``ph``/``name``/``ts`` (and
+  ``dur`` for ``X`` events).
 
 Exit status 0 when every file passes; 1 with one line per problem
 otherwise.
@@ -23,7 +32,8 @@ import json
 import sys
 from pathlib import Path
 
-from repro.obs.export import SCHEMA_VERSION
+#: Accepted stream versions: v1 (single-process) artifacts stay valid.
+_SCHEMA_VERSIONS = {1, 2}
 
 _SPAN_REQUIRED = (
     "name", "span_id", "start_us", "end_us", "duration_us",
@@ -31,17 +41,14 @@ _SPAN_REQUIRED = (
 )
 
 
-def check_jsonl(path) -> list[str]:
-    """Problems found in one JSONL span log (empty list = valid)."""
+def _parse_lines(path: Path) -> tuple[list[str], list[tuple[int, dict]]]:
     problems: list[str] = []
-    path = Path(path)
     try:
         lines = path.read_text().splitlines()
     except OSError as exc:
-        return [f"{path}: unreadable ({exc})"]
+        return [f"{path}: unreadable ({exc})"], []
     if not lines:
-        return [f"{path}: empty file"]
-
+        return [f"{path}: empty file"], []
     records = []
     for lineno, line in enumerate(lines, start=1):
         try:
@@ -53,27 +60,60 @@ def check_jsonl(path) -> list[str]:
             problems.append(f"{path}:{lineno}: record needs a 'type' key")
             continue
         records.append((lineno, record))
+    return problems, records
 
+
+def check_jsonl(path) -> list[str]:
+    """Problems found in one JSONL artifact (trace stream or bundle)."""
+    path = Path(path)
+    problems, records = _parse_lines(path)
     if not records:
         return problems or [f"{path}: no records"]
+    if records[0][1].get("type") == "bundle":
+        return problems + _check_bundle(path, records)
+    return problems + _check_stream(path, records)
+
+
+def _collect_span_ids(
+    path: Path, records: list[tuple[int, dict]]
+) -> tuple[list[str], set[int]]:
+    problems: list[str] = []
+    span_ids: set[int] = set()
+    for lineno, record in records:
+        if record["type"] != "span":
+            continue
+        span_id = record.get("span_id")
+        if isinstance(span_id, int):
+            if span_id in span_ids:
+                problems.append(f"{path}:{lineno}: duplicate span_id {span_id}")
+            span_ids.add(span_id)
+    return problems, span_ids
+
+
+def _check_stream(path: Path, records: list[tuple[int, dict]]) -> list[str]:
+    problems: list[str] = []
     first_lineno, first = records[0]
     if first.get("type") != "meta":
         problems.append(f"{path}:{first_lineno}: first record must be meta")
-    elif first.get("schema_version") != SCHEMA_VERSION:
+    elif first.get("schema_version") not in _SCHEMA_VERSIONS:
         problems.append(
             f"{path}:{first_lineno}: schema_version "
-            f"{first.get('schema_version')!r} != {SCHEMA_VERSION}"
+            f"{first.get('schema_version')!r} not in "
+            f"{sorted(_SCHEMA_VERSIONS)}"
         )
-
-    span_ids: set[int] = set()
+    # Spans record on close (children before parents) and adopted spans
+    # land mid-stream, so parent links can point either direction: collect
+    # every id first, then demand each local link resolves — exactly.
+    id_problems, span_ids = _collect_span_ids(path, records)
+    problems.extend(id_problems)
     for lineno, record in records:
         if record["type"] == "span":
             problems.extend(
                 f"{path}:{lineno}: {problem}"
-                for problem in _check_span(record, span_ids)
+                for problem in _check_span(
+                    record, span_ids, require_parent=True
+                )
             )
-            if isinstance(record.get("span_id"), int):
-                span_ids.add(record["span_id"])
         elif record["type"] == "event":
             if "name" not in record or "ts_us" not in record:
                 problems.append(
@@ -86,7 +126,68 @@ def check_jsonl(path) -> list[str]:
     return problems
 
 
-def _check_span(record: dict, seen_ids: set[int]) -> list[str]:
+def _check_bundle(path: Path, records: list[tuple[int, dict]]) -> list[str]:
+    problems: list[str] = []
+    header_lineno, header = records[0]
+    if not isinstance(header.get("reason"), str):
+        problems.append(f"{path}:{header_lineno}: bundle needs a reason")
+    if header.get("schema_version") not in _SCHEMA_VERSIONS:
+        problems.append(
+            f"{path}:{header_lineno}: schema_version "
+            f"{header.get('schema_version')!r} not in "
+            f"{sorted(_SCHEMA_VERSIONS)}"
+        )
+    id_problems, span_ids = _collect_span_ids(path, records)
+    problems.extend(id_problems)
+    spans = events = metrics = 0
+    for lineno, record in records[1:]:
+        kind = record["type"]
+        if kind == "span":
+            spans += 1
+            # The ring may have evicted a span's parent — unresolved
+            # parents are legal in a bundle, everything else still holds.
+            problems.extend(
+                f"{path}:{lineno}: {problem}"
+                for problem in _check_span(
+                    record, span_ids, require_parent=False
+                )
+            )
+        elif kind == "event":
+            events += 1
+            if "name" not in record or "ts_us" not in record:
+                problems.append(
+                    f"{path}:{lineno}: event needs name and ts_us"
+                )
+        elif kind == "metrics":
+            metrics += 1
+            if not isinstance(record.get("snapshot"), dict):
+                problems.append(
+                    f"{path}:{lineno}: metrics record needs a snapshot object"
+                )
+        else:
+            problems.append(
+                f"{path}:{lineno}: unknown record type {kind!r}"
+            )
+    if header.get("span_count") != spans:
+        problems.append(
+            f"{path}:{header_lineno}: span_count "
+            f"{header.get('span_count')!r} != {spans} span records"
+        )
+    if header.get("event_count") != events:
+        problems.append(
+            f"{path}:{header_lineno}: event_count "
+            f"{header.get('event_count')!r} != {events} event records"
+        )
+    if metrics != 1:
+        problems.append(f"{path}: bundle needs exactly one metrics record")
+    elif records[-1][1]["type"] != "metrics":
+        problems.append(f"{path}: metrics record must be the bundle's last line")
+    return problems
+
+
+def _check_span(
+    record: dict, span_ids: set[int], require_parent: bool
+) -> list[str]:
     problems = []
     for key in _SPAN_REQUIRED:
         if key not in record:
@@ -99,13 +200,20 @@ def _check_span(record: dict, seen_ids: set[int]) -> list[str]:
         problems.append(
             f"start_us {record['start_us']} > end_us {record['end_us']}"
         )
+    trace_id = record.get("trace_id")
+    if trace_id is not None and not (
+        isinstance(trace_id, int) and trace_id > 0
+    ):
+        problems.append(f"trace_id {trace_id!r} must be a positive integer")
+    process = record.get("process")
+    if process is not None and not isinstance(process, str):
+        problems.append(f"process {process!r} must be a string")
     parent = record.get("parent_id")
-    if parent is not None and parent not in seen_ids:
-        # Children close (and are recorded) before their parents, so a
-        # valid parent appears *after* its children — track open parents
-        # by allowing forward references only to larger ids.
-        if not (isinstance(parent, int) and parent < record["span_id"]):
-            problems.append(f"parent_id {parent!r} is not a plausible span")
+    if parent is not None and not record.get("remote_parent"):
+        if not isinstance(parent, int):
+            problems.append(f"parent_id {parent!r} is not an integer")
+        elif require_parent and parent not in span_ids:
+            problems.append(f"parent_id {parent} is an orphan link")
     for field in ("counters", "self_counters"):
         values = record[field]
         if not isinstance(values, dict):
@@ -162,7 +270,7 @@ def check_chrome(path) -> list[str]:
 
 
 def check_file(path) -> list[str]:
-    """Dispatch on extension: ``.jsonl`` span logs, ``.json`` Chrome traces."""
+    """Dispatch on extension: ``.jsonl`` span logs/bundles, ``.json`` Chrome."""
     if str(path).endswith(".jsonl"):
         return check_jsonl(path)
     return check_chrome(path)
@@ -172,7 +280,9 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if not argv:
         print(
-            "usage: python -m repro.obs.check TRACE.jsonl [TRACE.json ...]",
+            "usage: python -m repro.obs.check ARTIFACT.jsonl [TRACE.json ...]\n"
+            "       (accepts trace streams, flight-recorder bundles, and\n"
+            "        Chrome trace_event files)",
             file=sys.stderr,
         )
         return 2

@@ -25,7 +25,7 @@ from pathlib import Path
 
 from repro.obs.tracer import Span, Tracer
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def span_dict(span: Span) -> dict:
@@ -42,6 +42,16 @@ def span_dict(span: Span) -> dict:
         "counters": span.counters,
         "self_counters": span.self_counters,
     }
+    # Schema v2: distributed-trace fields, present only when set so v1
+    # single-process traces serialize byte-identically to before.
+    if span.trace_id is not None:
+        record["trace_id"] = span.trace_id
+    if span.process is not None:
+        record["process"] = span.process
+    if getattr(span, "_remote_parent", False):
+        # parent_id refers to a span id in the *submitting* tracer's id
+        # space (shipped in via TraceContext), not this record stream's.
+        record["remote_parent"] = True
     if span.attrs:
         record["attrs"] = {k: _jsonable(v) for k, v in span.attrs.items()}
     if span.levels:
@@ -106,7 +116,13 @@ def write_jsonl(tracer: Tracer, path) -> Path:
 # Chrome trace_event
 # ----------------------------------------------------------------------
 def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
-    """The ``trace_event`` document for Perfetto / chrome://tracing."""
+    """The ``trace_event`` document for Perfetto / chrome://tracing.
+
+    Adopted cross-process spans (``span.process`` set) get their own
+    Perfetto process row, named after the worker that ran them; labeled
+    asyncio-task tracks (``tracer.track_names``, e.g. the service worker
+    loops) get thread-name metadata — no manual pid decoding in the UI.
+    """
     events: list[dict] = [
         {
             "ph": "M",
@@ -116,7 +132,33 @@ def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
             "args": {"name": process_name},
         }
     ]
+    for track, name in sorted(tracer.track_names.items()):
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": track,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    process_pids: dict[str, int] = {}
     for span in tracer.spans:
+        pid = 1
+        if span.process is not None:
+            pid = process_pids.get(span.process, 0)
+            if pid == 0:
+                pid = len(process_pids) + 2
+                process_pids[span.process] = pid
+                events.append(
+                    {
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": 0,
+                        "name": "process_name",
+                        "args": {"name": span.process},
+                    }
+                )
         args: dict = {"span_id": span.span_id}
         if span.attrs:
             args.update({k: _jsonable(v) for k, v in span.attrs.items()})
@@ -126,10 +168,12 @@ def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
             args["pages"] = span.pages[:64]
         if span.links:
             args["links"] = span.links
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
         events.append(
             {
                 "ph": "X",
-                "pid": 1,
+                "pid": pid,
                 "tid": span.track,
                 "name": span.name,
                 "cat": span.name.split(".", 1)[0],

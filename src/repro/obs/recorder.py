@@ -1,0 +1,264 @@
+"""Anomaly flight recorder: a bounded ring of recent spans, dumped on demand.
+
+A long-lived SSI runs for hours; keeping every span of every query is
+exactly what head sampling exists to avoid. But the traces you most want
+are the ones around an *anomaly* — an :class:`~repro.service.admission.
+Overloaded` shed, a per-class SLO breach, an injected
+:class:`~repro.fault.plan.FaultPlan` kill, a post-crash ``mount()``. The
+:class:`FlightRecorder` squares that: it rides the tracer's record hook,
+keeping only the last ``capacity`` closed spans (and recent events) in a
+ring, and on a trigger freezes that ring into a self-contained JSONL
+bundle — spans, events, a metrics-registry snapshot, and whatever the
+trigger knew (shed queue depths, breach p99s) — cheap enough to leave on
+always, complete enough to reconstruct the minutes before the incident.
+
+Where the recorder runs *on-token*, its ring is charged against the MCU's
+128 KB :class:`~repro.hardware.ram.RamArena` like any other buffer (pass
+``ram=``); the service-side recorder runs on the untrusted SSI and pays
+no token RAM.
+
+Bundle format (one JSON object per line, validated by
+:mod:`repro.obs.check`):
+
+* line 1 — ``{"type": "bundle", "schema_version": 2, "reason": ...,
+  "details": {...}, "span_count": N, "event_count": M}``;
+* then the span records (schema-v2 :func:`~repro.obs.export.span_dict`);
+* then the event records;
+* last line — ``{"type": "metrics", "snapshot": {...}}``.
+
+:class:`SloMonitor` supplies one of the triggers: per-class tumbling
+windows over :class:`~repro.obs.metrics.PercentileHistogram`, firing a
+callback whenever a window's p99 exceeds the class SLO.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Callable
+
+from repro.obs.export import SCHEMA_VERSION, _jsonable, span_dict
+from repro.obs.metrics import PercentileHistogram, global_registry
+from repro.obs.tracer import Tracer
+
+#: RAM charged per ring slot where the recorder runs on-token: a span
+#: reference plus its amortized share of counter dicts.
+SLOT_BYTES = 96
+
+#: Event names that trigger a dump the moment they are recorded.
+TRIGGER_EVENTS = {
+    "fault.kill": "fault_kill",
+    "recovery.mount": "recovery_mount",
+}
+
+
+class FlightRecorder:
+    """Bounded ring of recently-closed spans + events, dumped on triggers."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        event_capacity: int | None = None,
+        dump_dir=None,
+        max_dumps: int = 8,
+        ram=None,
+        registry=None,
+        trigger_events: dict[str, str] | None = None,
+    ) -> None:
+        self.capacity = capacity
+        self.spans: deque = deque(maxlen=capacity)
+        self.events: deque = deque(maxlen=event_capacity or capacity)
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self.max_dumps = max_dumps
+        self.registry = registry
+        self.trigger_events = (
+            dict(TRIGGER_EVENTS) if trigger_events is None else trigger_events
+        )
+        self.triggers = 0
+        self.dumps: list[Path] = []
+        self.last_trigger: dict | None = None
+        self._ram = ram
+        self._ram_handle = None
+        self._tracer: Tracer | None = None
+        self._prev_on_record = None
+        self._prev_on_event = None
+
+    # ------------------------------------------------------------------
+    # Tracer attachment
+    # ------------------------------------------------------------------
+    def attach(self, tracer: Tracer) -> "FlightRecorder":
+        """Start riding ``tracer``'s record/event hooks (chains existing)."""
+        if self._tracer is not None:
+            return self
+        if self._ram is not None:
+            self._ram_handle = self._ram.allocate(
+                self.capacity * SLOT_BYTES, "obs.flight_recorder"
+            )
+        self._tracer = tracer
+        self._prev_on_record = tracer.on_record
+        self._prev_on_event = tracer.on_event
+        tracer.on_record = self._on_record
+        tracer.on_event = self._on_event
+        return self
+
+    def detach(self) -> None:
+        """Unhook from the tracer and return any charged RAM (idempotent)."""
+        tracer = self._tracer
+        if tracer is None:
+            return
+        if tracer.on_record is self._on_record:
+            tracer.on_record = self._prev_on_record
+        if tracer.on_event is self._on_event:
+            tracer.on_event = self._prev_on_event
+        self._tracer = None
+        if self._ram_handle is not None:
+            self._ram.free(self._ram_handle)
+            self._ram_handle = None
+
+    def _on_record(self, span) -> None:
+        self.spans.append(span)
+        if self._prev_on_record is not None:
+            self._prev_on_record(span)
+
+    def _on_event(self, record: dict) -> None:
+        self.events.append(record)
+        reason = self.trigger_events.get(record["name"])
+        if reason is not None:
+            self.trigger(reason, **record["attrs"])
+        if self._prev_on_event is not None:
+            self._prev_on_event(record)
+
+    # ------------------------------------------------------------------
+    # Triggering and dumping
+    # ------------------------------------------------------------------
+    def trigger(self, reason: str, **details) -> Path | None:
+        """Freeze the ring into a bundle file (if a dump dir is set).
+
+        Always counts the trigger and remembers it; writes a bundle only
+        while under ``max_dumps`` — a shed *storm* must not turn the
+        recorder into its own IO incident.
+        """
+        self.triggers += 1
+        self.last_trigger = {"reason": reason, "details": details}
+        if self.dump_dir is None or len(self.dumps) >= self.max_dumps:
+            return None
+        self.dump_dir.mkdir(parents=True, exist_ok=True)
+        path = self.dump_dir / f"flight-{self.triggers:04d}-{reason}.jsonl"
+        self.dump(path, reason=reason, details=details)
+        self.dumps.append(path)
+        return path
+
+    def dump(self, path, reason: str = "manual", details: dict | None = None) -> Path:
+        """Write the current ring as a self-contained JSONL bundle."""
+        path = Path(path)
+        spans = list(self.spans)
+        events = list(self.events)
+        registry = self.registry or global_registry()
+        with path.open("w") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "bundle",
+                        "schema_version": SCHEMA_VERSION,
+                        "reason": reason,
+                        "details": _jsonable(details or {}),
+                        "span_count": len(spans),
+                        "event_count": len(events),
+                        "capacity": self.capacity,
+                    }
+                )
+                + "\n"
+            )
+            for span in spans:
+                fh.write(json.dumps(span_dict(span)) + "\n")
+            for event in events:
+                fh.write(
+                    json.dumps(
+                        {
+                            "type": "event",
+                            "name": event["name"],
+                            "ts_us": round(event["ts_us"], 3),
+                            "span_id": event["span_id"],
+                            "attrs": _jsonable(event["attrs"]),
+                        }
+                    )
+                    + "\n"
+                )
+            fh.write(
+                json.dumps(
+                    {"type": "metrics", "snapshot": _jsonable(registry.snapshot())}
+                )
+                + "\n"
+            )
+        return path
+
+    def status(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "spans_buffered": len(self.spans),
+            "events_buffered": len(self.events),
+            "triggers": self.triggers,
+            "dumps": [str(p) for p in self.dumps],
+            "last_trigger": _jsonable(self.last_trigger),
+        }
+
+
+class SloMonitor:
+    """Per-class tumbling-window p99 monitors over PercentileHistogram.
+
+    ``observe(query_class, latency_ms)`` feeds a completion; every
+    ``window`` observations of a class, the window's p99 is compared
+    against that class's SLO and ``on_breach(query_class, p99, slo)``
+    fires on violation. Tumbling (reset per window) rather than rolling so
+    one slow burst cannot poison the percentile forever, and so repeated
+    breaches re-trigger — each window is an independent verdict.
+    """
+
+    def __init__(
+        self,
+        slo_p99_ms: dict[str, float],
+        window: int = 32,
+        on_breach: Callable[[str, float, float], None] | None = None,
+    ) -> None:
+        self.slo_p99_ms = dict(slo_p99_ms)
+        self.window = max(1, window)
+        self.on_breach = on_breach
+        self.breaches: dict[str, int] = {}
+        self.last_p99_ms: dict[str, float] = {}
+        self._windows: dict[str, PercentileHistogram] = {}
+        self._counts: dict[str, int] = {}
+
+    def observe(self, query_class: str, latency_ms: float) -> None:
+        slo = self.slo_p99_ms.get(query_class)
+        if slo is None:
+            return
+        hist = self._windows.get(query_class)
+        if hist is None:
+            hist = self._windows[query_class] = PercentileHistogram()
+        hist.observe(latency_ms)
+        count = self._counts.get(query_class, 0) + 1
+        if count < self.window:
+            self._counts[query_class] = count
+            return
+        self._counts[query_class] = 0
+        self._windows[query_class] = PercentileHistogram()
+        p99 = hist.p99
+        self.last_p99_ms[query_class] = p99
+        if p99 > slo:
+            self.breaches[query_class] = self.breaches.get(query_class, 0) + 1
+            if self.on_breach is not None:
+                self.on_breach(query_class, p99, slo)
+
+    def status(self) -> dict:
+        return {
+            "slo_p99_ms": self.slo_p99_ms,
+            "window": self.window,
+            "breaches": dict(self.breaches),
+            "last_p99_ms": {
+                cls: round(v, 3) for cls, v in self.last_p99_ms.items()
+            },
+        }
+
+
+__all__ = ["FlightRecorder", "SloMonitor", "SLOT_BYTES", "TRIGGER_EVENTS"]

@@ -24,6 +24,16 @@ Span context propagates through a :class:`contextvars.ContextVar`, so spans
 opened inside asyncio tasks nest under the span that spawned the task —
 the natural cross-hop link for :mod:`repro.net` message flows.
 
+A second context var carries the *distributed* trace context
+(:class:`~repro.obs.telemetry.TraceContext`): trace id, the parent span id
+on the far side of a wire or process boundary, and the head-sampling
+decision. A span opened with no local parent but an active trace context
+re-parents under the context's remote parent — that is how one query's
+spans line up into a single tree across wire frames and worker processes.
+When both sides share one tracer (the in-process simulated network), the
+re-parented child's counters are subtracted from the still-open parent the
+same way nested spans are, so the attribution invariant survives the hop.
+
 When no tracer is installed (the default), every instrumentation site costs
 one ``None`` check and returns a shared no-op span — the "disabled
 overhead" budget of the hot paths.
@@ -39,6 +49,28 @@ _CURRENT: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
     "repro_obs_current_span", default=None
 )
 
+#: Active distributed trace context (duck-typed: any object with
+#: ``trace_id``, ``parent_span_id`` and ``sampled`` attributes — in
+#: practice a :class:`repro.obs.telemetry.TraceContext`). ``None`` means
+#: "no distributed trace": spans behave exactly as before this existed.
+_TRACE: contextvars.ContextVar[object | None] = contextvars.ContextVar(
+    "repro_obs_trace_context", default=None
+)
+
+
+def current_trace_context():
+    """The active distributed trace context, or None."""
+    return _TRACE.get()
+
+
+def set_trace_context(context):
+    """Activate ``context``; returns a token for :func:`reset_trace_context`."""
+    return _TRACE.set(context)
+
+
+def reset_trace_context(token) -> None:
+    _TRACE.reset(token)
+
 #: Pages tagged per span before further tags are only counted, not stored.
 MAX_TAGGED_PAGES = 4096
 
@@ -51,6 +83,8 @@ class Span:
         "name",
         "span_id",
         "parent_id",
+        "trace_id",
+        "process",
         "attrs",
         "start_us",
         "end_us",
@@ -63,6 +97,7 @@ class Span:
         "levels",
         "_start_counts",
         "_child_counts",
+        "_remote_parent",
         "_token",
         "_closed",
     )
@@ -73,7 +108,21 @@ class Span:
         self.tracer = tracer
         self.name = name
         self.span_id = tracer._next_span_id()
-        self.parent_id = parent.span_id if parent is not None else None
+        self.process = None
+        self._remote_parent = False
+        context = _TRACE.get()
+        self.trace_id = (
+            (context.trace_id or None) if context is not None else None
+        )
+        if parent is not None:
+            self.parent_id = parent.span_id
+        else:
+            self.parent_id = None
+            if context is not None and context.parent_span_id:
+                # No local parent but a distributed one: link under the
+                # span that submitted the frame / shard we now serve.
+                self.parent_id = context.parent_span_id
+                self._remote_parent = True
         self.attrs = attrs
         self.start_us = 0.0
         self.end_us = 0.0
@@ -119,6 +168,7 @@ class Span:
         self._start_counts = tracer._collect_counts()
         self.track = tracer._current_track()
         self._token = _CURRENT.set(self)
+        tracer._open[self.span_id] = self
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -131,6 +181,7 @@ class Span:
             return
         self._closed = True
         tracer = self.tracer
+        tracer._open.pop(self.span_id, None)
         self.end_us = tracer.now_us()
         end_counts = tracer._collect_counts()
         start = self._start_counts
@@ -151,6 +202,13 @@ class Span:
             _CURRENT.reset(self._token)
             self._token = None
         parent = _CURRENT.get()
+        if parent is None and self._remote_parent:
+            # Re-parented across a wire hop: if the submitting span is
+            # still open on this tracer (in-process simulated network),
+            # charge our inclusive deltas to it like any nested child —
+            # both sides watched the same counters, so without this the
+            # parent's self_counters would double-count ours.
+            parent = tracer._open.get(self.parent_id)
         if parent is not None and parent.tracer is tracer:
             accum = parent._child_counts
             for key, value in counters.items():
@@ -165,6 +223,8 @@ class NullSpan:
 
     span_id = None
     parent_id = None
+    trace_id = None
+    process = None
     pages: tuple = ()
     links: tuple = ()
     counters: dict = {}
@@ -203,18 +263,32 @@ class Tracer:
     """
 
     def __init__(self, max_spans: int = 200_000, max_events: int = 200_000):
+        import os
+
         self.max_spans = max_spans
         self.max_events = max_events
+        #: Process the tracer was created in. A forked pool worker inherits
+        #: the parent's installed tracer; comparing pids is how
+        #: :func:`repro.obs.telemetry.remote_recording` tells "serial,
+        #: in-process" from "child process holding a dead copy".
+        self.pid = os.getpid()
         self.spans: list[Span] = []
         self.events: list[dict] = []
         self.dropped_spans = 0
         self.dropped_events = 0
+        #: Called with each span as it is recorded (flight recorder hook).
+        self.on_record: Callable[[Span], None] | None = None
+        #: Called with each event record as it is appended.
+        self.on_event: Callable[[dict], None] | None = None
+        #: Human labels of asyncio-task tracks (Perfetto thread names).
+        self.track_names: dict[int, str] = {}
         self._sources: list[tuple[str, Callable[[], dict]]] = []
         self._time_sources: list[Callable[[], float]] = []
         self._levels: list[tuple[str, Callable[[], float]]] = []
         self._detach: list[Callable[[], None]] = []
         self._span_counter = 0
         self._tracks: dict[int, int] = {}
+        self._open: dict[int, Span] = {}
 
     # ------------------------------------------------------------------
     # Source registration
@@ -292,6 +366,32 @@ class Tracer:
             },
         )
 
+    def use_wall_clock(self) -> None:
+        """Add a wall-clock time source (microseconds since installation).
+
+        The simulated clock is the default because Part II costs *are*
+        simulated; the long-lived service, though, is a real wall-clock
+        system (its latency SLOs are wall seconds), so its telemetry
+        tracer opts into real time. Offset to zero at installation so
+        trace timestamps stay small and diffable.
+        """
+        import time
+
+        epoch = time.perf_counter()
+        self.add_time_source(lambda: (time.perf_counter() - epoch) * 1e6)
+
+    def watch_modexp(self, prefix: str = "crypto") -> None:
+        """Watch the process-wide ``crypto.modexp_count`` counter.
+
+        Every full-width modular exponentiation in :mod:`repro.crypto`
+        lands in the global registry; watching it lets spans attribute
+        crypto cost the same way flash spans attribute page reads.
+        """
+        from repro.obs.metrics import global_registry
+
+        counter = global_registry().counter("crypto.modexp_count")
+        self.add_source(prefix, lambda: {"modexp_count": counter.value})
+
     def watch_token(self, token, prefix: str = "") -> None:
         """Watch every cost model of one :class:`SecurePortableToken`."""
         dot = f"{prefix}." if prefix else ""
@@ -319,14 +419,19 @@ class Tracer:
             self.dropped_events += 1
             return
         current = _CURRENT.get()
-        self.events.append(
-            {
-                "name": name,
-                "ts_us": self.now_us(),
-                "span_id": current.span_id if current is not None else None,
-                "attrs": attrs,
-            }
-        )
+        record = {
+            "name": name,
+            "ts_us": self.now_us(),
+            "span_id": current.span_id if current is not None else None,
+            "attrs": attrs,
+        }
+        self.events.append(record)
+        if self.on_event is not None:
+            self.on_event(record)
+
+    def label_current_track(self, name: str) -> None:
+        """Name the current asyncio task's track (Perfetto thread name)."""
+        self.track_names[self._current_track()] = name
 
     def current_span(self) -> Span | None:
         return _CURRENT.get()
@@ -378,6 +483,78 @@ class Tracer:
             self.dropped_spans += 1
             return
         self.spans.append(span)
+        if self.on_record is not None:
+            self.on_record(span)
+
+    # ------------------------------------------------------------------
+    # Cross-process span adoption
+    # ------------------------------------------------------------------
+    def adopt_remote(self, records: list[dict], parent: "Span | None") -> list:
+        """Re-home spans recorded in another process under ``parent``.
+
+        ``records`` are :func:`repro.obs.export.span_dict` dicts shipped
+        back from a worker (see
+        :func:`repro.obs.telemetry.remote_recording`), in recording order
+        (children before parents). Each gets a fresh span id in this
+        tracer's id space; intra-batch parent links are remapped, batch
+        roots re-parent under ``parent``. Remote timestamps are rebased so
+        the batch lands inside the adopting span's window (worker
+        ``perf_counter`` clocks are not comparable across processes).
+
+        Attribution stays exact: each batch root's inclusive counters are
+        added to ``parent._child_counts``, so a parent that mirrors the
+        same counters in-process (e.g. ``crypto.modexp_count`` echoed via
+        ``count_modexp``) subtracts the children's share from its own
+        self_counters instead of double-counting.
+        """
+        if not records:
+            return []
+        starts = [r["start_us"] for r in records]
+        offset = (parent.start_us if parent is not None else 0.0) - min(starts)
+        # Two passes: records arrive children-before-parents (recording
+        # order), so every remote id must be mapped before links resolve.
+        spans: list[Span] = []
+        id_map: dict[int, int] = {}
+        for record in records:
+            span = Span(self, record["name"], None, dict(record.get("attrs", {})))
+            id_map[record["span_id"]] = span.span_id
+            spans.append(span)
+        for record, span in zip(records, spans):
+            remote_parent = record.get("parent_id")
+            # A record flagged remote_parent points at the *submitting*
+            # tracer's id space — never resolve it through id_map even if
+            # the integer collides with a worker-local span id.
+            is_batch_root = bool(record.get("remote_parent")) or (
+                remote_parent not in id_map
+            )
+            span._remote_parent = False
+            if not is_batch_root:
+                span.parent_id = id_map[remote_parent]
+            elif parent is not None:
+                span.parent_id = parent.span_id
+            else:
+                span.parent_id = remote_parent
+                span._remote_parent = remote_parent is not None
+            span.trace_id = record.get("trace_id") or (
+                parent.trace_id if parent is not None else None
+            )
+            span.process = record.get("process")
+            span.track = parent.track if parent is not None else 0
+            span.start_us = record["start_us"] + offset
+            span.end_us = record["end_us"] + offset
+            span.counters = dict(record.get("counters", {}))
+            span.self_counters = dict(record.get("self_counters", {}))
+            span.levels = dict(record.get("levels", {}))
+            span.pages = list(record.get("pages", ()))
+            span.pages_overflow = record.get("pages_overflow", 0)
+            span.links = list(record.get("links", ()))
+            span._closed = True
+            if parent is not None and is_batch_root:
+                accum = parent._child_counts
+                for key, value in span.counters.items():
+                    accum[key] = accum.get(key, 0.0) + value
+            self._record(span)
+        return spans
 
     def _on_page_read(self, page_no: int) -> None:
         current = _CURRENT.get()

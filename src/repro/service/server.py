@@ -39,10 +39,12 @@ from repro.net.codec import (
     KIND_QUERY,
     KIND_REJECT,
     KIND_RESULT,
+    KIND_TELEMETRY,
     Frame,
     decode_json_payload,
     encode_json_payload,
 )
+from repro.obs import telemetry as obs_telemetry
 from repro.service.admission import AdmissionController, Overloaded
 from repro.service.cache import CacheEntry, ResultCache
 from repro.service.descriptor import QueryDescriptor, derive_seed
@@ -108,20 +110,35 @@ class QueryTicket:
     descriptor: QueryDescriptor
     submitted_at: float
     future: asyncio.Future
+    #: Distributed trace context the execution runs under (or None).
+    trace: obs_telemetry.TraceContext | None = None
 
 
 class SsiQueryService:
-    """Persistent SSI serving concurrent [TNP14] queries."""
+    """Persistent SSI serving concurrent [TNP14] queries.
+
+    Pass a :class:`repro.obs.telemetry.Telemetry` bundle to make the
+    service a traced system: every arrival gets a deterministic sampled
+    trace context (or inherits the querier's from the wire frame), sheds
+    and SLO breaches trigger its flight recorder, and ``TELEMETRY`` wire
+    frames answer with a live snapshot.
+    """
 
     def __init__(
         self,
         population: ServicePopulation,
         config: ServiceConfig | None = None,
         registry: obs.MetricsRegistry | None = None,
+        telemetry: "obs_telemetry.Telemetry | None" = None,
     ) -> None:
         self.population = population
         self.config = config or ServiceConfig()
         self.registry = registry or obs.MetricsRegistry()
+        self.telemetry = telemetry
+        if telemetry is not None and telemetry.recorder.registry is None:
+            # Bundles should freeze *this* service's counters (shed depths,
+            # per-class rejects), not the process-global registry.
+            telemetry.recorder.registry = self.registry
         self.admission = AdmissionController(self.config.max_queue_depth)
         self.cache = ResultCache(self.config.cache_capacity, population)
         self.registry.register_stats("service.admission", self.admission.stats)
@@ -168,44 +185,96 @@ class SsiQueryService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    async def submit(self, descriptor: QueryDescriptor) -> ServedResult:
-        """Answer ``descriptor``; raises :class:`Overloaded` when shed."""
+    async def submit(
+        self,
+        descriptor: QueryDescriptor,
+        trace: obs_telemetry.TraceContext | None = None,
+    ) -> ServedResult:
+        """Answer ``descriptor``; raises :class:`Overloaded` when shed.
+
+        ``trace`` carries the querier's distributed trace context (e.g.
+        decoded off a wire frame); when absent and the service has a
+        telemetry bundle, a deterministic head-sampled context is derived
+        from the canonical descriptor and the arrival index.
+        """
         if not self._running:
             raise NetError("service is not running")
         started = time.perf_counter()
-        self.registry.counter("service.arrivals").inc()
+        arrivals = self.registry.counter("service.arrivals")
+        arrivals.inc()
+        if trace is None and self.telemetry is not None:
+            trace = self.telemetry.sampler.context_for(
+                descriptor.canonical(), arrivals.value
+            )
         hit = self.cache.get(descriptor)
         if hit is not None:
-            latency = time.perf_counter() - started
-            served = ServedResult(
-                descriptor=descriptor,
-                result=hit.result,
-                version=hit.version,
-                seed=hit.seed,
-                cached=True,
-                latency_s=latency,
-                snapshot=hit.snapshot,
-                stats=hit.stats,
-            )
-            self._account(served)
+            with obs_telemetry.activate(trace):
+                with obs.span(
+                    "service.cache_hit",
+                    query_class=descriptor.query_class,
+                    version=hit.version,
+                ):
+                    latency = time.perf_counter() - started
+                    served = ServedResult(
+                        descriptor=descriptor,
+                        result=hit.result,
+                        version=hit.version,
+                        seed=hit.seed,
+                        cached=True,
+                        latency_s=latency,
+                        snapshot=hit.snapshot,
+                        stats=hit.stats,
+                    )
+                    self._account(served)
             return served
         ticket = QueryTicket(
             descriptor=descriptor,
             submitted_at=started,
             future=asyncio.get_running_loop().create_future(),
+            trace=trace,
         )
         try:
             self.admission.submit(descriptor.query_class, ticket)
-        except Overloaded:
-            self.registry.counter("service.shed").inc()
+        except Overloaded as exc:
+            self._account_shed(exc, trace)
             raise
         self.registry.gauge("service.queue_depth").max(self.admission.depth)
         return await ticket.future
+
+    def _account_shed(
+        self,
+        exc: Overloaded,
+        trace: obs_telemetry.TraceContext | None,
+    ) -> None:
+        """Make a shed reconstructable: per-class count, depth, recorder."""
+        depth = self.admission.depth
+        self.registry.counter("service.shed").inc()
+        self.registry.counter(f"service.shed.{exc.query_class}").inc()
+        self.registry.gauge("service.shed_queue_depth").set(depth)
+        with obs_telemetry.activate(trace):
+            obs.event(
+                "service.shed",
+                query_class=exc.query_class,
+                queued=exc.queued,
+                limit=exc.limit,
+                queue_depth=depth,
+            )
+        if self.telemetry is not None:
+            self.telemetry.recorder.trigger(
+                "overloaded",
+                query_class=exc.query_class,
+                queued=exc.queued,
+                limit=exc.limit,
+                queue_depth=depth,
+            )
 
     # ------------------------------------------------------------------
     # Worker loops
     # ------------------------------------------------------------------
     async def _worker_loop(self, index: int) -> None:
+        tracer = obs.get_tracer()
+        if tracer is not None:
+            tracer.label_current_track(f"ssi-worker-{index}")
         while True:
             ticket = await self.admission.next_ticket()
             if ticket.future.done():
@@ -245,27 +314,31 @@ class SsiQueryService:
         snapshot = self.population.snapshot()
         seed = derive_seed(descriptor, snapshot.version, self.config.seed)
         loop = asyncio.get_running_loop()
-        ctx = contextvars.copy_context()
-        with obs.span(
-            "service.query",
-            query_class=descriptor.query_class,
-            version=snapshot.version,
-            population=len(snapshot.nodes),
-        ):
-            report = await loop.run_in_executor(
-                self._executor,
-                ctx.run,
-                run_query,
-                descriptor,
-                snapshot.nodes,
-                self.population.fleet,
-                seed,
-                self.config.domain,
-                self.config.workers,
-                self.config.shard_size,
-                self.config.pool,
-                self.config.embedded_batch_size,
-            )
+        with obs_telemetry.activate(ticket.trace):
+            with obs.span(
+                "service.query",
+                query_class=descriptor.query_class,
+                version=snapshot.version,
+                population=len(snapshot.nodes),
+            ):
+                # Copied *inside* the span so the executor thread inherits
+                # both the open span and the trace context — shard spans
+                # of the collection then nest under service.query.
+                ctx = contextvars.copy_context()
+                report = await loop.run_in_executor(
+                    self._executor,
+                    ctx.run,
+                    run_query,
+                    descriptor,
+                    snapshot.nodes,
+                    self.population.fleet,
+                    seed,
+                    self.config.domain,
+                    self.config.workers,
+                    self.config.shard_size,
+                    self.config.pool,
+                    self.config.embedded_batch_size,
+                )
         stats = {
             "num_pds": report.num_pds,
             "tuples_sent": report.tuples_sent,
@@ -305,9 +378,20 @@ class SsiQueryService:
         self.registry.percentiles(
             f"service.latency_ms.{served.descriptor.query_class}"
         ).observe(latency_ms)
+        if self.telemetry is not None:
+            self.telemetry.observe_latency(
+                served.descriptor.query_class, latency_ms
+            )
 
     def metrics_snapshot(self) -> dict:
         return self.registry.snapshot()
+
+    def telemetry_snapshot(self) -> dict:
+        """The TELEMETRY endpoint's payload: live registry + recorder."""
+        snap: dict = {"metrics": self.metrics_snapshot()}
+        if self.telemetry is not None:
+            snap["telemetry"] = self.telemetry.status()
+        return snap
 
     @property
     def latency(self) -> obs.PercentileHistogram:
@@ -332,54 +416,90 @@ class SsiQueryService:
         try:
             while True:
                 frame = await endpoint.recv()
-                if frame.kind != KIND_QUERY:
+                if frame.kind == KIND_TELEMETRY:
+                    seq += 1
+                    task = asyncio.ensure_future(
+                        self._answer_telemetry(endpoint, frame, seq)
+                    )
+                elif frame.kind == KIND_QUERY:
+                    seq += 1
+                    task = asyncio.ensure_future(
+                        self._answer_frame(endpoint, frame, seq)
+                    )
+                else:
                     continue
-                seq += 1
-                task = asyncio.ensure_future(
-                    self._answer_frame(endpoint, frame, seq)
-                )
                 dispatched.add(task)
                 task.add_done_callback(dispatched.discard)
         finally:
             for task in dispatched:
                 task.cancel()
 
-    async def _answer_frame(self, endpoint, frame: Frame, seq: int) -> None:
-        request = decode_json_payload(frame.payload)
-        request_id = request.get("request_id")
-        try:
-            descriptor = QueryDescriptor.from_dict(request)
-            served = await self.submit(descriptor)
-        except Overloaded as exc:
-            reply = Frame(
-                kind=KIND_REJECT,
-                sender=endpoint.name,
-                seq=seq,
-                payload=encode_json_payload(
-                    {
-                        "request_id": request_id,
-                        "error": "overloaded",
-                        "query_class": exc.query_class,
-                        "queued": exc.queued,
-                        "limit": exc.limit,
-                    }
-                ),
-            )
-            await endpoint.send(frame.sender, reply)
-            return
+    async def _answer_telemetry(self, endpoint, frame: Frame, seq: int) -> None:
+        request = decode_json_payload(frame.payload) if frame.payload else {}
         reply = Frame(
-            kind=KIND_RESULT,
+            kind=KIND_TELEMETRY,
             sender=endpoint.name,
             seq=seq,
             payload=encode_json_payload(
                 {
-                    "request_id": request_id,
-                    "result": served.result,
-                    "version": served.version,
-                    "seed": served.seed,
-                    "cached": served.cached,
-                    "latency_ms": served.latency_s * 1000.0,
+                    "request_id": request.get("request_id"),
+                    **self.telemetry_snapshot(),
                 }
             ),
         )
         await endpoint.send(frame.sender, reply)
+
+    async def _answer_frame(self, endpoint, frame: Frame, seq: int) -> None:
+        request = decode_json_payload(frame.payload)
+        request_id = request.get("request_id")
+        # The frame's trace context links this span under the querier's
+        # sending span; the child context handed to submit() then links
+        # admission/execution under this one.
+        with obs_telemetry.activate(frame.trace):
+            with obs.span(
+                "service.frame",
+                kind=frame.kind_name,
+                sender=frame.sender,
+                request_id=request_id,
+            ) as frame_span:
+                child = None
+                if frame.trace is not None:
+                    child = frame.trace.child(frame_span.span_id)
+                try:
+                    descriptor = QueryDescriptor.from_dict(request)
+                    served = await self.submit(descriptor, trace=child)
+                except Overloaded as exc:
+                    reply = Frame(
+                        kind=KIND_REJECT,
+                        sender=endpoint.name,
+                        seq=seq,
+                        payload=encode_json_payload(
+                            {
+                                "request_id": request_id,
+                                "error": "overloaded",
+                                "query_class": exc.query_class,
+                                "queued": exc.queued,
+                                "limit": exc.limit,
+                            }
+                        ),
+                        trace=child,
+                    )
+                    await endpoint.send(frame.sender, reply)
+                    return
+                reply = Frame(
+                    kind=KIND_RESULT,
+                    sender=endpoint.name,
+                    seq=seq,
+                    payload=encode_json_payload(
+                        {
+                            "request_id": request_id,
+                            "result": served.result,
+                            "version": served.version,
+                            "seed": served.seed,
+                            "cached": served.cached,
+                            "latency_ms": served.latency_s * 1000.0,
+                        }
+                    ),
+                    trace=child,
+                )
+                await endpoint.send(frame.sender, reply)

@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import RecoveryError, StorageError
 from repro.hardware.flash import BlockAllocator, NandFlash
 from repro.hardware.ram import RamArena
@@ -129,6 +130,14 @@ class MountSession:
         self._scan()
         self.allocator = BlockAllocator(
             flash, allocated=sorted(self._programmed_blocks)
+        )
+        # Recovery is an anomaly worth a flight-recorder dump: the spans
+        # preceding a remount are the crash's forensic record.
+        obs.event(
+            "recovery.mount",
+            pages_scanned=self.report.pages_scanned,
+            logs=len(self._logs),
+            torn_pages=self.report.torn_pages,
         )
 
     # ------------------------------------------------------------------

@@ -174,3 +174,230 @@ def test_tracer_fully_detached_after_profile():
     assert db.token.flash.trace_read is None
     assert obs.get_tracer() is None
     assert obs.span("x") is obs.NULL_SPAN
+
+
+# ----------------------------------------------------------------------
+# E26 tentpole: one query, one coherent trace across wire and processes
+# ----------------------------------------------------------------------
+import asyncio
+import random
+
+from repro.crypto.paillier import generate_keypair
+from repro.globalq.parallel import WorkerPool, collect_encrypted_sum
+from repro.globalq.protocol import PdsNode, TokenFleet
+from repro.globalq.queries import AggregateQuery
+from repro.net.bus import MessageBus
+from repro.net.codec import KIND_QUERY, KIND_RESULT, Frame, encode_json_payload
+from repro.obs import telemetry
+from repro.obs.metrics import global_registry
+from repro.obs.telemetry import Telemetry
+from repro.service import (
+    FAMILY_SECURE_AGG,
+    QueryDescriptor,
+    ServiceConfig,
+    ServicePopulation,
+    SsiQueryService,
+)
+from repro.workloads.people import CITIES, PersonRecord
+
+
+def make_service_nodes(count: int = 48) -> list[PdsNode]:
+    rng = random.Random(17)
+    return [
+        PdsNode(
+            i,
+            [
+                PersonRecord(
+                    {
+                        "city": CITIES[rng.randrange(len(CITIES))],
+                        "salary": float(1000 + rng.randrange(2000)),
+                    }
+                )
+            ],
+        )
+        for i in range(count)
+    ]
+
+
+class TestDistributedTraceAttribution:
+    """The worker-pool hop preserves the E21 invariant to the page."""
+
+    def test_pool_modexp_self_sums_reproduce_registry_delta(self):
+        public, _ = generate_keypair(bits=256, rng=random.Random(7))
+        counter = global_registry().counter("crypto.modexp_count")
+        with Telemetry(sample_rate=1.0) as bundle:
+            context = bundle.sampler.context_for("e26-pool")
+            before = counter.value
+            with telemetry.activate(context):
+                with obs.span("test.root"):
+                    with WorkerPool(workers=2) as pool:
+                        partials = collect_encrypted_sum(
+                            [3 * v for v in range(48)],
+                            public,
+                            shard_size=16,
+                            pool=pool,
+                        )
+            delta = counter.value - before
+        tracer = bundle.tracer
+        assert partials and delta > 0
+        # Exact attribution across the process boundary: per-span self
+        # modexp counts sum to the submitting process's registry delta.
+        assert tracer.totals("crypto.modexp_count") == delta
+        execs = [
+            s for s in tracer.spans if s.name == "smc.secure_sum.shard.exec"
+        ]
+        waits = {
+            s.span_id: s
+            for s in tracer.spans
+            if s.name == "smc.secure_sum.shard"
+        }
+        assert execs
+        for span in execs:
+            assert span.process and span.process.startswith("worker-")
+            assert span.parent_id in waits  # adopted under its wait span
+        # Every span of the run belongs to the one derived trace.
+        assert {s.trace_id for s in tracer.spans} == {context.trace_id}
+
+    def test_sampling_rate_changes_no_ciphertext(self):
+        public, _ = generate_keypair(bits=256, rng=random.Random(7))
+        values = [2 * v for v in range(40)]
+
+        def run(rate):
+            with Telemetry(sample_rate=rate) as bundle:
+                context = bundle.sampler.context_for("e26-equal")
+                with telemetry.activate(context):
+                    with WorkerPool(workers=2) as pool:
+                        partials = collect_encrypted_sum(
+                            values, public, shard_size=16, pool=pool
+                        )
+            traced = len(bundle.tracer.spans)
+            return [
+                (p.shard_index, p.partial, p.ciphertext_bytes)
+                for p in partials
+            ], traced
+
+        sampled, spans_on = run(1.0)
+        unsampled, spans_off = run(0.0)
+        assert sampled == unsampled  # bit-identical partials
+        assert spans_on > 0 and spans_off == 0
+
+    def test_sampling_rate_changes_no_rows_and_no_flash_reads(self):
+        def run(rate):
+            db = make_db(cache_pages=16)
+            query = tpcd.household_supplier_query("HOUSEHOLD", "SUPPLIER-1")
+            before = db.token.flash.stats.page_reads
+            if rate is None:  # tracing disabled entirely
+                rows, _ = db.query(query)
+            else:
+                with Telemetry(sample_rate=rate) as bundle:
+                    context = bundle.sampler.context_for("e26-flash")
+                    with telemetry.activate(context):
+                        rows, _ = db.query(query)
+            return rows, db.token.flash.stats.page_reads - before
+
+        disabled = run(None)
+        assert disabled[1] > 0
+        for rate in (0.0, 0.01, 1.0):
+            assert run(rate) == disabled
+
+
+class TestServiceWireTrace:
+    """E24-style acceptance: querier frame -> admission -> execution ->
+    shard child processes, one trace, ids resolving to the page."""
+
+    def test_one_query_yields_one_cross_process_trace(self):
+        asyncio.run(self._drive())
+
+    async def _drive(self):
+        population = ServicePopulation(make_service_nodes(), TokenFleet(0))
+        descriptor = QueryDescriptor(
+            FAMILY_SECURE_AGG, AggregateQuery.sum("salary")
+        )
+        with WorkerPool(workers=2) as pool:
+            with Telemetry(sample_rate=1.0) as bundle:
+                service = SsiQueryService(
+                    population,
+                    ServiceConfig(
+                        max_in_flight=1,
+                        cache_capacity=0,
+                        workers=2,
+                        shard_size=8,
+                        pool=pool,
+                    ),
+                    telemetry=bundle,
+                )
+                service.start()
+                bus = MessageBus(rng=random.Random(5))
+                server = asyncio.ensure_future(
+                    service.serve_endpoint(bus.register("ssi"))
+                )
+                querier = bus.register("querier-0")
+                try:
+                    with obs.span("querier.request") as querier_span:
+                        context = bundle.sampler.context_for(
+                            "e26-wire"
+                        ).child(querier_span.span_id)
+                        body = dict(
+                            descriptor.to_dict(), request_id="querier-0/0"
+                        )
+                        await querier.send(
+                            "ssi",
+                            Frame(
+                                KIND_QUERY,
+                                "querier-0",
+                                0,
+                                encode_json_payload(body),
+                                trace=context,
+                            ),
+                        )
+                        reply = await querier.recv(timeout=60.0)
+                finally:
+                    server.cancel()
+                    await service.stop()
+
+        assert reply.kind == KIND_RESULT
+        # The reply carries the same trace back to the querier.
+        assert reply.trace is not None
+        assert reply.trace.trace_id == context.trace_id
+
+        tracer = bundle.tracer
+        by_id = {s.span_id: s for s in tracer.spans}
+        by_name: dict[str, list] = {}
+        for span in tracer.spans:
+            by_name.setdefault(span.name, []).append(span)
+
+        def ancestors(span):
+            names = []
+            node = span
+            while node.parent_id is not None and node.parent_id in by_id:
+                node = by_id[node.parent_id]
+                names.append(node.name)
+            return names
+
+        # Wire hop: the service's frame span hangs off the querier span.
+        (frame_span,) = by_name["service.frame"]
+        assert frame_span.parent_id == querier_span.span_id
+        # Admission/execution: service.query under the frame span.
+        (query_span,) = by_name["service.query"]
+        assert "service.frame" in ancestors(query_span)
+        # Every shard ran in a pool child process and nests under the
+        # query via its shard wait span.
+        execs = by_name["globalq.collect.shard.exec"]
+        assert execs
+        processes = {s.process for s in execs}
+        assert processes and all(
+            p and p.startswith("worker-") for p in processes
+        )
+        for span in execs:
+            chain = ancestors(span)
+            assert chain[0] == "globalq.collect.shard"
+            assert "service.query" in chain
+            assert chain[-1] == "querier.request"
+        # One trace id stamps the whole tree, wire to child process.
+        assert {
+            s.trace_id for s in tracer.spans if s.trace_id is not None
+        } == {context.trace_id}
+        # The E21 invariant holds for the full distributed run: watched
+        # self-counters sum exactly to the submitting registry's delta
+        # (secure-agg does no modexps, and the trace proves it).
+        assert tracer.totals("crypto.modexp_count") == 0

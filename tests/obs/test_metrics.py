@@ -1,6 +1,8 @@
 """MetricsRegistry: first-class instruments + legacy *Stats pull adapters."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.hardware.flash import FlashStats
 from repro.net.metrics import NetMetrics
@@ -165,6 +167,64 @@ class TestPercentileHistogram:
             assert a.quantile(q) == combined.quantile(q)
         assert a.min == combined.min and a.max == combined.max
         assert a.total == pytest.approx(combined.total)
+
+    def test_single_observation_pins_every_quantile(self):
+        histogram = PercentileHistogram()
+        histogram.observe(42.0)
+        assert histogram.count == 1
+        assert histogram.min == histogram.max == 42.0
+        # One sample: every quantile is that sample's bucket.
+        assert histogram.p50 == histogram.p99 == histogram.p999
+        assert 42.0 / PERCENTILE_GROWTH <= histogram.p50
+        assert histogram.p50 <= 42.0 * PERCENTILE_GROWTH
+        summary = histogram.summary()
+        assert summary["count"] == 1
+
+    def test_merge_of_disjoint_bucket_ranges(self):
+        low, high = PercentileHistogram(), PercentileHistogram()
+        low_values = [0.001 * (i + 1) for i in range(50)]
+        high_values = [1e6 * (i + 1) for i in range(50)]
+        for value in low_values:
+            low.observe(value)
+        for value in high_values:
+            high.observe(value)
+        assert not (set(low.buckets) & set(high.buckets))  # truly disjoint
+        low.merge(high)
+        assert low.count == 100
+        assert low.min == 0.001
+        assert low.max == 5e7
+        # The median straddles the gap; the tail lives in the high range.
+        assert low_values[-1] <= low.quantile(0.5) or low.quantile(
+            0.5
+        ) >= low_values[-1] / PERCENTILE_GROWTH
+        assert low.p99 >= 1e6 / PERCENTILE_GROWTH
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+            max_size=60,
+        ),
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+            max_size=60,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_pooled_observation(self, left, right):
+        merged, pooled = PercentileHistogram(), PercentileHistogram()
+        other = PercentileHistogram()
+        for value in left:
+            merged.observe(value)
+            pooled.observe(value)
+        for value in right:
+            other.observe(value)
+            pooled.observe(value)
+        merged.merge(other)
+        assert merged.count == pooled.count
+        assert merged.buckets == pooled.buckets
+        assert merged.min == pooled.min and merged.max == pooled.max
+        for q in (0.5, 0.99, 0.999, 1.0):
+            assert merged.quantile(q) == pooled.quantile(q)
 
     def test_registry_snapshot_includes_summary(self):
         registry = MetricsRegistry()

@@ -1,0 +1,345 @@
+"""Distributed tracing units: context, sampling, adoption, recorder, SLO."""
+
+import contextvars
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import check as obs_check
+from repro.obs import telemetry
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.recorder import FlightRecorder, SloMonitor
+from repro.obs.tracer import Tracer
+
+
+def make_context(sampled=True, parent=0, key="t"):
+    return telemetry.TraceContext(
+        trace_id=telemetry.derive_trace_id(key),
+        parent_span_id=parent,
+        sampled=sampled,
+    )
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = make_context(parent=99)
+        data = ctx.to_bytes()
+        assert len(data) == telemetry.WIRE_SIZE == 17
+        assert telemetry.TraceContext.from_bytes(data) == ctx
+
+    def test_unsampled_round_trip(self):
+        ctx = make_context(sampled=False)
+        assert telemetry.TraceContext.from_bytes(ctx.to_bytes()) == ctx
+
+    def test_child_keeps_id_and_decision(self):
+        ctx = make_context(sampled=False)
+        child = ctx.child(1234)
+        assert child.trace_id == ctx.trace_id
+        assert child.parent_span_id == 1234
+        assert child.sampled is False
+        # NULL_SPAN.span_id is None -> no remote parent, not a crash.
+        assert ctx.child(None).parent_span_id == 0
+
+    def test_derive_trace_id_deterministic_and_nonzero(self):
+        assert telemetry.derive_trace_id("a", 1) == telemetry.derive_trace_id("a", 1)
+        assert telemetry.derive_trace_id("a", 1) != telemetry.derive_trace_id("a", 2)
+        assert telemetry.derive_trace_id("a", 1) > 0
+
+
+class TestHeadSampling:
+    def test_boundary_rates(self):
+        trace_id = telemetry.derive_trace_id("x")
+        assert telemetry.should_sample(trace_id, 1.0) is True
+        assert telemetry.should_sample(trace_id, 0.0) is False
+
+    def test_deterministic_and_monotone(self):
+        ids = [telemetry.derive_trace_id("q", i) for i in range(500)]
+        low = {i for i in ids if telemetry.should_sample(i, 0.2)}
+        high = {i for i in ids if telemetry.should_sample(i, 0.6)}
+        # Re-sampling is reproducible...
+        assert low == {i for i in ids if telemetry.should_sample(i, 0.2)}
+        # ...and a higher rate keeps a strict superset of a lower one.
+        assert low <= high
+        assert 0 < len(low) < len(high) < len(ids)
+
+    def test_sampler_counts_and_validation(self):
+        sampler = telemetry.AdaptiveSampler(0.5)
+        contexts = [sampler.context_for("q", i) for i in range(200)]
+        assert sampler.decisions == 200
+        assert sampler.kept == sum(1 for c in contexts if c.sampled)
+        assert 0 < sampler.kept < 200
+        with pytest.raises(ValueError):
+            telemetry.AdaptiveSampler(1.5)
+
+
+class TestSuppression:
+    def test_unsampled_context_suppresses_spans_not_events(self):
+        tracer = Tracer()
+        with obs.tracing(tracer):
+            with telemetry.activate(make_context(sampled=False)):
+                span = obs.span("work")
+                assert span is obs.NULL_SPAN
+                obs.event("anomaly", detail=1)
+            with telemetry.activate(make_context(sampled=True)):
+                assert obs.span("work") is not obs.NULL_SPAN
+        assert [e["name"] for e in tracer.events] == ["anomaly"]
+
+    def test_activate_restores_previous_context(self):
+        outer = make_context(key="outer")
+        with telemetry.activate(outer):
+            with telemetry.activate(make_context(key="inner")):
+                assert telemetry.current_context().trace_id != outer.trace_id
+            assert telemetry.current_context() is outer
+        assert telemetry.current_context() is None
+
+    def test_activate_none_is_a_no_op(self):
+        with telemetry.activate(None):
+            assert telemetry.current_context() is None
+
+
+class TestWireHopReparenting:
+    def test_span_reparents_under_remote_parent_without_double_count(self):
+        """Both wire sides on one tracer: the hop still attributes exactly."""
+        registry = global_registry()
+        counter = registry.counter("crypto.modexp_count")
+        tracer = Tracer()
+        tracer.watch_modexp()
+        with obs.tracing(tracer):
+            with obs.span("querier.request") as querier_span:
+                counter.inc(3)  # querier-side cost
+                ctx = make_context().child(querier_span.span_id)
+
+                def service_side():
+                    # A fresh contextvars context: the service task has no
+                    # local parent, only the wire-carried remote one.
+                    with telemetry.activate(ctx):
+                        with obs.span("service.frame"):
+                            counter.inc(7)  # service-side cost
+
+                contextvars.Context().run(service_side)
+        by_name = {s.name: s for s in tracer.spans}
+        frame = by_name["service.frame"]
+        assert frame.parent_id == querier_span.span_id
+        assert frame.trace_id == ctx.trace_id
+        assert frame.self_counters["crypto.modexp_count"] == 7
+        # The querier span saw 10 inclusive but only 3 are its own.
+        assert by_name["querier.request"].counters["crypto.modexp_count"] == 10
+        assert by_name["querier.request"].self_counters["crypto.modexp_count"] == 3
+        total = sum(
+            s.self_counters.get("crypto.modexp_count", 0) for s in tracer.spans
+        )
+        assert total == 10
+
+
+class TestRemoteRecordingAndAdoption:
+    def test_round_trip_through_a_simulated_worker(self):
+        ctx = make_context(parent=555)
+        # No tracer installed here: this is what a worker process sees.
+        with telemetry.remote_recording(ctx, "worker-sim") as recording:
+            assert recording is not None
+            with obs.span("shard.exec", shard=0):
+                global_registry().counter("crypto.modexp_count").inc(5)
+        wrapped = recording.wrap(["payload"])
+        assert isinstance(wrapped, telemetry.TracedResult)
+        assert wrapped.process == "worker-sim"
+        (record,) = wrapped.spans
+        assert record["remote_parent"] is True
+        assert record["counters"]["crypto.modexp_count"] == 5
+
+        tracer = Tracer()
+        with obs.tracing(tracer):
+            with obs.span("shard.wait") as wait:
+                value = telemetry.adopt(wrapped, wait)
+        assert value == ["payload"]
+        exec_span = next(s for s in tracer.spans if s.name == "shard.exec")
+        assert exec_span.parent_id == wait.span_id
+        assert exec_span.process == "worker-sim"
+        assert exec_span.trace_id == ctx.trace_id
+        # The adopted counters were charged to the wait span's children.
+        assert wait.self_counters.get("crypto.modexp_count", 0) == 0
+
+    def test_unsampled_context_records_nothing(self):
+        with telemetry.remote_recording(make_context(sampled=False)) as rec:
+            assert rec is None
+
+    def test_serial_path_skips_recording(self):
+        tracer = Tracer()
+        with obs.tracing(tracer):
+            with telemetry.remote_recording(make_context()) as rec:
+                assert rec is None
+
+    def test_adopt_passes_plain_results_through(self):
+        assert telemetry.adopt({"plain": 1}, obs.NULL_SPAN) == {"plain": 1}
+
+    def test_adoption_maps_intra_batch_links_despite_id_collision(self):
+        """A batch root's foreign parent id colliding with a worker-local
+        span id must not be resolved through the id map."""
+        records = [
+            {  # child, recorded first (closes first)
+                "name": "inner", "span_id": 2, "parent_id": 1,
+                "start_us": 1.0, "end_us": 2.0, "duration_us": 1.0,
+                "counters": {"c": 1.0}, "self_counters": {"c": 1.0},
+            },
+            {  # batch root whose remote parent id collides with id 2
+                "name": "outer", "span_id": 1, "parent_id": 2,
+                "remote_parent": True,
+                "start_us": 0.0, "end_us": 3.0, "duration_us": 3.0,
+                "counters": {"c": 1.0}, "self_counters": {},
+            },
+        ]
+        tracer = Tracer()
+        with obs.tracing(tracer):
+            with obs.span("wait") as wait:
+                tracer.adopt_remote(records, wait)
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id == wait.span_id
+        # Only the batch root's inclusive counters charged the parent.
+        assert wait._child_counts == {"c": 1.0}
+
+    def test_adopted_timestamps_rebase_into_parent_window(self):
+        records = [
+            {
+                "name": "remote", "span_id": 1, "parent_id": 777,
+                "remote_parent": True,
+                "start_us": 1e9, "end_us": 1e9 + 50.0, "duration_us": 50.0,
+                "counters": {}, "self_counters": {},
+            }
+        ]
+        tracer = Tracer()
+        with obs.tracing(tracer):
+            with obs.span("wait") as wait:
+                (adopted,) = tracer.adopt_remote(records, wait)
+        assert adopted.start_us == wait.start_us
+        assert adopted.end_us - adopted.start_us == pytest.approx(50.0)
+
+
+class TestFlightRecorder:
+    def _traced_work(self, recorder, spans=5):
+        tracer = Tracer()
+        recorder.attach(tracer)
+        with obs.tracing(tracer):
+            for i in range(spans):
+                with obs.span(f"op-{i}"):
+                    pass
+            obs.event("note", i=1)
+        return tracer
+
+    def test_ring_keeps_only_recent_spans(self):
+        recorder = FlightRecorder(capacity=3)
+        self._traced_work(recorder, spans=10)
+        assert len(recorder.spans) == 3
+        assert [s.name for s in recorder.spans] == ["op-7", "op-8", "op-9"]
+        recorder.detach()
+
+    def test_trigger_dumps_a_valid_bundle(self, tmp_path):
+        recorder = FlightRecorder(
+            capacity=8, dump_dir=tmp_path, registry=MetricsRegistry()
+        )
+        self._traced_work(recorder)
+        path = recorder.trigger("overloaded", query_class="agg", queue_depth=4)
+        recorder.detach()
+        assert path is not None and path.exists()
+        assert obs_check.check_file(path) == []
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        header, *body = lines
+        assert header["type"] == "bundle"
+        assert header["reason"] == "overloaded"
+        assert header["details"]["queue_depth"] == 4
+        assert body[-1]["type"] == "metrics"
+
+    def test_event_name_triggers_a_dump(self, tmp_path):
+        recorder = FlightRecorder(capacity=4, dump_dir=tmp_path)
+        tracer = Tracer()
+        recorder.attach(tracer)
+        with obs.tracing(tracer):
+            obs.event("fault.kill", op=12)
+        recorder.detach()
+        assert recorder.triggers == 1
+        assert recorder.last_trigger["reason"] == "fault_kill"
+        assert len(recorder.dumps) == 1
+
+    def test_max_dumps_caps_disk_but_not_counting(self, tmp_path):
+        recorder = FlightRecorder(capacity=2, dump_dir=tmp_path, max_dumps=2)
+        self._traced_work(recorder)
+        for _ in range(5):
+            recorder.trigger("overloaded")
+        recorder.detach()
+        assert recorder.triggers == 5
+        assert len(recorder.dumps) == 2
+
+    def test_ram_charged_while_attached(self):
+        from repro.hardware.ram import RamArena
+        from repro.obs.recorder import SLOT_BYTES
+
+        ram = RamArena(budget_bytes=64 * 1024)
+        recorder = FlightRecorder(capacity=16, ram=ram)
+        tracer = Tracer()
+        recorder.attach(tracer)
+        assert ram.in_use == 16 * SLOT_BYTES
+        recorder.detach()
+        assert ram.in_use == 0
+
+    def test_hooks_chain_to_previous(self):
+        seen = []
+        tracer = Tracer()
+        tracer.on_record = lambda span: seen.append(span.name)
+        recorder = FlightRecorder(capacity=4)
+        recorder.attach(tracer)
+        with obs.tracing(tracer):
+            with obs.span("chained"):
+                pass
+        recorder.detach()
+        assert seen == ["chained"]
+        assert tracer.on_record is not None  # restored
+
+
+class TestSloMonitor:
+    def test_breach_fires_once_per_bad_window(self):
+        breaches = []
+        monitor = SloMonitor(
+            {"agg": 10.0}, window=4,
+            on_breach=lambda cls, p99, slo: breaches.append((cls, p99, slo)),
+        )
+        for _ in range(4):
+            monitor.observe("agg", 50.0)
+        assert len(breaches) == 1
+        assert breaches[0][0] == "agg"
+        assert breaches[0][1] > 10.0
+        # A healthy window does not re-trigger.
+        for _ in range(4):
+            monitor.observe("agg", 1.0)
+        assert len(breaches) == 1
+        assert monitor.breaches == {"agg": 1}
+
+    def test_unmonitored_class_is_ignored(self):
+        monitor = SloMonitor({"agg": 10.0}, window=2)
+        monitor.observe("other", 1e9)
+        assert monitor.status()["breaches"] == {}
+
+
+class TestTelemetryBundle:
+    def test_install_and_shutdown_restore_state(self):
+        previous = obs.get_tracer()
+        bundle = telemetry.Telemetry(sample_rate=1.0)
+        with bundle:
+            assert obs.get_tracer() is bundle.tracer
+            with obs.span("in-bundle"):
+                pass
+        assert obs.get_tracer() is previous
+        assert [s.name for s in bundle.tracer.spans] == ["in-bundle"]
+        status = bundle.status()
+        assert status["spans_recorded"] == 1
+        assert status["recorder"]["spans_buffered"] == 1
+
+    def test_slo_breach_triggers_recorder(self):
+        bundle = telemetry.Telemetry(
+            sample_rate=1.0, slo_p99_ms={"agg": 1.0}, slo_window=2
+        )
+        with bundle:
+            for _ in range(2):
+                bundle.observe_latency("agg", 100.0)
+        assert bundle.recorder.triggers == 1
+        assert bundle.recorder.last_trigger["reason"] == "slo_breach"
+        assert any(e["name"] == "slo.breach" for e in bundle.tracer.events)
