@@ -136,6 +136,18 @@ class PaillierPublicKey:
         count_modexp()
         return pow(ciphertext, scalar % self.n, self.n_squared)
 
+    def negate(self, ciphertext: int) -> int:
+        """``E(a)^-1 = E(-a)`` — the homomorphic retraction.
+
+        The multiplicative inverse mod ``n²`` encrypts ``n - a``, which
+        :meth:`PaillierPrivateKey.decrypt_signed` reads back as ``-a`` for
+        any ``|a| <= n // 2`` — the identity the delta-maintenance path
+        (``Enc(new) · Enc(old)^-1``) rests on. Cheaper than
+        :meth:`multiply_plain` by ``n - 1``: one extended-Euclid inverse
+        instead of a full-width exponentiation.
+        """
+        return modinv(ciphertext, self.n_squared)
+
 
 @dataclass(frozen=True)
 class PaillierPrivateKey:

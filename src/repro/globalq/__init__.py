@@ -9,6 +9,16 @@ participation audits.
 """
 
 from repro.globalq.attacks import AttackResult, frequency_analysis, histogram_flatness
+from repro.globalq.continuous import (
+    DeltaEmitter,
+    EncryptedDelta,
+    LiveWindow,
+    StandingAggregate,
+    StandingQuery,
+    StandingView,
+    WindowSpec,
+    WindowUpdate,
+)
 from repro.globalq.graphq import (
     DistributedGraph,
     GraphQueryReport,
@@ -104,10 +114,18 @@ __all__ = [
     "AggregationOutcome",
     "AttackResult",
     "AuditResult",
+    "DeltaEmitter",
     "DistributedGraph",
     "EncryptedContribution",
+    "EncryptedDelta",
     "GraphQueryReport",
     "EquiDepthBucketizer",
+    "LiveWindow",
+    "StandingAggregate",
+    "StandingQuery",
+    "StandingView",
+    "WindowSpec",
+    "WindowUpdate",
     "HistogramProtocol",
     "NoisePlan",
     "NoiseProtocol",

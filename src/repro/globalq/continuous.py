@@ -1,0 +1,511 @@
+"""Standing queries: encrypted delta-maintenance for live aggregates.
+
+Every protocol in this package so far answers a query by *recollection*:
+the SSI gathers one fresh ciphertext per online PDS, folds, and the querier
+decrypts. For a standing query refreshed every few seconds over a million
+PDSs that cost model is wrong by orders of magnitude — almost nothing
+changed between refreshes. Paillier additivity offers the right one: when a
+PDS's contribution moves from ``old`` to ``new`` it pushes a single
+encrypted **delta** ``Enc(new) · Enc(-old) = Enc(new - old)`` (the
+retraction ``Enc(-old)`` is the plaintext negation ``n - old``, folded
+before the ciphertext leaves the token), and the SSI *multiplies* deltas
+into a running ciphertext without ever decrypting. Traffic becomes
+O(changes), not O(population) — the approach of Taelman et al.'s
+privacy-preserving aggregation for decentralized environments (PAPERS.md),
+applied to the [TNP14] architecture.
+
+Windowing reuses the ``repro.timeseries`` summary recipe on ciphertexts:
+simulated time is cut into **panes** (one pane per slide interval), each
+pane accumulates the deltas that arrived during it, and at a boundary the
+pane is sealed — a tumbling window is one pane, a sliding window is the
+homomorphic product of the last ``width // slide`` sealed panes, exactly
+how a page summary folds into a range aggregate. The querier-side
+:class:`StandingView` closes the loop by decrypting each
+:class:`WindowUpdate` and appending it to a
+:class:`~repro.timeseries.series.TimeSeriesStore`.
+
+Exactness is the contract: after any interleaving of insert / update /
+``forget()`` / churn, decrypting the folded state equals a full plaintext
+recollection over the current membership — bit-exactly, because every
+value is an integer and Paillier arithmetic is exact (asserted by the
+stateful tests and at every window boundary of bench E27).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.crypto.fastexp import BlindingPool
+from repro.crypto.paillier import PaillierPrivateKey, PaillierPublicKey
+from repro.errors import ProtocolError, QueryError
+from repro.globalq.queries import AggregateQuery, local_contributions
+
+#: ``Enc(0)`` with blinding 1 — the multiplicative identity of the fold.
+CIPHER_IDENTITY = 1
+
+
+# ---------------------------------------------------------------------------
+# Window algebra
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WindowSpec:
+    """Tumbling or sliding window over simulated time.
+
+    ``width`` is the window length; ``slide`` (default ``width``, i.e.
+    tumbling) is how often a window closes and must divide ``width``. The
+    pane width equals the slide, so every delta lands in exactly one pane
+    and a window is the product of ``width // slide`` consecutive panes.
+    """
+
+    width: int
+    slide: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise QueryError("window width must be positive")
+        slide = self.slide
+        if slide is not None:
+            if slide <= 0:
+                raise QueryError("window slide must be positive")
+            if slide > self.width:
+                raise QueryError("window slide must be <= width")
+            if self.width % slide:
+                raise QueryError("window slide must divide width")
+
+    @property
+    def pane_width(self) -> int:
+        return self.slide if self.slide is not None else self.width
+
+    @property
+    def panes_per_window(self) -> int:
+        return self.width // self.pane_width
+
+    @property
+    def tumbling(self) -> bool:
+        return self.panes_per_window == 1
+
+    def to_dict(self) -> dict:
+        return {"width": self.width, "slide": self.pane_width}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WindowSpec":
+        try:
+            slide = data.get("slide")
+            return cls(
+                width=int(data["width"]),
+                slide=None if slide is None else int(slide),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QueryError(f"malformed window spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class EncryptedDelta:
+    """One PDS's encrypted contribution change.
+
+    ``value_cipher`` encrypts the signed change of the PDS's value sum,
+    ``count_cipher`` the signed change of its matching-record count —
+    together they update the (sum, count) pair every SQL aggregate reduces
+    to. ``seq`` is the per-(PDS, subscription) sequence number: the SSI
+    folds each sequence at most once, so a replayed or duplicated delta
+    cannot double-count (the PR 6 replay rule, applied to the delta
+    stream).
+    """
+
+    pds_id: int
+    seq: int
+    timestamp: int
+    value_cipher: int
+    count_cipher: int
+
+    def ciphertext_bytes(self, n_squared: int) -> int:
+        """Wire size of the two ciphertexts under modulus ``n²``."""
+        return 2 * ((n_squared.bit_length() + 7) // 8)
+
+
+@dataclass(frozen=True)
+class WindowUpdate:
+    """What the SSI publishes at one window boundary.
+
+    ``live_*`` is the folded total of *every* delta with
+    ``timestamp < window_end`` — decrypting it must equal full recollection
+    at the boundary. ``window_*`` is the net change inside
+    ``[window_start, window_end)`` (the pane product), which can decrypt
+    negative under forgets. All four are ciphertexts: the SSI computed them
+    without decrypting anything.
+    """
+
+    window_start: int
+    window_end: int
+    #: 1-based boundary index since the subscription started.
+    index: int
+    live_value: int
+    live_count: int
+    window_value: int
+    window_count: int
+    #: Deltas folded into the window's panes.
+    deltas: int
+    #: Population version at publication (stamped by the registry).
+    version: int = -1
+
+
+# ---------------------------------------------------------------------------
+# PDS side: the delta source
+# ---------------------------------------------------------------------------
+def contribution_of(records, query: AggregateQuery) -> tuple[int, int]:
+    """The ``(value sum, matching count)`` pair one PDS contributes.
+
+    Values must be integer-valued (the ``slim_population`` convention):
+    integers keep Paillier folds and plaintext recollection bit-identical,
+    which is the whole equality guarantee.
+    """
+    total = 0
+    count = 0
+    for _, value in local_contributions(list(records), query):
+        as_int = int(value)
+        if as_int != value:
+            raise QueryError(
+                "delta maintenance needs integer-encoded values "
+                f"(got {value!r})"
+            )
+        total += as_int
+        count += 1
+    return total, count
+
+
+class DeltaEmitter:
+    """Turns one population's data-change events into encrypted deltas.
+
+    Tracks, per PDS, the ``(value, count)`` pair last contributed to the
+    subscription. :meth:`refresh` diffs the PDS's current state against it
+    and emits ``Enc(new) · Enc(-old)`` — two fresh pool-blinded encryptions
+    folded *before* leaving the token, so the SSI sees one
+    non-deterministic ciphertext pair per change and nothing about the
+    operands. An offline or forgotten PDS contributes ``(0, 0)``; flipping
+    online re-contributes, so churn is just more deltas.
+    """
+
+    def __init__(
+        self,
+        public: PaillierPublicKey,
+        query: AggregateQuery,
+        seed: int = 0,
+        pool: BlindingPool | None = None,
+    ) -> None:
+        if query.group_by is not None:
+            raise QueryError(
+                "delta maintenance serves scalar aggregates (no GROUP BY)"
+            )
+        self.public = public
+        self.query = query
+        self.pool = pool if pool is not None else public.blinding_pool(seed)
+        self._contributed: dict[int, tuple[int, int]] = {}
+        self._seq: dict[int, int] = {}
+        self.emitted = 0
+
+    def _delta_cipher(self, new: int, old: int) -> int:
+        """``Enc(new) · Enc(-old)``: the retraction is ``n - old``."""
+        cipher = self.public.encrypt(new, pool=self.pool)
+        if old:
+            # encrypt() reduces mod n, so -old encrypts as n - old: the
+            # plaintext negation decrypt_signed undoes at the querier.
+            retraction = self.public.encrypt(-old, pool=self.pool)
+            cipher = self.public.add(cipher, retraction)
+        return cipher
+
+    def refresh(
+        self, node, online: bool, timestamp: int
+    ) -> EncryptedDelta | None:
+        """The delta moving ``node`` to its current contribution, or None.
+
+        ``node`` duck-types :class:`~repro.globalq.protocol.PdsNode`
+        (``pds_id`` + ``records``). Returns None when nothing this
+        subscription can see changed — the common case under churn of
+        non-matching PDSs, and what keeps steady-state traffic
+        proportional to *relevant* changes.
+        """
+        if online:
+            new = contribution_of(node.records, self.query)
+        else:
+            new = (0, 0)
+        old = self._contributed.get(node.pds_id, (0, 0))
+        if new == old:
+            return None
+        self._contributed[node.pds_id] = new
+        seq = self._seq.get(node.pds_id, 0) + 1
+        self._seq[node.pds_id] = seq
+        self.emitted += 1
+        return EncryptedDelta(
+            pds_id=node.pds_id,
+            seq=seq,
+            timestamp=timestamp,
+            value_cipher=self._delta_cipher(new[0], old[0]),
+            count_cipher=self._delta_cipher(new[1], old[1]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# SSI side: the fold
+# ---------------------------------------------------------------------------
+class StandingAggregate:
+    """The SSI's window state: sealed panes plus a live running fold.
+
+    All arithmetic is ciphertext multiplication mod ``n²`` — the SSI holds
+    no key. ``live_value``/``live_count`` fold every pane sealed so far;
+    open panes accumulate in-flight deltas until :meth:`advance` crosses
+    their boundary. Per-PDS sequence numbers de-duplicate the stream, and a
+    delta timestamped before the last boundary is a protocol error (the
+    registry's clock is monotone, so one can only arrive through replay or
+    reordering across a seal — either way folding it would corrupt the
+    already-published window).
+    """
+
+    def __init__(self, public_n: int, spec: WindowSpec, start: int = 0) -> None:
+        self.n_squared = public_n * public_n
+        self.spec = spec
+        self.start = start
+        self.live_value = CIPHER_IDENTITY
+        self.live_count = CIPHER_IDENTITY
+        self.advanced_to = start
+        self.deltas_folded = 0
+        self.duplicates = 0
+        self._open: dict[int, list] = {}  # pane index -> [value, count, n]
+        self._sealed: deque = deque(maxlen=spec.panes_per_window)
+        self._next_boundary = 1
+        self._last_seq: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def fold(self, delta: EncryptedDelta) -> bool:
+        """Multiply one delta into its pane; False iff a known duplicate."""
+        if delta.timestamp < self.advanced_to:
+            raise ProtocolError(
+                f"late delta at t={delta.timestamp} (sealed through "
+                f"{self.advanced_to})"
+            )
+        if delta.seq <= self._last_seq.get(delta.pds_id, 0):
+            self.duplicates += 1
+            return False
+        self._last_seq[delta.pds_id] = delta.seq
+        pane = (delta.timestamp - self.start) // self.spec.pane_width
+        acc = self._open.get(pane)
+        if acc is None:
+            acc = self._open[pane] = [CIPHER_IDENTITY, CIPHER_IDENTITY, 0]
+        acc[0] = acc[0] * delta.value_cipher % self.n_squared
+        acc[1] = acc[1] * delta.count_cipher % self.n_squared
+        acc[2] += 1
+        self.deltas_folded += 1
+        return True
+
+    def current(self) -> tuple[int, int]:
+        """The instantaneous ``(value, count)`` fold, open panes included.
+
+        Decrypting this pair must always equal plaintext recollection over
+        the current membership — the invariant the stateful tests assert
+        after every single event.
+        """
+        value, count = self.live_value, self.live_count
+        for acc in self._open.values():
+            value = value * acc[0] % self.n_squared
+            count = count * acc[1] % self.n_squared
+        return value, count
+
+    def advance(self, now: int) -> list[WindowUpdate]:
+        """Seal every pane boundary ``<= now``; one update per boundary."""
+        if now < self.advanced_to:
+            raise ProtocolError(
+                f"clock moved backwards: {now} < {self.advanced_to}"
+            )
+        updates: list[WindowUpdate] = []
+        pane_width = self.spec.pane_width
+        while True:
+            boundary = self.start + self._next_boundary * pane_width
+            if boundary > now:
+                break
+            sealed = self._open.pop(
+                self._next_boundary - 1, [CIPHER_IDENTITY, CIPHER_IDENTITY, 0]
+            )
+            self.live_value = self.live_value * sealed[0] % self.n_squared
+            self.live_count = self.live_count * sealed[1] % self.n_squared
+            self._sealed.append(sealed)
+            window_value = CIPHER_IDENTITY
+            window_count = CIPHER_IDENTITY
+            deltas = 0
+            for pane in self._sealed:
+                window_value = window_value * pane[0] % self.n_squared
+                window_count = window_count * pane[1] % self.n_squared
+                deltas += pane[2]
+            updates.append(
+                WindowUpdate(
+                    window_start=max(self.start, boundary - self.spec.width),
+                    window_end=boundary,
+                    index=self._next_boundary,
+                    live_value=self.live_value,
+                    live_count=self.live_count,
+                    window_value=window_value,
+                    window_count=window_count,
+                    deltas=deltas,
+                )
+            )
+            self.advanced_to = boundary
+            self._next_boundary += 1
+        return updates
+
+
+class StandingQuery:
+    """One registered standing query: the aggregate plus its window state."""
+
+    def __init__(
+        self,
+        query: AggregateQuery,
+        spec: WindowSpec,
+        public_n: int,
+        start: int = 0,
+    ) -> None:
+        if query.group_by is not None:
+            raise QueryError(
+                "delta maintenance serves scalar aggregates (no GROUP BY)"
+            )
+        self.query = query
+        self.spec = spec
+        self.public_n = public_n
+        self.state = StandingAggregate(public_n, spec, start=start)
+
+    def fold(self, delta: EncryptedDelta) -> bool:
+        return self.state.fold(delta)
+
+    def advance(self, now: int) -> list[WindowUpdate]:
+        return self.state.advance(now)
+
+    def current(self) -> tuple[int, int]:
+        return self.state.current()
+
+
+# ---------------------------------------------------------------------------
+# Querier side: decryption + the timeseries hook
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LiveWindow:
+    """One decrypted :class:`WindowUpdate` at the querier."""
+
+    window_start: int
+    window_end: int
+    index: int
+    #: Plaintext running (sum, count) at the boundary.
+    total: int
+    count: int
+    #: Net (sum, count) change inside the window — negative under forgets.
+    window_total: int
+    window_count: int
+    #: The finalized aggregate (None for SUM/AVG over an empty population).
+    value: float | None
+
+
+class StandingView:
+    """The querier's live view: decrypts updates, keeps window history.
+
+    The only key holder in the protocol. Each ingested update is decrypted
+    with the signed convention (retractions live in the upper half of
+    ``Z_n``) and, when a ``series`` store is attached, appended as a
+    ``(window_end, aggregate)`` point — the standing query becomes an
+    embedded time series the querier can range-aggregate like any sensor
+    log.
+    """
+
+    def __init__(
+        self,
+        private: PaillierPrivateKey,
+        query: AggregateQuery,
+        series=None,
+    ) -> None:
+        self.private = private
+        self.query = query
+        self.series = series
+        self.windows: list[LiveWindow] = []
+
+    def _finalize(self, total: int, count: int) -> float | None:
+        if self.query.aggregate == "COUNT":
+            return float(count)
+        if count == 0:
+            return None
+        if self.query.aggregate == "SUM":
+            return float(total)
+        return total / count  # AVG
+
+    def ingest(self, update: WindowUpdate) -> LiveWindow:
+        total = self.private.decrypt_signed(update.live_value)
+        count = self.private.decrypt_signed(update.live_count)
+        window = LiveWindow(
+            window_start=update.window_start,
+            window_end=update.window_end,
+            index=update.index,
+            total=total,
+            count=count,
+            window_total=self.private.decrypt_signed(update.window_value),
+            window_count=self.private.decrypt_signed(update.window_count),
+            value=self._finalize(total, count),
+        )
+        self.windows.append(window)
+        if self.series is not None and window.value is not None:
+            self.series.append(window.window_end, window.value)
+        return window
+
+
+# ---------------------------------------------------------------------------
+# The differential reference
+# ---------------------------------------------------------------------------
+def recollect(nodes, query: AggregateQuery) -> tuple[int, int]:
+    """Full plaintext recollection: the pair a fresh batch run would fold.
+
+    The ground truth every folded state is compared against — over the
+    *online* nodes only, exactly what :meth:`ServicePopulation.snapshot`
+    would hand a one-shot execution.
+    """
+    total = 0
+    count = 0
+    for node in nodes:
+        value, matched = contribution_of(node.records, query)
+        total += value
+        count += matched
+    return total, count
+
+
+def stamp_version(update: WindowUpdate, version: int) -> WindowUpdate:
+    """The update with its publication-time population version filled in."""
+    return replace(update, version=version)
+
+
+def update_from_wire(payload: dict) -> WindowUpdate:
+    """Rebuild a :class:`WindowUpdate` from an ``UPDATE`` frame's JSON
+    payload (ciphertexts travel hex-encoded in the control plane)."""
+    try:
+        return WindowUpdate(
+            window_start=int(payload["window_start"]),
+            window_end=int(payload["window_end"]),
+            index=int(payload["index"]),
+            live_value=int(payload["live_value"], 16),
+            live_count=int(payload["live_count"], 16),
+            window_value=int(payload["window_value"], 16),
+            window_count=int(payload["window_count"], 16),
+            deltas=int(payload["deltas"]),
+            version=int(payload.get("version", -1)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed window update: {exc}") from exc
+
+
+__all__ = [
+    "CIPHER_IDENTITY",
+    "DeltaEmitter",
+    "EncryptedDelta",
+    "LiveWindow",
+    "StandingAggregate",
+    "StandingQuery",
+    "StandingView",
+    "WindowSpec",
+    "WindowUpdate",
+    "contribution_of",
+    "recollect",
+    "stamp_version",
+    "update_from_wire",
+]

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 from repro.errors import ProtocolError
 
 if TYPE_CHECKING:  # imported lazily at runtime to keep repro.net standalone
+    from repro.globalq.continuous import EncryptedDelta
     from repro.globalq.messages import EncryptedContribution
     from repro.globalq.protocol import AggregationOutcome
 
@@ -48,6 +49,9 @@ KIND_QUERY = 10  #: querier -> SSI service: a query descriptor to serve
 KIND_RESULT = 11  #: SSI service -> querier: the served aggregate
 KIND_REJECT = 12  #: SSI service -> querier: admission control shed the query
 KIND_TELEMETRY = 13  #: telemetry snapshot request/response (obs.top)
+KIND_SUBSCRIBE = 14  #: querier -> SSI service: register a standing query
+KIND_DELTA = 15  #: PDS -> SSI service: one encrypted +/- contribution delta
+KIND_UPDATE = 16  #: SSI service -> querier: a window-boundary update
 
 KIND_NAMES = {
     KIND_CONTRIB: "CONTRIB",
@@ -63,6 +67,9 @@ KIND_NAMES = {
     KIND_RESULT: "RESULT",
     KIND_REJECT: "REJECT",
     KIND_TELEMETRY: "TELEMETRY",
+    KIND_SUBSCRIBE: "SUBSCRIBE",
+    KIND_DELTA: "DELTA",
+    KIND_UPDATE: "UPDATE",
 }
 
 _MAGIC = 0xA7
@@ -342,4 +349,63 @@ def decode_outcome(data: bytes) -> "tuple[int, AggregationOutcome]":
         fake_tuples=fake,
         integrity_failures=failures,
         seen_pds_sequences=seen,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Encrypted contribution delta (PDS -> SSI service, standing queries)
+# ---------------------------------------------------------------------------
+
+# subscription id, pds id, seq, timestamp, value len, count len
+_DELTA_HEADER = struct.Struct("<IIIqHH")
+
+
+def encode_delta(subscription_id: int, delta: "EncryptedDelta") -> bytes:
+    """One ``DELTA`` payload: header + the two big-endian ciphertexts.
+
+    The ciphertext blobs are what the bandwidth model charges — for a
+    512-bit key each is 128 bytes, so one delta costs ~270 wire bytes
+    against the ~one-ciphertext-per-PDS cost of a full recollection.
+    """
+    value = delta.value_cipher.to_bytes(
+        (delta.value_cipher.bit_length() + 7) // 8 or 1, "big"
+    )
+    count = delta.count_cipher.to_bytes(
+        (delta.count_cipher.bit_length() + 7) // 8 or 1, "big"
+    )
+    if len(value) > 0xFFFF or len(count) > 0xFFFF:
+        raise ProtocolError("delta ciphertext longer than 65535 bytes")
+    return (
+        _DELTA_HEADER.pack(
+            subscription_id,
+            delta.pds_id,
+            delta.seq,
+            delta.timestamp,
+            len(value),
+            len(count),
+        )
+        + value
+        + count
+    )
+
+
+def decode_delta(data: bytes) -> "tuple[int, EncryptedDelta]":
+    from repro.globalq.continuous import EncryptedDelta
+
+    if len(data) < _DELTA_HEADER.size:
+        raise ProtocolError("delta frame too short")
+    sub_id, pds_id, seq, timestamp, vlen, clen = _DELTA_HEADER.unpack_from(
+        data, 0
+    )
+    offset = _DELTA_HEADER.size
+    if len(data) != offset + vlen + clen:
+        raise ProtocolError("delta length does not match its header")
+    value = int.from_bytes(data[offset : offset + vlen], "big")
+    count = int.from_bytes(data[offset + vlen :], "big")
+    return sub_id, EncryptedDelta(
+        pds_id=pds_id,
+        seq=seq,
+        timestamp=timestamp,
+        value_cipher=value,
+        count_cipher=count,
     )

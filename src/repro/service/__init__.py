@@ -53,6 +53,11 @@ from repro.service.server import (
     ServiceConfig,
     SsiQueryService,
 )
+from repro.service.standing import (
+    SimClock,
+    StandingRegistry,
+    StandingSubscription,
+)
 
 __all__ = [
     "AdmissionController",
@@ -75,7 +80,10 @@ __all__ = [
     "ServedResult",
     "ServiceConfig",
     "ServicePopulation",
+    "SimClock",
     "SsiQueryService",
+    "StandingRegistry",
+    "StandingSubscription",
     "WorkloadMix",
     "build_protocol",
     "derive_seed",

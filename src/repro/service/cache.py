@@ -10,12 +10,29 @@ entry's version equals the population's current version, so a served
 aggregate is always the one a fresh batch run over the current membership
 would produce (asserted bit-identically by the tests and bench E24).
 
+Standing subscriptions (PR 10) add a second coherence axis. Executions run
+on worker threads, so a ``forget()`` can land *between* a worker's
+dequeue-time cache re-check and its ``put()`` — the version comparison
+alone would let that interleaving insert (or serve) an entry for a state a
+subscriber has already seen a delta supersede. Two mechanisms close it:
+
+* every ``get``/``put`` and the event purge hold one lock, so the
+  check-then-act pairs are atomic against the listener chain that folds
+  deltas and bumps the version;
+* :meth:`note_delta` records, per descriptor, the version floor implied by
+  the subscription's delta sequence; entries below the floor are refused
+  on both paths (counted as ``coherence_refusals``). A floor *above* the
+  current version marks a descriptor whose delta stream outruns the local
+  membership mirror (wire-fed subscriptions): its results are not cached
+  at all until the population catches up.
+
 Capacity is a plain LRU bound; ``capacity=0`` disables caching entirely
 (the admission/scheduling layers work unchanged).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -36,6 +53,9 @@ class ResultCacheStats:
     #: Results not cached because their snapshot was already outdated when
     #: the query finished (they were still correct *for their snapshot*).
     stale_results_dropped: int = 0
+    #: Entries refused because a standing subscription's delta floor
+    #: superseded them (serve or insert attempts below the floor).
+    coherence_refusals: int = 0
 
 
 @dataclass
@@ -63,6 +83,10 @@ class ResultCache:
         self.population = population
         self.stats = ResultCacheStats()
         self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        #: Per-descriptor minimum version a served entry must reflect
+        #: (raised by standing-subscription deltas, never lowered).
+        self._floors: dict[str, int] = {}
+        self._lock = threading.Lock()
         population.add_listener(self._on_population_event)
 
     def __len__(self) -> int:
@@ -78,21 +102,28 @@ class ResultCache:
         if not self.enabled:
             return None
         key = descriptor.canonical()
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if entry.version != self.population.version:
-            # Defensive: the event listener purges synchronously, so this
-            # only triggers if someone mutated the population without
-            # notifying — still never serve it.
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if entry.version != self.population.version:
+                # Defensive: the event listener purges synchronously, so
+                # this only triggers if someone mutated the population
+                # without notifying — still never serve it.
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            if entry.version < self._floors.get(key, 0):
+                # A subscriber already folded a delta this entry predates.
+                del self._entries[key]
+                self.stats.coherence_refusals += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def put(
         self,
@@ -101,31 +132,56 @@ class ResultCache:
     ) -> bool:
         """Insert a freshly computed result; refuses outdated snapshots.
 
-        Returns False (and counts it) when the population moved on while
-        the query was executing — the caller still serves the result, it
-        just must not be replayed to later queriers.
+        Returns False (and counts it) when the population moved on — or a
+        standing subscription's delta floor did — while the query was
+        executing: the caller still serves the result, it just must not be
+        replayed to later queriers.
         """
         if not self.enabled:
             return False
-        if entry.version != self.population.version:
-            self.stats.stale_results_dropped += 1
-            return False
         key = descriptor.canonical()
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        self.stats.insertions += 1
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        return True
+        with self._lock:
+            if entry.version != self.population.version:
+                self.stats.stale_results_dropped += 1
+                return False
+            if entry.version < self._floors.get(key, 0):
+                self.stats.coherence_refusals += 1
+                return False
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.stats.insertions += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return True
 
     # ------------------------------------------------------------------
+    def note_delta(self, key: str, version: int) -> None:
+        """Raise ``key``'s version floor: a subscriber saw a delta at it.
+
+        Called by the standing registry in the same synchronous listener
+        chain that folds the delta. Any cached entry predating ``version``
+        is purged immediately; later ``get``/``put`` attempts below the
+        floor are refused even if the entry's version matches the
+        population (the wire-fed case, where deltas arrive without a local
+        membership event).
+        """
+        with self._lock:
+            if version <= self._floors.get(key, 0):
+                return
+            self._floors[key] = version
+            entry = self._entries.get(key)
+            if entry is not None and entry.version < version:
+                del self._entries[key]
+                self.stats.coherence_refusals += 1
+
     def _on_population_event(
         self, event: str, pds_id: int, version: int
     ) -> None:
         """Exact invalidation: every pre-event entry dies with the event."""
-        if not self._entries:
-            return
-        purged = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += purged
+        with self._lock:
+            if not self._entries:
+                return
+            purged = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += purged

@@ -33,8 +33,8 @@ from repro.globalq.protocol import PdsNode, TokenFleet
 from repro.net.runtime import ChurnModel, NodeRuntime
 from repro.workloads.people import CITIES, PersonRecord
 
-#: Listener signature: (event, pds_id, new_version). ``event`` is "churn"
-#: or "forget".
+#: Listener signature: (event, pds_id, new_version). ``event`` is "churn",
+#: "forget" or "update".
 PopulationListener = Callable[[str, int, int], None]
 
 
@@ -57,6 +57,7 @@ class ServicePopulation:
         self._listeners: list[PopulationListener] = []
         self.churn_events = 0
         self.forget_events = 0
+        self.update_events = 0
 
     def __len__(self) -> int:
         return len(self._nodes)
@@ -67,6 +68,16 @@ class ServicePopulation:
 
     def is_online(self, pds_id: int) -> bool:
         return self._online[pds_id]
+
+    def node(self, pds_id: int) -> PdsNode:
+        """The current node object for ``pds_id`` (delta emitters read it)."""
+        return self._nodes[pds_id]
+
+    def online_nodes(self):
+        """Iterate the online nodes in population order (no snapshot copy)."""
+        for node, online in zip(self._nodes, self._online):
+            if online:
+                yield node
 
     def add_listener(self, listener: PopulationListener) -> None:
         self._listeners.append(listener)
@@ -107,6 +118,19 @@ class ServicePopulation:
         self.forget_events += 1
         self._notify("forget", pds_id)
         return removed
+
+    def update_records(self, pds_id: int, records) -> None:
+        """Replace a citizen's records (the insert/update mutation).
+
+        Copy-on-write like :meth:`forget`: in-flight snapshots keep the old
+        node object. Standing subscriptions see the change as an "update"
+        event and emit the encrypted delta moving the PDS's contribution
+        from its old records to ``records``.
+        """
+        node = self._nodes[pds_id]
+        self._nodes[pds_id] = PdsNode(pds_id=node.pds_id, records=list(records))
+        self.update_events += 1
+        self._notify("update", pds_id)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> PopulationSnapshot:

@@ -33,14 +33,20 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro import obs
-from repro.errors import NetError
+from repro.crypto.paillier import PaillierPublicKey
+from repro.errors import NetError, ProtocolError, QueryError
+from repro.globalq.continuous import WindowSpec
 from repro.globalq.parallel import DEFAULT_SHARD_SIZE, WorkerPool
 from repro.net.codec import (
+    KIND_DELTA,
     KIND_QUERY,
     KIND_REJECT,
     KIND_RESULT,
+    KIND_SUBSCRIBE,
     KIND_TELEMETRY,
+    KIND_UPDATE,
     Frame,
+    decode_delta,
     decode_json_payload,
     encode_json_payload,
 )
@@ -50,6 +56,7 @@ from repro.service.cache import CacheEntry, ResultCache
 from repro.service.descriptor import QueryDescriptor, derive_seed
 from repro.service.population import PopulationSnapshot, ServicePopulation
 from repro.service.reference import run_query
+from repro.service.standing import StandingRegistry
 from repro.workloads.people import CITIES
 
 
@@ -141,6 +148,11 @@ class SsiQueryService:
             telemetry.recorder.registry = self.registry
         self.admission = AdmissionController(self.config.max_queue_depth)
         self.cache = ResultCache(self.config.cache_capacity, population)
+        #: Standing subscriptions: encrypted delta-maintenance of live
+        #: windowed aggregates, coherent with the cache by construction.
+        self.standing = StandingRegistry(
+            population, cache=self.cache, registry=self.registry
+        )
         self.registry.register_stats("service.admission", self.admission.stats)
         self.registry.register_stats("service.cache", self.cache.stats)
         self._workers: list[asyncio.Task] = []
@@ -426,6 +438,15 @@ class SsiQueryService:
                     task = asyncio.ensure_future(
                         self._answer_frame(endpoint, frame, seq)
                     )
+                elif frame.kind == KIND_SUBSCRIBE:
+                    seq += 1
+                    task = asyncio.ensure_future(
+                        self._answer_subscribe(endpoint, frame, seq)
+                    )
+                elif frame.kind == KIND_DELTA:
+                    # Fire-and-forget: fold synchronously, no reply frame.
+                    self._ingest_delta(frame)
+                    continue
                 else:
                     continue
                 dispatched.add(task)
@@ -503,3 +524,105 @@ class SsiQueryService:
                     trace=child,
                 )
                 await endpoint.send(frame.sender, reply)
+
+    # ------------------------------------------------------------------
+    # Standing queries over the wire
+    # ------------------------------------------------------------------
+    async def _answer_subscribe(self, endpoint, frame: Frame, seq: int) -> None:
+        """Register a standing query from a ``SUBSCRIBE`` frame.
+
+        The payload is the canonical descriptor dict plus ``window``
+        (width/slide), the querier's public modulus ``public_n`` (hex) and
+        an optional ``start``. Wire subscriptions are wire-fed: the PDSs
+        push their own ``DELTA`` frames, the service only folds. The reply
+        echoes the subscription id and the population version, or a
+        ``REJECT`` with the validation error.
+        """
+        request = decode_json_payload(frame.payload)
+        request_id = request.get("request_id")
+        try:
+            descriptor = QueryDescriptor.from_dict(request)
+            spec = WindowSpec.from_dict(request.get("window") or {})
+            public_n = int(request["public_n"], 16)
+            public = PaillierPublicKey(n=public_n, n_squared=public_n * public_n)
+            sub = self.standing.subscribe(
+                descriptor,
+                spec,
+                public,
+                start=request.get("start"),
+                requester=frame.sender,
+                local_source=bool(request.get("local_source", False)),
+            )
+        except (KeyError, ValueError, QueryError, ProtocolError) as exc:
+            reply = Frame(
+                kind=KIND_REJECT,
+                sender=endpoint.name,
+                seq=seq,
+                payload=encode_json_payload(
+                    {"request_id": request_id, "error": str(exc)}
+                ),
+            )
+            await endpoint.send(frame.sender, reply)
+            return
+        self.registry.counter("service.subscriptions").inc()
+        reply = Frame(
+            kind=KIND_SUBSCRIBE,
+            sender=endpoint.name,
+            seq=seq,
+            payload=encode_json_payload(
+                {
+                    "request_id": request_id,
+                    "subscription": sub.sub_id,
+                    "version": self.population.version,
+                    "start": sub.start,
+                    "window": sub.spec.to_dict(),
+                }
+            ),
+        )
+        await endpoint.send(frame.sender, reply)
+
+    def _ingest_delta(self, frame: Frame) -> None:
+        """Fold one wire ``DELTA`` frame; malformed frames are counted."""
+        try:
+            sub_id, delta = decode_delta(frame.payload)
+            self.standing.ingest(sub_id, delta)
+        except ProtocolError:
+            self.registry.counter("globalq.delta.rejected").inc()
+
+    async def publish_windows(self, now: int, endpoint=None) -> int:
+        """Advance simulated time; push ``UPDATE`` frames to subscribers.
+
+        Every subscription with a wire ``requester`` gets one ``UPDATE``
+        frame per sealed boundary (ciphertexts hex-encoded in the JSON
+        control payload — the querier, the only key holder, decrypts).
+        Returns the number of updates published.
+        """
+        published = self.standing.advance(now)
+        sent = 0
+        for sub_id, updates in published.items():
+            sub = self.standing.subscription(sub_id)
+            sent += len(updates)
+            if endpoint is None or sub.requester is None:
+                continue
+            for update in updates:
+                frame = Frame(
+                    kind=KIND_UPDATE,
+                    sender=endpoint.name,
+                    seq=update.index,
+                    payload=encode_json_payload(
+                        {
+                            "subscription": sub_id,
+                            "index": update.index,
+                            "window_start": update.window_start,
+                            "window_end": update.window_end,
+                            "live_value": f"{update.live_value:x}",
+                            "live_count": f"{update.live_count:x}",
+                            "window_value": f"{update.window_value:x}",
+                            "window_count": f"{update.window_count:x}",
+                            "deltas": update.deltas,
+                            "version": update.version,
+                        }
+                    ),
+                )
+                await endpoint.send(sub.requester, frame)
+        return sent

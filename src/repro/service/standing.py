@@ -1,0 +1,300 @@
+"""Standing-query registry: the SSI side of encrypted delta-maintenance.
+
+:class:`StandingRegistry` plugs :mod:`repro.globalq.continuous` into the
+live service stack. It listens on the same synchronous
+:class:`~repro.service.population.ServicePopulation` event chain as the
+result cache, so every churn flip, ``forget()`` and record update becomes
+an encrypted delta *in the same call that bumped the version* — folded
+into every matching subscription's window state before any concurrent
+query can observe the new membership. Coherence with the recollection path
+is kept by raising the cache's per-descriptor version floor
+(:meth:`ResultCache.note_delta`) as each delta folds.
+
+Time is simulated (:class:`SimClock`): the driver — bench E27, the stateful
+tests, or a wire server loop — stamps deltas with ``clock.now`` and calls
+:meth:`advance` to seal panes, collecting one
+:class:`~repro.globalq.continuous.WindowUpdate` per boundary. Each sealed
+window runs under a ``globalq.window`` span and the ``globalq.delta.*``
+metrics family counts emitted/folded/duplicate deltas, their ciphertext
+bytes, and sealed windows.
+
+Subscriptions come in two flavours:
+
+* **local** — the registry owns a :class:`DeltaEmitter` and computes deltas
+  from the population's plaintext nodes (the in-process simulation, where
+  the registry plays every PDS's token);
+* **wire-fed** — deltas arrive as ``DELTA`` frames from real PDS endpoints
+  (:meth:`ingest`); the registry only folds ciphertexts and cannot see
+  plaintext at all, which is the deployment story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.crypto.paillier import PaillierPublicKey
+from repro.errors import ProtocolError, QueryError
+from repro.globalq.continuous import (
+    DeltaEmitter,
+    EncryptedDelta,
+    StandingQuery,
+    WindowSpec,
+    WindowUpdate,
+    recollect,
+    stamp_version,
+)
+from repro.service.cache import ResultCache
+from repro.service.descriptor import FAMILY_SECURE_AGG, QueryDescriptor
+from repro.service.population import ServicePopulation
+
+
+class SimClock:
+    """Monotone simulated time the delta/window machinery runs on."""
+
+    def __init__(self, now: int = 0) -> None:
+        self.now = now
+
+    def advance(self, to: int) -> None:
+        if to < self.now:
+            raise ProtocolError(f"clock moved backwards: {to} < {self.now}")
+        self.now = to
+
+
+@dataclass
+class StandingSubscription:
+    """One registered standing query and its delta-stream accounting."""
+
+    sub_id: int
+    descriptor: QueryDescriptor
+    spec: WindowSpec
+    standing: StandingQuery
+    #: Local subscriptions compute their own deltas; wire-fed ones are None.
+    emitter: DeltaEmitter | None
+    #: Cache key (canonical descriptor) whose floor delta folds raise.
+    key: str = ""
+    #: Wire subscriber address UPDATE frames go to (None = in-process).
+    requester: str | None = None
+    #: Updates published at sealed boundaries, oldest first (the in-process
+    #: consumer pops these; the wire path also sends them as frames).
+    updates: list[WindowUpdate] = field(default_factory=list)
+    deltas_emitted: int = 0
+    delta_bytes: int = 0
+    start: int = 0
+
+
+class StandingRegistry:
+    """All standing subscriptions of one service instance."""
+
+    def __init__(
+        self,
+        population: ServicePopulation,
+        cache: ResultCache | None = None,
+        registry: obs.MetricsRegistry | None = None,
+        clock: SimClock | None = None,
+    ) -> None:
+        self.population = population
+        self.cache = cache
+        self.registry = registry or obs.MetricsRegistry()
+        self.clock = clock or SimClock()
+        self._subs: dict[int, StandingSubscription] = {}
+        self._next_id = 1
+        population.add_listener(self._on_population_event)
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def subscription(self, sub_id: int) -> StandingSubscription:
+        try:
+            return self._subs[sub_id]
+        except KeyError:
+            raise ProtocolError(f"unknown subscription {sub_id}") from None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(descriptor: QueryDescriptor) -> None:
+        if descriptor.family != FAMILY_SECURE_AGG:
+            raise QueryError(
+                "standing queries run the secure-aggregation family "
+                f"(got {descriptor.family!r})"
+            )
+        if descriptor.query.group_by is not None:
+            raise QueryError(
+                "delta maintenance serves scalar aggregates (no GROUP BY)"
+            )
+        if descriptor.noise_mode != "none":
+            raise QueryError("standing queries take no noise parameters")
+
+    def subscribe(
+        self,
+        descriptor: QueryDescriptor,
+        spec: WindowSpec,
+        public: PaillierPublicKey,
+        start: int | None = None,
+        requester: str | None = None,
+        emitter_seed: int = 0,
+        local_source: bool = True,
+    ) -> StandingSubscription:
+        """Register a standing query; bootstraps from the online population.
+
+        The bootstrap is itself a delta stream: one ``Enc(contribution)``
+        per online PDS at ``start`` (their previous contribution was 0), so
+        the very first sealed window already equals full recollection.
+        Wire-fed subscriptions (``local_source=False``) skip it — their
+        PDSs push their own bootstrap deltas as ``DELTA`` frames.
+        """
+        self._validate(descriptor)
+        if start is None:
+            start = self.clock.now
+        standing = StandingQuery(
+            query=descriptor.query,
+            spec=spec,
+            public_n=public.n,
+            start=start,
+        )
+        emitter = None
+        if local_source:
+            emitter = DeltaEmitter(
+                public, descriptor.query, seed=emitter_seed
+            )
+        sub = StandingSubscription(
+            sub_id=self._next_id,
+            descriptor=descriptor,
+            spec=spec,
+            standing=standing,
+            emitter=emitter,
+            key=descriptor.canonical(),
+            requester=requester,
+            start=start,
+        )
+        self._next_id += 1
+        self._subs[sub.sub_id] = sub
+        if emitter is not None:
+            with obs.span(
+                "globalq.subscribe",
+                subscription=sub.sub_id,
+                population=len(self.population),
+                start=start,
+            ):
+                for node in self.population.online_nodes():
+                    delta = emitter.refresh(node, True, start)
+                    if delta is not None:
+                        self._fold(sub, delta)
+        self.registry.gauge("globalq.delta.subscriptions").set(len(self._subs))
+        return sub
+
+    def unsubscribe(self, sub_id: int) -> None:
+        self._subs.pop(sub_id, None)
+        self.registry.gauge("globalq.delta.subscriptions").set(len(self._subs))
+
+    # ------------------------------------------------------------------
+    # The delta stream
+    # ------------------------------------------------------------------
+    def _fold(self, sub: StandingSubscription, delta: EncryptedDelta) -> bool:
+        folded = sub.standing.fold(delta)
+        size = delta.ciphertext_bytes(sub.standing.state.n_squared)
+        sub.deltas_emitted += 1
+        sub.delta_bytes += size
+        self.registry.counter("globalq.delta.emitted").inc()
+        self.registry.counter("globalq.delta.bytes").inc(size)
+        if folded:
+            self.registry.counter("globalq.delta.folded").inc()
+        else:
+            self.registry.counter("globalq.delta.duplicates").inc()
+        return folded
+
+    def _on_population_event(
+        self, event: str, pds_id: int, version: int
+    ) -> None:
+        """Churn/forget/update -> one delta per affected local subscription.
+
+        Runs synchronously inside :meth:`ServicePopulation._notify`, i.e.
+        atomically with the version bump and the cache purge — the property
+        the coherence regression pins.
+        """
+        if not self._subs:
+            return
+        node = self.population.node(pds_id)
+        online = self.population.is_online(pds_id)
+        for sub in self._subs.values():
+            if sub.emitter is None:
+                continue
+            delta = sub.emitter.refresh(node, online, self.clock.now)
+            if delta is None:
+                continue
+            self._fold(sub, delta)
+            if self.cache is not None:
+                self.cache.note_delta(sub.key, version)
+
+    def ingest(self, sub_id: int, delta: EncryptedDelta) -> bool:
+        """Fold a wire-fed delta (a decoded ``DELTA`` frame payload).
+
+        The delta outruns the service's membership mirror — no local
+        population event accompanies it — so the cache floor is raised
+        *above* the current version: recollection answers for this
+        descriptor stop being cacheable until the population itself moves.
+        """
+        sub = self.subscription(sub_id)
+        folded = self._fold(sub, delta)
+        if folded and self.cache is not None:
+            self.cache.note_delta(sub.key, self.population.version + 1)
+        return folded
+
+    # ------------------------------------------------------------------
+    # Window sealing
+    # ------------------------------------------------------------------
+    def advance(self, now: int) -> dict[int, list[WindowUpdate]]:
+        """Move simulated time; seal every crossed boundary per subscription.
+
+        Returns the newly published updates keyed by subscription id (also
+        appended to each subscription's ``updates`` list), each stamped
+        with the publication-time population version.
+        """
+        self.clock.advance(now)
+        version = self.population.version
+        published: dict[int, list[WindowUpdate]] = {}
+        for sub in self._subs.values():
+            updates = sub.standing.advance(now)
+            if not updates:
+                continue
+            stamped = []
+            for update in updates:
+                update = stamp_version(update, version)
+                with obs.span(
+                    "globalq.window",
+                    subscription=sub.sub_id,
+                    index=update.index,
+                    window_start=update.window_start,
+                    window_end=update.window_end,
+                    deltas=update.deltas,
+                ):
+                    obs.event(
+                        "globalq.window.sealed",
+                        subscription=sub.sub_id,
+                        index=update.index,
+                        version=version,
+                    )
+                stamped.append(update)
+                self.registry.counter("globalq.delta.windows").inc()
+            sub.updates.extend(stamped)
+            published[sub.sub_id] = stamped
+        return published
+
+    # ------------------------------------------------------------------
+    # The differential reference
+    # ------------------------------------------------------------------
+    def reference(self, sub_id: int) -> tuple[int, int]:
+        """Plaintext full recollection for one subscription, right now."""
+        sub = self.subscription(sub_id)
+        return recollect(
+            self.population.online_nodes(), sub.descriptor.query
+        )
+
+
+__all__ = [
+    "SimClock",
+    "StandingRegistry",
+    "StandingSubscription",
+]

@@ -151,6 +151,10 @@ class TimeSeriesStore:
         if t0 > t1:
             raise QueryError("range start must be <= range end")
         stats = RangeStats()
+        # Published up front (and mutated in place) so a caller observing
+        # mid-query — or after an exception — sees this query's reads, not
+        # the previous query's completed breakdown.
+        self.last_range = stats
         count = 0
         total = 0.0
         minimum: float | None = None
@@ -189,7 +193,6 @@ class TimeSeriesStore:
             if t0 <= timestamp <= t1:
                 fold(value)
 
-        self.last_range = stats
         if aggregate == "COUNT":
             return float(count)
         if count == 0:
@@ -205,20 +208,34 @@ class TimeSeriesStore:
     def windows(
         self, t0: int, t1: int, width: int, aggregate: str = "AVG"
     ) -> list[tuple[int, float | None]]:
-        """Tumbling-window aggregates over ``[t0, t1)`` (window start, agg)."""
+        """Tumbling-window aggregates over ``[t0, t1)`` (window start, agg).
+
+        ``last_range`` afterwards holds the *whole sweep's* page reads.
+        Each window is one :meth:`range_aggregate` call, which used to
+        leave only the final window's breakdown behind — an E12 report
+        over a 10-window sweep silently under-counted IO by ~10×.
+        """
         if width <= 0:
             raise QueryError("window width must be positive")
         results = []
+        sweep = RangeStats()
         start = t0
         while start < t1:
             end = min(start + width - 1, t1 - 1)
             results.append((start, self.range_aggregate(start, end, aggregate)))
+            sweep.summary_pages += self.last_range.summary_pages
+            sweep.data_pages += self.last_range.data_pages
             start += width
+        self.last_range = sweep
         return results
 
     def scan_range(self, t0: int, t1: int):
         """Yield raw ``(timestamp, value)`` points inside the range."""
         stats = RangeStats()
+        # Published before the first yield: a partially consumed generator
+        # used to leave the *previous* query's stats in last_range, so the
+        # pages it did read were attributed to nothing.
+        self.last_range = stats
         for summary in self._iter_summaries(stats):
             if summary.last_ts < t0 or summary.first_ts > t1:
                 continue
@@ -228,4 +245,3 @@ class TimeSeriesStore:
         for timestamp, value in self._buffered_points():
             if t0 <= timestamp <= t1:
                 yield timestamp, value
-        self.last_range = stats

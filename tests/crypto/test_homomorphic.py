@@ -130,6 +130,83 @@ class TestPaillierProperties:
         assert legacy.decrypt(ciphertext) == 4321
 
 
+class TestNegationSignedSeam:
+    """The delta-maintenance seam: ``Enc(-x)`` composed with
+    ``decrypt_signed``'s ``n // 2`` convention must round-trip exactly —
+    via plaintext negation (``n - x``), ciphertext inversion
+    (:meth:`negate`) and ``multiply_plain(-1)`` alike."""
+
+    def test_negate_inverts_a_ciphertext(self):
+        rng = random.Random(11)
+        for x in (0, 1, 12345, PUB.n // 2):
+            assert PRIV.decrypt_signed(PUB.negate(PUB.encrypt(x, rng))) == (
+                -x if x <= PUB.n // 2 else x
+            )
+
+    def test_three_negation_routes_agree(self):
+        rng = random.Random(12)
+        x = 987654321
+        routes = (
+            PUB.encrypt(-x, rng),  # plaintext negation: -x ≡ n - x
+            PUB.negate(PUB.encrypt(x, rng)),  # ciphertext inverse
+            PUB.multiply_plain(PUB.encrypt(x, rng), -1),  # exponent n - 1
+        )
+        assert [PRIV.decrypt_signed(c) for c in routes] == [-x] * 3
+
+    def test_delta_identity_enc_new_times_enc_old_inverse(self):
+        """``Enc(new) · Enc(old)^-1`` decrypts (signed) to ``new - old``."""
+        rng = random.Random(13)
+        for new, old in ((0, 7), (7, 0), (5, 5), (3, 2**40), (2**40, 3)):
+            delta = PUB.add(
+                PUB.encrypt(new, rng), PUB.negate(PUB.encrypt(old, rng))
+            )
+            assert PRIV.decrypt_signed(delta) == new - old
+
+    @given(
+        st.lists(
+            st.integers(min_value=-(2**40), max_value=2**40),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_signed_delta_folds_exactly(self, deltas):
+        """A fold of signed deltas decrypts to the exact integer sum —
+        the window-state invariant of the standing-query protocol."""
+        rng = random.Random(len(deltas))
+        folded = 1  # Enc(0) with blinding 1: the fold identity
+        for delta in deltas:
+            folded = PUB.add(folded, PUB.encrypt(delta, rng))
+        assert PRIV.decrypt_signed(folded) == sum(deltas)
+
+    @given(st.integers(min_value=0, max_value=2**48))
+    @settings(max_examples=25, deadline=None)
+    def test_property_retraction_cancels_exactly(self, x):
+        """Contribute then forget: the fold returns to exactly Enc(0)."""
+        rng = random.Random(x)
+        folded = PUB.add(PUB.encrypt(x, rng), PUB.encrypt(-x, rng))
+        assert PRIV.decrypt(folded) == 0
+        assert PRIV.decrypt_signed(folded) == 0
+
+    def test_signed_boundary_of_a_fold(self):
+        """Folds landing exactly on ±n//2 keep their sign convention."""
+        rng = random.Random(14)
+        half = PUB.n // 2
+        up = PUB.add(PUB.encrypt(half - 1, rng), PUB.encrypt(1, rng))
+        assert PRIV.decrypt_signed(up) == half
+        down = PUB.add(PUB.encrypt(-half, rng), PUB.encrypt(0, rng))
+        assert PRIV.decrypt_signed(down) == -half
+        # One past the positive boundary wraps negative — the documented
+        # cliff of the n//2 convention (n is odd: the range is symmetric).
+        over = PUB.add(PUB.encrypt(half, rng), PUB.encrypt(1, rng))
+        assert PRIV.decrypt_signed(over) == half + 1 - PUB.n
+
+    def test_add_plain_negative_matches_signed_decrypt(self):
+        rng = random.Random(15)
+        c = PUB.add_plain(PUB.encrypt(10, rng), -32)
+        assert PRIV.decrypt_signed(c) == -22
+
+
 class TestRsa:
     def test_roundtrip(self):
         for message in (0, 1, 123456789):

@@ -40,6 +40,21 @@ class TestFrame:
         frame = Frame(kind, "pds-42", 7, b"payload")
         assert decode_frame(encode_frame(frame)) == frame
 
+    def test_standing_kinds_preserve_the_trace_block(self):
+        """SUBSCRIBE/DELTA/UPDATE frames round-trip as v2 traced frames —
+        the delta stream joins distributed traces like any other traffic."""
+        from repro.net.codec import KIND_DELTA, KIND_SUBSCRIBE, KIND_UPDATE
+        from repro.obs.telemetry import TraceContext
+
+        context = TraceContext(trace_id=77, parent_span_id=5, sampled=True)
+        for kind in (KIND_SUBSCRIBE, KIND_DELTA, KIND_UPDATE):
+            frame = Frame(kind, "pds-1", 9, b"\x01\x02", trace=context)
+            decoded = decode_frame(encode_frame(frame))
+            assert decoded.kind == kind
+            assert decoded.payload == b"\x01\x02"
+            assert decoded.trace is not None
+            assert decoded.trace.to_bytes() == context.to_bytes()
+
     def test_empty_payload(self):
         frame = Frame(KIND_ACK, "ssi", 0)
         assert decode_frame(encode_frame(frame)) == frame

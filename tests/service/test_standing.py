@@ -1,0 +1,270 @@
+"""Standing subscriptions at the service: wire frames + cache coherence.
+
+Covers the two service-side seams of the delta-maintenance PR:
+
+* the SUBSCRIBE/DELTA/UPDATE wire path — a querier registers a standing
+  query by frame, PDS deltas fold over the wire, boundary updates come
+  back as frames the querier decrypts;
+* the satellite-2 regression — a ``forget()`` landing between a worker's
+  dequeue-time cache re-check and its ``put()`` must not let a cached
+  result be served (or inserted) for a version a subscriber already saw a
+  delta supersede. The purge, the delta fold and the floor raise all run
+  in one synchronous listener chain, and get/put are atomic against it.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.crypto.paillier import generate_keypair
+from repro.globalq.continuous import (
+    DeltaEmitter,
+    StandingView,
+    WindowSpec,
+    recollect,
+    update_from_wire,
+)
+from repro.globalq.queries import AggregateQuery
+from repro.net.bus import MessageBus
+from repro.net.codec import (
+    KIND_DELTA,
+    KIND_SUBSCRIBE,
+    KIND_UPDATE,
+    Frame,
+    decode_json_payload,
+    encode_delta,
+    encode_json_payload,
+)
+from repro.service import (
+    CacheEntry,
+    QueryDescriptor,
+    ResultCache,
+    ServiceConfig,
+    SsiQueryService,
+    slim_population,
+)
+from repro.service.descriptor import FAMILY_SECURE_AGG
+from repro.service.standing import StandingRegistry
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+PUBLIC, PRIVATE = generate_keypair(bits=128, rng=random.Random(99))
+SUM = QueryDescriptor(FAMILY_SECURE_AGG, AggregateQuery.sum("salary"))
+COUNT = QueryDescriptor(FAMILY_SECURE_AGG, AggregateQuery.count())
+
+
+class TestRegistryCoherence:
+    """The ResultCache must never serve across a folded delta."""
+
+    def test_forget_purges_and_raises_the_floor(self):
+        population = slim_population(20)
+        cache = ResultCache(8, population)
+        registry = StandingRegistry(population, cache=cache)
+        registry.subscribe(SUM, WindowSpec(width=4), PUBLIC)
+        entry = CacheEntry(
+            version=population.version, result={"*": 1.0}, seed=0
+        )
+        assert cache.put(SUM, entry) is True
+        assert cache.get(SUM) is entry
+        # The forget's listener chain purges AND raises the floor before
+        # _notify returns — by the time any thread observes the new
+        # version, the stale entry is unservable.
+        population.forget(5)
+        assert cache.get(SUM) is None
+        # Satellite-2 interleaving: a worker that re-checked the cache
+        # before the forget now finishes and puts its (old-version)
+        # result — the atomic version check refuses it.
+        assert cache.put(SUM, entry) is False
+        assert cache.stats.stale_results_dropped == 1
+
+    def test_floor_refuses_entries_at_a_superseded_version(self):
+        """A delta without a membership event (wire-fed) blocks caching."""
+        population = slim_population(10)
+        cache = ResultCache(8, population)
+        registry = StandingRegistry(population, cache=cache)
+        sub = registry.subscribe(
+            COUNT, WindowSpec(width=2), PUBLIC, local_source=False
+        )
+        emitter = DeltaEmitter(PUBLIC, COUNT.query, seed=1)
+        delta = emitter.refresh(population.node(0), True, 0)
+        registry.ingest(sub.sub_id, delta)
+        # The floor is now version+1: an entry at the *current* version is
+        # still refused, because the subscriber's view is already ahead.
+        entry = CacheEntry(
+            version=population.version, result={"*": 10.0}, seed=0
+        )
+        assert cache.put(COUNT, entry) is False
+        assert cache.stats.coherence_refusals >= 1
+        # Once the population itself moves, caching resumes.
+        population.set_online(1, False)
+        entry = CacheEntry(
+            version=population.version, result={"*": 9.0}, seed=0
+        )
+        assert cache.put(COUNT, entry) is True
+
+    def test_get_purges_below_floor(self):
+        population = slim_population(10)
+        cache = ResultCache(8, population)
+        entry = CacheEntry(
+            version=population.version, result={"*": 1.0}, seed=0
+        )
+        cache.put(SUM, entry)
+        # Simulate a wire delta raising the floor with no version bump.
+        cache.note_delta(SUM.canonical(), population.version + 1)
+        assert cache.get(SUM) is None
+        assert cache.stats.coherence_refusals >= 1
+
+    def test_churn_interleaving_under_service_load(self):
+        """End-to-end: churn + standing subscription + concurrent queries.
+
+        Every non-cached answer must equal plaintext recollection at its
+        recorded version... and every *cached* answer must reflect the
+        population state the subscriber's folded aggregate reflects — no
+        hit may straddle a folded delta.
+        """
+
+        async def scenario():
+            population = slim_population(60)
+            service = SsiQueryService(
+                population,
+                ServiceConfig(
+                    max_in_flight=2, cache_capacity=8, record_snapshots=True
+                ),
+            )
+            sub = service.standing.subscribe(SUM, WindowSpec(width=4), PUBLIC)
+            service.start()
+            rng = random.Random(5)
+            answers = []
+            for step in range(1, 13):
+                if rng.random() < 0.5:
+                    population.forget(rng.randrange(len(population)))
+                else:
+                    pds = rng.randrange(len(population))
+                    population.set_online(pds, not population.is_online(pds))
+                served = await service.submit(SUM)
+                folded = PRIVATE.decrypt_signed(sub.standing.current()[0])
+                answers.append((served, folded, population.version))
+                service.standing.advance(step)
+            await service.stop()
+            return answers
+
+        for served, folded, version in run(scenario()):
+            # The folded ciphertext state and the served aggregate describe
+            # the same population state whenever the answer is current.
+            if served.version == version:
+                assert served.result.get("*", 0.0) == float(folded)
+
+
+class TestWireStandingPath:
+    def test_subscribe_delta_update_round_trip(self):
+        async def scenario():
+            bus = MessageBus()
+            ssi = bus.register("ssi")
+            querier = bus.register("querier")
+            pds = bus.register("pds-0")
+            population = slim_population(12)
+            service = SsiQueryService(population, ServiceConfig())
+            service.start()
+            server = asyncio.ensure_future(service.serve_endpoint(ssi))
+
+            request = dict(
+                SUM.to_dict(),
+                request_id=1,
+                window={"width": 2, "slide": 2},
+                public_n=f"{PUBLIC.n:x}",
+                start=0,
+            )
+            await querier.send(
+                "ssi",
+                Frame(KIND_SUBSCRIBE, "querier", 1, encode_json_payload(request)),
+            )
+            ack = await querier.recv(timeout=5.0)
+            body = decode_json_payload(ack.payload)
+            sub_id = body["subscription"]
+
+            # The PDS fleet pushes its own bootstrap deltas over the wire.
+            emitter = DeltaEmitter(PUBLIC, SUM.query, seed=2)
+            for node in population.online_nodes():
+                delta = emitter.refresh(node, True, 0)
+                await pds.send(
+                    "ssi",
+                    Frame(KIND_DELTA, "pds-0", delta.pds_id, encode_delta(sub_id, delta)),
+                )
+            await asyncio.sleep(0.05)  # let the receive loop drain
+            sent = await service.publish_windows(2, endpoint=ssi)
+            update_frame = await querier.recv(timeout=5.0)
+
+            server.cancel()
+            try:
+                await server
+            except asyncio.CancelledError:
+                pass
+            await service.stop()
+            return population, ack, sent, update_frame
+
+        population, ack, sent, update_frame = run(scenario())
+        assert ack.kind == KIND_SUBSCRIBE
+        assert sent == 1
+        assert update_frame.kind == KIND_UPDATE
+        update = update_from_wire(decode_json_payload(update_frame.payload))
+        view = StandingView(PRIVATE, SUM.query)
+        window = view.ingest(update)
+        assert (window.total, window.count) == recollect(
+            population.online_nodes(), SUM.query
+        )
+
+    def test_malformed_subscribe_is_rejected(self):
+        async def scenario():
+            bus = MessageBus()
+            ssi = bus.register("ssi")
+            querier = bus.register("querier")
+            service = SsiQueryService(slim_population(5), ServiceConfig())
+            service.start()
+            server = asyncio.ensure_future(service.serve_endpoint(ssi))
+            bad = dict(
+                COUNT.to_dict(),
+                request_id=2,
+                window={"width": 10, "slide": 3},  # slide doesn't divide
+                public_n=f"{PUBLIC.n:x}",
+            )
+            await querier.send(
+                "ssi",
+                Frame(KIND_SUBSCRIBE, "querier", 1, encode_json_payload(bad)),
+            )
+            reply = await querier.recv(timeout=5.0)
+            server.cancel()
+            try:
+                await server
+            except asyncio.CancelledError:
+                pass
+            await service.stop()
+            return reply
+
+        reply = run(scenario())
+        body = decode_json_payload(reply.payload)
+        assert "error" in body
+
+    def test_malformed_delta_is_counted_not_fatal(self):
+        async def scenario():
+            bus = MessageBus()
+            ssi = bus.register("ssi")
+            pds = bus.register("pds-0")
+            service = SsiQueryService(slim_population(5), ServiceConfig())
+            service.start()
+            server = asyncio.ensure_future(service.serve_endpoint(ssi))
+            await pds.send("ssi", Frame(KIND_DELTA, "pds-0", 1, b"garbage"))
+            await asyncio.sleep(0.05)
+            rejected = service.registry.counter("globalq.delta.rejected").value
+            server.cancel()
+            try:
+                await server
+            except asyncio.CancelledError:
+                pass
+            await service.stop()
+            return rejected
+
+        assert run(scenario()) == 1

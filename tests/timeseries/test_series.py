@@ -100,6 +100,37 @@ class TestRangeAggregate:
         assert total == pytest.approx(sum(v for _, v in SERIES))
         assert store.last_range.data_pages == 0  # summaries suffice
 
+    def test_queries_across_the_flush_boundary(self):
+        """The open end of a window: flushed pages + the RAM tail.
+
+        Points appended since the last flush have no summary record yet;
+        a range straddling the flush boundary must still count every one
+        of them (pinned against a naive fold, all five aggregates).
+        """
+        store = TimeSeriesStore(make_allocator())
+        points = [(ts, float((ts * 7) % 31)) for ts in range(0, 120)]
+        for ts, value in points[:80]:
+            store.append(ts, value)
+        store.flush()
+        for ts, value in points[80:]:  # the unflushed RAM tail
+            store.append(ts, value)
+        assert store.data.buffered_records()  # the tail really is in RAM
+        for t0, t1 in [(60, 119), (79, 80), (0, 200), (85, 110)]:
+            for aggregate in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+                assert store.range_aggregate(
+                    t0, t1, aggregate
+                ) == pytest.approx(naive(points, t0, t1, aggregate))
+
+    def test_last_range_reset_even_when_nothing_is_read(self):
+        """Regression: a query over an empty region must not leave the
+        previous query's page counts in ``last_range``."""
+        store = load_series(SERIES)
+        store.range_aggregate(100, 900, "SUM")
+        assert store.last_range.total_pages > 0
+        store.range_aggregate(10**6, 10**6 + 1, "SUM")
+        # The new query read summary pages only to rule pages out.
+        assert store.last_range.data_pages == 0
+
 
 class TestWindows:
     def test_tumbling_windows(self):
@@ -113,12 +144,39 @@ class TestWindows:
         with pytest.raises(QueryError):
             store.windows(0, 100, width=0)
 
+    def test_sweep_accounts_every_window(self):
+        """Regression: ``last_range`` after ``windows()`` is the whole
+        sweep's IO, not the final window's (a 10-window E12 report used to
+        under-count page reads by ~10×)."""
+        store = load_series(SERIES)
+        per_window = []
+        start = 0
+        while start < 1000:
+            store.range_aggregate(start, start + 99, "SUM")
+            per_window.append(store.last_range.total_pages)
+            start += 100
+        store.windows(0, 1000, width=100, aggregate="SUM")
+        assert store.last_range.total_pages == sum(per_window)
+        assert store.last_range.total_pages > max(per_window)
+
 
 class TestScanRange:
     def test_points_in_order(self):
         store = load_series(SERIES)
         points = list(store.scan_range(200, 300))
         assert points == [(ts, v) for ts, v in SERIES if 200 <= ts <= 300]
+
+    def test_partial_consumption_reports_its_own_stats(self):
+        """Regression: a half-consumed scan used to leave the *previous*
+        query's stats in ``last_range``, attributing its reads to nothing."""
+        store = load_series(SERIES)
+        store.range_aggregate(0, 998, "SUM")
+        previous = store.last_range
+        scan = store.scan_range(200, 300)
+        next(scan)
+        assert store.last_range is not previous
+        assert store.last_range.data_pages >= 1  # the page it just read
+        scan.close()
 
 
 class TestDownsample:
