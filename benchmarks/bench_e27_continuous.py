@@ -161,7 +161,15 @@ def run_size(
     outcome = drive_timeline(
         registry, sub, private, ticks, events_per_tick, random.Random(97 + size)
     )
-    record_wall_clock(experiment, f"steady_{size}", time.perf_counter() - start)
+    steady_s = time.perf_counter() - start
+    record_wall_clock(experiment, f"steady_{size}", steady_s)
+    # Sustained fold rate of the steady phase — the deltas/sec trajectory
+    # E28 optimizes, tracked here across PRs at the one-fold-per-delta
+    # baseline for regression comparison.
+    steady_deltas = sub.deltas_emitted - bootstrap_deltas
+    experiment.meta.setdefault("steady_fold_rate_per_s", {})[str(size)] = (
+        round(steady_deltas / steady_s, 1) if steady_s > 0 else 0.0
+    )
 
     cipher_bytes = 2 * ((public.n_squared.bit_length() + 7) // 8)
     refreshes = max(1, outcome["windows"])

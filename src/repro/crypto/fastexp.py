@@ -42,6 +42,12 @@ DEFAULT_WINDOW = 5
 DEFAULT_STOCK_SIZE = 32
 DEFAULT_SUBSET_SIZE = 8
 
+#: Factors pregenerated when ``next()`` drains the ready queue. Refreshing
+#: in batches amortizes the bookkeeping without changing the factor
+#: stream: each refresh draws the same combines, in the same rng order, a
+#: serial caller would have drawn one at a time.
+DEFAULT_REFRESH_BATCH = 16
+
 
 def count_modexp(amount: int = 1) -> None:
     """Account ``amount`` full modular exponentiations in the registry."""
@@ -147,15 +153,19 @@ class BlindingPool:
         stock_size: int = DEFAULT_STOCK_SIZE,
         subset_size: int = DEFAULT_SUBSET_SIZE,
         window: int = DEFAULT_WINDOW,
+        refresh_batch: int = DEFAULT_REFRESH_BATCH,
     ) -> None:
         if stock_size < 2:
             raise ValueError("stock_size must be >= 2")
         if not 1 <= subset_size <= stock_size:
             raise ValueError("subset_size must be in [1, stock_size]")
+        if refresh_batch < 1:
+            raise ValueError("refresh_batch must be >= 1")
         self.n = n
         self.n_squared = n * n
         self.seed = seed
         self.subset_size = subset_size
+        self.refresh_batch = refresh_batch
         self._rng = random.Random(seed)
         # r_j = h^(e_j) for a seeded generator h, so every stock entry
         # r_j^n = (h^n)^(e_j) goes through one fixed-base table.
@@ -172,10 +182,23 @@ class BlindingPool:
         self._ready: deque[int] = deque()
 
     def next(self) -> int:
-        """One fresh blinding factor (a random stock-subset product)."""
-        if self._ready:
-            return self._ready.popleft()
-        return self._combine()
+        """One fresh blinding factor (a random stock-subset product).
+
+        A drained ready queue **refreshes** (another ``refresh_batch``
+        subset products — stock-combine work, no new exponentiation)
+        rather than falling back to slow-path encryption; the
+        ``pool.exhausted`` / ``pool.refreshed`` counter pair makes the
+        refresh pressure of a sustained delta storm visible in the
+        registry. The returned factor stream is identical either way:
+        refreshing draws the same combines in the same rng order a serial
+        caller would.
+        """
+        if not self._ready:
+            registry = global_registry()
+            registry.counter("pool.exhausted").inc()
+            self.pregenerate(self.refresh_batch)
+            registry.counter("pool.refreshed").inc(self.refresh_batch)
+        return self._ready.popleft()
 
     def _combine(self) -> int:
         indices = self._rng.sample(range(len(self.stock)), self.subset_size)

@@ -33,13 +33,16 @@ stateful tests and at every window boundary of bench E27).
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass, replace
 
+from repro import obs
 from repro.crypto.fastexp import BlindingPool
 from repro.crypto.paillier import PaillierPrivateKey, PaillierPublicKey
 from repro.errors import ProtocolError, QueryError
 from repro.globalq.queries import AggregateQuery, local_contributions
+from repro.obs import telemetry
 
 #: ``Enc(0)`` with blinding 1 — the multiplicative identity of the fold.
 CIPHER_IDENTITY = 1
@@ -245,9 +248,209 @@ class DeltaEmitter:
         )
 
 
+class DeltaBatcher:
+    """PDS-side coalescing of deltas before they hit the wire.
+
+    A busy PDS can change the same subscription's contribution many times
+    within one pane; shipping each change as its own frame makes the SSI
+    pay one fold (two ~|n²|-bit modmuls) per change. Additivity says the
+    changes compose: ``Enc(d1) · Enc(d2) = Enc(d1 + d2)``, so the batcher
+    multiplies successive deltas for the same ``(subscription, PDS)``
+    within a pane into one, carrying the *highest* sequence number seen
+    (the SSI's replay rule folds each sequence at most once, and skipping
+    intermediates is exactly what coalescing means). Coalescing never
+    crosses a pane boundary — each pane's product must stay bit-identical
+    to the uncoalesced fold, which is only guaranteed when merged deltas
+    land in the same pane.
+
+    :meth:`flush` drains the pending map in deterministic insertion order
+    as ``(subscription_id, delta)`` pairs ready for
+    :func:`repro.net.codec.encode_delta_batch`. Replayed or duplicated
+    sequence numbers are dropped at :meth:`add` — folding one into a
+    pending product would double-count before the SSI ever saw it.
+
+    Deltas must arrive in per-stream timestamp order (what a monotone
+    emitter clock guarantees): then each stream's per-pane max sequence
+    numbers are increasing in insertion order, and the SSI's replay rule
+    accepts every flushed entry.
+    """
+
+    def __init__(self, public_n: int, spec: WindowSpec, start: int = 0) -> None:
+        self.n_squared = public_n * public_n
+        self.spec = spec
+        self.start = start
+        self._pending: dict[tuple, EncryptedDelta] = {}
+        self._last_seq: dict[tuple, int] = {}
+        self.added = 0
+        self.coalesced = 0
+        self.duplicates = 0
+        self.flushed_batches = 0
+        self.flushed_deltas = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def add(self, subscription_id: int, delta: EncryptedDelta) -> bool:
+        """Queue one delta; False iff it replayed a known sequence."""
+        stream = (subscription_id, delta.pds_id)
+        if delta.seq <= self._last_seq.get(stream, 0):
+            self.duplicates += 1
+            return False
+        self._last_seq[stream] = delta.seq
+        pane = (delta.timestamp - self.start) // self.spec.pane_width
+        key = (subscription_id, delta.pds_id, pane)
+        pending = self._pending.get(key)
+        if pending is None:
+            self._pending[key] = delta
+        else:
+            self._pending[key] = EncryptedDelta(
+                pds_id=delta.pds_id,
+                seq=delta.seq,
+                timestamp=max(pending.timestamp, delta.timestamp),
+                value_cipher=pending.value_cipher
+                * delta.value_cipher
+                % self.n_squared,
+                count_cipher=pending.count_cipher
+                * delta.count_cipher
+                % self.n_squared,
+            )
+            self.coalesced += 1
+        self.added += 1
+        return True
+
+    def flush(self) -> list[tuple[int, EncryptedDelta]]:
+        """Drain pending deltas as batch entries (insertion order)."""
+        out = [(key[0], delta) for key, delta in self._pending.items()]
+        self._pending.clear()
+        if out:
+            self.flushed_batches += 1
+            self.flushed_deltas += len(out)
+        return out
+
+
 # ---------------------------------------------------------------------------
 # SSI side: the fold
 # ---------------------------------------------------------------------------
+#: Deltas per fold shard. Like :data:`repro.globalq.parallel.DEFAULT_SHARD_SIZE`
+#: it is fixed — never derived from the worker count — so shard geometry
+#: (and hence per-shard products) cannot depend on how many workers run.
+DEFAULT_FOLD_SHARD_SIZE = 256
+
+
+@dataclass(frozen=True)
+class FoldShardTask:
+    """One shard of a pane product: plain ints, picklable."""
+
+    shard_index: int
+    n_squared: int
+    value_ciphers: tuple
+    count_ciphers: tuple
+    #: Distributed trace context of the submitting span (or None).
+    trace: object = None
+
+
+def fold_shard(task: FoldShardTask):
+    """Fold one shard's ciphertext product — the unit both paths run.
+
+    Returns the ``(value_product, count_product)`` pair, wrapped in a
+    :class:`~repro.obs.telemetry.TracedResult` when the task's trace
+    context asked this worker process to record its execution span.
+    """
+    with telemetry.remote_recording(
+        task.trace, f"worker-{os.getpid()}"
+    ) as recording:
+        with obs.span(
+            "globalq.fold.shard.exec",
+            shard=task.shard_index,
+            deltas=len(task.value_ciphers),
+        ):
+            value = CIPHER_IDENTITY
+            count = CIPHER_IDENTITY
+            for cipher in task.value_ciphers:
+                value = value * cipher % task.n_squared
+            for cipher in task.count_ciphers:
+                count = count * cipher % task.n_squared
+            result = (value, count)
+    if recording is not None:
+        return recording.wrap(result)
+    return result
+
+
+class FoldEngine:
+    """Sharded, optionally pooled computation of a pane product.
+
+    Partitions a group of admitted deltas by the **seed-independent key**
+    ``pds_id % num_shards`` where ``num_shards`` follows only the group
+    size and ``shard_size`` — never the worker count — then folds each
+    shard's product (inline, or on a persistent
+    :class:`~repro.globalq.parallel.WorkerPool`) and merges the shard
+    products in shard order. Because ciphertext multiplication mod ``n²``
+    is commutative and associative, the merged product is bit-identical
+    to the serial fold at every ``(workers, shard_size)`` point — the
+    recollection exactness contract of PR 6, applied to the delta stream.
+    """
+
+    def __init__(
+        self,
+        n_squared: int,
+        pool=None,
+        shard_size: int = DEFAULT_FOLD_SHARD_SIZE,
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        self.n_squared = n_squared
+        self.pool = pool
+        self.shard_size = shard_size
+        self.shards_folded = 0
+
+    def partition(self, deltas) -> list[list[EncryptedDelta]]:
+        """Shard buckets; geometry depends on group size and shard_size only."""
+        num_shards = max(1, -(-len(deltas) // self.shard_size))
+        buckets: list[list[EncryptedDelta]] = [[] for _ in range(num_shards)]
+        for delta in deltas:
+            buckets[delta.pds_id % num_shards].append(delta)
+        return buckets
+
+    def product(self, deltas) -> tuple[int, int]:
+        """The group's ``(value, count)`` ciphertext product."""
+        buckets = self.partition(deltas)
+        trace = telemetry.propagated()
+        tasks = [
+            FoldShardTask(
+                shard_index=index,
+                n_squared=self.n_squared,
+                value_ciphers=tuple(d.value_cipher for d in bucket),
+                count_ciphers=tuple(d.count_cipher for d in bucket),
+                trace=trace,
+            )
+            for index, bucket in enumerate(buckets)
+        ]
+        value = CIPHER_IDENTITY
+        count = CIPHER_IDENTITY
+        if self.pool is None or len(tasks) == 1:
+            partials = [
+                (task, fold_shard(task)) for task in tasks
+            ]
+        else:
+            futures = [self.pool.submit(fold_shard, task) for task in tasks]
+            partials = [
+                (task, future.result())
+                for task, future in zip(tasks, futures)
+            ]
+        for task, partial in partials:
+            with obs.span(
+                "globalq.fold.shard",
+                shard=task.shard_index,
+                deltas=len(task.value_ciphers),
+            ) as shard_span:
+                shard_value, shard_count = telemetry.adopt(
+                    partial, shard_span
+                )
+            value = value * shard_value % self.n_squared
+            count = count * shard_count % self.n_squared
+            self.shards_folded += 1
+        return value, count
 class StandingAggregate:
     """The SSI's window state: sealed panes plus a live running fold.
 
@@ -276,8 +479,8 @@ class StandingAggregate:
         self._last_seq: dict[int, int] = {}
 
     # ------------------------------------------------------------------
-    def fold(self, delta: EncryptedDelta) -> bool:
-        """Multiply one delta into its pane; False iff a known duplicate."""
+    def _admit(self, delta: EncryptedDelta) -> int | None:
+        """Replay/lateness gate: the delta's pane index, or None if a dup."""
         if delta.timestamp < self.advanced_to:
             raise ProtocolError(
                 f"late delta at t={delta.timestamp} (sealed through "
@@ -285,17 +488,67 @@ class StandingAggregate:
             )
         if delta.seq <= self._last_seq.get(delta.pds_id, 0):
             self.duplicates += 1
-            return False
+            return None
         self._last_seq[delta.pds_id] = delta.seq
-        pane = (delta.timestamp - self.start) // self.spec.pane_width
+        return (delta.timestamp - self.start) // self.spec.pane_width
+
+    def _fold_into(self, pane: int, value: int, count: int, n: int) -> None:
         acc = self._open.get(pane)
         if acc is None:
             acc = self._open[pane] = [CIPHER_IDENTITY, CIPHER_IDENTITY, 0]
-        acc[0] = acc[0] * delta.value_cipher % self.n_squared
-        acc[1] = acc[1] * delta.count_cipher % self.n_squared
-        acc[2] += 1
-        self.deltas_folded += 1
+        acc[0] = acc[0] * value % self.n_squared
+        acc[1] = acc[1] * count % self.n_squared
+        acc[2] += n
+        self.deltas_folded += n
+
+    def fold(self, delta: EncryptedDelta) -> bool:
+        """Multiply one delta into its pane; False iff a known duplicate."""
+        pane = self._admit(delta)
+        if pane is None:
+            return False
+        self._fold_into(pane, delta.value_cipher, delta.count_cipher, 1)
         return True
+
+    def fold_many(self, deltas, engine: "FoldEngine | None" = None) -> int:
+        """Fold a batch of deltas; returns how many were accepted.
+
+        Admission (lateness check, replay rejection, pane assignment) is
+        serial — cheap integer work that must see sequence numbers in
+        arrival order. The expensive part, the ciphertext product of each
+        pane's group, goes through ``engine`` when one is supplied
+        (sharded, possibly parallel) or a plain serial product otherwise.
+        Both compute the same product bit-exactly, so batch size, shard
+        size, and worker count can never change a sealed window.
+        """
+        deltas = list(deltas)
+        # Lateness is checked for the whole batch *before* any sequence
+        # number is recorded: fold_many either raises with state untouched
+        # or runs to completion — callers can retry or shed a rejected
+        # batch without stranding half-admitted deltas.
+        for delta in deltas:
+            if delta.timestamp < self.advanced_to:
+                raise ProtocolError(
+                    f"late delta at t={delta.timestamp} (sealed through "
+                    f"{self.advanced_to})"
+                )
+        admitted: dict[int, list[EncryptedDelta]] = {}
+        for delta in deltas:
+            pane = self._admit(delta)
+            if pane is not None:
+                admitted.setdefault(pane, []).append(delta)
+        accepted = 0
+        for pane, group in admitted.items():
+            if engine is not None and len(group) > 1:
+                value, count = engine.product(group)
+            else:
+                value = CIPHER_IDENTITY
+                count = CIPHER_IDENTITY
+                for delta in group:
+                    value = value * delta.value_cipher % self.n_squared
+                    count = count * delta.count_cipher % self.n_squared
+            self._fold_into(pane, value, count, len(group))
+            accepted += len(group)
+        return accepted
 
     def current(self) -> tuple[int, int]:
         """The instantaneous ``(value, count)`` fold, open panes included.
@@ -373,6 +626,9 @@ class StandingQuery:
 
     def fold(self, delta: EncryptedDelta) -> bool:
         return self.state.fold(delta)
+
+    def fold_many(self, deltas, engine: FoldEngine | None = None) -> int:
+        return self.state.fold_many(deltas, engine=engine)
 
     def advance(self, now: int) -> list[WindowUpdate]:
         return self.state.advance(now)
@@ -496,8 +752,12 @@ def update_from_wire(payload: dict) -> WindowUpdate:
 
 __all__ = [
     "CIPHER_IDENTITY",
+    "DEFAULT_FOLD_SHARD_SIZE",
+    "DeltaBatcher",
     "DeltaEmitter",
     "EncryptedDelta",
+    "FoldEngine",
+    "FoldShardTask",
     "LiveWindow",
     "StandingAggregate",
     "StandingQuery",
@@ -505,6 +765,7 @@ __all__ = [
     "WindowSpec",
     "WindowUpdate",
     "contribution_of",
+    "fold_shard",
     "recollect",
     "stamp_version",
     "update_from_wire",

@@ -52,6 +52,7 @@ KIND_TELEMETRY = 13  #: telemetry snapshot request/response (obs.top)
 KIND_SUBSCRIBE = 14  #: querier -> SSI service: register a standing query
 KIND_DELTA = 15  #: PDS -> SSI service: one encrypted +/- contribution delta
 KIND_UPDATE = 16  #: SSI service -> querier: a window-boundary update
+KIND_DELTA_BATCH = 17  #: PDS -> SSI service: many deltas in one frame
 
 KIND_NAMES = {
     KIND_CONTRIB: "CONTRIB",
@@ -70,6 +71,7 @@ KIND_NAMES = {
     KIND_SUBSCRIBE: "SUBSCRIBE",
     KIND_DELTA: "DELTA",
     KIND_UPDATE: "UPDATE",
+    KIND_DELTA_BATCH: "DELTA_BATCH",
 }
 
 _MAGIC = 0xA7
@@ -409,3 +411,52 @@ def decode_delta(data: bytes) -> "tuple[int, EncryptedDelta]":
         value_cipher=value,
         count_cipher=count,
     )
+
+
+# ---------------------------------------------------------------------------
+# Batched deltas (PDS -> SSI service, high-throughput ingest)
+# ---------------------------------------------------------------------------
+
+_BATCH_HEADER = struct.Struct("<H")  # entry count
+
+
+def encode_delta_batch(entries) -> bytes:
+    """One ``DELTA_BATCH`` payload: many ``(subscription_id, delta)`` pairs.
+
+    Each entry is a length-prefixed single-delta encoding, so the batch
+    frame charges the bandwidth model for exactly the ciphertext bytes of
+    its deltas plus 4 framing bytes per entry — one frame header and one
+    bus hop amortized over the whole batch instead of paid per delta.
+    Entries may target different subscriptions (a PDS holding several
+    standing subscriptions flushes them in one frame).
+    """
+    entries = list(entries)
+    if len(entries) > 0xFFFF:
+        raise ProtocolError("delta batch larger than 65535 entries")
+    parts = [_BATCH_HEADER.pack(len(entries))]
+    for subscription_id, delta in entries:
+        encoded = encode_delta(subscription_id, delta)
+        parts.append(_U32.pack(len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def decode_delta_batch(data: bytes) -> "list[tuple[int, EncryptedDelta]]":
+    """Decode a ``DELTA_BATCH`` payload; garbage raises ProtocolError."""
+    if len(data) < _BATCH_HEADER.size:
+        raise ProtocolError("delta batch frame too short")
+    (count,) = _BATCH_HEADER.unpack_from(data, 0)
+    offset = _BATCH_HEADER.size
+    entries = []
+    for _ in range(count):
+        if len(data) < offset + _U32.size:
+            raise ProtocolError("delta batch frame truncated")
+        (length,) = _U32.unpack_from(data, offset)
+        offset += _U32.size
+        if len(data) < offset + length:
+            raise ProtocolError("delta batch frame truncated")
+        entries.append(decode_delta(data[offset : offset + length]))
+        offset += length
+    if offset != len(data):
+        raise ProtocolError("delta batch frame has trailing bytes")
+    return entries

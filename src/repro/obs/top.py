@@ -74,6 +74,24 @@ def render(snapshot: dict) -> str:
     if headline:
         lines.append("  " + "  ".join(headline))
 
+    if "globalq.ingest.deltas" in metrics:
+        fold = metrics.get("globalq.ingest.fold_ms") or {}
+        batch = metrics.get("globalq.ingest.batch_size") or {}
+        parts = [
+            f"deltas={_fmt(metrics['globalq.ingest.deltas'])}",
+            f"folded={_fmt(metrics.get('globalq.ingest.folded', 0))}",
+            f"rate={_fmt(metrics.get('globalq.ingest.deltas_per_s', 0.0))}/s",
+            f"fold_p50={fold.get('p50', 0.0):.1f}ms"
+            if isinstance(fold, dict)
+            else "",
+            f"batch_avg={batch.get('mean', 0.0):.1f}"
+            if isinstance(batch, dict)
+            else "",
+            f"shed={_fmt(metrics.get('globalq.ingest.shed', 0))}",
+            f"rejected={_fmt(metrics.get('globalq.ingest.rejected', 0))}",
+        ]
+        lines.append("  ingest: " + "  ".join(p for p in parts if p))
+
     sheds = {
         key.rsplit(".", 1)[1]: value
         for key, value in metrics.items()

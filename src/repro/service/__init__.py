@@ -37,6 +37,7 @@ from repro.service.descriptor import (
 )
 from repro.service.loadgen import (
     LoadReport,
+    OpenLoopDeltaStorm,
     OpenLoopLoadGenerator,
     find_knee,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "FAMILY_SECURE_AGG",
     "LoadReport",
     "MembershipChurn",
+    "OpenLoopDeltaStorm",
     "OpenLoopLoadGenerator",
     "Overloaded",
     "PopulationSnapshot",

@@ -164,6 +164,73 @@ class OpenLoopLoadGenerator:
         return report
 
 
+class OpenLoopDeltaStorm:
+    """Open-loop delta traffic: pre-encoded frames fired at the clock.
+
+    The write-side sibling of :class:`OpenLoopLoadGenerator`. Frames
+    (``DELTA`` or ``DELTA_BATCH``) are pre-encoded by the caller —
+    ciphertexts are computed before the run, so the storm measures the
+    service's ingest path (decode, queue, fold), never the generator's
+    encryption speed — and fired on an absolute Poisson schedule: when the
+    fold saturates the loop the generator wakes late and submits the
+    overdue frames immediately instead of silently offering less, exactly
+    the discipline that exposes the deltas/sec knee.
+
+    Deltas are fire-and-forget, so "completed" is read off the service's
+    ``globalq.ingest.folded`` counter after a final :meth:`drain_ingest`
+    barrier; shed and rejected come from their counters the same way. The
+    resulting :class:`LoadReport` plugs straight into :func:`find_knee`.
+    """
+
+    def __init__(self, service: SsiQueryService, seed: int = 0) -> None:
+        self.service = service
+        self.seed = seed
+
+    async def run(
+        self,
+        frames,
+        rate: float,
+        report_rate: float | None = None,
+    ) -> LoadReport:
+        """Fire ``frames`` (``(frame, delta_count)`` pairs) at ``rate``
+        frames/s; ``report_rate`` labels the report (e.g. deltas/s)."""
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        rng = random.Random(self.seed)
+        registry = self.service.registry
+        folded_before = registry.counter("globalq.ingest.folded").value
+        shed_before = registry.counter("globalq.ingest.shed").value
+        rejected_before = registry.counter("globalq.ingest.rejected").value
+        report = LoadReport(
+            rate=report_rate if report_rate is not None else rate,
+            duration_s=0.0,
+        )
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        next_arrival = started
+        for frame, delta_count in frames:
+            now = loop.time()
+            if next_arrival > now:
+                await asyncio.sleep(next_arrival - now)
+            self.service.ingest_frame(frame)
+            report.offered += delta_count
+            next_arrival += rng.expovariate(rate)
+            await asyncio.sleep(0)  # let the ingest worker interleave
+        await self.service.drain_ingest()
+        report.duration_s = loop.time() - started
+        report.completed = int(
+            registry.counter("globalq.ingest.folded").value - folded_before
+        )
+        report.shed = int(
+            registry.counter("globalq.ingest.shed").value - shed_before
+        )
+        report.errors = int(
+            registry.counter("globalq.ingest.rejected").value
+            - rejected_before
+        )
+        return report
+
+
 def find_knee(reports: list[LoadReport], threshold: float = 0.9) -> dict:
     """The saturation knee of an arrival-rate sweep.
 
@@ -198,4 +265,9 @@ def find_knee(reports: list[LoadReport], threshold: float = 0.9) -> dict:
     }
 
 
-__all__ = ["LoadReport", "OpenLoopLoadGenerator", "find_knee"]
+__all__ = [
+    "LoadReport",
+    "OpenLoopDeltaStorm",
+    "OpenLoopLoadGenerator",
+    "find_knee",
+]

@@ -29,16 +29,18 @@ from __future__ import annotations
 import asyncio
 import contextvars
 import time
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro import obs
 from repro.crypto.paillier import PaillierPublicKey
 from repro.errors import NetError, ProtocolError, QueryError
-from repro.globalq.continuous import WindowSpec
+from repro.globalq.continuous import EncryptedDelta, WindowSpec
 from repro.globalq.parallel import DEFAULT_SHARD_SIZE, WorkerPool
 from repro.net.codec import (
     KIND_DELTA,
+    KIND_DELTA_BATCH,
     KIND_QUERY,
     KIND_REJECT,
     KIND_RESULT,
@@ -47,6 +49,7 @@ from repro.net.codec import (
     KIND_UPDATE,
     Frame,
     decode_delta,
+    decode_delta_batch,
     decode_json_payload,
     encode_json_payload,
 )
@@ -86,10 +89,22 @@ class ServiceConfig:
     #: batches), 0 = legacy tuple-at-a-time, N = explicit batch row count.
     #: Never part of the descriptor — both executors answer identically.
     embedded_batch_size: int | None = None
+    #: Queued deltas (across all subscriptions) before ingest shedding.
+    ingest_queue_depth: int = 4096
+    #: Max deltas folded per ingest batch (one executor round trip).
+    ingest_batch_max: int = 256
+    #: Deltas per fold shard of the batch fold engine (None = default).
+    #: Like ``shard_size`` it never depends on the worker count, so every
+    #: (workers, batch) cell folds bit-identical pane products.
+    fold_shard_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
+        if self.ingest_queue_depth < 1:
+            raise ValueError("ingest_queue_depth must be >= 1")
+        if self.ingest_batch_max < 1:
+            raise ValueError("ingest_batch_max must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -121,6 +136,44 @@ class QueryTicket:
     trace: obs_telemetry.TraceContext | None = None
 
 
+class _IngestQueue:
+    """Bounded per-subscription delta queues with round-robin fairness.
+
+    One deque per subscription, drained one delta per subscription per
+    rotation — a PDS storm against one subscription cannot starve the
+    others, the exact fairness discipline the admission controller applies
+    to query classes. The bound is global (total queued deltas): overflow
+    raises a typed :class:`Overloaded` so the wire layer sheds with the
+    same vocabulary as query admission. Pure data structure — all calls
+    happen on the event-loop thread.
+    """
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        self.size = 0
+        self._queues: OrderedDict[int, deque] = OrderedDict()
+
+    def push(self, sub_id: int, delta: EncryptedDelta) -> None:
+        if self.size >= self.depth:
+            raise Overloaded("ingest", queued=self.size, limit=self.depth)
+        queue = self._queues.get(sub_id)
+        if queue is None:
+            queue = self._queues[sub_id] = deque()
+        queue.append(delta)
+        self.size += 1
+
+    def pop_batch(self, limit: int) -> list[tuple[int, EncryptedDelta]]:
+        """Up to ``limit`` deltas, one per subscription per rotation."""
+        out: list[tuple[int, EncryptedDelta]] = []
+        while self._queues and len(out) < limit:
+            sub_id, queue = self._queues.popitem(last=False)
+            out.append((sub_id, queue.popleft()))
+            self.size -= 1
+            if queue:
+                self._queues[sub_id] = queue  # back of the rotation
+        return out
+
+
 class SsiQueryService:
     """Persistent SSI serving concurrent [TNP14] queries.
 
@@ -150,14 +203,27 @@ class SsiQueryService:
         self.cache = ResultCache(self.config.cache_capacity, population)
         #: Standing subscriptions: encrypted delta-maintenance of live
         #: windowed aggregates, coherent with the cache by construction.
+        #: Batch folds shard onto the service's persistent worker pool.
         self.standing = StandingRegistry(
-            population, cache=self.cache, registry=self.registry
+            population,
+            cache=self.cache,
+            registry=self.registry,
+            fold_pool=self.config.pool,
+            fold_shard_size=self.config.fold_shard_size,
         )
         self.registry.register_stats("service.admission", self.admission.stats)
         self.registry.register_stats("service.cache", self.cache.stats)
         self._workers: list[asyncio.Task] = []
         self._executor: ThreadPoolExecutor | None = None
         self._running = False
+        # Ingest pipeline: deltas queue here off the reader loop and fold
+        # in batches on a dedicated executor thread, never on the loop.
+        self._ingest_queue = _IngestQueue(self.config.ingest_queue_depth)
+        self._ingest_pending = 0
+        self._ingest_task: asyncio.Task | None = None
+        self._ingest_executor: ThreadPoolExecutor | None = None
+        self._ingest_event: asyncio.Event | None = None
+        self._ingest_idle: asyncio.Event | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -174,6 +240,16 @@ class SsiQueryService:
             asyncio.ensure_future(self._worker_loop(i))
             for i in range(self.config.max_in_flight)
         ]
+        # One dedicated fold thread: batch folds serialize through the
+        # registry lock anyway, and a separate executor keeps a delta storm
+        # from stealing query-execution threads (and vice versa).
+        self._ingest_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="ssi-ingest"
+        )
+        self._ingest_event = asyncio.Event()
+        self._ingest_idle = asyncio.Event()
+        self._ingest_idle.set()
+        self._ingest_task = asyncio.ensure_future(self._ingest_loop())
 
     async def stop(self) -> None:
         if not self._running:
@@ -184,12 +260,23 @@ class SsiQueryService:
                 ticket.future.set_exception(NetError("service stopped"))
         for task in self._workers:
             task.cancel()
+        if self._ingest_task is not None:
+            self._ingest_task.cancel()
         for task in self._workers:
             try:
                 await task
             except asyncio.CancelledError:
                 pass
         self._workers = []
+        if self._ingest_task is not None:
+            try:
+                await self._ingest_task
+            except asyncio.CancelledError:
+                pass
+            self._ingest_task = None
+        if self._ingest_executor is not None:
+            self._ingest_executor.shutdown(wait=True)
+            self._ingest_executor = None
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -444,8 +531,12 @@ class SsiQueryService:
                         self._answer_subscribe(endpoint, frame, seq)
                     )
                 elif frame.kind == KIND_DELTA:
-                    # Fire-and-forget: fold synchronously, no reply frame.
+                    # Fire-and-forget: decode inline (poison frames count
+                    # immediately), fold off-loop via the ingest queue.
                     self._ingest_delta(frame)
+                    continue
+                elif frame.kind == KIND_DELTA_BATCH:
+                    self._ingest_delta_batch(frame)
                     continue
                 else:
                     continue
@@ -581,13 +672,155 @@ class SsiQueryService:
         )
         await endpoint.send(frame.sender, reply)
 
+    # ------------------------------------------------------------------
+    # Delta ingest pipeline
+    # ------------------------------------------------------------------
+    def _reject_delta_frame(self) -> None:
+        """One malformed/poison delta frame: counted, never fatal.
+
+        Any decode failure lands here — not just :class:`ProtocolError`
+        but anything a hostile payload can throw — so a poison frame can
+        never tear down ``serve_endpoint``'s reader loop. Both names
+        count: ``globalq.delta.rejected`` (the delta family's tally) and
+        ``service.delta.rejected`` (the service-level guard).
+        """
+        self.registry.counter("globalq.delta.rejected").inc()
+        self.registry.counter("service.delta.rejected").inc()
+
+    def ingest_frame(self, frame: Frame) -> None:
+        """Feed one ``DELTA``/``DELTA_BATCH`` frame into the ingest
+        pipeline — the reader loop's dispatch, callable directly by
+        in-process drivers (the delta storm bench, demos)."""
+        if frame.kind == KIND_DELTA_BATCH:
+            self._ingest_delta_batch(frame)
+        elif frame.kind == KIND_DELTA:
+            self._ingest_delta(frame)
+        else:
+            raise ProtocolError(f"not a delta frame: {frame.kind_name}")
+
     def _ingest_delta(self, frame: Frame) -> None:
-        """Fold one wire ``DELTA`` frame; malformed frames are counted."""
+        """Queue one wire ``DELTA`` frame; malformed frames are counted."""
         try:
-            sub_id, delta = decode_delta(frame.payload)
-            self.standing.ingest(sub_id, delta)
-        except ProtocolError:
-            self.registry.counter("globalq.delta.rejected").inc()
+            entry = decode_delta(frame.payload)
+        except Exception:
+            self._reject_delta_frame()
+            return
+        self._enqueue_deltas([entry])
+
+    def _ingest_delta_batch(self, frame: Frame) -> None:
+        """Queue one ``DELTA_BATCH`` frame's worth of deltas."""
+        try:
+            entries = decode_delta_batch(frame.payload)
+        except Exception:
+            self._reject_delta_frame()
+            return
+        self.registry.histogram("globalq.ingest.frame_batch").observe(
+            len(entries)
+        )
+        self._enqueue_deltas(entries)
+
+    def _enqueue_deltas(self, entries) -> None:
+        """Push decoded deltas onto the bounded ingest queue (or fold
+        inline when the service isn't running its ingest worker)."""
+        if self._ingest_task is None:
+            # No worker (service not started): legacy synchronous fold so
+            # direct registry-style use keeps working.
+            for sub_id, delta in entries:
+                try:
+                    self.standing.ingest(sub_id, delta)
+                except ProtocolError:
+                    self._reject_delta_frame()
+            return
+        accepted = 0
+        for sub_id, delta in entries:
+            try:
+                self._ingest_queue.push(sub_id, delta)
+            except Overloaded as exc:
+                self._account_ingest_shed(exc)
+            else:
+                accepted += 1
+        if accepted:
+            self._ingest_pending += accepted
+            self._ingest_idle.clear()
+            self._ingest_event.set()
+            self.registry.gauge("globalq.ingest.queue_depth").max(
+                self._ingest_queue.size
+            )
+
+    def _account_ingest_shed(self, exc: Overloaded) -> None:
+        self.registry.counter("globalq.ingest.shed").inc()
+        obs.event(
+            "globalq.ingest.shed",
+            queued=exc.queued,
+            limit=exc.limit,
+        )
+        if self.telemetry is not None:
+            self.telemetry.recorder.trigger(
+                "ingest_overloaded",
+                queued=exc.queued,
+                limit=exc.limit,
+            )
+
+    async def _ingest_loop(self) -> None:
+        """Drain the ingest queue in batches on the ingest executor.
+
+        The fold itself (big-int multiplication, possibly sharded onto the
+        worker pool) runs on the dedicated ingest thread — the event loop
+        only pops the queue and does the accounting, so a delta storm
+        cannot stall frame receive or query scheduling.
+        """
+        tracer = obs.get_tracer()
+        if tracer is not None:
+            tracer.label_current_track("ssi-ingest")
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._ingest_event.wait()
+            self._ingest_event.clear()
+            while self._ingest_queue.size:
+                batch = self._ingest_queue.pop_batch(
+                    self.config.ingest_batch_max
+                )
+                started = time.perf_counter()
+                try:
+                    folded, rejected = await loop.run_in_executor(
+                        self._ingest_executor,
+                        self.standing.ingest_many,
+                        batch,
+                    )
+                except asyncio.CancelledError:
+                    raise
+                except Exception:  # surface in metrics, never die
+                    folded, rejected = 0, len(batch)
+                    self.registry.counter("service.errors").inc()
+                elapsed = time.perf_counter() - started
+                self._ingest_pending -= len(batch)
+                self._account_ingest(len(batch), folded, rejected, elapsed)
+            if self._ingest_pending == 0:
+                self._ingest_idle.set()
+
+    def _account_ingest(
+        self, batch: int, folded: int, rejected: int, elapsed: float
+    ) -> None:
+        self.registry.counter("globalq.ingest.deltas").inc(batch)
+        if folded:
+            self.registry.counter("globalq.ingest.folded").inc(folded)
+        if rejected:
+            self.registry.counter("globalq.ingest.rejected").inc(rejected)
+        self.registry.histogram("globalq.ingest.batch_size").observe(batch)
+        self.registry.percentiles("globalq.ingest.fold_ms").observe(
+            elapsed * 1000.0
+        )
+        if elapsed > 0:
+            self.registry.gauge("globalq.ingest.deltas_per_s").set(
+                round(batch / elapsed, 1)
+            )
+
+    async def drain_ingest(self) -> None:
+        """Wait until every queued delta has folded (publication barrier)."""
+        if self._ingest_task is None or self._ingest_idle is None:
+            return
+        if self._ingest_pending:
+            await self._ingest_idle.wait()
 
     async def publish_windows(self, now: int, endpoint=None) -> int:
         """Advance simulated time; push ``UPDATE`` frames to subscribers.
@@ -595,8 +828,11 @@ class SsiQueryService:
         Every subscription with a wire ``requester`` gets one ``UPDATE``
         frame per sealed boundary (ciphertexts hex-encoded in the JSON
         control payload — the querier, the only key holder, decrypts).
-        Returns the number of updates published.
+        Returns the number of updates published. Queued ingest drains
+        first: a pane must never seal under a delta that already arrived
+        (it would turn into a late-delta protocol error on fold).
         """
+        await self.drain_ingest()
         published = self.standing.advance(now)
         sent = 0
         for sub_id, updates in published.items():

@@ -30,14 +30,17 @@ Subscriptions come in two flavours:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro import obs
 from repro.crypto.paillier import PaillierPublicKey
 from repro.errors import ProtocolError, QueryError
 from repro.globalq.continuous import (
+    DEFAULT_FOLD_SHARD_SIZE,
     DeltaEmitter,
     EncryptedDelta,
+    FoldEngine,
     StandingQuery,
     WindowSpec,
     WindowUpdate,
@@ -81,6 +84,8 @@ class StandingSubscription:
     deltas_emitted: int = 0
     delta_bytes: int = 0
     start: int = 0
+    #: Sharded fold engine for batch ingest (None = plain serial fold).
+    engine: FoldEngine | None = None
 
 
 class StandingRegistry:
@@ -92,13 +97,24 @@ class StandingRegistry:
         cache: ResultCache | None = None,
         registry: obs.MetricsRegistry | None = None,
         clock: SimClock | None = None,
+        fold_pool=None,
+        fold_shard_size: int | None = None,
     ) -> None:
         self.population = population
         self.cache = cache
         self.registry = registry or obs.MetricsRegistry()
         self.clock = clock or SimClock()
+        #: Persistent :class:`~repro.globalq.parallel.WorkerPool` batch
+        #: folds shard onto (None = inline). Shard geometry never depends
+        #: on the pool, so attaching one cannot change a ciphertext.
+        self.fold_pool = fold_pool
+        self.fold_shard_size = fold_shard_size
         self._subs: dict[int, StandingSubscription] = {}
         self._next_id = 1
+        #: Batch ingest runs on an executor thread while population events
+        #: fold synchronously on the caller's thread — one reentrant lock
+        #: serializes every fold/advance so pane state never tears.
+        self._lock = threading.RLock()
         population.add_listener(self._on_population_event)
 
     def __len__(self) -> int:
@@ -168,6 +184,11 @@ class StandingRegistry:
             key=descriptor.canonical(),
             requester=requester,
             start=start,
+            engine=FoldEngine(
+                public.n * public.n,
+                pool=self.fold_pool,
+                shard_size=self.fold_shard_size or DEFAULT_FOLD_SHARD_SIZE,
+            ),
         )
         self._next_id += 1
         self._subs[sub.sub_id] = sub
@@ -193,17 +214,18 @@ class StandingRegistry:
     # The delta stream
     # ------------------------------------------------------------------
     def _fold(self, sub: StandingSubscription, delta: EncryptedDelta) -> bool:
-        folded = sub.standing.fold(delta)
-        size = delta.ciphertext_bytes(sub.standing.state.n_squared)
-        sub.deltas_emitted += 1
-        sub.delta_bytes += size
-        self.registry.counter("globalq.delta.emitted").inc()
-        self.registry.counter("globalq.delta.bytes").inc(size)
-        if folded:
-            self.registry.counter("globalq.delta.folded").inc()
-        else:
-            self.registry.counter("globalq.delta.duplicates").inc()
-        return folded
+        with self._lock:
+            folded = sub.standing.fold(delta)
+            size = delta.ciphertext_bytes(sub.standing.state.n_squared)
+            sub.deltas_emitted += 1
+            sub.delta_bytes += size
+            self.registry.counter("globalq.delta.emitted").inc()
+            self.registry.counter("globalq.delta.bytes").inc(size)
+            if folded:
+                self.registry.counter("globalq.delta.folded").inc()
+            else:
+                self.registry.counter("globalq.delta.duplicates").inc()
+            return folded
 
     def _on_population_event(
         self, event: str, pds_id: int, version: int
@@ -216,17 +238,18 @@ class StandingRegistry:
         """
         if not self._subs:
             return
-        node = self.population.node(pds_id)
-        online = self.population.is_online(pds_id)
-        for sub in self._subs.values():
-            if sub.emitter is None:
-                continue
-            delta = sub.emitter.refresh(node, online, self.clock.now)
-            if delta is None:
-                continue
-            self._fold(sub, delta)
-            if self.cache is not None:
-                self.cache.note_delta(sub.key, version)
+        with self._lock:
+            node = self.population.node(pds_id)
+            online = self.population.is_online(pds_id)
+            for sub in self._subs.values():
+                if sub.emitter is None:
+                    continue
+                delta = sub.emitter.refresh(node, online, self.clock.now)
+                if delta is None:
+                    continue
+                self._fold(sub, delta)
+                if self.cache is not None:
+                    self.cache.note_delta(sub.key, version)
 
     def ingest(self, sub_id: int, delta: EncryptedDelta) -> bool:
         """Fold a wire-fed delta (a decoded ``DELTA`` frame payload).
@@ -236,11 +259,73 @@ class StandingRegistry:
         *above* the current version: recollection answers for this
         descriptor stop being cacheable until the population itself moves.
         """
-        sub = self.subscription(sub_id)
-        folded = self._fold(sub, delta)
-        if folded and self.cache is not None:
-            self.cache.note_delta(sub.key, self.population.version + 1)
-        return folded
+        with self._lock:
+            sub = self.subscription(sub_id)
+            folded = self._fold(sub, delta)
+            if folded and self.cache is not None:
+                self.cache.note_delta(sub.key, self.population.version + 1)
+            return folded
+
+    def ingest_many(self, entries) -> tuple[int, int]:
+        """Fold a batch of wire-fed ``(subscription_id, delta)`` pairs.
+
+        The decoded payload of one ``DELTA_BATCH`` frame (or a drained
+        ingest-queue batch). Deltas are grouped per subscription and folded
+        through the subscription's sharded
+        :class:`~repro.globalq.continuous.FoldEngine` — admission (replay
+        rejection, pane assignment) stays serial under the lock, only the
+        ciphertext products parallelize. Unlike :meth:`ingest`, the batch
+        path is tolerant: entries for unknown subscriptions or sealed
+        panes are dropped and counted instead of raising, so one poison
+        delta cannot sink its batchmates. Returns ``(folded, rejected)``;
+        replayed duplicates count in neither (they are tallied under
+        ``globalq.delta.duplicates`` as usual).
+        """
+        with self._lock:
+            groups: dict[int, list[EncryptedDelta]] = {}
+            rejected = 0
+            for sub_id, delta in entries:
+                if sub_id not in self._subs:
+                    rejected += 1
+                    continue
+                groups.setdefault(sub_id, []).append(delta)
+            folded_total = 0
+            for sub_id, deltas in groups.items():
+                sub = self._subs[sub_id]
+                state = sub.standing.state
+                fresh = [
+                    delta
+                    for delta in deltas
+                    if delta.timestamp >= state.advanced_to
+                ]
+                rejected += len(deltas) - len(fresh)
+                if not fresh:
+                    continue
+                duplicates_before = state.duplicates
+                folded = sub.standing.fold_many(fresh, engine=sub.engine)
+                size = sum(
+                    delta.ciphertext_bytes(state.n_squared)
+                    for delta in fresh
+                )
+                sub.deltas_emitted += len(fresh)
+                sub.delta_bytes += size
+                self.registry.counter("globalq.delta.emitted").inc(
+                    len(fresh)
+                )
+                self.registry.counter("globalq.delta.bytes").inc(size)
+                if folded:
+                    self.registry.counter("globalq.delta.folded").inc(folded)
+                duplicates = state.duplicates - duplicates_before
+                if duplicates:
+                    self.registry.counter("globalq.delta.duplicates").inc(
+                        duplicates
+                    )
+                if folded and self.cache is not None:
+                    self.cache.note_delta(
+                        sub.key, self.population.version + 1
+                    )
+                folded_total += folded
+            return folded_total, rejected
 
     # ------------------------------------------------------------------
     # Window sealing
@@ -252,6 +337,10 @@ class StandingRegistry:
         appended to each subscription's ``updates`` list), each stamped
         with the publication-time population version.
         """
+        with self._lock:
+            return self._advance_locked(now)
+
+    def _advance_locked(self, now: int) -> dict[int, list[WindowUpdate]]:
         self.clock.advance(now)
         version = self.population.version
         published: dict[int, list[WindowUpdate]] = {}

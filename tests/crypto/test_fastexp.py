@@ -91,6 +91,31 @@ class TestBlindingPool:
             BlindingPool(PUB.n, seed=1, stock_size=1)
         with pytest.raises(ValueError, match="subset_size"):
             BlindingPool(PUB.n, seed=1, stock_size=4, subset_size=5)
+        with pytest.raises(ValueError, match="refresh_batch"):
+            BlindingPool(PUB.n, seed=1, refresh_batch=0)
+
+    def test_drained_pool_refreshes_not_slow_path(self):
+        """Sustained draw past the pregenerated stock must refresh the
+        ready queue (stock-combine work) — never fall back to a fresh
+        full-width exponentiation, and never change the factor stream."""
+        registry = global_registry()
+        exhausted = registry.counter("pool.exhausted")
+        refreshed = registry.counter("pool.refreshed")
+        modexp = registry.counter("crypto.modexp_count")
+
+        pool = BlindingPool(PUB.n, seed=21, refresh_batch=4)
+        pool.pregenerate(3)
+        exhausted_before = exhausted.value
+        refreshed_before = refreshed.value
+        modexp_before = modexp.value
+        drained = [pool.next() for _ in range(11)]  # 3 ready + 2 refreshes
+        assert exhausted.value - exhausted_before == 2
+        assert refreshed.value - refreshed_before == 8
+        # No new exponentiation: refreshing is subset products only.
+        assert modexp.value == modexp_before
+        # The refresh path returns the exact factors a serial caller gets.
+        serial = BlindingPool(PUB.n, seed=21)
+        assert drained == [serial.next() for _ in range(11)]
 
 
 class TestEncryptBatch:

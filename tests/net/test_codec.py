@@ -256,3 +256,63 @@ class TestServiceFrames:
     def test_unencodable_object_rejected(self):
         with pytest.raises(ProtocolError):
             encode_json_payload({"x": object()})
+
+
+class TestDeltaBatchCodec:
+    def _entries(self, count=4):
+        from repro.globalq.continuous import EncryptedDelta
+
+        return [
+            (
+                sub,
+                EncryptedDelta(
+                    pds_id=i,
+                    seq=i + 1,
+                    timestamp=i % 3,
+                    value_cipher=(1 << 200) + 17 * i,
+                    count_cipher=(1 << 199) + 5 * i,
+                ),
+            )
+            for i, sub in zip(range(count), [1, 1, 2, 7] * count)
+        ]
+
+    def test_round_trip(self):
+        from repro.net.codec import (
+            KIND_DELTA_BATCH,
+            decode_delta_batch,
+            encode_delta_batch,
+        )
+
+        entries = self._entries()
+        frame = Frame(
+            KIND_DELTA_BATCH, "pds-0", 1, encode_delta_batch(entries)
+        )
+        decoded = decode_frame(encode_frame(frame))
+        assert decoded.kind == KIND_DELTA_BATCH
+        assert KIND_NAMES[KIND_DELTA_BATCH] == "DELTA_BATCH"
+        assert decode_delta_batch(decoded.payload) == entries
+
+    def test_empty_batch_round_trips(self):
+        from repro.net.codec import decode_delta_batch, encode_delta_batch
+
+        assert decode_delta_batch(encode_delta_batch([])) == []
+
+    def test_truncated_and_trailing_bytes_rejected(self):
+        from repro.net.codec import decode_delta_batch, encode_delta_batch
+
+        blob = encode_delta_batch(self._entries())
+        with pytest.raises(ProtocolError):
+            decode_delta_batch(blob[:-3])
+        with pytest.raises(ProtocolError):
+            decode_delta_batch(blob + b"\x00")
+        with pytest.raises(ProtocolError):
+            decode_delta_batch(b"\x01")  # count says 1, no entry bytes
+
+    def test_entry_payload_corruption_rejected(self):
+        from repro.net.codec import decode_delta_batch, encode_delta_batch
+
+        blob = bytearray(encode_delta_batch(self._entries(1)))
+        # Shrink the inner delta header's vlen so lengths disagree.
+        blob[-1] ^= 0xFF
+        with pytest.raises(ProtocolError):
+            decode_delta_batch(bytes(blob[:-4]))

@@ -19,6 +19,7 @@ import pytest
 
 from repro.crypto.paillier import generate_keypair
 from repro.globalq.continuous import (
+    DeltaBatcher,
     DeltaEmitter,
     StandingView,
     WindowSpec,
@@ -29,11 +30,13 @@ from repro.globalq.queries import AggregateQuery
 from repro.net.bus import MessageBus
 from repro.net.codec import (
     KIND_DELTA,
+    KIND_DELTA_BATCH,
     KIND_SUBSCRIBE,
     KIND_UPDATE,
     Frame,
     decode_json_payload,
     encode_delta,
+    encode_delta_batch,
     encode_json_payload,
 )
 from repro.service import (
@@ -248,6 +251,112 @@ class TestWireStandingPath:
         body = decode_json_payload(reply.payload)
         assert "error" in body
 
+    def test_delta_batch_round_trip_matches_recollection(self):
+        """A coalesced DELTA_BATCH frame folds to the same published
+        window a one-frame-one-fold stream would — the batched wire path
+        end to end, equality gate armed."""
+
+        async def scenario():
+            bus = MessageBus()
+            ssi = bus.register("ssi")
+            querier = bus.register("querier")
+            pds = bus.register("pds-0")
+            population = slim_population(16)
+            service = SsiQueryService(population, ServiceConfig())
+            service.start()
+            server = asyncio.ensure_future(service.serve_endpoint(ssi))
+
+            request = dict(
+                SUM.to_dict(),
+                request_id=1,
+                window={"width": 2, "slide": 2},
+                public_n=f"{PUBLIC.n:x}",
+                start=0,
+            )
+            await querier.send(
+                "ssi",
+                Frame(KIND_SUBSCRIBE, "querier", 1, encode_json_payload(request)),
+            )
+            ack = await querier.recv(timeout=5.0)
+            sub_id = decode_json_payload(ack.payload)["subscription"]
+
+            # PDS side: every bootstrap delta coalesces into one frame.
+            emitter = DeltaEmitter(PUBLIC, SUM.query, seed=2)
+            batcher = DeltaBatcher(PUBLIC.n, WindowSpec(width=2, slide=2))
+            for node in population.online_nodes():
+                delta = emitter.refresh(node, True, 0)
+                batcher.add(sub_id, delta)
+            await pds.send(
+                "ssi",
+                Frame(
+                    KIND_DELTA_BATCH,
+                    "pds-0",
+                    1,
+                    encode_delta_batch(batcher.flush()),
+                ),
+            )
+            await asyncio.sleep(0.05)
+            sent = await service.publish_windows(2, endpoint=ssi)
+            update_frame = await querier.recv(timeout=5.0)
+            batches = service.registry.counter("globalq.ingest.deltas").value
+
+            server.cancel()
+            try:
+                await server
+            except asyncio.CancelledError:
+                pass
+            await service.stop()
+            return population, sent, update_frame, batches
+
+        population, sent, update_frame, ingested = run(scenario())
+        assert sent == 1
+        assert ingested == len(population)
+        update = update_from_wire(decode_json_payload(update_frame.payload))
+        view = StandingView(PRIVATE, SUM.query)
+        window = view.ingest(update)
+        assert (window.total, window.count) == recollect(
+            population.online_nodes(), SUM.query
+        )
+
+    def test_overflowing_ingest_queue_sheds_not_grows(self):
+        """Past the knee the bounded ingest queue sheds with the typed
+        counter — offered == folded + shed, queue depth stays bounded."""
+
+        async def scenario():
+            population = slim_population(8)
+            service = SsiQueryService(
+                population,
+                ServiceConfig(ingest_queue_depth=4, ingest_batch_max=2),
+            )
+            sub = service.standing.subscribe(
+                COUNT, WindowSpec(width=4), PUBLIC, local_source=False
+            )
+            service.start()
+            emitter = DeltaEmitter(PUBLIC, COUNT.query, seed=3)
+            offered = 0
+            # Burst without yielding: the worker cannot drain in between,
+            # so everything past the bound must shed.
+            for node in population.online_nodes():
+                delta = emitter.refresh(node, True, 0)
+                frame = Frame(
+                    KIND_DELTA, "pds-0", delta.pds_id,
+                    encode_delta(sub.sub_id, delta),
+                )
+                service.ingest_frame(frame)
+                offered += 1
+            await service.drain_ingest()
+            registry = service.registry
+            folded = registry.counter("globalq.ingest.folded").value
+            shed = registry.counter("globalq.ingest.shed").value
+            depth = registry.gauge("globalq.ingest.queue_depth").value
+            await service.stop()
+            return offered, folded, shed, depth
+
+        offered, folded, shed, depth = run(scenario())
+        assert shed > 0
+        assert folded + shed == offered
+        assert depth <= 4
+
     def test_malformed_delta_is_counted_not_fatal(self):
         async def scenario():
             bus = MessageBus()
@@ -268,3 +377,49 @@ class TestWireStandingPath:
             return rejected
 
         assert run(scenario()) == 1
+
+    def test_poison_frame_does_not_tear_down_the_endpoint(self):
+        """Satellite regression: malformed DELTA and DELTA_BATCH payloads
+        count under service.delta.rejected and the reader loop survives —
+        a good delta sent *after* the poison still folds."""
+
+        async def scenario():
+            bus = MessageBus()
+            ssi = bus.register("ssi")
+            pds = bus.register("pds-0")
+            population = slim_population(6)
+            service = SsiQueryService(population, ServiceConfig())
+            sub = service.standing.subscribe(
+                COUNT, WindowSpec(width=4), PUBLIC, local_source=False
+            )
+            service.start()
+            server = asyncio.ensure_future(service.serve_endpoint(ssi))
+
+            await pds.send("ssi", Frame(KIND_DELTA, "pds-0", 1, b"\x00" * 7))
+            await pds.send(
+                "ssi", Frame(KIND_DELTA_BATCH, "pds-0", 2, b"\x02garbage")
+            )
+            emitter = DeltaEmitter(PUBLIC, COUNT.query, seed=4)
+            delta = emitter.refresh(population.node(0), True, 0)
+            await pds.send(
+                "ssi",
+                Frame(KIND_DELTA, "pds-0", 3, encode_delta(sub.sub_id, delta)),
+            )
+            await asyncio.sleep(0.05)
+            await service.drain_ingest()
+            rejected = service.registry.counter(
+                "service.delta.rejected"
+            ).value
+            folded = service.registry.counter("globalq.delta.folded").value
+
+            server.cancel()
+            try:
+                await server
+            except asyncio.CancelledError:
+                pass
+            await service.stop()
+            return rejected, folded
+
+        rejected, folded = run(scenario())
+        assert rejected == 2
+        assert folded == 1
